@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark suite.
+
+The expensive artifacts — the evaluation sweep (global-model training +
+online replay of every evaluation instance) and the fleet statistics —
+are computed once per session and shared by all benchmark files; each
+benchmark then times its own post-processing and asserts the paper's
+qualitative claims.
+
+Every benchmark also writes its rendered table to ``results/`` so the
+numbers behind EXPERIMENTS.md can be regenerated with one command.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import GlobalModelConfig
+from repro.harness import SweepConfig, fleet_statistics, run_sweep
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+#: the common scale used for all benchmark experiments
+BENCH_SWEEP = SweepConfig(
+    seed=2024,
+    n_eval_instances=14,
+    n_train_instances=10,
+    duration_days=2.0,
+    volume_scale=0.3,
+    global_model=GlobalModelConfig(
+        hidden_dim=48,
+        n_conv_layers=4,
+        epochs=20,
+        max_queries_per_instance=300,
+    ),
+)
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    """The shared evaluation sweep (trained global model + replays)."""
+    return run_sweep(BENCH_SWEEP)
+
+
+@pytest.fixture(scope="session")
+def fleet_stats():
+    """Fleet statistics for Figure 1 (independent of the sweep)."""
+    return fleet_statistics(
+        n_instances=60, duration_days=2.0, volume_scale=0.25, seed=1
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: str, name: str, text: str) -> None:
+    """Persist one experiment's rendered output under ``results/``."""
+    with open(os.path.join(results_dir, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")

@@ -1,0 +1,69 @@
+"""Ablation: the cache's alpha blend (robustness vs freshness).
+
+Paper Section 4.2 predicts ``alpha * mean + (1-alpha) * last`` with
+alpha = 0.8.  This ablation replays repeated queries through caches with
+alpha in {0 (last-only), 0.8 (paper), 1 (mean-only)} and compares the
+absolute error on cache hits.  Under drift, last-only chases noise and
+mean-only lags behind data growth; the blend should sit at or near the
+front.
+"""
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.cache import ExecTimeCache
+from repro.harness.reporting import render_simple_table
+from repro.workload import FleetConfig, FleetGenerator
+
+
+def _cache_errors(traces, alpha=0.8, mode="blend"):
+    errors = []
+    for trace in traces:
+        cache = ExecTimeCache(capacity=2000, alpha=alpha, mode=mode)
+        for record in trace:
+            key = cache.key_for(record.features)
+            pred = cache.lookup(key)
+            if pred is not None:
+                errors.append(abs(pred - record.exec_time))
+            cache.observe(key, record.exec_time)
+    return np.asarray(errors)
+
+
+def test_ablation_cache_alpha(benchmark, results_dir):
+    gen = FleetGenerator(FleetConfig(seed=77, volume_scale=0.3))
+    traces = [
+        gen.generate_trace(gen.sample_instance(i), 3.0) for i in range(4)
+    ]
+
+    results = {}
+    for alpha in (0.0, 0.5, 0.8, 1.0):
+        errors = _cache_errors(traces, alpha)
+        results[f"alpha={alpha}"] = (
+            float(errors.mean()),
+            float(np.median(errors)),
+        )
+    # the future-work time-series mode (EWMA), for comparison
+    ewma_errors = _cache_errors(traces, mode="ewma")
+    results["ewma (future work)"] = (
+        float(ewma_errors.mean()),
+        float(np.median(ewma_errors)),
+    )
+
+    benchmark(_cache_errors, traces[:1], 0.8)
+
+    rows = [
+        [name, f"{mae:.3f}", f"{p50:.4f}"]
+        for name, (mae, p50) in results.items()
+    ]
+    table = render_simple_table(
+        "Ablation: cache alpha blend (absolute error on cache hits, s)",
+        ["setting", "MAE", "P50-AE"],
+        rows,
+    )
+    write_result(results_dir, "ablation_cache_alpha", table)
+
+    # the paper's blend must not lose to either extreme by a wide margin
+    blend_mae = results["alpha=0.8"][0]
+    assert blend_mae <= results["alpha=0.0"][0] * 1.1
+    assert blend_mae <= results["alpha=1.0"][0] * 1.1

@@ -1,0 +1,73 @@
+"""Ablation: Bayesian ensemble size K.
+
+The paper uses K = 10 members.  K = 1 removes *model* uncertainty
+entirely (Eq. 2 degenerates to data uncertainty), which should degrade
+the PRR of the uncertainty estimate; accuracy itself moves much less.
+"""
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.core.metrics import prr_score
+from repro.harness.reporting import render_simple_table
+from repro.ml.ensemble import BayesianGBMEnsemble
+from repro.ml.preprocessing import LogTargetTransform
+from repro.workload import FleetConfig, FleetGenerator
+
+
+def _dataset(seed=31):
+    """Feature/target arrays from a mixed-workload instance."""
+    gen = FleetGenerator(FleetConfig(seed=seed, volume_scale=0.35))
+    # pick an instance with a broad query mix
+    for i in range(12):
+        inst = gen.sample_instance(i)
+        if 0.2 < inst.kind_weights.get("adhoc", 0) < 0.95:
+            trace = gen.generate_trace(inst, 2.5)
+            if len(trace) > 500:
+                break
+    X = np.vstack([r.features for r in trace])
+    y = np.array([r.exec_time for r in trace])
+    half = len(trace) // 2
+    return X[:half], y[:half], X[half:], y[half:]
+
+
+def _fit_and_score(K, X_tr, y_tr, X_te, y_te):
+    transform = LogTargetTransform()
+    ens = BayesianGBMEnsemble(
+        n_members=K, n_estimators=40, max_depth=4, random_state=0
+    )
+    ens.fit(X_tr, transform.transform(y_tr))
+    out = ens.predict(X_te)
+    pred = transform.inverse(out.mean)
+    errors = np.abs(pred - y_te)
+    return float(errors.mean()), prr_score(errors, np.sqrt(out.total_uncertainty))
+
+
+def test_ablation_ensemble_size(benchmark, results_dir):
+    X_tr, y_tr, X_te, y_te = _dataset()
+
+    results = {}
+    for K in (1, 4, 10):
+        results[K] = _fit_and_score(K, X_tr, y_tr, X_te, y_te)
+
+    benchmark.pedantic(
+        _fit_and_score, args=(4, X_tr, y_tr, X_te, y_te), iterations=1, rounds=1
+    )
+
+    rows = [
+        [f"K={K}", f"{mae:.2f}", f"{prr:.2f}"] for K, (mae, prr) in results.items()
+    ]
+    table = render_simple_table(
+        "Ablation: ensemble size (held-out MAE and PRR)",
+        ["members", "MAE (s)", "PRR"],
+        rows,
+    )
+    write_result(results_dir, "ablation_ensemble_size", table)
+
+    # accuracy stays in the same league across K
+    maes = [mae for mae, _ in results.values()]
+    assert max(maes) < min(maes) * 2.0
+    # an ensemble (K >= 4) should provide uncertainty at least as good as
+    # the single model's data-only uncertainty
+    assert max(results[4][1], results[10][1]) >= results[1][1] - 0.05

@@ -1,0 +1,64 @@
+"""Ablation: the deployed configuration (cache + local, no global model).
+
+The paper notes (Section 5.2) that only the exec-time cache and local
+model are deployed in production so far; the global model is pending.
+This ablation recomputes Stage's predictions offline from the sweep's
+recorded components with the global stage removed (uncertain queries
+fall back to the local answer) and compares accuracy.
+"""
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.harness.reporting import render_simple_table
+
+SHORT_CIRCUIT_S = 2.0
+UNCERTAINTY_THRESHOLD = 1.5
+
+
+def _route(sweep, use_global):
+    true = sweep.pooled("true")
+    cache = sweep.pooled("cache_pred")
+    local = sweep.pooled("local_pred")
+    std = sweep.pooled("local_std")
+    glob = sweep.pooled("global_pred")
+
+    pred = cache.copy()
+    miss = np.isnan(pred)
+    local_ok = miss & ~np.isnan(local)
+    uncertain = local_ok & (local >= SHORT_CIRCUIT_S) & (
+        std >= UNCERTAINTY_THRESHOLD
+    )
+    pred[local_ok] = local[local_ok]
+    if use_global:
+        escalate = uncertain & ~np.isnan(glob)
+        pred[escalate] = glob[escalate]
+        cold = np.isnan(pred) & ~np.isnan(glob)
+        pred[cold] = glob[cold]
+    pred[np.isnan(pred)] = 1.0
+    errors = np.abs(pred - true)
+    return float(errors.mean()), float(np.median(errors)), float(
+        np.percentile(errors, 90)
+    )
+
+
+def test_ablation_no_global(benchmark, sweep, results_dir):
+    with_global = _route(sweep, use_global=True)
+    without_global = _route(sweep, use_global=False)
+    benchmark.pedantic(_route, args=(sweep, True), iterations=1, rounds=2)
+
+    rows = [
+        ["cache+local+global", f"{with_global[0]:.2f}", f"{with_global[1]:.3f}", f"{with_global[2]:.2f}"],
+        ["cache+local (deployed)", f"{without_global[0]:.2f}", f"{without_global[1]:.3f}", f"{without_global[2]:.2f}"],
+    ]
+    table = render_simple_table(
+        "Ablation: removing the global model",
+        ["configuration", "MAE (s)", "P50-AE", "P90-AE"],
+        rows,
+    )
+    write_result(results_dir, "ablation_no_global", table)
+
+    # both configurations are functional; the full hierarchy should not
+    # be worse overall (the global stage only serves escalations)
+    assert with_global[0] <= without_global[0] * 1.15

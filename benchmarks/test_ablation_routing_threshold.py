@@ -1,0 +1,68 @@
+"""Ablation: the uncertainty threshold that routes to the global model.
+
+Replays the routing rule offline over the sweep's recorded component
+predictions: lower thresholds escalate more queries to the (expensive)
+global model.  This is the accuracy/latency dial behind the paper's
+"global model is used ~3% of the time" operating point.
+"""
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.harness.reporting import render_simple_table
+
+SHORT_CIRCUIT_S = 2.0
+
+
+def _route(sweep, threshold):
+    """Recompute Stage predictions under a different threshold."""
+    true = sweep.pooled("true")
+    cache = sweep.pooled("cache_pred")
+    local = sweep.pooled("local_pred")
+    std = sweep.pooled("local_std")
+    glob = sweep.pooled("global_pred")
+
+    pred = np.where(~np.isnan(cache), cache, np.nan)
+    miss = np.isnan(pred)
+    local_ok = miss & ~np.isnan(local)
+    trust_local = local_ok & (
+        (local < SHORT_CIRCUIT_S) | (std < threshold)
+    )
+    pred[trust_local] = local[trust_local]
+    escalate = miss & ~np.isnan(glob) & np.isnan(pred)
+    pred[escalate] = glob[escalate]
+    # anything left (cold start): fall back to local then global
+    rest = np.isnan(pred)
+    pred[rest & ~np.isnan(local)] = local[rest & ~np.isnan(local)]
+    pred[np.isnan(pred)] = 1.0
+    return pred, float(escalate.mean()), float(np.abs(pred - true).mean())
+
+
+def test_ablation_routing_threshold(benchmark, sweep, results_dir):
+    thresholds = (0.25, 0.5, 1.0, 1.5, 2.5, 1e9)
+    rows = []
+    escalations = []
+    maes = []
+    for t in thresholds:
+        _, esc, mae = _route(sweep, t)
+        label = "inf (never escalate)" if t > 100 else f"{t}"
+        rows.append([label, f"{esc:.1%}", f"{mae:.2f}"])
+        escalations.append(esc)
+        maes.append(mae)
+
+    benchmark.pedantic(_route, args=(sweep, 1.5), iterations=1, rounds=2)
+
+    table = render_simple_table(
+        "Ablation: uncertainty-threshold routing sweep",
+        ["std threshold", "escalated to global", "overall MAE (s)"],
+        rows,
+    )
+    write_result(results_dir, "ablation_routing_threshold", table)
+
+    # escalation fraction decreases monotonically with the threshold
+    assert all(
+        a >= b - 1e-12 for a, b in zip(escalations, escalations[1:])
+    )
+    # every threshold keeps MAE within a sane band of the best setting
+    assert max(maes) < min(maes) * 3.0

@@ -1,0 +1,78 @@
+"""Ablation: training-pool dedup and duration bucketing (paper 4.3).
+
+Without duration bucketing, the flood of sub-second queries evicts the
+rare long queries from the bounded pool, and the local model's accuracy
+on long queries collapses.  Without cache-dedup, repeated queries crowd
+the pool, shrinking its *diversity* (distinct queries retained).
+"""
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.cache import ExecTimeCache
+from repro.core.config import TrainingPoolConfig
+from repro.harness.reporting import render_simple_table
+from repro.local_model import TrainingPool
+from repro.workload import FleetConfig, FleetGenerator
+
+
+def _run_pool(trace, bucketed: bool, dedup: bool, max_size=300):
+    shares = (
+        ((10.0, 0.6), (60.0, 0.25), (float("inf"), 0.15))
+        if bucketed
+        else ((float("inf"), 1.0),)
+    )
+    pool = TrainingPool(TrainingPoolConfig(max_size=max_size, bucket_shares=shares))
+    cache = ExecTimeCache(capacity=2000)
+    for record in trace:
+        key = cache.key_for(record.features)
+        hit = key in cache
+        pool.add(record.features, record.exec_time, cache_hit=hit and dedup)
+        cache.observe(key, record.exec_time)
+    return pool
+
+
+def test_ablation_training_pool(benchmark, results_dir):
+    gen = FleetGenerator(FleetConfig(seed=55, volume_scale=0.4))
+    # a dashboard-heavy instance: many short repeats + a few long queries
+    trace = None
+    for i in range(10):
+        inst = gen.sample_instance(i)
+        if inst.kind_weights.get("dashboard", 0) > 0.5:
+            trace = gen.generate_trace(inst, 2.5)
+            if len(trace) > 800:
+                break
+    assert trace is not None
+
+    variants = {
+        "full (dedup+buckets)": _run_pool(trace, bucketed=True, dedup=True),
+        "no bucketing": _run_pool(trace, bucketed=False, dedup=True),
+        "no dedup": _run_pool(trace, bucketed=True, dedup=False),
+    }
+    benchmark.pedantic(
+        _run_pool, args=(trace, True, True), iterations=1, rounds=1
+    )
+
+    stats = {}
+    rows = []
+    for name, pool in variants.items():
+        X, y = pool.dataset()
+        n_long = int((y >= 10.0).sum())
+        n_distinct = len({tuple(row) for row in X})
+        stats[name] = (n_long, n_distinct)
+        rows.append([name, len(pool), n_long, n_distinct])
+    table = render_simple_table(
+        "Ablation: training pool composition",
+        ["variant", "pool size", "# long (>=10s)", "# distinct queries"],
+        rows,
+    )
+    write_result(results_dir, "ablation_training_pool", table)
+
+    full_long, full_distinct = stats["full (dedup+buckets)"]
+    nobucket_long, _ = stats["no bucketing"]
+    _, nodedup_distinct = stats["no dedup"]
+    # bucketing preserves long-query representation
+    assert full_long >= nobucket_long
+    # dedup preserves query diversity
+    assert full_distinct >= nodedup_distinct

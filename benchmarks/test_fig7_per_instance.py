@@ -1,0 +1,44 @@
+"""Figure 7: per-instance latency improvement over AutoWLM.
+
+Paper claims: Stage improves average latency on most instances, with
+regressions on fewer than 10% of instances; the Optimal predictor's
+improvement (the sort key of the figure) bounds Stage's on most
+instances.
+"""
+
+from conftest import write_result
+
+from repro.harness import end_to_end_comparison
+from repro.harness.reporting import render_simple_table
+
+
+def test_fig7_per_instance_improvement(benchmark, sweep, results_dir):
+    def compute():
+        return end_to_end_comparison(sweep)["per_instance"]
+
+    per_instance = benchmark(compute)
+
+    rows = [
+        [
+            d["instance_id"],
+            f"{d['stage_improvement']:+.1%}",
+            f"{d['optimal_improvement']:+.1%}",
+        ]
+        for d in per_instance
+    ]
+    table = render_simple_table(
+        "Figure 7: per-instance mean-latency improvement over AutoWLM "
+        "(sorted by Optimal)",
+        ["instance", "stage", "optimal"],
+        rows,
+    )
+    write_result(results_dir, "fig7_per_instance", table)
+
+    # sorted by optimal improvement (the figure's x-axis ordering)
+    optimal = [d["optimal_improvement"] for d in per_instance]
+    assert optimal == sorted(optimal)
+    # Stage improves most instances; regressions are a small minority
+    regressed = sum(d["stage_improvement"] < 0 for d in per_instance)
+    assert regressed / len(per_instance) <= 0.35
+    improved = sum(d["stage_improvement"] > 0 for d in per_instance)
+    assert improved / len(per_instance) >= 0.5

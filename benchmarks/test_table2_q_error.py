@@ -1,0 +1,28 @@
+"""Table 2: Q-error accuracy of Stage vs AutoWLM.
+
+Paper claims: Stage's Q-error dominates AutoWLM's overall (54.6 vs 171.8
+mean, 1.60 vs 4.08 median) with the gap concentrated below 60 s.
+"""
+
+from conftest import write_result
+
+from repro.core.metrics import bucketed_summary
+from repro.harness import accuracy_table
+
+
+def test_table2_q_error(benchmark, sweep, results_dir):
+    table = benchmark(accuracy_table, sweep, "q")
+    write_result(results_dir, "table2_q_error", table)
+
+    true = sweep.pooled("true")
+    stage = bucketed_summary(true, sweep.pooled("stage_pred"), metric="q")
+    auto = bucketed_summary(true, sweep.pooled("autowlm_pred"), metric="q")
+
+    # Q-error >= 1 by definition
+    assert stage["Overall"].p50 >= 1.0
+    assert auto["Overall"].p50 >= 1.0
+    # Stage dominates overall, mean and median
+    assert stage["Overall"].mean < auto["Overall"].mean
+    assert stage["Overall"].p50 < auto["Overall"].p50
+    # the short-bucket improvement is the big one (cache + local)
+    assert stage["0s - 10s"].p50 < auto["0s - 10s"].p50

@@ -1,0 +1,28 @@
+"""Table 4: local model vs AutoWLM on cache-miss queries.
+
+Paper claims: on the ~38% of queries that miss the cache, the local
+model is *slightly worse* than AutoWLM on mean absolute error (21.48 vs
+19.06 overall) because AutoWLM trains directly on the evaluation metric
+(L1) while the local ensemble optimizes a likelihood — the two stay
+within a small factor of each other across buckets.
+"""
+
+from conftest import write_result
+
+from repro.harness import component_summaries, component_table
+
+
+def test_table4_local_vs_autowlm(benchmark, sweep, results_dir):
+    table = benchmark(component_table, sweep, "table4")
+    write_result(results_dir, "table4_local_vs_autowlm", table)
+
+    local, auto, n = component_summaries(sweep, "table4")
+    assert n > 100  # the miss subset is non-trivial
+
+    # the two tree models are comparable: neither wins by a large factor
+    assert local["Overall"].mean < auto["Overall"].mean * 2.0
+    assert auto["Overall"].mean < local["Overall"].mean * 2.0
+    assert local["Overall"].p50 < auto["Overall"].p50 * 2.5
+    # both are usable on short queries (sub-10s errors on the 0-10s bucket)
+    assert local["0s - 10s"].mean < 10.0
+    assert auto["0s - 10s"].mean < 10.0

@@ -1,0 +1,59 @@
+"""Quickstart: predict query execution times with the Stage hierarchy.
+
+Builds a small synthetic Redshift-style instance, replays its query log
+through a Stage predictor (exec-time cache -> local ensemble) next to the
+AutoWLM baseline, and prints the paper's accuracy metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import AutoWLMPredictor, FleetConfig, FleetGenerator, StagePredictor, fast_profile
+from repro.core.metrics import bucketed_summary
+from repro.harness.reporting import render_comparison_table
+
+
+def main() -> None:
+    # 1. Generate one synthetic customer instance and two days of queries.
+    generator = FleetGenerator(FleetConfig(seed=42, volume_scale=0.4))
+    instance = generator.sample_instance(0)
+    trace = generator.generate_trace(instance, duration_days=2.0)
+    print(
+        f"instance {instance.instance_id}: {instance.hardware.name} x{instance.n_nodes}, "
+        f"{len(trace)} queries over 2 days"
+    )
+    print("first plan:\n" + trace[0].plan.describe(max_depth=3))
+
+    # 2. Replay the trace online: predict, then observe, one query at a time.
+    stage = StagePredictor(instance, config=fast_profile())
+    autowlm = AutoWLMPredictor(config=fast_profile().local)
+    true, stage_preds, auto_preds = [], [], []
+    for record in trace:
+        stage_preds.append(stage.predict(record).exec_time)
+        auto_preds.append(autowlm.predict(record).exec_time)
+        stage.observe(record)
+        autowlm.observe(record)
+        true.append(record.exec_time)
+
+    # 3. Report accuracy the way the paper does (Table 1 layout).
+    true = np.asarray(true)
+    print()
+    print(
+        render_comparison_table(
+            "Stage vs AutoWLM (absolute error, seconds)",
+            "Stage",
+            bucketed_summary(true, np.asarray(stage_preds)),
+            "AutoWLM",
+            bucketed_summary(true, np.asarray(auto_preds)),
+        )
+    )
+    print(
+        f"\ncache hit rate: {stage.cache.hit_rate:.1%}   "
+        f"local retrains: {stage.local.n_retrains}   "
+        f"sources: {stage.source_counts}"
+    )
+
+
+if __name__ == "__main__":
+    main()

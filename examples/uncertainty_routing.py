@@ -1,0 +1,98 @@
+"""Uncertainty-aware routing: when should Stage pay for the global model?
+
+The local model's Bayesian ensemble returns a prediction *and* an
+uncertainty (paper Eq. 1-2).  This example shows (a) that the uncertainty
+ranks errors well — the PRR analysis of Figures 10-11 — and (b) how the
+uncertainty threshold trades global-model invocations against accuracy
+on the escalated queries, the economics behind "the global model is
+rarely used, so its cost is amortized out".
+
+Run:  python examples/uncertainty_routing.py
+"""
+
+import numpy as np
+
+from repro.core.metrics import absolute_errors, prr_curves, prr_score
+from repro.harness import SweepConfig, run_sweep
+from repro.harness.reporting import render_simple_table
+
+
+def main() -> None:
+    print("running sweep...")
+    sweep = run_sweep(
+        SweepConfig(
+            seed=11,
+            n_eval_instances=8,
+            n_train_instances=6,
+            duration_days=2.0,
+            volume_scale=0.25,
+        )
+    )
+
+    # --- (a) PRR: does uncertainty predict error? (Figures 10-11) ------
+    scores = []
+    for replay in sweep.replays:
+        mask = replay.cache_miss_mask & replay.local_ready_mask
+        if mask.sum() < 30:
+            continue
+        errors = absolute_errors(replay.true[mask], replay.local_pred[mask])
+        scores.append(prr_score(errors, replay.local_std[mask]))
+    print(
+        f"\nPRR across {len(scores)} instances: "
+        f"median={np.median(scores):.2f} mean={np.mean(scores):.2f} "
+        "(1.0 = uncertainty ranks errors perfectly)"
+    )
+
+    # ASCII rendition of Figure 10's cumulative-error curves
+    replay = max(
+        sweep.replays,
+        key=lambda r: (r.cache_miss_mask & r.local_ready_mask).sum(),
+    )
+    mask = replay.cache_miss_mask & replay.local_ready_mask
+    errors = absolute_errors(replay.true[mask], replay.local_pred[mask])
+    fractions, oracle, by_unc, random = prr_curves(errors, replay.local_std[mask])
+    print(f"\ncumulative error covered after rejecting x% of queries "
+          f"({replay.instance_id}):")
+    for pct in (10, 25, 50, 75):
+        i = int(pct / 100 * (len(fractions) - 1))
+        print(
+            f"  reject {pct:2d}%: oracle {oracle[i]:.0%}  "
+            f"by-uncertainty {by_unc[i]:.0%}  random {random[i]:.0%}"
+        )
+
+    # --- (b) threshold sweep: routing economics ------------------------
+    true = sweep.pooled("true")
+    local = sweep.pooled("local_pred")
+    local_std = sweep.pooled("local_std")
+    global_pred = sweep.pooled("global_pred")
+    eligible = ~np.isnan(local)
+
+    rows = []
+    for threshold in (0.4, 0.8, 1.2, 1.6, 2.0):
+        routed = eligible & (local_std >= threshold) & (local >= 2.0)
+        frac = routed.sum() / max(eligible.sum(), 1)
+        if routed.sum() == 0:
+            rows.append([f"{threshold:.1f}", "0%", "-", "-"])
+            continue
+        mae_local = np.abs(true[routed] - local[routed]).mean()
+        mae_global = np.abs(true[routed] - global_pred[routed]).mean()
+        rows.append(
+            [
+                f"{threshold:.1f}",
+                f"{frac:.1%}",
+                f"{mae_local:.1f}s",
+                f"{mae_global:.1f}s",
+            ]
+        )
+    print()
+    print(
+        render_simple_table(
+            "Routing threshold sweep (escalated = uncertain AND predicted long)",
+            ["std threshold", "escalated", "local MAE on escalated", "global MAE on escalated"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

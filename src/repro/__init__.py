@@ -1,0 +1,53 @@
+"""repro — reproduction of "Stage: Query Execution Time Prediction in
+Amazon Redshift" (Wu et al., SIGMOD 2024).
+
+Public API quick map:
+
+- :mod:`repro.core` — ``StagePredictor``, ``AutoWLMPredictor``,
+  ``OptimalPredictor``, metrics, configuration profiles;
+- :mod:`repro.cache` — the exec-time cache;
+- :mod:`repro.local_model` / :mod:`repro.global_model` — the two learned
+  stages;
+- :mod:`repro.plans` — physical plan trees and featurizations;
+- :mod:`repro.workload` — the synthetic Redshift-fleet generator;
+- :mod:`repro.wlm` — the workload-manager simulator (end-to-end eval);
+- :mod:`repro.harness` — replay evaluation and the paper's experiments.
+"""
+
+from .core import (
+    AutoWLMPredictor,
+    OptimalPredictor,
+    Prediction,
+    PredictionSource,
+    StageConfig,
+    StagePredictor,
+    fast_profile,
+    paper_profile,
+)
+from .cache import ExecTimeCache
+from .local_model import LocalModel, TrainingPool
+from .global_model import GlobalModel, GlobalModelTrainer
+from .workload import FleetConfig, FleetGenerator, QueryRecord, Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StagePredictor",
+    "AutoWLMPredictor",
+    "OptimalPredictor",
+    "Prediction",
+    "PredictionSource",
+    "StageConfig",
+    "fast_profile",
+    "paper_profile",
+    "ExecTimeCache",
+    "LocalModel",
+    "TrainingPool",
+    "GlobalModel",
+    "GlobalModelTrainer",
+    "FleetConfig",
+    "FleetGenerator",
+    "QueryRecord",
+    "Trace",
+    "__version__",
+]

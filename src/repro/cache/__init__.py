@@ -1,0 +1,6 @@
+"""Exec-time cache: stage 1 of the Stage predictor."""
+
+from .welford import RunningStats
+from .exec_time_cache import ExecTimeCache
+
+__all__ = ["RunningStats", "ExecTimeCache"]

@@ -1,0 +1,146 @@
+"""The exec-time cache: stage 1 of the Stage predictor (paper Section 4.2).
+
+Maps the hash of a query's flattened feature vector to the observed
+execution times of identical past queries.  Prediction for a hit blends
+robustness and freshness::
+
+    prediction = alpha * running_mean + (1 - alpha) * last_observed
+
+with ``alpha = 0.8`` in the Redshift fleet.  When the cache exceeds its
+capacity it evicts the *least recently updated* entry — the entry whose
+most recent observation is oldest — which the paper implements with a
+sorted list of update dates.  We keep the same semantics with an ordered
+dict (move-to-end on update), which is O(1) per operation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.plans.featurize import hash_feature_vector
+
+from .welford import RunningStats
+
+__all__ = ["ExecTimeCache"]
+
+
+class ExecTimeCache:
+    """Bounded mapping: feature-vector hash -> running exec-time stats.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of distinct queries retained (paper: 2,000).
+    alpha:
+        Blend weight between the running mean (robustness) and the most
+        recent observation (data freshness).  Paper: 0.8.
+    mode:
+        ``"blend"`` — the paper's ``alpha*mean + (1-alpha)*last`` rule;
+        ``"ewma"`` — an exponentially weighted moving average, the
+        time-series-style predictor the paper lists as future work.
+    ewma_decay:
+        Weight of the newest observation in ``"ewma"`` mode.
+    """
+
+    _MODES = ("blend", "ewma")
+
+    def __init__(self, capacity=2000, alpha=0.8, mode="blend", ewma_decay=0.3):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if mode not in self._MODES:
+            raise ValueError(f"mode must be one of {self._MODES}")
+        if not 0.0 < ewma_decay <= 1.0:
+            raise ValueError("ewma_decay must be in (0, 1]")
+        self.capacity = capacity
+        self.alpha = alpha
+        self.mode = mode
+        self.ewma_decay = ewma_decay
+        self._entries: "OrderedDict[str, RunningStats]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(feature_vector) -> str:
+        """Cache key of a feature vector (hash-value replacement)."""
+        return hash_feature_vector(feature_vector)
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    def lookup(self, key) -> Optional[float]:
+        """Predicted exec-time for ``key``, or ``None`` on a miss.
+
+        Lookups do not change eviction order; only observations do (the
+        eviction policy is least-recently-*updated*, not least-recently-
+        used).
+        """
+        stats = self._entries.get(key)
+        if stats is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if self.mode == "ewma":
+            return stats.ewma
+        return self.alpha * stats.mean + (1.0 - self.alpha) * stats.last
+
+    def predict(self, feature_vector) -> Optional[float]:
+        """Convenience: hash the vector and :meth:`lookup` it."""
+        return self.lookup(self.key_for(feature_vector))
+
+    def stats_for(self, key) -> Optional[RunningStats]:
+        """The raw running stats of an entry (read-only use)."""
+        return self._entries.get(key)
+
+    # ------------------------------------------------------------------
+    def observe(self, key, exec_time):
+        """Record an observed execution time for ``key``.
+
+        Creates the entry if absent; refreshes its update recency; evicts
+        the least recently updated entry if over capacity.
+        """
+        if exec_time < 0:
+            raise ValueError("exec_time must be >= 0")
+        stats = self._entries.get(key)
+        if stats is None:
+            stats = RunningStats()
+            self._entries[key] = stats
+        else:
+            self._entries.move_to_end(key)
+        stats.update(exec_time, ewma_decay=self.ewma_decay)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return stats
+
+    def observe_vector(self, feature_vector, exec_time):
+        """Hash the vector and :meth:`observe` it; returns the key."""
+        key = self.key_for(feature_vector)
+        self.observe(key, exec_time)
+        return key
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def byte_size(self):
+        """Approximate in-memory size: 4 floats + key per entry."""
+        # 16-byte digest string (32 hex chars ~ 49 bytes as a str object)
+        # + 4 * 8 bytes of stats; we report the dominant terms.
+        return len(self._entries) * (49 + 4 * 8)
+
+    def clear(self):
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0

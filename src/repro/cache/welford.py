@@ -1,0 +1,69 @@
+"""Welford's online mean/variance algorithm (Welford 1962).
+
+Cache Optimization 2 in paper Section 4.2: instead of keeping the full
+list of past latencies per cached query, keep a running mean and variance
+plus the most recent observation — four values per entry.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RunningStats"]
+
+
+class RunningStats:
+    """Numerically stable running mean / variance / last value.
+
+    Stores the four scalars the paper describes — count, mean, the sum of
+    squared deviations (``M2``), and the last observed value — plus an
+    exponentially weighted moving average supporting the paper's
+    future-work idea of time-series-style cache predictions (Section 4.2).
+    """
+
+    __slots__ = ("count", "mean", "_m2", "last", "ewma")
+
+    def __init__(self):
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.last = 0.0
+        self.ewma = 0.0
+
+    def update(self, value, ewma_decay=0.3):
+        """Fold one observation into the running statistics.
+
+        ``ewma_decay`` is the weight of the new observation in the
+        exponentially weighted average (only used by the cache's "ewma"
+        prediction mode).
+        """
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.ewma = (
+            value
+            if self.count == 1
+            else (1.0 - ewma_decay) * self.ewma + ewma_decay * value
+        )
+        self.last = value
+        return self
+
+    @property
+    def variance(self):
+        """Population variance of the observations seen so far."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def sample_variance(self):
+        """Unbiased (n-1) variance."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    def __repr__(self):
+        return (
+            f"RunningStats(count={self.count}, mean={self.mean:.6g}, "
+            f"var={self.variance:.6g}, last={self.last:.6g})"
+        )

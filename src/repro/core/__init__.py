@@ -1,0 +1,48 @@
+"""Core predictors: Stage, AutoWLM baseline, oracle, metrics, configs."""
+
+from .interfaces import Prediction, PredictionSource, Predictor, RunningMedian
+from .config import (
+    CacheConfig,
+    GlobalModelConfig,
+    LocalModelConfig,
+    StageConfig,
+    TrainingPoolConfig,
+    fast_profile,
+    paper_profile,
+)
+from .metrics import (
+    ErrorSummary,
+    absolute_errors,
+    bucketed_summary,
+    prr_curves,
+    prr_score,
+    q_errors,
+    summarize_errors,
+)
+from .autowlm import AutoWLMPredictor
+from .optimal import OptimalPredictor
+from .stage import StagePredictor
+
+__all__ = [
+    "Prediction",
+    "PredictionSource",
+    "Predictor",
+    "RunningMedian",
+    "CacheConfig",
+    "TrainingPoolConfig",
+    "LocalModelConfig",
+    "GlobalModelConfig",
+    "StageConfig",
+    "fast_profile",
+    "paper_profile",
+    "ErrorSummary",
+    "absolute_errors",
+    "q_errors",
+    "summarize_errors",
+    "bucketed_summary",
+    "prr_score",
+    "prr_curves",
+    "AutoWLMPredictor",
+    "OptimalPredictor",
+    "StagePredictor",
+]

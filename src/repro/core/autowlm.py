@@ -1,0 +1,93 @@
+"""The AutoWLM predictor: Redshift's prior exec-time model (baseline).
+
+Per the paper (Sections 2.1, 5.1): a single lightweight gradient-boosted
+tree model per instance, trained online on the instance's executed
+queries with an absolute-error loss, producing point estimates with no
+real uncertainty.  Identical tree hyper-parameters to the Stage local
+model's members — the only differences are (1) one model instead of ten
+and (2) L1 loss instead of the Gaussian log-likelihood.
+
+Unlike the Stage pool, the AutoWLM training set is *not* deduplicated
+against a cache and not duration-bucketed: it keeps the most recent
+executions, repeats and all — one of the weaknesses Stage fixes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.ml.gbm import GradientBoostingModel
+from repro.ml.preprocessing import LogTargetTransform
+from repro.workload.query import QueryRecord
+
+from .config import LocalModelConfig
+from .interfaces import Prediction, PredictionSource, Predictor, RunningMedian
+
+__all__ = ["AutoWLMPredictor"]
+
+
+class AutoWLMPredictor(Predictor):
+    """Single-GBM baseline with a naive recent-history training set."""
+
+    name = "autowlm"
+
+    def __init__(
+        self,
+        config: LocalModelConfig | None = None,
+        history_size: int = 2000,
+        random_state: int = 0,
+    ):
+        self.config = config or LocalModelConfig()
+        self.history = deque(maxlen=history_size)
+        self.random_state = random_state
+        self.transform = LogTargetTransform()
+        self._model = None
+        self._default = RunningMedian()
+        self._samples_since_train = 0
+        self.n_retrains = 0
+
+    # ------------------------------------------------------------------
+    def predict(self, record: QueryRecord) -> Prediction:
+        if self._model is None:
+            return Prediction(
+                exec_time=self._default.value,
+                source=PredictionSource.DEFAULT,
+            )
+        log_pred = self._model.predict(record.features[None, :])[0]
+        return Prediction(
+            exec_time=float(self.transform.inverse(np.array([log_pred]))[0]),
+            source=PredictionSource.AUTOWLM,
+        )
+
+    def observe(self, record: QueryRecord) -> None:
+        self.history.append((record.features, record.exec_time))
+        self._default.update(record.exec_time)
+        self._samples_since_train += 1
+        cfg = self.config
+        if len(self.history) < cfg.min_train_size:
+            return
+        if self._model is None or self._samples_since_train >= cfg.retrain_interval:
+            self.retrain()
+
+    def retrain(self) -> None:
+        X = np.vstack([f for f, _ in self.history])
+        y = np.array([t for _, t in self.history])
+        cfg = self.config
+        model = GradientBoostingModel(
+            objective="absolute_error",
+            n_estimators=cfg.n_estimators,
+            max_depth=cfg.max_depth,
+            learning_rate=cfg.learning_rate,
+            validation_fraction=cfg.validation_fraction,
+            early_stopping_rounds=cfg.early_stopping_rounds,
+            random_state=self.random_state + self.n_retrains,
+        )
+        model.fit(X, self.transform.transform(y))
+        self._model = model
+        self._samples_since_train = 0
+        self.n_retrains += 1
+
+    def byte_size(self) -> int:
+        return 0 if self._model is None else self._model.byte_size()

@@ -1,0 +1,116 @@
+"""Configuration dataclasses for every Stage component.
+
+Defaults follow the paper's hyper-parameters (Section 5.1): cache size
+2,000 and alpha 0.8; local model = 10 GBMs x 200 estimators x depth 6
+with a 20% early-stopping validation split; global model = directed GCN
+with 8 conv layers (hidden width scaled down from 512 for CPU training).
+
+``fast_profile()`` shrinks everything for tests and quick experiments;
+``paper_profile()`` restores the published settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "CacheConfig",
+    "TrainingPoolConfig",
+    "LocalModelConfig",
+    "GlobalModelConfig",
+    "StageConfig",
+    "fast_profile",
+    "paper_profile",
+]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Exec-time cache settings (paper Section 4.2)."""
+
+    capacity: int = 2000
+    alpha: float = 0.8
+
+
+@dataclass(frozen=True)
+class TrainingPoolConfig:
+    """Local training pool settings (paper Section 4.3).
+
+    The pool is bounded, deduplicated against the cache, and partitioned
+    into exec-time buckets with per-bucket caps to preserve duration
+    diversity.
+    """
+
+    max_size: int = 2000
+    #: (upper bound seconds, share of max_size); the paper's example
+    #: buckets are 0-10s, 10-60s and 60s+
+    bucket_shares: tuple = ((10.0, 0.6), (60.0, 0.25), (float("inf"), 0.15))
+
+
+@dataclass(frozen=True)
+class LocalModelConfig:
+    """Bayesian GBM ensemble settings (paper Sections 4.3, 5.1)."""
+
+    n_members: int = 10
+    n_estimators: int = 200
+    max_depth: int = 6
+    learning_rate: float = 0.1
+    validation_fraction: float = 0.2
+    early_stopping_rounds: int = 10
+    subsample: float = 0.8
+    #: minimum pool size before the local model is considered usable
+    min_train_size: int = 40
+    #: retrain after this many new pool additions
+    retrain_interval: int = 250
+
+
+@dataclass(frozen=True)
+class GlobalModelConfig:
+    """Global GCN settings (paper Sections 4.4, 5.1)."""
+
+    hidden_dim: int = 64
+    n_conv_layers: int = 8
+    dropout: float = 0.2
+    epochs: int = 25
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    weight_decay: float = 1e-5
+    #: cap on training queries sampled from each training instance
+    max_queries_per_instance: int = 400
+    random_state: int = 0
+
+
+@dataclass(frozen=True)
+class StageConfig:
+    """Routing thresholds and sub-model configs (paper Section 4.1)."""
+
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    pool: TrainingPoolConfig = field(default_factory=TrainingPoolConfig)
+    local: LocalModelConfig = field(default_factory=LocalModelConfig)
+    #: local predictions below this many seconds are trusted outright
+    #: ("short or certain" rule) — the paper trusts short predictions
+    short_circuit_seconds: float = 2.0
+    #: log-space std above which the local model counts as *uncertain*;
+    #: at 1.5 the global model serves a few percent of queries, matching
+    #: the paper's "rarely used (3% of the time)" operating point
+    uncertainty_threshold: float = 1.5
+
+
+def fast_profile() -> StageConfig:
+    """Small models for unit tests and quick experiments."""
+    return StageConfig(
+        cache=CacheConfig(capacity=500),
+        pool=TrainingPoolConfig(max_size=600),
+        local=LocalModelConfig(
+            n_members=4,
+            n_estimators=30,
+            max_depth=3,
+            min_train_size=30,
+            retrain_interval=150,
+        ),
+    )
+
+
+def paper_profile() -> StageConfig:
+    """The published hyper-parameters (slow on CPU; for completeness)."""
+    return StageConfig()

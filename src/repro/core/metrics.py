@@ -1,0 +1,140 @@
+"""Accuracy and uncertainty-quality metrics from the paper's evaluation.
+
+- absolute error: MAE, P50-AE, P90-AE (Tables 1, 3-6, Figure 8);
+- Q-error: ``max(pred/true, true/pred)`` (Table 2, Moerkotte et al.);
+- bucketed breakdowns over the paper's exec-time ranges;
+- PRR (prediction-rejection ratio): rank agreement between predicted
+  uncertainty and realized error (Figures 10-11, Malinin et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.workload.trace import EXEC_TIME_BUCKETS
+
+__all__ = [
+    "absolute_errors",
+    "q_errors",
+    "ErrorSummary",
+    "summarize_errors",
+    "bucketed_summary",
+    "prr_score",
+    "prr_curves",
+]
+
+
+def absolute_errors(true, pred) -> np.ndarray:
+    """``|true - pred|`` elementwise (seconds)."""
+    true = np.asarray(true, dtype=np.float64)
+    pred = np.asarray(pred, dtype=np.float64)
+    if true.shape != pred.shape:
+        raise ValueError("true and pred must have the same shape")
+    return np.abs(true - pred)
+
+
+def q_errors(true, pred, floor: float = 1e-3) -> np.ndarray:
+    """Q-error: ``max(pred/true, true/pred)``, both floored at ``floor``.
+
+    The floor (1 ms by default) prevents sub-millisecond noise from
+    producing astronomical ratios; the minimum possible value is 1.
+    """
+    true = np.maximum(np.asarray(true, dtype=np.float64), floor)
+    pred = np.maximum(np.asarray(pred, dtype=np.float64), floor)
+    return np.maximum(pred / true, true / pred)
+
+
+@dataclass
+class ErrorSummary:
+    """Mean / median / 90th-percentile of an error vector."""
+
+    n: int
+    mean: float
+    p50: float
+    p90: float
+
+    @classmethod
+    def from_errors(cls, errors: np.ndarray) -> "ErrorSummary":
+        errors = np.asarray(errors, dtype=np.float64)
+        if errors.size == 0:
+            return cls(n=0, mean=float("nan"), p50=float("nan"), p90=float("nan"))
+        return cls(
+            n=int(errors.size),
+            mean=float(np.mean(errors)),
+            p50=float(np.percentile(errors, 50)),
+            p90=float(np.percentile(errors, 90)),
+        )
+
+
+def summarize_errors(true, pred, metric: str = "absolute") -> ErrorSummary:
+    """Summary of absolute or Q-error between ``true`` and ``pred``."""
+    if metric == "absolute":
+        return ErrorSummary.from_errors(absolute_errors(true, pred))
+    if metric == "q":
+        return ErrorSummary.from_errors(q_errors(true, pred))
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def bucketed_summary(
+    true, pred, metric: str = "absolute"
+) -> Dict[str, ErrorSummary]:
+    """Per-exec-time-bucket summaries plus an ``Overall`` row.
+
+    Buckets are keyed by the *true* exec-time, as in the paper's tables.
+    """
+    true = np.asarray(true, dtype=np.float64)
+    pred = np.asarray(pred, dtype=np.float64)
+    out = {"Overall": summarize_errors(true, pred, metric)}
+    for lo, hi, label in EXEC_TIME_BUCKETS:
+        mask = (true >= lo) & (true < hi)
+        out[label] = summarize_errors(true[mask], pred[mask], metric)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Prediction-rejection ratio (PRR)
+# ---------------------------------------------------------------------------
+def _cumulative_error_curve(errors: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Cumulative error fraction after rejecting queries in ``order``."""
+    total = errors.sum()
+    if total <= 0:
+        return np.linspace(0, 1, errors.size + 1)
+    curve = np.concatenate([[0.0], np.cumsum(errors[order]) / total])
+    return curve
+
+
+def prr_curves(errors, uncertainties):
+    """``(fractions, oracle, by_uncertainty, random)`` curves (Figure 10).
+
+    Each curve gives the fraction of total absolute error covered after
+    rejecting the first ``k`` queries under the respective ranking.
+    """
+    errors = np.asarray(errors, dtype=np.float64)
+    uncertainties = np.asarray(uncertainties, dtype=np.float64)
+    if errors.shape != uncertainties.shape:
+        raise ValueError("errors and uncertainties must have the same shape")
+    if errors.size == 0:
+        raise ValueError("PRR needs at least one sample")
+    n = errors.size
+    fractions = np.linspace(0, 1, n + 1)
+    oracle = _cumulative_error_curve(errors, np.argsort(-errors))
+    by_unc = _cumulative_error_curve(errors, np.argsort(-uncertainties))
+    random = fractions.copy()
+    return fractions, oracle, by_unc, random
+
+
+def prr_score(errors, uncertainties) -> float:
+    """AUC ratio between the uncertainty ranking and the oracle ranking.
+
+    1.0 means uncertainty ranks errors perfectly; 0.0 means it is no
+    better than random; negative values mean anti-correlation.
+    """
+    fractions, oracle, by_unc, random = prr_curves(errors, uncertainties)
+    auc_oracle = np.trapezoid(oracle - random, fractions)
+    auc_unc = np.trapezoid(by_unc - random, fractions)
+    if auc_oracle <= 1e-12:
+        return 0.0
+    return float(auc_unc / auc_oracle)

@@ -1,0 +1,30 @@
+"""The oracle predictor: feeds the true exec-time to downstream tasks.
+
+Used in the end-to-end evaluation (paper Figure 6/7) as the upper bound
+"Optimal": the workload manager is given the observed execution time of
+every query, representing the best any exec-time predictor could do.
+"""
+
+from __future__ import annotations
+
+from repro.workload.query import QueryRecord
+
+from .interfaces import Prediction, PredictionSource, Predictor
+
+__all__ = ["OptimalPredictor"]
+
+
+class OptimalPredictor(Predictor):
+    """Returns the query's actual execution time (evaluation-only)."""
+
+    name = "optimal"
+
+    def predict(self, record: QueryRecord) -> Prediction:
+        return Prediction(
+            exec_time=record.exec_time,
+            variance=0.0,
+            source=PredictionSource.OPTIMAL,
+        )
+
+    def observe(self, record: QueryRecord) -> None:  # nothing to learn
+        return None

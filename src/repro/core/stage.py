@@ -1,0 +1,138 @@
+"""The Stage predictor: cache -> local model -> global model.
+
+The paper's core contribution (Section 4).  Routing for a query ``Q``:
+
+1. flatten ``Q``'s physical plan to the 33-dim vector and hash it; on an
+   exec-time-cache hit, return the cached blend (near-zero latency);
+2. otherwise ask the instance-optimized local model; if the prediction is
+   *short* (below ``short_circuit_seconds``) or *certain* (log-space std
+   below ``uncertainty_threshold``), return it;
+3. otherwise fall back to the fleet-trained global model (expensive but
+   robust exactly where the local model is weak).
+
+After execution, the observed time updates the cache, and — only when the
+query *missed* the cache (dedup rule) — the local training pool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache import ExecTimeCache
+from repro.global_model.model import GlobalModel
+from repro.local_model.model import LocalModel
+from repro.workload.instance import InstanceProfile
+from repro.workload.query import QueryRecord
+
+from .config import StageConfig
+from .interfaces import Prediction, PredictionSource, Predictor, RunningMedian
+
+__all__ = ["StagePredictor"]
+
+
+class StagePredictor(Predictor):
+    """Hierarchical exec-time predictor for one instance.
+
+    Parameters
+    ----------
+    instance:
+        The cluster this predictor serves (provides the system features
+        the global model consumes).
+    global_model:
+        The shared fleet-trained model, or ``None`` to run cache+local
+        only (the configuration currently deployed in Redshift, per
+        Section 5.2).
+    config:
+        Thresholds and sub-model settings.
+    """
+
+    name = "stage"
+
+    def __init__(
+        self,
+        instance: InstanceProfile,
+        global_model: Optional[GlobalModel] = None,
+        config: StageConfig | None = None,
+        random_state: int = 0,
+    ):
+        self.config = config or StageConfig()
+        self.instance = instance
+        self.cache = ExecTimeCache(
+            capacity=self.config.cache.capacity, alpha=self.config.cache.alpha
+        )
+        self.local = LocalModel(
+            config=self.config.local,
+            pool_config=self.config.pool,
+            random_state=random_state,
+        )
+        self.global_model = global_model
+        self._default = RunningMedian()
+        self.source_counts = {
+            PredictionSource.CACHE: 0,
+            PredictionSource.LOCAL: 0,
+            PredictionSource.GLOBAL: 0,
+            PredictionSource.DEFAULT: 0,
+        }
+
+    # ------------------------------------------------------------------
+    def predict(self, record: QueryRecord) -> Prediction:
+        cfg = self.config
+        # stage 1: exec-time cache
+        cached = self.cache.lookup(self.cache.key_for(record.features))
+        if cached is not None:
+            self.source_counts[PredictionSource.CACHE] += 1
+            return Prediction(
+                exec_time=cached, source=PredictionSource.CACHE
+            )
+
+        # stage 2: local model ("short or certain" -> trust it)
+        local_pred = None
+        if self.local.is_ready:
+            local_pred = self.local.predict(record.features)
+            is_short = local_pred.exec_time < cfg.short_circuit_seconds
+            is_certain = local_pred.std < cfg.uncertainty_threshold
+            if is_short or is_certain or self.global_model is None:
+                self.source_counts[PredictionSource.LOCAL] += 1
+                return local_pred
+
+        # stage 3: global model (local is uncertain or not ready)
+        if self.global_model is not None:
+            self.source_counts[PredictionSource.GLOBAL] += 1
+            return self.global_model.predict(
+                record.plan, self.instance, n_concurrent=0.0
+            )
+
+        # cold start with no global model: running-median default
+        self.source_counts[PredictionSource.DEFAULT] += 1
+        return Prediction(
+            exec_time=self._default.value, source=PredictionSource.DEFAULT
+        )
+
+    # ------------------------------------------------------------------
+    def observe(self, record: QueryRecord) -> None:
+        key = self.cache.key_for(record.features)
+        was_hit = key in self.cache
+        # dedup rule (Section 4.3): only cache misses enter the pool
+        self.local.add_example(
+            record.features, record.exec_time, cache_hit=was_hit
+        )
+        self.cache.observe(key, record.exec_time)
+        self._default.update(record.exec_time)
+
+    # ------------------------------------------------------------------
+    @property
+    def global_use_fraction(self) -> float:
+        """Fraction of predictions served by the global model."""
+        total = sum(self.source_counts.values())
+        if total == 0:
+            return 0.0
+        return self.source_counts[PredictionSource.GLOBAL] / total
+
+    def byte_size(self) -> int:
+        """Footprint of cache + local model.
+
+        The global model is excluded, as in the paper's Figure 9: it is
+        shared fleet-wide (deployed as a serverless function), not held
+        per instance.
+        """
+        return self.cache.byte_size() + self.local.byte_size()

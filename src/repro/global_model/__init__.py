@@ -1,0 +1,16 @@
+"""Transferable global model: fleet-trained GCN over plan graphs."""
+
+from .featurization import SYS_FEATURE_DIM, record_to_graph, system_features
+from .model import GlobalModel
+from .trainer import GlobalModelTrainer
+from .serialization import load_global_model, save_global_model
+
+__all__ = [
+    "SYS_FEATURE_DIM",
+    "record_to_graph",
+    "system_features",
+    "GlobalModel",
+    "GlobalModelTrainer",
+    "save_global_model",
+    "load_global_model",
+]

@@ -1,0 +1,54 @@
+"""Instance-independent featurization for the global model.
+
+Paper Section 4.4: the global model maps query plans from *all*
+customers into one space.  Node features come from the plan itself
+(:func:`repro.plans.graph.node_feature_matrix`); the per-plan *system
+feature vector* adds what else may affect exec-time: instance type,
+node count, memory, concurrent query count, and a summary of the plan.
+The hidden per-instance speed factor is deliberately absent — it is the
+thing the global model cannot know, bounding its accuracy exactly as
+the paper observes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.gcn import PlanGraph
+from repro.plans import PhysicalPlan, plan_to_graph
+from repro.workload.instance import InstanceProfile, N_SYSTEM_FEATURES
+
+__all__ = ["SYS_FEATURE_DIM", "system_features", "record_to_graph"]
+
+# instance features + plan summary (n_nodes, depth, n_joins, log cost)
+SYS_FEATURE_DIM = N_SYSTEM_FEATURES + 4
+
+
+def system_features(
+    plan: PhysicalPlan,
+    instance: InstanceProfile,
+    n_concurrent: float = 0.0,
+) -> np.ndarray:
+    """The per-plan system vector: instance state + plan summary."""
+    plan_summary = np.array(
+        [
+            float(plan.n_nodes),
+            float(plan.depth),
+            float(plan.n_joins),
+            float(np.log1p(plan.total_estimated_cost)),
+        ]
+    )
+    return np.concatenate(
+        [instance.system_features(n_concurrent), plan_summary]
+    )
+
+
+def record_to_graph(
+    plan: PhysicalPlan,
+    instance: InstanceProfile,
+    n_concurrent: float = 0.0,
+) -> PlanGraph:
+    """Build the GCN input graph for one query on one instance."""
+    return plan_to_graph(
+        plan, system_features(plan, instance, n_concurrent)
+    )

@@ -1,0 +1,74 @@
+"""The transferable global model: a directed GCN over plan graphs.
+
+Wraps :class:`~repro.ml.gcn.DirectedGCN` with input scaling and the
+log-target transform, exposing a per-query :meth:`predict` in seconds.
+One trained :class:`GlobalModel` is shared by every instance's Stage
+predictor — it is the fleet-level component of the hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.interfaces import Prediction, PredictionSource
+from repro.ml.gcn import DirectedGCN, PlanGraph
+from repro.ml.preprocessing import LogTargetTransform, StandardScaler
+from repro.plans import PhysicalPlan
+from repro.workload.instance import InstanceProfile
+
+from .featurization import record_to_graph
+
+__all__ = ["GlobalModel"]
+
+
+class GlobalModel:
+    """A trained GCN + its input scalers (built by ``GlobalModelTrainer``)."""
+
+    def __init__(
+        self,
+        gcn: DirectedGCN,
+        node_scaler: StandardScaler,
+        sys_scaler: StandardScaler,
+        transform: LogTargetTransform | None = None,
+    ):
+        self.gcn = gcn
+        self.node_scaler = node_scaler
+        self.sys_scaler = sys_scaler
+        self.transform = transform or LogTargetTransform()
+
+    # ------------------------------------------------------------------
+    def _scale_graph(self, graph: PlanGraph) -> PlanGraph:
+        return PlanGraph(
+            node_features=self.node_scaler.transform(graph.node_features),
+            edges=graph.edges,
+            root=graph.root,
+            sys_features=self.sys_scaler.transform(
+                graph.sys_features[None, :]
+            )[0],
+        )
+
+    def predict_graphs(self, graphs: List[PlanGraph]) -> np.ndarray:
+        """Vectorized inference: exec-time in seconds per graph."""
+        scaled = [self._scale_graph(g) for g in graphs]
+        log_pred = self.gcn.predict_graphs(scaled)
+        return self.transform.inverse(log_pred)
+
+    def predict(
+        self,
+        plan: PhysicalPlan,
+        instance: InstanceProfile,
+        n_concurrent: float = 0.0,
+    ) -> Prediction:
+        """Predict one query's exec-time on ``instance``."""
+        graph = record_to_graph(plan, instance, n_concurrent)
+        exec_time = float(self.predict_graphs([graph])[0])
+        return Prediction(
+            exec_time=exec_time,
+            variance=0.0,
+            source=PredictionSource.GLOBAL,
+        )
+
+    def byte_size(self) -> int:
+        return self.gcn.byte_size()

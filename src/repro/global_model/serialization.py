@@ -1,0 +1,95 @@
+"""Save/load for the global model.
+
+The paper's deployment plan ships one global model fleet-wide ("deployed
+as a serverless Lambda function that every Redshift instance can
+invoke", Section 5.3) — which requires the trained model to be an
+artifact.  This module serializes the GCN weights, input scalers and
+architecture hyper-parameters into one ``.npz`` file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.gcn import DirectedGCN
+from repro.ml.preprocessing import LogTargetTransform, StandardScaler
+
+from .model import GlobalModel
+
+__all__ = ["save_global_model", "load_global_model"]
+
+_FORMAT_VERSION = 1
+
+
+def save_global_model(model: GlobalModel, path: str) -> None:
+    """Serialize a trained :class:`GlobalModel` to ``path`` (``.npz``)."""
+    gcn = model.gcn
+    arrays = {
+        f"param_{i}": p.value for i, p in enumerate(gcn.parameters())
+    }
+    arrays["meta"] = np.array(
+        [
+            _FORMAT_VERSION,
+            gcn.n_node_features,
+            gcn.n_sys_features,
+            gcn.hidden_dim,
+            len(gcn.convs),
+            len(gcn.parameters()),
+        ],
+        dtype=np.int64,
+    )
+    arrays["aggregation"] = np.array([gcn.aggregation])
+    arrays["node_scaler_mean"] = model.node_scaler.mean_
+    arrays["node_scaler_scale"] = model.node_scaler.scale_
+    arrays["sys_scaler_mean"] = model.sys_scaler.mean_
+    arrays["sys_scaler_scale"] = model.sys_scaler.scale_
+    arrays["max_seconds"] = np.array([model.transform.max_seconds])
+    np.savez_compressed(path, **arrays)
+
+
+def load_global_model(path: str) -> GlobalModel:
+    """Load a :class:`GlobalModel` saved by :func:`save_global_model`."""
+    with np.load(path, allow_pickle=False) as data:
+        meta = data["meta"]
+        version = int(meta[0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported global-model format version {version}"
+            )
+        n_node_features = int(meta[1])
+        n_sys_features = int(meta[2])
+        hidden_dim = int(meta[3])
+        n_conv_layers = int(meta[4])
+        n_params = int(meta[5])
+
+        gcn = DirectedGCN(
+            n_node_features=n_node_features,
+            n_sys_features=n_sys_features,
+            hidden_dim=hidden_dim,
+            n_conv_layers=n_conv_layers,
+            dropout=0.0,  # inference only; dropout is a no-op in eval
+            aggregation=str(data["aggregation"][0]),
+            random_state=0,
+        )
+        params = gcn.parameters()
+        if len(params) != n_params:
+            raise ValueError(
+                "architecture mismatch while loading global model: "
+                f"expected {n_params} parameters, built {len(params)}"
+            )
+        for i, p in enumerate(params):
+            value = data[f"param_{i}"]
+            if value.shape != p.value.shape:
+                raise ValueError(
+                    f"parameter {i} shape mismatch: {value.shape} vs {p.value.shape}"
+                )
+            p.value = value.copy()
+
+        node_scaler = StandardScaler()
+        node_scaler.mean_ = data["node_scaler_mean"].copy()
+        node_scaler.scale_ = data["node_scaler_scale"].copy()
+        sys_scaler = StandardScaler()
+        sys_scaler.mean_ = data["sys_scaler_mean"].copy()
+        sys_scaler.scale_ = data["sys_scaler_scale"].copy()
+        transform = LogTargetTransform(max_seconds=float(data["max_seconds"][0]))
+    return GlobalModel(gcn, node_scaler, sys_scaler, transform)

@@ -1,0 +1,167 @@
+"""Sequential replay evaluation, exactly as deployed (paper Section 5.1).
+
+Queries are replayed in arrival order: each predictor predicts *before*
+seeing the outcome, then observes it.  Besides the Stage and AutoWLM
+predictions, the replay records every component's answer on every query
+(cache hit value, local mean/uncertainty, global estimate), which is what
+the ablation tables (paper Tables 3-6) slice on afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.autowlm import AutoWLMPredictor
+from repro.core.config import StageConfig
+from repro.core.interfaces import PredictionSource
+from repro.core.stage import StagePredictor
+from repro.global_model.model import GlobalModel
+from repro.workload.trace import Trace
+
+__all__ = ["InstanceReplay", "replay_instance"]
+
+
+@dataclass
+class InstanceReplay:
+    """Per-query replay outputs for one instance (parallel arrays)."""
+
+    instance_id: str
+    true: np.ndarray
+    arrival: np.ndarray
+    kind: np.ndarray  # archetype labels
+    stage_pred: np.ndarray
+    stage_source: np.ndarray  # PredictionSource labels
+    autowlm_pred: np.ndarray
+    cache_pred: np.ndarray  # NaN on cache miss
+    local_pred: np.ndarray  # NaN before the local model is ready
+    local_std: np.ndarray  # log-space std; NaN when local_pred is NaN
+    global_pred: np.ndarray  # NaN when no global model was supplied
+    #: True where the routing rule would escalate to the global model
+    #: (local ready, prediction long, uncertainty above threshold)
+    uncertain: np.ndarray
+    #: summary from the Stage predictor after the replay
+    stage_stats: dict = field(default_factory=dict)
+
+    def __len__(self):
+        return self.true.shape[0]
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_mask(self) -> np.ndarray:
+        return ~np.isnan(self.cache_pred)
+
+    @property
+    def cache_miss_mask(self) -> np.ndarray:
+        return np.isnan(self.cache_pred)
+
+    @property
+    def local_ready_mask(self) -> np.ndarray:
+        return ~np.isnan(self.local_pred)
+
+    @property
+    def global_available_mask(self) -> np.ndarray:
+        return ~np.isnan(self.global_pred)
+
+
+def replay_instance(
+    trace: Trace,
+    global_model: Optional[GlobalModel] = None,
+    config: StageConfig | None = None,
+    random_state: int = 0,
+    collect_components: bool = True,
+) -> InstanceReplay:
+    """Replay one instance's trace through Stage and AutoWLM.
+
+    When ``collect_components`` is set, the local and global models are
+    additionally queried on *every* eligible query (not only when the
+    router would have consulted them), so ablations can compare the
+    components on identical query sets.
+    """
+    config = config or StageConfig()
+    stage = StagePredictor(
+        trace.instance,
+        global_model=global_model,
+        config=config,
+        random_state=random_state,
+    )
+    autowlm = AutoWLMPredictor(
+        config=config.local, random_state=random_state
+    )
+
+    n = len(trace)
+    true = np.empty(n)
+    arrival = np.empty(n)
+    kind = np.empty(n, dtype=object)
+    stage_pred = np.empty(n)
+    stage_source = np.empty(n, dtype=object)
+    autowlm_pred = np.empty(n)
+    cache_pred = np.full(n, np.nan)
+    local_pred = np.full(n, np.nan)
+    local_std = np.full(n, np.nan)
+    global_pred = np.full(n, np.nan)
+    uncertain = np.zeros(n, dtype=bool)
+
+    for i, record in enumerate(trace):
+        true[i] = record.exec_time
+        arrival[i] = record.arrival_time
+        kind[i] = record.kind
+
+        sp = stage.predict(record)
+        stage_pred[i] = sp.exec_time
+        stage_source[i] = sp.source
+
+        ap = autowlm.predict(record)
+        autowlm_pred[i] = ap.exec_time
+
+        if collect_components:
+            cached = stage.cache.lookup(stage.cache.key_for(record.features))
+            if cached is not None:
+                cache_pred[i] = cached
+            if stage.local.is_ready:
+                lp = stage.local.predict(record.features)
+                local_pred[i] = lp.exec_time
+                local_std[i] = lp.std
+                uncertain[i] = (
+                    lp.exec_time >= config.short_circuit_seconds
+                    and lp.std >= config.uncertainty_threshold
+                )
+        elif sp.source == PredictionSource.CACHE:
+            cache_pred[i] = sp.exec_time
+
+        stage.observe(record)
+        autowlm.observe(record)
+
+    if collect_components and global_model is not None:
+        # The global model is trained offline and frozen during replay, so
+        # its per-query answers can be computed in one batch.
+        from repro.global_model.featurization import record_to_graph
+
+        graphs = [
+            record_to_graph(r.plan, trace.instance) for r in trace
+        ]
+        global_pred[:] = global_model.predict_graphs(graphs)
+
+    return InstanceReplay(
+        instance_id=trace.instance.instance_id,
+        true=true,
+        arrival=arrival,
+        kind=kind,
+        stage_pred=stage_pred,
+        stage_source=stage_source,
+        autowlm_pred=autowlm_pred,
+        cache_pred=cache_pred,
+        local_pred=local_pred,
+        local_std=local_std,
+        global_pred=global_pred,
+        uncertain=uncertain,
+        stage_stats={
+            "cache_hit_rate": stage.cache.hit_rate,
+            "source_counts": dict(stage.source_counts),
+            "global_use_fraction": stage.global_use_fraction,
+            "n_local_retrains": stage.local.n_retrains,
+            "byte_size": stage.byte_size(),
+        },
+    )

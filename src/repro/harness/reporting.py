@@ -1,0 +1,80 @@
+"""Fixed-width table rendering matching the paper's result layout."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.metrics import ErrorSummary
+from repro.workload.trace import EXEC_TIME_BUCKETS
+
+__all__ = ["render_comparison_table", "render_simple_table", "improvement"]
+
+_BUCKET_ORDER = ["Overall"] + [label for _, __, label in EXEC_TIME_BUCKETS]
+
+
+def improvement(candidate: float, baseline: float) -> float:
+    """Relative improvement of ``candidate`` over ``baseline`` (fraction).
+
+    Positive means the candidate is better (smaller).
+    """
+    if baseline == 0:
+        return 0.0
+    return (baseline - candidate) / baseline
+
+
+def _fmt(x: float) -> str:
+    if x != x:  # NaN
+        return "-"
+    if x >= 1000:
+        return f"{x:.0f}"
+    if x >= 10:
+        return f"{x:.1f}"
+    return f"{x:.2f}"
+
+
+def render_comparison_table(
+    title: str,
+    left_name: str,
+    left: Dict[str, ErrorSummary],
+    right_name: str,
+    right: Dict[str, ErrorSummary],
+    metric: str = "AE",
+) -> str:
+    """Render a paper-style two-predictor bucket table (Tables 1-6)."""
+    header = (
+        f"{'Query Exec-time':<16} {'# Queries':>10} | "
+        f"{left_name + ' M' + metric:>12} {'P50-' + metric:>8} {'P90-' + metric:>8} | "
+        f"{right_name + ' M' + metric:>12} {'P50-' + metric:>8} {'P90-' + metric:>8}"
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for bucket in _BUCKET_ORDER:
+        if bucket not in left:
+            continue
+        ls, rs = left[bucket], right[bucket]
+        lines.append(
+            f"{bucket:<16} {ls.n:>10} | "
+            f"{_fmt(ls.mean):>12} {_fmt(ls.p50):>8} {_fmt(ls.p90):>8} | "
+            f"{_fmt(rs.mean):>12} {_fmt(rs.p50):>8} {_fmt(rs.p90):>8}"
+        )
+    return "\n".join(lines)
+
+
+def render_simple_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a generic fixed-width table."""
+    widths = [
+        max(len(str(h)), *(len(_cell(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    header = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "  ".join(_cell(c).ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _cell(c) -> str:
+    if isinstance(c, float):
+        return _fmt(c)
+    return str(c)

@@ -1,0 +1,6 @@
+"""Instance-optimized local model: training pool + Bayesian GBM ensemble."""
+
+from .training_pool import TrainingPool
+from .model import LocalModel
+
+__all__ = ["TrainingPool", "LocalModel"]

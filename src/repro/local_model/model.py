@@ -1,0 +1,103 @@
+"""The instance-optimized local model (paper Section 4.3).
+
+A Bayesian ensemble of Gaussian-NLL gradient-boosting models trained on
+the instance's own training pool.  Targets are regressed in ``log1p``
+space (Redshift latencies span seven decades); the returned uncertainty
+is therefore a *relative* (log-space) spread, which is exactly what the
+Stage router needs to decide when to escalate to the global model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import LocalModelConfig, TrainingPoolConfig
+from repro.core.interfaces import Prediction, PredictionSource
+from repro.ml.ensemble import BayesianGBMEnsemble
+from repro.ml.preprocessing import LogTargetTransform
+
+from .training_pool import TrainingPool
+
+__all__ = ["LocalModel"]
+
+
+class LocalModel:
+    """Online wrapper: pool management + periodic ensemble retraining."""
+
+    def __init__(
+        self,
+        config: LocalModelConfig | None = None,
+        pool_config: TrainingPoolConfig | None = None,
+        random_state: int = 0,
+    ):
+        self.config = config or LocalModelConfig()
+        self.pool = TrainingPool(pool_config)
+        self.random_state = random_state
+        self.transform = LogTargetTransform()
+        self._ensemble: Optional[BayesianGBMEnsemble] = None
+        self._samples_since_train = 0
+        self.n_retrains = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_ready(self) -> bool:
+        """True once an ensemble has been trained."""
+        return self._ensemble is not None
+
+    def add_example(self, features: np.ndarray, exec_time: float, cache_hit: bool = False) -> None:
+        """Record one executed query; may trigger a retrain."""
+        if self.pool.add(features, exec_time, cache_hit=cache_hit):
+            self._samples_since_train += 1
+        cfg = self.config
+        pool_size = len(self.pool)
+        if pool_size < cfg.min_train_size:
+            return
+        if not self.is_ready or self._samples_since_train >= cfg.retrain_interval:
+            self.retrain()
+
+    def retrain(self) -> None:
+        """Fit a fresh ensemble on the current pool contents."""
+        X, y = self.pool.dataset()
+        if X.shape[0] < 2:
+            return
+        cfg = self.config
+        ensemble = BayesianGBMEnsemble(
+            n_members=cfg.n_members,
+            random_state=self.random_state + self.n_retrains,
+            n_estimators=cfg.n_estimators,
+            max_depth=cfg.max_depth,
+            learning_rate=cfg.learning_rate,
+            validation_fraction=cfg.validation_fraction,
+            early_stopping_rounds=cfg.early_stopping_rounds,
+            subsample=cfg.subsample,
+        )
+        ensemble.fit(X, self.transform.transform(y))
+        self._ensemble = ensemble
+        self._samples_since_train = 0
+        self.n_retrains += 1
+
+    # ------------------------------------------------------------------
+    def predict(self, features: np.ndarray) -> Prediction:
+        """Predict exec-time with decomposed uncertainty.
+
+        Raises ``RuntimeError`` if called before the first retrain; use
+        :attr:`is_ready` to guard.
+        """
+        if self._ensemble is None:
+            raise RuntimeError("local model has no trained ensemble yet")
+        out = self._ensemble.predict(np.asarray(features)[None, :])
+        exec_time = float(self.transform.inverse(out.mean)[0])
+        return Prediction(
+            exec_time=exec_time,
+            variance=float(out.total_uncertainty[0]),
+            source=PredictionSource.LOCAL,
+            model_uncertainty=float(out.model_uncertainty[0]),
+            data_uncertainty=float(out.data_uncertainty[0]),
+        )
+
+    def byte_size(self) -> int:
+        if self._ensemble is None:
+            return 0
+        return self._ensemble.byte_size()

@@ -1,0 +1,94 @@
+"""The local model's training pool (paper Section 4.3).
+
+Three properties the paper calls out, each enforced here:
+
+1. **bounded** — a global cap with oldest-first eviction;
+2. **deduplicated** — executions that hit the exec-time cache are *not*
+   added (the cache will predict them anyway, and repeats would crowd
+   out diversity);
+3. **duration-diverse** — the pool is partitioned into exec-time buckets
+   (0-10s, 10-60s, 60s+) with per-bucket caps so an ocean of short
+   queries cannot evict the rare long ones.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+import numpy as np
+
+from repro.core.config import TrainingPoolConfig
+
+__all__ = ["TrainingPool"]
+
+
+class TrainingPool:
+    """Bounded, bucketed FIFO pool of ``(features, exec_time)`` examples."""
+
+    def __init__(self, config: TrainingPoolConfig | None = None):
+        self.config = config or TrainingPoolConfig()
+        if self.config.max_size < 1:
+            raise ValueError("pool max_size must be >= 1")
+        shares = [s for _, s in self.config.bucket_shares]
+        if abs(sum(shares) - 1.0) > 1e-6:
+            raise ValueError("bucket shares must sum to 1")
+        self._buckets: List[Deque[Tuple[np.ndarray, float]]] = []
+        self._caps: List[int] = []
+        remaining = self.config.max_size
+        for i, (_, share) in enumerate(self.config.bucket_shares):
+            cap = (
+                remaining
+                if i == len(self.config.bucket_shares) - 1
+                else max(1, int(self.config.max_size * share))
+            )
+            cap = min(cap, remaining)
+            self._caps.append(cap)
+            self._buckets.append(deque(maxlen=cap))
+            remaining -= cap
+        self.added = 0
+        self.skipped_duplicates = 0
+
+    # ------------------------------------------------------------------
+    def _bucket_index(self, exec_time: float) -> int:
+        for i, (upper, _) in enumerate(self.config.bucket_shares):
+            if exec_time < upper:
+                return i
+        return len(self.config.bucket_shares) - 1
+
+    def add(self, features: np.ndarray, exec_time: float, cache_hit: bool = False) -> bool:
+        """Maybe add one executed query; returns True if it was added.
+
+        ``cache_hit`` marks queries the exec-time cache already knows —
+        the dedup rule skips them.
+        """
+        if cache_hit:
+            self.skipped_duplicates += 1
+            return False
+        if exec_time < 0:
+            raise ValueError("exec_time must be >= 0")
+        bucket = self._buckets[self._bucket_index(exec_time)]
+        bucket.append((np.asarray(features, dtype=np.float64), float(exec_time)))
+        self.added += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets)
+
+    def bucket_sizes(self) -> List[int]:
+        return [len(b) for b in self._buckets]
+
+    def bucket_caps(self) -> List[int]:
+        return list(self._caps)
+
+    def dataset(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All pooled examples as ``(X, y)`` arrays."""
+        rows, targets = [], []
+        for bucket in self._buckets:
+            for features, exec_time in bucket:
+                rows.append(features)
+                targets.append(exec_time)
+        if not rows:
+            return np.zeros((0, 0)), np.zeros(0)
+        return np.vstack(rows), np.asarray(targets)

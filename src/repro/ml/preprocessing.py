@@ -1,0 +1,80 @@
+"""Feature/target preprocessing shared by the predictors.
+
+Execution times in Redshift span seven orders of magnitude (Figure 1b), so
+every learned model here regresses in log space; :class:`LogTargetTransform`
+centralizes the transform and its inverse.  :class:`StandardScaler` is the
+usual zero-mean/unit-variance scaler for the GCN's dense inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "LogTargetTransform", "clip_features"]
+
+
+class StandardScaler:
+    """Per-column standardization with variance floor."""
+
+    def __init__(self):
+        self.mean_ = None
+        self.scale_ = None
+
+    def fit(self, X):
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X):
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler.transform called before fit")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, X):
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X):
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler.inverse_transform called before fit")
+        return np.asarray(X, dtype=np.float64) * self.scale_ + self.mean_
+
+
+class LogTargetTransform:
+    """``log1p``/``expm1`` transform for heavy-tailed exec-time targets.
+
+    Predictions are clipped at ``max_seconds`` on the way back so that one
+    wild model output cannot produce astronomically large estimates.
+    """
+
+    def __init__(self, max_seconds=1e6):
+        self.max_seconds = max_seconds
+
+    def transform(self, y):
+        y = np.asarray(y, dtype=np.float64)
+        return np.log1p(np.maximum(y, 0.0))
+
+    def inverse(self, z):
+        z = np.asarray(z, dtype=np.float64)
+        return np.minimum(np.expm1(np.minimum(z, 50.0)), self.max_seconds)
+
+    def inverse_variance(self, z_mean, z_var):
+        """Approximate variance of ``expm1(Z)`` when ``Z ~ N(mean, var)``.
+
+        Uses the lognormal identity ``Var[e^Z] = e^{2m+v}(e^v - 1)``, which
+        dominates the ``-1`` shift for all but sub-millisecond queries.
+        """
+        z_mean = np.asarray(z_mean, dtype=np.float64)
+        z_var = np.maximum(np.asarray(z_var, dtype=np.float64), 0.0)
+        m = np.minimum(z_mean, 50.0)
+        v = np.minimum(z_var, 50.0)
+        return np.exp(2 * m + v) * (np.exp(v) - 1.0)
+
+
+def clip_features(X, low=-1e12, high=1e12):
+    """Replace NaN/inf with zeros and clip extreme magnitudes."""
+    X = np.asarray(X, dtype=np.float64)
+    X = np.nan_to_num(X, nan=0.0, posinf=high, neginf=low)
+    return np.clip(X, low, high)

@@ -1,0 +1,332 @@
+"""Histogram-based regression trees.
+
+This is the tree learner underneath :mod:`repro.ml.gbm`.  Features are
+quantile-binned once per boosting run (:class:`Binner`), and each tree finds
+greedy splits over bin histograms of gradient/Hessian sums — the same
+strategy as LightGBM/XGBoost's ``hist`` mode.  Trees are grown depth-wise
+and stored in flat arrays so prediction is a tight vectorized loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Binner", "RegressionTree"]
+
+_MAX_BINS_LIMIT = 255
+
+
+class Binner:
+    """Quantile feature binning shared by all trees in one boosting run.
+
+    Parameters
+    ----------
+    max_bins:
+        Upper bound on the number of bins per feature (including one
+        implicit bin for values above the last edge).
+    """
+
+    def __init__(self, max_bins=64):
+        if not 2 <= max_bins <= _MAX_BINS_LIMIT:
+            raise ValueError(f"max_bins must be in [2, {_MAX_BINS_LIMIT}]")
+        self.max_bins = max_bins
+        self.bin_edges_ = None
+
+    def fit(self, X):
+        """Compute per-feature quantile bin edges."""
+        X = np.asarray(X, dtype=np.float64)
+        n_features = X.shape[1]
+        self.bin_edges_ = []
+        quantiles = np.linspace(0, 1, self.max_bins + 1)[1:-1]
+        for j in range(n_features):
+            col = X[:, j]
+            col = col[np.isfinite(col)]
+            if col.size == 0:
+                edges = np.array([0.0])
+            else:
+                edges = np.unique(np.quantile(col, quantiles))
+            self.bin_edges_.append(edges)
+        return self
+
+    def transform(self, X):
+        """Map raw features to uint8 bin indices."""
+        X = np.asarray(X, dtype=np.float64)
+        if self.bin_edges_ is None:
+            raise RuntimeError("Binner.transform called before fit")
+        binned = np.empty(X.shape, dtype=np.uint8)
+        for j, edges in enumerate(self.bin_edges_):
+            binned[:, j] = np.searchsorted(edges, X[:, j], side="left")
+        return binned
+
+    def fit_transform(self, X):
+        return self.fit(X).transform(X)
+
+    def n_bins(self, feature):
+        """Number of distinct bin indices feature ``feature`` can take."""
+        return len(self.bin_edges_[feature]) + 1
+
+    def threshold_value(self, feature, bin_index):
+        """Raw-space threshold for a split at ``bin <= bin_index``."""
+        return float(self.bin_edges_[feature][bin_index])
+
+
+class _NodeBatch:
+    """Work item while growing a tree: one node and its sample indices."""
+
+    __slots__ = ("node_id", "indices", "depth", "grad_sum", "hess_sum")
+
+    def __init__(self, node_id, indices, depth, grad_sum, hess_sum):
+        self.node_id = node_id
+        self.indices = indices
+        self.depth = depth
+        self.grad_sum = grad_sum
+        self.hess_sum = hess_sum
+
+
+class RegressionTree:
+    """A single histogram-split regression tree fit to (grad, hess).
+
+    The leaf value is the Newton step ``-G / (H + reg_lambda)``; the split
+    gain is the standard XGBoost gain.  The tree records both the bin index
+    and the raw threshold value, so prediction works on raw feature
+    matrices without re-binning.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_leaf:
+        Minimum number of samples on each side of a split.
+    min_child_weight:
+        Minimum Hessian mass on each side of a split.
+    reg_lambda:
+        L2 regularization added to the Hessian in leaf values and gains.
+    min_gain:
+        Minimum split gain; nodes below this become leaves.
+    """
+
+    def __init__(
+        self,
+        max_depth=6,
+        min_samples_leaf=5,
+        min_child_weight=1e-3,
+        reg_lambda=1.0,
+        min_gain=1e-7,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_child_weight = min_child_weight
+        self.reg_lambda = reg_lambda
+        self.min_gain = min_gain
+        # flat node storage, filled by fit()
+        self.feature_ = None
+        self.threshold_ = None
+        self.left_ = None
+        self.right_ = None
+        self.value_ = None
+        self.is_leaf_ = None
+        self.n_nodes_ = 0
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def fit(self, binned, grad, hess, binner, feature_indices=None):
+        """Fit the tree on pre-binned data.
+
+        Parameters
+        ----------
+        binned:
+            uint8 matrix of bin indices, shape ``(n, n_features)``.
+        grad, hess:
+            Per-sample gradient and Hessian vectors.
+        binner:
+            The :class:`Binner` that produced ``binned`` (for thresholds).
+        feature_indices:
+            Optional subset of feature columns to consider (column
+            subsampling), given as indices into ``binned``'s columns.
+        """
+        n_samples, n_features = binned.shape
+        if feature_indices is None:
+            feature_indices = np.arange(n_features)
+
+        max_nodes = 2 ** (self.max_depth + 2)
+        self.feature_ = np.full(max_nodes, -1, dtype=np.int32)
+        self.threshold_ = np.zeros(max_nodes, dtype=np.float64)
+        self._threshold_bin = np.zeros(max_nodes, dtype=np.int32)
+        self.left_ = np.full(max_nodes, -1, dtype=np.int32)
+        self.right_ = np.full(max_nodes, -1, dtype=np.int32)
+        self.value_ = np.zeros(max_nodes, dtype=np.float64)
+        self.is_leaf_ = np.ones(max_nodes, dtype=bool)
+        self.n_nodes_ = 1
+
+        root = _NodeBatch(
+            0, np.arange(n_samples), 0, float(grad.sum()), float(hess.sum())
+        )
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            self.value_[node.node_id] = self._leaf_value(
+                node.grad_sum, node.hess_sum
+            )
+            if (
+                node.depth >= self.max_depth
+                or node.indices.size < 2 * self.min_samples_leaf
+            ):
+                continue
+            split = self._best_split(
+                binned, grad, hess, node, binner, feature_indices
+            )
+            if split is None:
+                continue
+            feat, bin_idx, gain = split
+            go_left = binned[node.indices, feat] <= bin_idx
+            left_idx = node.indices[go_left]
+            right_idx = node.indices[~go_left]
+            if (
+                left_idx.size < self.min_samples_leaf
+                or right_idx.size < self.min_samples_leaf
+            ):
+                continue
+
+            nid = node.node_id
+            left_id = self.n_nodes_
+            right_id = self.n_nodes_ + 1
+            self.n_nodes_ += 2
+            self.is_leaf_[nid] = False
+            self.feature_[nid] = feat
+            self._threshold_bin[nid] = bin_idx
+            self.threshold_[nid] = binner.threshold_value(feat, bin_idx)
+            self.left_[nid] = left_id
+            self.right_[nid] = right_id
+
+            gl = float(grad[left_idx].sum())
+            hl = float(hess[left_idx].sum())
+            stack.append(
+                _NodeBatch(left_id, left_idx, node.depth + 1, gl, hl)
+            )
+            stack.append(
+                _NodeBatch(
+                    right_id,
+                    right_idx,
+                    node.depth + 1,
+                    node.grad_sum - gl,
+                    node.hess_sum - hl,
+                )
+            )
+
+        self._trim(binner)
+        return self
+
+    def _leaf_value(self, grad_sum, hess_sum):
+        return -grad_sum / max(hess_sum + self.reg_lambda, 1e-12)
+
+    def _score(self, g, h):
+        denom = h + self.reg_lambda
+        return g * g / np.maximum(denom, 1e-12)
+
+    def _best_split(self, binned, grad, hess, node, binner, feature_indices):
+        idx = node.indices
+        g = grad[idx]
+        h = hess[idx]
+        parent_score = self._score(node.grad_sum, node.hess_sum)
+        best = None
+        best_gain = self.min_gain
+        for feat in feature_indices:
+            bins = binned[idx, feat].astype(np.int64)
+            n_bins = binner.n_bins(feat)
+            if n_bins < 2:
+                continue
+            g_hist = np.bincount(bins, weights=g, minlength=n_bins)
+            h_hist = np.bincount(bins, weights=h, minlength=n_bins)
+            c_hist = np.bincount(bins, minlength=n_bins)
+
+            g_left = np.cumsum(g_hist)[:-1]
+            h_left = np.cumsum(h_hist)[:-1]
+            c_left = np.cumsum(c_hist)[:-1]
+            g_right = node.grad_sum - g_left
+            h_right = node.hess_sum - h_left
+            c_right = idx.size - c_left
+
+            valid = (
+                (c_left >= self.min_samples_leaf)
+                & (c_right >= self.min_samples_leaf)
+                & (h_left >= self.min_child_weight)
+                & (h_right >= self.min_child_weight)
+            )
+            if not valid.any():
+                continue
+            gains = np.where(
+                valid,
+                self._score(g_left, h_left)
+                + self._score(g_right, h_right)
+                - parent_score,
+                -np.inf,
+            )
+            j = int(np.argmax(gains))
+            if gains[j] > best_gain:
+                best_gain = float(gains[j])
+                best = (int(feat), j, best_gain)
+        return best
+
+    def _trim(self, binner):
+        n = self.n_nodes_
+        self.feature_ = self.feature_[:n]
+        self.threshold_ = self.threshold_[:n]
+        self._threshold_bin = self._threshold_bin[:n]
+        self.left_ = self.left_[:n]
+        self.right_ = self.right_[:n]
+        self.value_ = self.value_[:n]
+        self.is_leaf_ = self.is_leaf_[:n]
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict(self, X):
+        """Predict leaf values for a raw (un-binned) feature matrix."""
+        X = np.asarray(X, dtype=np.float64)
+        n = X.shape[0]
+        node_ids = np.zeros(n, dtype=np.int32)
+        active = ~self.is_leaf_[node_ids]
+        while active.any():
+            rows = np.nonzero(active)[0]
+            nids = node_ids[rows]
+            feats = self.feature_[nids]
+            thresh = self.threshold_[nids]
+            go_left = X[rows, feats] <= thresh
+            node_ids[rows[go_left]] = self.left_[nids[go_left]]
+            node_ids[rows[~go_left]] = self.right_[nids[~go_left]]
+            active = ~self.is_leaf_[node_ids]
+        return self.value_[node_ids]
+
+    def predict_binned(self, binned):
+        """Predict leaf values for pre-binned data (training-time path)."""
+        n = binned.shape[0]
+        node_ids = np.zeros(n, dtype=np.int32)
+        active = ~self.is_leaf_[node_ids]
+        while active.any():
+            rows = np.nonzero(active)[0]
+            nids = node_ids[rows]
+            feats = self.feature_[nids]
+            thresh = self._threshold_bin[nids]
+            go_left = binned[rows, feats] <= thresh
+            node_ids[rows[go_left]] = self.left_[nids[go_left]]
+            node_ids[rows[~go_left]] = self.right_[nids[~go_left]]
+            active = ~self.is_leaf_[node_ids]
+        return self.value_[node_ids]
+
+    @property
+    def n_leaves(self):
+        return int(self.is_leaf_.sum())
+
+    def byte_size(self):
+        """Approximate in-memory size of the fitted tree (bytes)."""
+        arrays = (
+            self.feature_,
+            self.threshold_,
+            self._threshold_bin,
+            self.left_,
+            self.right_,
+            self.value_,
+            self.is_leaf_,
+        )
+        return int(sum(a.nbytes for a in arrays))

@@ -1,0 +1,35 @@
+"""Physical plan trees, operator vocabulary and featurizations."""
+
+from .operators import (
+    N_OPERATOR_TYPES,
+    OPERATOR_INDEX,
+    OPERATOR_TYPES,
+    OperatorClass,
+    QUERY_TYPES,
+    S3_FORMATS,
+    is_scan_operator,
+    operator_class,
+)
+from .plan import PhysicalPlan, PlanNode
+from .featurize import FEATURE_DIM, featurize_plan, feature_names, hash_feature_vector
+from .graph import NODE_FEATURE_DIM, node_feature_matrix, plan_to_graph
+
+__all__ = [
+    "OperatorClass",
+    "OPERATOR_TYPES",
+    "OPERATOR_INDEX",
+    "N_OPERATOR_TYPES",
+    "QUERY_TYPES",
+    "S3_FORMATS",
+    "is_scan_operator",
+    "operator_class",
+    "PhysicalPlan",
+    "PlanNode",
+    "FEATURE_DIM",
+    "featurize_plan",
+    "feature_names",
+    "hash_feature_vector",
+    "NODE_FEATURE_DIM",
+    "node_feature_matrix",
+    "plan_to_graph",
+]

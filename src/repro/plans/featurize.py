@@ -1,0 +1,102 @@
+"""Flattened plan featurization: the 33-dimensional vector.
+
+Section 4.2 of the paper: "we traverse the plan tree, collect operator
+nodes of the same type, and sum up their estimated cost and cardinality.
+We also add features such as query type ... and end up with an
+n-dimensional vector representation" with n = 33.  This vector is shared
+by the exec-time cache (hashed as the cache key), the local model and the
+AutoWLM baseline.
+
+Layout (33 dims):
+
+- per operator class (7 classes x 3) — ``log1p(sum cost)``,
+  ``log1p(sum cardinality)``, ``node count``                    -> 21
+- query type one-hot (7 types)                                  -> 7
+- plan summary — node count, depth, join count,
+  ``log1p(total cost)``, ``log1p(max scan table rows)``         -> 5
+
+Log transforms keep the 10^0..10^9 cost range well-conditioned for the
+tree models without losing injectivity, so cache keying is unaffected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from .operators import OperatorClass, QUERY_TYPES, QUERY_TYPE_INDEX, operator_class
+from .plan import PhysicalPlan
+
+__all__ = ["FEATURE_DIM", "featurize_plan", "feature_names", "hash_feature_vector"]
+
+_CLASS_ORDER = list(OperatorClass)
+FEATURE_DIM = 3 * len(_CLASS_ORDER) + len(QUERY_TYPES) + 5
+assert FEATURE_DIM == 33, f"feature layout drifted to {FEATURE_DIM}"
+
+
+def featurize_plan(plan: PhysicalPlan) -> np.ndarray:
+    """Flatten a physical plan into the 33-dim vector (paper Section 4.2)."""
+    vec = np.zeros(FEATURE_DIM)
+    class_pos = {cls: i * 3 for i, cls in enumerate(_CLASS_ORDER)}
+
+    max_table_rows = 0.0
+    total_cost = 0.0
+    n_nodes = 0
+    for node in plan.root.iter_subtree():
+        n_nodes += 1
+        base = class_pos[operator_class(node.op_type)]
+        vec[base + 0] += node.estimated_cost
+        vec[base + 1] += node.estimated_cardinality
+        vec[base + 2] += 1.0
+        total_cost += node.estimated_cost
+        if node.is_scan and node.table_rows:
+            max_table_rows = max(max_table_rows, node.table_rows)
+
+    # compress the cost/cardinality sums
+    for i in range(len(_CLASS_ORDER)):
+        vec[3 * i] = np.log1p(vec[3 * i])
+        vec[3 * i + 1] = np.log1p(vec[3 * i + 1])
+
+    qt_base = 3 * len(_CLASS_ORDER)
+    vec[qt_base + QUERY_TYPE_INDEX[plan.query_type]] = 1.0
+
+    summary = qt_base + len(QUERY_TYPES)
+    vec[summary + 0] = float(n_nodes)
+    vec[summary + 1] = float(plan.depth)
+    vec[summary + 2] = float(plan.n_joins)
+    vec[summary + 3] = np.log1p(total_cost)
+    vec[summary + 4] = np.log1p(max_table_rows)
+    return vec
+
+
+def feature_names():
+    """Column names of the 33-dim vector, for debugging/reporting."""
+    names = []
+    for cls in _CLASS_ORDER:
+        names.extend(
+            [
+                f"{cls.value}_log_cost",
+                f"{cls.value}_log_card",
+                f"{cls.value}_count",
+            ]
+        )
+    names.extend(f"qt_{qt}" for qt in QUERY_TYPES)
+    names.extend(
+        ["n_nodes", "depth", "n_joins", "log_total_cost", "log_max_table_rows"]
+    )
+    return names
+
+
+def hash_feature_vector(vec) -> str:
+    """Stable hash of a feature vector (cache Optimization 1, Section 4.2).
+
+    The paper replaces the full vector key with its hash value, removing
+    the vector-vector comparison; they observed zero collisions over the
+    top-200 instances.  We use a 128-bit blake2b over the rounded bytes,
+    making collisions vanishingly unlikely while keeping the key small.
+    """
+    rounded = np.round(np.asarray(vec, dtype=np.float64), 9)
+    # normalize -0.0 to 0.0 so equal vectors always hash identically
+    rounded = rounded + 0.0
+    return hashlib.blake2b(rounded.tobytes(), digest_size=16).hexdigest()

@@ -1,0 +1,66 @@
+"""Graph featurization of plans for the global GCN model.
+
+Paper Section 4.4 / Figure 5: every node is featurized as its operator
+type (90-bit one-hot), estimated cost, estimated cardinality, tuple width,
+S3 table format and table row count (``Null`` for non-scan operators).
+Edges point child -> parent, so messages flow towards the plan root.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.gcn import PlanGraph
+
+from .operators import (
+    N_OPERATOR_TYPES,
+    OPERATOR_INDEX,
+    S3_FORMATS,
+    S3_FORMAT_INDEX,
+)
+from .plan import PhysicalPlan
+
+__all__ = ["NODE_FEATURE_DIM", "node_feature_matrix", "plan_to_graph"]
+
+# one-hot operators + log cost + log cardinality + log width
+# + S3 format one-hot + log table rows + has-table flag
+NODE_FEATURE_DIM = N_OPERATOR_TYPES + 3 + len(S3_FORMATS) + 2
+
+
+def node_feature_matrix(plan: PhysicalPlan) -> np.ndarray:
+    """``(n_nodes, NODE_FEATURE_DIM)`` matrix in the plan's pre-order."""
+    nodes = plan.nodes()
+    X = np.zeros((len(nodes), NODE_FEATURE_DIM))
+    for i, node in enumerate(nodes):
+        X[i, OPERATOR_INDEX[node.op_type]] = 1.0
+        base = N_OPERATOR_TYPES
+        X[i, base + 0] = np.log1p(node.estimated_cost)
+        X[i, base + 1] = np.log1p(node.estimated_cardinality)
+        X[i, base + 2] = np.log1p(node.width)
+        X[i, base + 3 + S3_FORMAT_INDEX[node.s3_format]] = 1.0
+        rows_base = base + 3 + len(S3_FORMATS)
+        if node.table_rows is not None:
+            X[i, rows_base] = np.log1p(node.table_rows)
+            X[i, rows_base + 1] = 1.0
+    return X
+
+
+def plan_to_graph(plan: PhysicalPlan, sys_features) -> PlanGraph:
+    """Build the :class:`~repro.ml.gcn.PlanGraph` input for the GCN.
+
+    ``sys_features`` is the per-plan system vector (instance type, node
+    count, memory, concurrency, plan summary — Section 4.4); it is built
+    by :mod:`repro.global_model.featurization`.
+    """
+    edges = plan.edges()
+    edge_arr = (
+        np.array(edges, dtype=np.int64).T
+        if edges
+        else np.zeros((2, 0), dtype=np.int64)
+    )
+    return PlanGraph(
+        node_features=node_feature_matrix(plan),
+        edges=edge_arr,
+        root=0,
+        sys_features=np.asarray(sys_features, dtype=np.float64),
+    )

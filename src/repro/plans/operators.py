@@ -1,0 +1,211 @@
+"""Physical operator vocabulary.
+
+The paper reports that Redshift plans contain **90 unique operator types**
+(Section 4.4), which the global model one-hot encodes.  Redshift never
+publishes the full list, so we reconstruct a 90-entry vocabulary from the
+operators named in the paper (sequential scan, hash, materialize,
+distributed hash join, aggregate, order by, ...), the Redshift EXPLAIN
+documentation (XN-prefixed PostgreSQL-derived operators plus distribution
+operators), and generic variants to fill the space.  What matters for the
+reproduction is the *cardinality* of the vocabulary and the grouping into
+operator classes used by the 33-dim flattened featurization.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = [
+    "OperatorClass",
+    "OPERATOR_TYPES",
+    "OPERATOR_INDEX",
+    "OPERATOR_CLASS",
+    "S3_FORMATS",
+    "S3_FORMAT_INDEX",
+    "N_OPERATOR_TYPES",
+    "QUERY_TYPES",
+    "QUERY_TYPE_INDEX",
+    "is_scan_operator",
+    "operator_class",
+]
+
+
+class OperatorClass(Enum):
+    """Coarse operator families used by the flattened 33-dim featurization.
+
+    The AutoWLM-style vector sums estimated cost/cardinality per family
+    rather than per concrete operator, which is how a 90-type vocabulary
+    compresses into a 33-wide vector.
+    """
+
+    SCAN = "scan"
+    JOIN = "join"
+    AGGREGATE = "aggregate"
+    SORT = "sort"
+    NETWORK = "network"
+    MATERIALIZE = "materialize"
+    OTHER = "other"
+
+
+# ---------------------------------------------------------------------------
+# The 90-operator vocabulary.  Grouped by family for readability; order is
+# stable and defines the one-hot index of each operator.
+# ---------------------------------------------------------------------------
+_SCAN_OPS = [
+    "seq_scan",
+    "seq_scan_compressed",
+    "s3_seq_scan",
+    "s3_partition_scan",
+    "spectrum_scan",
+    "index_scan",
+    "range_scan",
+    "tid_scan",
+    "subquery_scan",
+    "function_scan",
+    "values_scan",
+    "cte_scan",
+    "worktable_scan",
+    "sample_scan",
+]
+_JOIN_OPS = [
+    "hash_join",
+    "distributed_hash_join",
+    "broadcast_hash_join",
+    "hash_left_join",
+    "hash_right_join",
+    "hash_full_join",
+    "hash_semi_join",
+    "hash_anti_join",
+    "merge_join",
+    "distributed_merge_join",
+    "merge_left_join",
+    "merge_full_join",
+    "nested_loop_join",
+    "nested_loop_left_join",
+    "cross_join",
+    "spatial_join",
+]
+_AGG_OPS = [
+    "aggregate",
+    "hash_aggregate",
+    "grouped_aggregate",
+    "partial_aggregate",
+    "final_aggregate",
+    "distinct_aggregate",
+    "window_aggregate",
+    "grouping_sets_aggregate",
+    "stream_aggregate",
+]
+_SORT_OPS = [
+    "sort",
+    "order_by",
+    "top_n_sort",
+    "merge_sort",
+    "partial_sort",
+    "external_sort",
+    "limit",
+    "offset_limit",
+]
+_NETWORK_OPS = [
+    "distribute",
+    "broadcast",
+    "redistribute",
+    "ds_dist_none",
+    "ds_dist_all_none",
+    "ds_dist_inner",
+    "ds_dist_outer",
+    "ds_dist_both",
+    "ds_bcast_inner",
+    "ds_dist_all_inner",
+    "network_send",
+    "network_receive",
+    "gather",
+    "gather_merge",
+]
+_MATERIALIZE_OPS = [
+    "hash",
+    "materialize",
+    "spool",
+    "temp_table_write",
+    "temp_table_read",
+    "result_cache_write",
+    "window_buffer",
+    "save_result",
+]
+_OTHER_OPS = [
+    "unique",
+    "append",
+    "merge_append",
+    "setop_union",
+    "setop_intersect",
+    "setop_except",
+    "subplan",
+    "init_plan",
+    "project",
+    "filter",
+    "window",
+    "partition_window",
+    "insert",
+    "delete",
+    "update",
+    "copy_from_s3",
+    "unload_to_s3",
+    "vacuum_op",
+    "analyze_op",
+    "result",
+    "return_op",
+]
+
+OPERATOR_TYPES = tuple(
+    _SCAN_OPS
+    + _JOIN_OPS
+    + _AGG_OPS
+    + _SORT_OPS
+    + _NETWORK_OPS
+    + _MATERIALIZE_OPS
+    + _OTHER_OPS
+)
+N_OPERATOR_TYPES = len(OPERATOR_TYPES)
+assert N_OPERATOR_TYPES == 90, f"vocabulary drifted to {N_OPERATOR_TYPES}"
+
+OPERATOR_INDEX = {name: i for i, name in enumerate(OPERATOR_TYPES)}
+
+OPERATOR_CLASS = {}
+for _name in _SCAN_OPS:
+    OPERATOR_CLASS[_name] = OperatorClass.SCAN
+for _name in _JOIN_OPS:
+    OPERATOR_CLASS[_name] = OperatorClass.JOIN
+for _name in _AGG_OPS:
+    OPERATOR_CLASS[_name] = OperatorClass.AGGREGATE
+for _name in _SORT_OPS:
+    OPERATOR_CLASS[_name] = OperatorClass.SORT
+for _name in _NETWORK_OPS:
+    OPERATOR_CLASS[_name] = OperatorClass.NETWORK
+for _name in _MATERIALIZE_OPS:
+    OPERATOR_CLASS[_name] = OperatorClass.MATERIALIZE
+for _name in _OTHER_OPS:
+    OPERATOR_CLASS[_name] = OperatorClass.OTHER
+
+# S3 table formats named in the paper (Figure 5): Parquet, OpenCSV, Text,
+# or Local when the table is Redshift-resident.  "null" marks non-scan
+# operators that do not touch a base table.
+S3_FORMATS = ("local", "parquet", "opencsv", "text", "null")
+S3_FORMAT_INDEX = {name: i for i, name in enumerate(S3_FORMATS)}
+
+# Query types included in the flattened feature vector (Section 4.2 names
+# SELECT and DELETE as examples).
+QUERY_TYPES = ("select", "insert", "update", "delete", "copy", "unload", "ctas")
+QUERY_TYPE_INDEX = {name: i for i, name in enumerate(QUERY_TYPES)}
+
+
+def operator_class(op_type):
+    """Return the :class:`OperatorClass` of an operator type name."""
+    try:
+        return OPERATOR_CLASS[op_type]
+    except KeyError:
+        raise ValueError(f"unknown operator type: {op_type!r}") from None
+
+
+def is_scan_operator(op_type):
+    """True when the operator reads a base table (gets S3/table features)."""
+    return operator_class(op_type) is OperatorClass.SCAN

@@ -1,0 +1,155 @@
+"""Physical execution plan trees.
+
+A :class:`PhysicalPlan` is what the Redshift optimizer hands the exec-time
+predictor (paper Figure 3): a tree of :class:`PlanNode` operators, each
+carrying the optimizer's estimated cost, estimated cardinality and tuple
+width, plus — for scan leaves — the S3 table format and the table row
+count (paper Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from .operators import (
+    OPERATOR_INDEX,
+    QUERY_TYPE_INDEX,
+    S3_FORMAT_INDEX,
+    is_scan_operator,
+)
+
+__all__ = ["PlanNode", "PhysicalPlan"]
+
+
+@dataclass
+class PlanNode:
+    """One physical operator in a plan tree.
+
+    Attributes mirror the node features in paper Figure 5: operator type,
+    estimated cost, estimated cardinality, tuple width, S3 format and
+    table rows.  ``s3_format`` / ``table_rows`` are only meaningful for
+    scan operators and must be ``"null"`` / ``None`` elsewhere.
+    """
+
+    op_type: str
+    estimated_cost: float = 0.0
+    estimated_cardinality: float = 0.0
+    width: float = 0.0
+    s3_format: str = "null"
+    table_rows: Optional[float] = None
+    table_name: Optional[str] = None
+    children: List["PlanNode"] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.op_type not in OPERATOR_INDEX:
+            raise ValueError(f"unknown operator type: {self.op_type!r}")
+        if self.s3_format not in S3_FORMAT_INDEX:
+            raise ValueError(f"unknown s3 format: {self.s3_format!r}")
+        if self.estimated_cost < 0 or self.estimated_cardinality < 0:
+            raise ValueError("cost/cardinality estimates must be >= 0")
+        if not is_scan_operator(self.op_type):
+            if self.s3_format != "null" or self.table_rows is not None:
+                raise ValueError(
+                    "s3_format/table_rows are only valid on scan operators"
+                )
+
+    @property
+    def is_scan(self):
+        return is_scan_operator(self.op_type)
+
+    def iter_subtree(self) -> Iterator["PlanNode"]:
+        """Pre-order traversal of this node's subtree."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+
+@dataclass
+class PhysicalPlan:
+    """A full query plan: a root operator plus query-level metadata."""
+
+    root: PlanNode
+    query_type: str = "select"
+
+    def __post_init__(self):
+        if self.query_type not in QUERY_TYPE_INDEX:
+            raise ValueError(f"unknown query type: {self.query_type!r}")
+        self._validate_tree()
+
+    def _validate_tree(self):
+        seen = set()
+        for node in self.root.iter_subtree():
+            if id(node) in seen:
+                raise ValueError("plan tree contains a cycle or shared node")
+            seen.add(id(node))
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[PlanNode]:
+        """All nodes in pre-order (root first)."""
+        return list(self.root.iter_subtree())
+
+    @property
+    def n_nodes(self):
+        return len(self.nodes())
+
+    @property
+    def depth(self):
+        def _depth(node):
+            if not node.children:
+                return 1
+            return 1 + max(_depth(c) for c in node.children)
+
+        return _depth(self.root)
+
+    @property
+    def total_estimated_cost(self):
+        return sum(n.estimated_cost for n in self.root.iter_subtree())
+
+    @property
+    def n_joins(self):
+        from .operators import OperatorClass, operator_class
+
+        return sum(
+            1
+            for n in self.root.iter_subtree()
+            if operator_class(n.op_type) is OperatorClass.JOIN
+        )
+
+    def scan_nodes(self) -> List[PlanNode]:
+        return [n for n in self.root.iter_subtree() if n.is_scan]
+
+    # ------------------------------------------------------------------
+    def edges(self):
+        """``(child_index, parent_index)`` pairs over the pre-order index."""
+        nodes = self.nodes()
+        index = {id(n): i for i, n in enumerate(nodes)}
+        pairs = []
+        for n in nodes:
+            for c in n.children:
+                pairs.append((index[id(c)], index[id(n)]))
+        return pairs
+
+    def describe(self, max_depth=None):
+        """Human-readable indented plan, EXPLAIN-style."""
+        lines = []
+
+        def _walk(node, depth):
+            if max_depth is not None and depth > max_depth:
+                return
+            extra = ""
+            if node.is_scan and node.table_name:
+                extra = f" on {node.table_name} ({node.s3_format})"
+            lines.append(
+                f"{'  ' * depth}-> {node.op_type}{extra} "
+                f"(cost={node.estimated_cost:.1f} "
+                f"rows={node.estimated_cardinality:.0f} "
+                f"width={node.width:.0f})"
+            )
+            for child in node.children:
+                _walk(child, depth + 1)
+
+        _walk(self.root, 0)
+        return "\n".join(lines)

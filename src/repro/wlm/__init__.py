@@ -1,0 +1,13 @@
+"""Workload-manager simulator: the paper's end-to-end evaluation substrate."""
+
+from .queues import FIFOQueue, ShortestJobFirstQueue
+from .simulator import QueryOutcome, SimulationResult, WLMConfig, simulate_wlm
+
+__all__ = [
+    "FIFOQueue",
+    "ShortestJobFirstQueue",
+    "WLMConfig",
+    "QueryOutcome",
+    "SimulationResult",
+    "simulate_wlm",
+]

@@ -1,0 +1,58 @@
+"""Query queues used by the workload-manager simulator.
+
+Two queue disciplines from Redshift's workload manager (Saxena et al.,
+the paper's [50]):
+
+- the **short queue** is FIFO: short queries are expected to clear fast,
+  so ordering them is not worth the bookkeeping;
+- the **long queue** is shortest-predicted-job-first: the predicted
+  exec-time *is* the priority ("short queries execute first", paper
+  Section 2.1), which is exactly why prediction quality moves end-to-end
+  latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Optional
+
+__all__ = ["FIFOQueue", "ShortestJobFirstQueue"]
+
+
+class FIFOQueue:
+    """First-in-first-out queue of query ids."""
+
+    def __init__(self):
+        self._items = deque()
+
+    def push(self, query_id: int, priority: float = 0.0) -> None:
+        self._items.append(query_id)
+
+    def pop(self) -> Optional[int]:
+        if not self._items:
+            return None
+        return self._items.popleft()
+
+    def __len__(self):
+        return len(self._items)
+
+
+class ShortestJobFirstQueue:
+    """Priority queue ordered by predicted exec-time, FIFO on ties."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+
+    def push(self, query_id: int, priority: float) -> None:
+        heapq.heappush(self._heap, (priority, self._seq, query_id))
+        self._seq += 1
+
+    def pop(self) -> Optional[int]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self):
+        return len(self._heap)

@@ -1,0 +1,239 @@
+"""Event-driven workload-manager simulator (paper Section 5.2).
+
+Replays a logged workload under a given set of exec-time predictions and
+computes each query's latency (wait + execution).  Mirrors the paper's
+evaluation methodology exactly:
+
+- execution times are taken from the log and are *not* affected by
+  scheduling (predictions only move wait time);
+- the admission controller routes queries with predicted exec-time below
+  a threshold to a dedicated FIFO **short queue** (Redshift's short query
+  acceleration); everything else goes to a **long queue** ordered by
+  predicted exec-time (shortest first);
+- each queue owns a fixed number of execution slots.
+
+The failure modes the paper describes fall out naturally: a long query
+mispredicted as short blocks the short slots (head-of-line blocking),
+and a short query mispredicted as long waits behind genuinely long work.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .queues import FIFOQueue, ShortestJobFirstQueue
+
+__all__ = ["WLMConfig", "QueryOutcome", "SimulationResult", "simulate_wlm"]
+
+
+@dataclass(frozen=True)
+class WLMConfig:
+    """Workload-manager knobs."""
+
+    #: slots reserved for the short-query queue
+    short_slots: int = 2
+    #: slots for the main (long) queue
+    long_slots: int = 4
+    #: predicted exec-time below which a query is routed short
+    short_threshold_s: float = 5.0
+    #: short-query-acceleration timeout: a query that runs in the short
+    #: queue longer than this is killed and re-queued long (its work is
+    #: lost), bounding the head-of-line blocking a misprediction causes —
+    #: Redshift's SQA behaves the same way.  ``None`` disables demotion.
+    sqa_timeout_s: float | None = 15.0
+    #: concurrency-scaling slots (paper Section 2.1: overflow queries can
+    #: be "sent to a concurrency scaling cluster").  Burst slots serve the
+    #: long queue only when every main long slot is busy.  0 disables.
+    burst_slots: int = 0
+    #: spin-up delay before a query starts on the burst cluster
+    burst_startup_s: float = 30.0
+
+    def __post_init__(self):
+        if self.short_slots < 1 or self.long_slots < 1:
+            raise ValueError("slot counts must be >= 1")
+        if self.short_threshold_s <= 0:
+            raise ValueError("short_threshold_s must be positive")
+        if self.sqa_timeout_s is not None and self.sqa_timeout_s <= 0:
+            raise ValueError("sqa_timeout_s must be positive or None")
+        if self.burst_slots < 0:
+            raise ValueError("burst_slots must be >= 0")
+        if self.burst_startup_s < 0:
+            raise ValueError("burst_startup_s must be >= 0")
+
+
+@dataclass
+class QueryOutcome:
+    """Per-query accounting after simulation."""
+
+    query_id: int
+    arrival: float
+    exec_time: float
+    predicted: float
+    queue: str  # "short" | "long"
+    start: float
+    finish: float
+    #: True when the query overran the SQA timeout in the short queue and
+    #: was demoted to the long queue (restarting from scratch)
+    demoted: bool = False
+
+    @property
+    def wait(self) -> float:
+        return self.start - self.arrival
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.arrival
+
+
+@dataclass
+class SimulationResult:
+    """All outcomes plus convenience aggregates."""
+
+    outcomes: List[QueryOutcome]
+
+    def latencies(self) -> np.ndarray:
+        return np.array([o.latency for o in self.outcomes])
+
+    def waits(self) -> np.ndarray:
+        return np.array([o.wait for o in self.outcomes])
+
+    @property
+    def mean_latency(self) -> float:
+        return float(self.latencies().mean())
+
+    @property
+    def median_latency(self) -> float:
+        return float(np.percentile(self.latencies(), 50))
+
+    def tail_latency(self, percentile: float = 90.0) -> float:
+        return float(np.percentile(self.latencies(), percentile))
+
+
+# event types: completions must release slots before same-time arrivals queue
+_COMPLETION = 0
+_ARRIVAL = 1
+
+
+def simulate_wlm(
+    arrivals: Sequence[float],
+    exec_times: Sequence[float],
+    predictions: Sequence[float],
+    config: WLMConfig | None = None,
+) -> SimulationResult:
+    """Simulate the WLM over one instance's workload.
+
+    Parameters
+    ----------
+    arrivals, exec_times, predictions:
+        Parallel arrays: when each query arrived, how long it actually
+        ran (from the log), and what the predictor estimated at admission.
+    """
+    config = config or WLMConfig()
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    exec_times = np.asarray(exec_times, dtype=np.float64)
+    predictions = np.asarray(predictions, dtype=np.float64)
+    if not (arrivals.shape == exec_times.shape == predictions.shape):
+        raise ValueError("arrivals/exec_times/predictions shape mismatch")
+    if (exec_times < 0).any():
+        raise ValueError("exec_times must be >= 0")
+    n = arrivals.shape[0]
+    if n == 0:
+        return SimulationResult(outcomes=[])
+
+    order = np.argsort(arrivals, kind="stable")
+    short_queue = FIFOQueue()
+    long_queue = ShortestJobFirstQueue()
+    free_short = config.short_slots
+    free_long = config.long_slots
+    free_burst = config.burst_slots
+
+    outcomes: dict[int, QueryOutcome] = {}
+    events = []  # (time, type, seq, payload)
+    seq = 0
+    for qid in order:
+        events.append((float(arrivals[qid]), _ARRIVAL, seq, int(qid)))
+        seq += 1
+    heapq.heapify(events)
+
+    def dispatch(now: float) -> None:
+        nonlocal free_short, free_long, free_burst, seq
+        while free_short > 0 and len(short_queue):
+            qid = short_queue.pop()
+            free_short -= 1
+            _start(qid, now, "short")
+        while free_long > 0 and len(long_queue):
+            qid = long_queue.pop()
+            free_long -= 1
+            _start(qid, now, "long")
+        # overflow to the concurrency-scaling cluster: only once every
+        # main long slot is occupied
+        while free_burst > 0 and len(long_queue):
+            qid = long_queue.pop()
+            free_burst -= 1
+            _start(qid, now, "burst")
+
+    def _start(qid: int, now: float, queue: str) -> None:
+        nonlocal seq
+        out = outcomes[qid]
+        if np.isnan(out.start):
+            out.start = now
+        timeout = config.sqa_timeout_s
+        if queue == "short" and timeout is not None and out.exec_time > timeout:
+            # SQA demotion: the short attempt is aborted at the timeout
+            # and the query restarts from the long queue later.
+            heapq.heappush(
+                events, (now + timeout, _COMPLETION, seq, (qid, "demote"))
+            )
+        else:
+            startup = config.burst_startup_s if queue == "burst" else 0.0
+            out.finish = now + startup + out.exec_time
+            out.queue = queue
+            heapq.heappush(
+                events, (out.finish, _COMPLETION, seq, (qid, queue))
+            )
+        seq += 1
+
+    while events:
+        now, etype, _, payload = heapq.heappop(events)
+        if etype == _ARRIVAL:
+            qid = payload
+            outcomes[qid] = QueryOutcome(
+                query_id=qid,
+                arrival=float(arrivals[qid]),
+                exec_time=float(exec_times[qid]),
+                predicted=float(predictions[qid]),
+                queue="",
+                start=np.nan,
+                finish=np.nan,
+            )
+            if predictions[qid] < config.short_threshold_s:
+                short_queue.push(qid)
+            else:
+                long_queue.push(qid, float(predictions[qid]))
+        else:
+            qid_or_none, queue = payload
+            if queue == "demote":
+                free_short += 1
+                out = outcomes[qid_or_none]
+                out.demoted = True
+                long_queue.push(
+                    qid_or_none,
+                    max(
+                        float(predictions[qid_or_none]),
+                        config.short_threshold_s,
+                    ),
+                )
+            elif queue == "short":
+                free_short += 1
+            elif queue == "burst":
+                free_burst += 1
+            else:
+                free_long += 1
+        dispatch(now)
+
+    result = [outcomes[qid] for qid in sorted(outcomes)]
+    return SimulationResult(outcomes=result)

@@ -1,0 +1,61 @@
+"""Synthetic Redshift-fleet workload generation."""
+
+from .query import QueryKind, QueryRecord
+from .instance import (
+    HARDWARE_CLASSES,
+    Hardware,
+    InstanceProfile,
+    N_SYSTEM_FEATURES,
+    Table,
+)
+from .latency import CostModelParams, TrueCostModel
+from .plangen import KIND_PROFILES, MaterializedPlan, PlanGenerator, TemplateSpec
+from .arrival import (
+    SECONDS_PER_DAY,
+    adhoc_arrivals,
+    dashboard_arrivals,
+    etl_arrivals,
+    report_arrivals,
+)
+from .drift import AnalyzeSchedule, sample_template_start_days
+from .trace import (
+    EXEC_TIME_BUCKETS,
+    Trace,
+    bucket_counts,
+    bucket_of,
+    fleet_exec_times,
+    fleet_unique_daily_fractions,
+)
+from .fleet import FleetConfig, FleetGenerator, TemplateRuntime
+
+__all__ = [
+    "QueryKind",
+    "QueryRecord",
+    "Table",
+    "Hardware",
+    "HARDWARE_CLASSES",
+    "InstanceProfile",
+    "N_SYSTEM_FEATURES",
+    "CostModelParams",
+    "TrueCostModel",
+    "PlanGenerator",
+    "TemplateSpec",
+    "MaterializedPlan",
+    "KIND_PROFILES",
+    "SECONDS_PER_DAY",
+    "dashboard_arrivals",
+    "report_arrivals",
+    "adhoc_arrivals",
+    "etl_arrivals",
+    "AnalyzeSchedule",
+    "sample_template_start_days",
+    "Trace",
+    "EXEC_TIME_BUCKETS",
+    "bucket_of",
+    "bucket_counts",
+    "fleet_unique_daily_fractions",
+    "fleet_exec_times",
+    "FleetConfig",
+    "FleetGenerator",
+    "TemplateRuntime",
+]

@@ -1,0 +1,139 @@
+"""Arrival processes for the four workload archetypes.
+
+Each function returns a list of ``(arrival_time_seconds, variant_id)``
+pairs over a trace window.  The processes encode why Redshift sees so
+much repetition (paper Figure 1a):
+
+- **dashboards** refresh on a fixed period with jitter and draw from a
+  small pool of parameter variants -> heavy exact repetition;
+- **reports** run a few times per day; their parameters embed the date,
+  so runs repeat within a day but look new across days;
+- **ad-hoc** analysis arrives as a Poisson process concentrated in
+  business hours; most arrivals are brand-new parameterizations, with an
+  occasional re-run of a recent query;
+- **ETL** jobs run nightly with date-partition parameters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "dashboard_arrivals",
+    "report_arrivals",
+    "adhoc_arrivals",
+    "etl_arrivals",
+    "SECONDS_PER_DAY",
+]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def _clip_window(events, t_start, t_end):
+    return [(t, v) for t, v in events if t_start <= t < t_end]
+
+
+def dashboard_arrivals(
+    rng: np.random.Generator,
+    t_start: float,
+    t_end: float,
+    period_s: float,
+    n_variants: int = 1,
+    jitter_frac: float = 0.05,
+) -> List[Tuple[float, int]]:
+    """Periodic refreshes with jitter, cycling a small variant pool."""
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    events = []
+    t = t_start + rng.uniform(0, period_s)
+    while t < t_end:
+        variant = int(rng.integers(0, n_variants))
+        events.append((t + rng.normal(0, jitter_frac * period_s), variant))
+        t += period_s
+    return _clip_window(events, t_start, t_end)
+
+
+def report_arrivals(
+    rng: np.random.Generator,
+    t_start: float,
+    t_end: float,
+    runs_per_day: float,
+) -> List[Tuple[float, int]]:
+    """Business-hour report runs; the variant id is the day number.
+
+    Repeated runs within a day share a variant (same date parameter), so
+    the second run of the day is an exact repeat - the cache catches it.
+    """
+    events = []
+    first_day = int(t_start // SECONDS_PER_DAY)
+    last_day = int(np.ceil(t_end / SECONDS_PER_DAY))
+    for day in range(first_day, last_day):
+        n_runs = rng.poisson(runs_per_day)
+        for _ in range(n_runs):
+            # 9:00-18:00 bell centred on early afternoon
+            hour = float(np.clip(rng.normal(13.0, 2.5), 7.0, 21.0))
+            t = day * SECONDS_PER_DAY + hour * 3600.0
+            events.append((t, day))
+    return _clip_window(sorted(events), t_start, t_end)
+
+
+def adhoc_arrivals(
+    rng: np.random.Generator,
+    t_start: float,
+    t_end: float,
+    mean_per_day: float,
+    rerun_probability: float = 0.2,
+    next_variant_start: int = 0,
+) -> List[Tuple[float, int]]:
+    """Poisson ad-hoc queries; mostly fresh variants, sometimes re-runs.
+
+    ``rerun_probability`` is the chance an analyst re-executes one of the
+    last few queries (e.g. after a tweak elsewhere); re-runs produce exact
+    repeats, everything else is a new variant id.
+    """
+    if not 0 <= rerun_probability <= 1:
+        raise ValueError("rerun_probability must be in [0, 1]")
+    duration_days = (t_end - t_start) / SECONDS_PER_DAY
+    n = rng.poisson(mean_per_day * duration_days)
+    # business-hour concentration via a truncated normal per event
+    times = []
+    for _ in range(n):
+        day = rng.uniform(t_start / SECONDS_PER_DAY, t_end / SECONDS_PER_DAY)
+        hour = float(np.clip(rng.normal(13.0, 3.5), 0.0, 24.0))
+        times.append(int(day) * SECONDS_PER_DAY + hour * 3600.0)
+    times.sort()
+
+    events = []
+    variant = next_variant_start
+    recent: List[int] = []
+    for t in times:
+        if recent and rng.random() < rerun_probability:
+            v = int(recent[int(rng.integers(0, len(recent)))])
+        else:
+            v = variant
+            variant += 1
+            recent.append(v)
+            if len(recent) > 5:
+                recent.pop(0)
+        events.append((t, v))
+    return _clip_window(events, t_start, t_end)
+
+
+def etl_arrivals(
+    rng: np.random.Generator,
+    t_start: float,
+    t_end: float,
+    runs_per_day: float = 2.0,
+) -> List[Tuple[float, int]]:
+    """Nightly batch jobs; the variant id is the day (new data partition)."""
+    events = []
+    first_day = int(t_start // SECONDS_PER_DAY)
+    last_day = int(np.ceil(t_end / SECONDS_PER_DAY))
+    for day in range(first_day, last_day):
+        n_runs = max(1, rng.poisson(runs_per_day))
+        for _ in range(n_runs):
+            hour = float(rng.uniform(0.0, 6.0))  # night window
+            events.append((day * SECONDS_PER_DAY + hour * 3600.0, day))
+    return _clip_window(sorted(events), t_start, t_end)

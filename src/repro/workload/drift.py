@@ -1,0 +1,77 @@
+"""Data and workload drift: the dynamics that break naive predictors.
+
+Two mechanisms from the paper:
+
+- **statistics epochs** (:class:`AnalyzeSchedule`): tables grow
+  continuously, but the optimizer's statistics only refresh when ANALYZE
+  runs.  Between refreshes, estimates go stale (the cache's freshness
+  problem, Section 4.2); at a refresh the plan is re-costed, its feature
+  vector changes, and the exec-time cache cold-misses.
+- **workload shift** (:func:`sample_template_start_days`): some templates
+  only appear mid-trace (new dashboards, new pipelines).  Those are the
+  queries the local model is uncertain about, routing to the global
+  model (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .arrival import SECONDS_PER_DAY
+
+__all__ = ["AnalyzeSchedule", "sample_template_start_days"]
+
+
+class AnalyzeSchedule:
+    """Maps a query's arrival time to its statistics epoch.
+
+    Epoch ``e`` covers arrivals in ``[boundary[e-1], boundary[e])``; the
+    optimizer's believed row counts within epoch ``e`` are the true row
+    counts frozen at the epoch's opening ANALYZE.
+    """
+
+    def __init__(self, duration_days: float, interval_days: float, rng: np.random.Generator):
+        if interval_days <= 0:
+            raise ValueError("interval_days must be positive")
+        boundaries = []
+        t = rng.uniform(0.2, 1.0) * interval_days
+        while t < duration_days:
+            boundaries.append(t * SECONDS_PER_DAY)
+            # jittered interval so epochs don't align across instances
+            t += interval_days * rng.uniform(0.7, 1.3)
+        self.boundaries: List[float] = boundaries
+
+    def epoch_at(self, time_s: float) -> int:
+        """Statistics epoch index for an arrival at ``time_s``."""
+        return int(np.searchsorted(self.boundaries, time_s, side="right"))
+
+    def epoch_start_day(self, epoch: int) -> float:
+        """Day at which ``epoch``'s statistics were collected."""
+        if epoch <= 0:
+            return 0.0
+        return self.boundaries[epoch - 1] / SECONDS_PER_DAY
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.boundaries) + 1
+
+
+def sample_template_start_days(
+    rng: np.random.Generator,
+    n_templates: int,
+    duration_days: float,
+    late_fraction: float = 0.2,
+) -> np.ndarray:
+    """Start day of each template; a ``late_fraction`` appear mid-trace.
+
+    Late templates model workload change: brand-new queries the instance
+    has never seen, which stress the cold-start path of the predictors.
+    """
+    if not 0 <= late_fraction <= 1:
+        raise ValueError("late_fraction must be in [0, 1]")
+    starts = np.zeros(n_templates)
+    late = rng.random(n_templates) < late_fraction
+    starts[late] = rng.uniform(0, duration_days * 0.8, size=int(late.sum()))
+    return starts

@@ -1,0 +1,126 @@
+"""Instance (cluster) profiles for the synthetic Redshift fleet.
+
+An :class:`InstanceProfile` is everything that distinguishes one
+customer's cluster: hardware class and node count, a *hidden* speed
+multiplier (configuration, tuning, data layout — never exposed to the
+predictors, mirroring the paper's observation that identical plans run
+very differently across customers), tables with their sizes and growth,
+and a workload mix over the four archetypes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .query import QueryKind
+
+__all__ = [
+    "Table",
+    "Hardware",
+    "HARDWARE_CLASSES",
+    "InstanceProfile",
+    "N_SYSTEM_FEATURES",
+]
+
+
+@dataclass(frozen=True)
+class Table:
+    """One user table: what the optimizer can know plus true dynamics."""
+
+    name: str
+    base_rows: float
+    s3_format: str = "local"  # "local" or an external S3 format
+    # fraction of daily growth of the *true* row count; the optimizer's
+    # statistics only catch up at ANALYZE events
+    growth_per_day: float = 0.0
+
+
+@dataclass(frozen=True)
+class Hardware:
+    """A node type in the fleet (speeds are relative units)."""
+
+    name: str
+    unit_speed: float
+    memory_per_node_gb: float
+
+
+HARDWARE_CLASSES: Dict[str, Hardware] = {
+    "dc2.large": Hardware("dc2.large", 1.0, 15.0),
+    "ra3.xlplus": Hardware("ra3.xlplus", 2.0, 32.0),
+    "ra3.4xlarge": Hardware("ra3.4xlarge", 6.0, 96.0),
+    "ra3.16xlarge": Hardware("ra3.16xlarge", 20.0, 384.0),
+}
+
+
+@dataclass
+class InstanceProfile:
+    """One synthetic customer cluster."""
+
+    instance_id: str
+    hardware: Hardware
+    n_nodes: int
+    #: hidden multiplicative speed factor; NOT exposed in any feature
+    latent_speed: float
+    #: lognormal sigma of run-to-run load noise on this cluster
+    load_sigma: float
+    tables: List[Table]
+    #: workload mix over QueryKind values (sums to 1)
+    kind_weights: Dict[str, float]
+    #: average queries per day (all kinds)
+    queries_per_day: float
+    #: per-instance RNG seed (trace generation is reproducible)
+    seed: int
+    #: days between ANALYZE runs refreshing optimizer statistics
+    analyze_interval_days: float = 3.0
+    #: mean concurrent queries (affects exec-time noise)
+    mean_concurrency: float = 2.0
+    #: probability an ad-hoc arrival re-runs a recent query verbatim
+    adhoc_rerun_probability: float = 0.2
+
+    def __post_init__(self):
+        total = sum(self.kind_weights.values())
+        if not 0.999 <= total <= 1.001:
+            raise ValueError(f"kind weights must sum to 1, got {total}")
+        for kind in self.kind_weights:
+            if kind not in QueryKind.ALL:
+                raise ValueError(f"unknown query kind {kind!r}")
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_speed(self) -> float:
+        """Cluster throughput: hardware x sub-linear node scaling x hidden factor."""
+        return self.hardware.unit_speed * self.n_nodes**0.8 * self.latent_speed
+
+    @property
+    def memory_gb(self) -> float:
+        return self.hardware.memory_per_node_gb * self.n_nodes
+
+    def growth_factor(self, day: float) -> float:
+        """True-data growth factor at ``day`` (compounded daily)."""
+        if not self.tables:
+            return 1.0
+        mean_growth = sum(t.growth_per_day for t in self.tables) / len(self.tables)
+        return (1.0 + mean_growth) ** max(day, 0.0)
+
+    # system features visible to the global model (Section 4.4): the
+    # *public* parts of the instance; the latent speed stays hidden.
+    def system_features(self, n_concurrent: float = 0.0):
+        import numpy as np
+
+        hw_index = list(HARDWARE_CLASSES).index(self.hardware.name)
+        one_hot = [0.0] * len(HARDWARE_CLASSES)
+        one_hot[hw_index] = 1.0
+        return np.array(
+            one_hot
+            + [
+                float(self.n_nodes),
+                float(np.log1p(self.memory_gb)),
+                float(n_concurrent),
+            ]
+        )
+
+
+N_SYSTEM_FEATURES = len(HARDWARE_CLASSES) + 3

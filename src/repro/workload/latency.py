@@ -1,0 +1,142 @@
+"""The latent true-cost model: what actually determines exec-time.
+
+The paper's production traces embed a ground truth our synthetic fleet
+must recreate: execution time is driven by the *true* work of a plan
+(true cardinalities, operator mix, data format), scaled by the cluster's
+hardware and a hidden per-instance speed factor, and perturbed by system
+load, concurrency and occasional disk spills (paper Sections 5.3, 6.3).
+
+Crucially, predictors never see this module's outputs directly — they see
+the optimizer's *estimates* (which embed cardinality-estimation error)
+and the observed exec-times.  The gap between estimate and truth is what
+makes prediction hard, and the hidden instance factor is what caps the
+global model's accuracy (the paper's "nearly identical plans ... with
+drastically different performances", Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.plans import OperatorClass
+
+__all__ = ["CostModelParams", "TrueCostModel"]
+
+
+@dataclass
+class CostModelParams:
+    """Coefficients of the latent runtime cost model.
+
+    ``work`` units are calibrated so that one unit of work on a
+    speed-1.0 cluster takes one second.
+    """
+
+    # seconds of work per (true) output row, by operator class
+    row_cost: Dict[OperatorClass, float] = field(
+        default_factory=lambda: {
+            OperatorClass.SCAN: 2.2e-6,
+            OperatorClass.JOIN: 9.0e-6,
+            OperatorClass.AGGREGATE: 5.0e-6,
+            OperatorClass.SORT: 7.0e-6,
+            OperatorClass.NETWORK: 3.0e-6,
+            OperatorClass.MATERIALIZE: 2.5e-6,
+            OperatorClass.OTHER: 1.2e-6,
+        }
+    )
+    # external-table scan penalty by S3 format (local storage = 1.0)
+    s3_penalty: Dict[str, float] = field(
+        default_factory=lambda: {
+            "local": 1.0,
+            "parquet": 1.8,
+            "opencsv": 4.0,
+            "text": 3.2,
+            "null": 1.0,
+        }
+    )
+    # fixed per-query overhead (compile/dispatch), seconds
+    startup_min: float = 0.004
+    startup_max: float = 0.020
+    # lognormal sigma of the run-to-run load noise
+    load_sigma_min: float = 0.12
+    load_sigma_max: float = 0.45
+    # memory-contention spills: queries whose base runtime exceeds the
+    # (memory-scaled) threshold occasionally spill to disk and slow down
+    spill_probability: float = 0.08
+    spill_slowdown_min: float = 2.0
+    spill_slowdown_max: float = 6.0
+    # base threshold in seconds per 50 GB of cluster memory (min 5 s)
+    spill_threshold_s_per_50gb: float = 1.0
+    # hard ceiling on a single execution (WLM aborts runaways), seconds
+    max_exec_time: float = 15_000.0
+
+
+class TrueCostModel:
+    """Computes latent work and samples observed execution times."""
+
+    def __init__(self, params: CostModelParams | None = None):
+        self.params = params or CostModelParams()
+
+    # ------------------------------------------------------------------
+    def node_work(self, op_class: OperatorClass, true_card: float, width: float, s3_format: str = "null") -> float:
+        """Latent work (seconds at speed 1.0) of one operator."""
+        p = self.params
+        width_factor = max(width, 4.0) / 32.0
+        work = p.row_cost[op_class] * true_card * width_factor
+        if op_class is OperatorClass.SCAN:
+            work *= p.s3_penalty.get(s3_format, 1.0)
+        return work
+
+    # ------------------------------------------------------------------
+    def exec_time(
+        self,
+        base_work: float,
+        effective_speed: float,
+        memory_gb: float,
+        rng: np.random.Generator,
+        load_sigma: float,
+        concurrency: int = 1,
+    ) -> float:
+        """Sample one observed execution time.
+
+        Parameters
+        ----------
+        base_work:
+            Total latent work of the plan (sum of :meth:`node_work`),
+            already scaled for data growth.
+        effective_speed:
+            Cluster speed (hardware class x node count x hidden factor).
+        memory_gb:
+            Per-cluster memory; drives spill probability for big queries.
+        rng:
+            Source of the run-to-run randomness.
+        load_sigma:
+            Instance-level lognormal load-noise sigma.
+        concurrency:
+            Number of concurrently running queries when this one executed;
+            mild slowdown per extra query (resource sharing).
+        """
+        p = self.params
+        base = base_work / max(effective_speed, 1e-9)
+        # lognormal noise with mean 1 (mu = -sigma^2/2)
+        noise = rng.lognormal(mean=-0.5 * load_sigma**2, sigma=load_sigma)
+        concurrency_factor = 1.0 + 0.06 * max(concurrency - 1, 0)
+
+        # Memory contention: queries that are long relative to the cluster's
+        # memory occasionally spill intermediate state to disk.  This is the
+        # mechanism behind the paper's observation that the same query can
+        # take "tens of seconds to several hundred seconds" (Section 5.3).
+        spill = 1.0
+        spill_threshold = max(
+            5.0, p.spill_threshold_s_per_50gb * memory_gb / 50.0
+        )
+        if base > spill_threshold and rng.random() < p.spill_probability:
+            spill = rng.uniform(p.spill_slowdown_min, p.spill_slowdown_max)
+
+        startup = rng.uniform(p.startup_min, p.startup_max)
+        return min(
+            startup + base * noise * concurrency_factor * spill,
+            p.max_exec_time,
+        )

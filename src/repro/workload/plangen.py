@@ -1,0 +1,409 @@
+"""Synthetic physical-plan generation.
+
+Redshift's parser/optimizer is not available, so this module plays its
+role: given an instance's tables and a workload archetype, it generates
+*template specs* (the latent structure of a recurring SQL statement) and
+materializes them into :class:`~repro.plans.PhysicalPlan` trees with
+optimizer-style estimates.
+
+Two parallel worlds are maintained on purpose:
+
+- **estimates** (visible to predictors): computed from the statistics the
+  optimizer knew at the last ANALYZE, with simple cost formulas;
+- **truth** (visible only to the latency model): true cardinalities carry
+  multiplicative estimation errors that compound up the join tree, the
+  classic behaviour of real cardinality estimators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.plans import OperatorClass, PhysicalPlan, PlanNode, operator_class
+
+from .latency import TrueCostModel
+from .query import QueryKind
+
+__all__ = ["KIND_PROFILES", "KindProfile", "TemplateSpec", "MaterializedPlan", "PlanGenerator"]
+
+
+@dataclass(frozen=True)
+class KindProfile:
+    """Structural ranges of one workload archetype."""
+
+    min_joins: int
+    max_joins: int
+    log10_sel_min: float
+    log10_sel_max: float
+    prefers_small_tables: bool
+    agg_probability: float
+    sort_probability: float
+    limit_probability: float
+    query_types: Tuple[str, ...]
+
+
+KIND_PROFILES: Dict[str, KindProfile] = {
+    QueryKind.DASHBOARD: KindProfile(
+        min_joins=0,
+        max_joins=2,
+        log10_sel_min=-4.0,
+        log10_sel_max=-1.0,
+        prefers_small_tables=True,
+        agg_probability=0.9,
+        sort_probability=0.6,
+        limit_probability=0.7,
+        query_types=("select",),
+    ),
+    QueryKind.REPORT: KindProfile(
+        min_joins=2,
+        max_joins=4,
+        log10_sel_min=-1.8,
+        log10_sel_max=-0.7,
+        prefers_small_tables=False,
+        agg_probability=0.95,
+        sort_probability=0.8,
+        limit_probability=0.3,
+        query_types=("select",),
+    ),
+    QueryKind.ADHOC: KindProfile(
+        min_joins=1,
+        max_joins=6,
+        log10_sel_min=-4.5,
+        log10_sel_max=-0.8,
+        prefers_small_tables=False,
+        agg_probability=0.7,
+        sort_probability=0.5,
+        limit_probability=0.4,
+        query_types=("select", "select", "select", "ctas"),
+    ),
+    QueryKind.ETL: KindProfile(
+        min_joins=2,
+        max_joins=7,
+        log10_sel_min=-1.5,
+        log10_sel_max=-0.5,
+        prefers_small_tables=False,
+        agg_probability=0.6,
+        sort_probability=0.3,
+        limit_probability=0.05,
+        query_types=("insert", "update", "delete", "ctas", "copy"),
+    ),
+}
+
+_SCAN_OPS = ("seq_scan", "seq_scan_compressed", "range_scan", "subquery_scan")
+_S3_SCAN_OPS = ("s3_seq_scan", "s3_partition_scan", "spectrum_scan")
+_JOIN_OPS = (
+    "hash_join",
+    "distributed_hash_join",
+    "broadcast_hash_join",
+    "merge_join",
+    "hash_left_join",
+    "hash_semi_join",
+)
+_AGG_OPS = ("aggregate", "hash_aggregate", "grouped_aggregate")
+_SORT_OPS = ("sort", "order_by", "top_n_sort")
+_NETWORK_OPS = ("ds_dist_inner", "ds_bcast_inner", "ds_dist_none", "redistribute")
+
+# Optimizer cost-formula coefficients (arbitrary planner units).  These are
+# deliberately *different* from the runtime coefficients in
+# :class:`~repro.workload.latency.CostModelParams` so estimated cost is a
+# correlated-but-imperfect signal of true work.
+_OPT_COST = {
+    OperatorClass.SCAN: 1.0,
+    OperatorClass.JOIN: 3.2,
+    OperatorClass.AGGREGATE: 1.8,
+    OperatorClass.SORT: 2.4,
+    OperatorClass.NETWORK: 0.9,
+    OperatorClass.MATERIALIZE: 1.1,
+    OperatorClass.OTHER: 0.5,
+}
+
+
+@dataclass
+class _ScanSpec:
+    table_index: int
+    selectivity: float
+    scan_op: str
+    width: float
+    card_error: float  # true/estimated multiplicative error
+
+
+@dataclass
+class _JoinSpec:
+    fan: float  # output rows relative to the larger input
+    join_op: str
+    width: float
+    card_error: float
+    network_op: str | None
+
+
+@dataclass
+class TemplateSpec:
+    """Latent structure of one recurring query (a SQL template)."""
+
+    kind: str
+    query_type: str
+    scans: List[_ScanSpec]
+    joins: List[_JoinSpec]
+    agg_op: str | None
+    agg_reduction: float
+    agg_card_error: float
+    sort_op: str | None
+    has_limit: bool
+    limit_rows: float = 100.0
+
+
+@dataclass
+class MaterializedPlan:
+    """A plan with optimizer estimates plus its hidden true work."""
+
+    plan: PhysicalPlan
+    base_work: float  # latent work at growth factor 1.0 (seconds at speed 1)
+    true_root_card: float
+
+
+class PlanGenerator:
+    """Builds template specs and materializes them into plans."""
+
+    def __init__(self, cost_model: TrueCostModel | None = None):
+        self.cost_model = cost_model or TrueCostModel()
+
+    # ------------------------------------------------------------------
+    # template / variant construction
+    # ------------------------------------------------------------------
+    def build_template(self, rng: np.random.Generator, kind: str, tables) -> TemplateSpec:
+        """Sample a fresh template of the given archetype over ``tables``."""
+        profile = KIND_PROFILES[kind]
+        n_joins = int(rng.integers(profile.min_joins, profile.max_joins + 1))
+        n_scans = n_joins + 1
+
+        order = np.argsort([t.base_rows for t in tables])
+        if profile.prefers_small_tables:
+            # dashboards mostly hit dimensions and mid-size tables
+            pool = order[: max(2, (3 * len(tables)) // 4)]
+        else:
+            pool = np.arange(len(tables))
+
+        scans = []
+        for _ in range(n_scans):
+            ti = int(rng.choice(pool))
+            table = tables[ti]
+            log_sel = rng.uniform(profile.log10_sel_min, profile.log10_sel_max)
+            # Analysts filter big tables harder: shrink selectivity as the
+            # table grows, which keeps per-archetype output cardinalities
+            # (and hence exec-times) in a band instead of spanning the full
+            # table-size range.
+            log_sel = min(log_sel - 0.55 * (np.log10(table.base_rows) - 7.0), 0.0)
+            scan_op = (
+                str(rng.choice(_S3_SCAN_OPS))
+                if table.s3_format != "local"
+                else str(rng.choice(_SCAN_OPS))
+            )
+            scans.append(
+                _ScanSpec(
+                    table_index=ti,
+                    selectivity=10.0**log_sel,
+                    scan_op=scan_op,
+                    width=float(rng.uniform(8, 160)),
+                    card_error=float(rng.lognormal(0.0, 0.4)),
+                )
+            )
+
+        joins = []
+        for _ in range(n_joins):
+            joins.append(
+                _JoinSpec(
+                    fan=float(min(rng.lognormal(np.log(0.55), 0.5), 2.5)),
+                    join_op=str(rng.choice(_JOIN_OPS)),
+                    width=float(rng.uniform(16, 200)),
+                    card_error=float(rng.lognormal(0.0, 0.55)),
+                    network_op=(
+                        str(rng.choice(_NETWORK_OPS))
+                        if rng.random() < 0.5
+                        else None
+                    ),
+                )
+            )
+
+        has_agg = rng.random() < profile.agg_probability
+        has_sort = rng.random() < profile.sort_probability
+        return TemplateSpec(
+            kind=kind,
+            query_type=str(rng.choice(profile.query_types)),
+            scans=scans,
+            joins=joins,
+            agg_op=str(rng.choice(_AGG_OPS)) if has_agg else None,
+            agg_reduction=float(10.0 ** rng.uniform(-4, -0.5)),
+            agg_card_error=float(rng.lognormal(0.0, 0.3)),
+            sort_op=str(rng.choice(_SORT_OPS)) if has_sort else None,
+            has_limit=rng.random() < profile.limit_probability,
+            limit_rows=float(rng.choice([10, 100, 1000])),
+        )
+
+    def perturb_variant(self, rng: np.random.Generator, spec: TemplateSpec) -> TemplateSpec:
+        """A parameter variant: same SQL shape, different constants.
+
+        Models re-running a template with different filter values: scan
+        selectivities shift, join fans wiggle, estimation errors redraw.
+        The resulting feature vector is *close to* but not identical to
+        the base template's — the "slight modifications of past-seen
+        queries" the local model is designed to catch (Section 4).
+        """
+        scans = [
+            replace(
+                s,
+                selectivity=float(
+                    np.clip(s.selectivity * rng.lognormal(0.0, 0.5), 1e-8, 1.0)
+                ),
+                card_error=float(rng.lognormal(0.0, 0.4)),
+            )
+            for s in spec.scans
+        ]
+        joins = [
+            replace(
+                j,
+                fan=float(j.fan * rng.lognormal(0.0, 0.25)),
+                card_error=float(rng.lognormal(0.0, 0.55)),
+            )
+            for j in spec.joins
+        ]
+        return replace(spec, scans=scans, joins=joins)
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+    def materialize(
+        self,
+        spec: TemplateSpec,
+        tables,
+        stat_rows: Dict[int, float],
+        growth_factor: float = 1.0,
+    ) -> MaterializedPlan:
+        """Build the plan tree with estimates and compute hidden work.
+
+        ``stat_rows`` maps table index -> row count the optimizer believes
+        (set at the last ANALYZE); true rows are ``base_rows *
+        growth_factor``.  Stale statistics therefore show up as an extra
+        gap between estimated and true cardinalities.
+        """
+        cm = self.cost_model
+        total_work = 0.0
+
+        def scan_node(s: _ScanSpec):
+            nonlocal total_work
+            table = tables[s.table_index]
+            est_rows = stat_rows.get(s.table_index, table.base_rows)
+            est_card = max(est_rows * s.selectivity, 1.0)
+            true_card = max(
+                table.base_rows * growth_factor * s.selectivity * s.card_error,
+                1.0,
+            )
+            node = PlanNode(
+                s.scan_op,
+                estimated_cost=_OPT_COST[OperatorClass.SCAN] * est_card,
+                estimated_cardinality=est_card,
+                width=s.width,
+                s3_format=table.s3_format,
+                table_rows=est_rows,
+                table_name=table.name,
+            )
+            total_work += cm.node_work(
+                OperatorClass.SCAN, true_card, s.width, table.s3_format
+            )
+            return node, est_card, true_card
+
+        def wrap_network(op, child, est_card, true_card, width):
+            nonlocal total_work
+            node = PlanNode(
+                op,
+                estimated_cost=_OPT_COST[OperatorClass.NETWORK] * est_card,
+                estimated_cardinality=est_card,
+                width=width,
+                children=[child],
+            )
+            total_work += cm.node_work(OperatorClass.NETWORK, true_card, width)
+            return node
+
+        current, est_card, true_card = scan_node(spec.scans[0])
+        width = spec.scans[0].width
+        for join_spec, scan_spec in zip(spec.joins, spec.scans[1:]):
+            right, r_est, r_true = scan_node(scan_spec)
+            if join_spec.network_op is not None:
+                right = wrap_network(
+                    join_spec.network_op, right, r_est, r_true, scan_spec.width
+                )
+            out_est = max(join_spec.fan * max(est_card, r_est), 1.0)
+            out_true = max(
+                join_spec.fan * max(true_card, r_true) * join_spec.card_error,
+                1.0,
+            )
+            join_cost = _OPT_COST[OperatorClass.JOIN] * (
+                est_card + r_est + out_est
+            )
+            current = PlanNode(
+                join_spec.join_op,
+                estimated_cost=join_cost,
+                estimated_cardinality=out_est,
+                width=join_spec.width,
+                children=[current, right],
+            )
+            # runtime work of a join scales with inputs + output
+            total_work += cm.node_work(
+                OperatorClass.JOIN,
+                true_card + r_true + out_true,
+                join_spec.width,
+            )
+            est_card, true_card, width = out_est, out_true, join_spec.width
+
+        if spec.agg_op is not None:
+            out_est = max(est_card * spec.agg_reduction, 1.0)
+            out_true = max(
+                true_card * spec.agg_reduction * spec.agg_card_error, 1.0
+            )
+            current = PlanNode(
+                spec.agg_op,
+                estimated_cost=_OPT_COST[OperatorClass.AGGREGATE] * est_card,
+                estimated_cardinality=out_est,
+                width=width,
+                children=[current],
+            )
+            total_work += cm.node_work(OperatorClass.AGGREGATE, true_card, width)
+            est_card, true_card = out_est, out_true
+
+        if spec.sort_op is not None:
+            sort_cost = (
+                _OPT_COST[OperatorClass.SORT]
+                * est_card
+                * max(math.log(est_card + 2.0), 1.0)
+            )
+            current = PlanNode(
+                spec.sort_op,
+                estimated_cost=sort_cost,
+                estimated_cardinality=est_card,
+                width=width,
+                children=[current],
+            )
+            total_work += cm.node_work(
+                OperatorClass.SORT,
+                true_card * max(math.log(true_card + 2.0) / 10.0, 0.2),
+                width,
+            )
+
+        if spec.has_limit:
+            est_card = min(est_card, spec.limit_rows)
+            true_card = min(true_card, spec.limit_rows)
+            current = PlanNode(
+                "limit",
+                estimated_cost=current.estimated_cost,
+                estimated_cardinality=est_card,
+                width=width,
+                children=[current],
+            )
+
+        plan = PhysicalPlan(root=current, query_type=spec.query_type)
+        return MaterializedPlan(
+            plan=plan, base_work=total_work, true_root_card=true_card
+        )

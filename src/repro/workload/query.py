@@ -1,0 +1,90 @@
+"""Query records flowing through traces and the replay harness.
+
+A :class:`QueryRecord` is one logged query execution, the analogue of a
+row the paper reads from Redshift's system tables: when it arrived, the
+physical plan the optimizer produced, and the execution time that was
+actually observed in production (including whatever load/spill noise the
+system experienced).
+
+Repeated queries share the *same* plan object and feature vector, exactly
+like identical SQL re-planned against unchanged statistics — this is what
+makes the exec-time cache hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.plans import PhysicalPlan, featurize_plan
+
+__all__ = ["QueryKind", "QueryRecord"]
+
+
+class QueryKind:
+    """Workload archetypes a template can belong to."""
+
+    DASHBOARD = "dashboard"
+    REPORT = "report"
+    ADHOC = "adhoc"
+    ETL = "etl"
+
+    ALL = (DASHBOARD, REPORT, ADHOC, ETL)
+
+
+@dataclass
+class QueryRecord:
+    """One executed query in a trace.
+
+    Attributes
+    ----------
+    query_id:
+        Unique id within the trace.
+    instance_id:
+        The cluster the query ran on.
+    template_id / variant_id:
+        Which template instantiation produced the query; two records with
+        the same ``(template_id, variant_id, plan_epoch)`` are *identical
+        queries* in the paper's sense (same SQL, same parameters).
+    plan_epoch:
+        Statistics epoch: bumped when an ANALYZE refreshes optimizer
+        stats, which re-plans the query and changes its feature vector.
+    arrival_time:
+        Seconds since the trace start.
+    plan:
+        The physical plan (shared across repeats).
+    exec_time:
+        Observed execution seconds (the production log value).
+    kind:
+        Workload archetype (dashboard / report / adhoc / etl).
+    """
+
+    query_id: int
+    instance_id: str
+    template_id: int
+    variant_id: int
+    plan_epoch: int
+    arrival_time: float
+    plan: PhysicalPlan
+    exec_time: float
+    kind: str = QueryKind.ADHOC
+    _features: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def features(self) -> np.ndarray:
+        """The 33-dim flattened plan vector (computed once, then shared)."""
+        if self._features is None:
+            self._features = featurize_plan(self.plan)
+        return self._features
+
+    @property
+    def identity(self):
+        """Key identifying "the same query" across repeats."""
+        return (self.instance_id, self.template_id, self.variant_id, self.plan_epoch)
+
+    def with_features(self, features: np.ndarray) -> "QueryRecord":
+        """Attach a precomputed (shared) feature vector."""
+        self._features = features
+        return self

@@ -1,0 +1,22 @@
+"""Deterministic seed derivation for nested generators.
+
+``numpy.random.default_rng`` accepts sequences of ints but not strings;
+this helper hashes arbitrary labels + ints into a stable 64-bit seed so
+every instance / template / variant gets an independent, reproducible
+stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["derive_seed"]
+
+
+def derive_seed(*parts) -> int:
+    """Hash a mixed tuple of ints/strings into a 64-bit seed."""
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        h.update(str(part).encode("utf-8"))
+        h.update(b"\x1f")
+    return int.from_bytes(h.digest(), "little")

@@ -1,0 +1,164 @@
+"""Tests for the extension features: confidence intervals, model
+serialization, and WLM concurrency scaling."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import GlobalModelConfig
+from repro.core.interfaces import Prediction
+from repro.global_model import (
+    GlobalModelTrainer,
+    load_global_model,
+    record_to_graph,
+    save_global_model,
+)
+from repro.wlm import WLMConfig, simulate_wlm
+from repro.workload import FleetConfig, FleetGenerator
+
+
+class TestConfidenceIntervals:
+    def test_point_prediction_collapses(self):
+        p = Prediction(exec_time=5.0, variance=0.0)
+        assert p.interval(0.9) == (5.0, 5.0)
+
+    def test_interval_contains_estimate(self):
+        p = Prediction(exec_time=10.0, variance=0.25)
+        low, high = p.interval(0.9)
+        assert low < 10.0 < high
+
+    def test_wider_confidence_wider_interval(self):
+        p = Prediction(exec_time=10.0, variance=0.25)
+        low50, high50 = p.interval(0.5)
+        low99, high99 = p.interval(0.99)
+        assert low99 < low50 and high99 > high50
+
+    def test_more_variance_wider_interval(self):
+        narrow = Prediction(exec_time=10.0, variance=0.04).interval(0.9)
+        wide = Prediction(exec_time=10.0, variance=1.0).interval(0.9)
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+    def test_lower_bound_non_negative(self):
+        p = Prediction(exec_time=0.01, variance=9.0)
+        low, _ = p.interval(0.99)
+        assert low >= 0.0
+
+    def test_invalid_confidence(self):
+        p = Prediction(exec_time=1.0, variance=1.0)
+        with pytest.raises(ValueError):
+            p.interval(0.0)
+        with pytest.raises(ValueError):
+            p.interval(1.0)
+
+    def test_coverage_on_lognormal_data(self):
+        """A well-specified interval should cover ~confidence of samples."""
+        rng = np.random.default_rng(0)
+        mu, sigma = 2.0, 0.5
+        samples = np.expm1(rng.normal(mu, sigma, 4000))
+        p = Prediction(exec_time=float(np.expm1(mu)), variance=sigma**2)
+        low, high = p.interval(0.9)
+        coverage = np.mean((samples >= low) & (samples <= high))
+        assert 0.85 <= coverage <= 0.95
+
+
+class TestGlobalModelSerialization:
+    @pytest.fixture(scope="class")
+    def model_and_trace(self):
+        gen = FleetGenerator(FleetConfig(seed=71, volume_scale=0.25))
+        train = gen.generate_fleet_traces(4, 1.5, start_index=40)
+        model = GlobalModelTrainer(
+            GlobalModelConfig(hidden_dim=24, n_conv_layers=2, epochs=6)
+        ).train(train)
+        trace = gen.generate_trace(gen.sample_instance(0), 1.0)
+        return model, trace
+
+    def test_roundtrip_identical_predictions(self, model_and_trace, tmp_path):
+        model, trace = model_and_trace
+        path = os.path.join(tmp_path, "global.npz")
+        save_global_model(model, path)
+        loaded = load_global_model(path)
+        records = list(trace)[:20]
+        graphs = [record_to_graph(r.plan, trace.instance) for r in records]
+        np.testing.assert_allclose(
+            model.predict_graphs(graphs),
+            loaded.predict_graphs(graphs),
+            rtol=1e-12,
+        )
+
+    def test_file_is_reasonably_small(self, model_and_trace, tmp_path):
+        model, _ = model_and_trace
+        path = os.path.join(tmp_path, "global.npz")
+        save_global_model(model, path)
+        assert 0 < os.path.getsize(path) < 5 * 1024 * 1024
+
+    def test_version_check(self, model_and_trace, tmp_path):
+        model, _ = model_and_trace
+        path = os.path.join(tmp_path, "global.npz")
+        save_global_model(model, path)
+        data = dict(np.load(path))
+        data["meta"] = data["meta"].copy()
+        data["meta"][0] = 99
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="format version"):
+            load_global_model(path)
+
+
+class TestConcurrencyScaling:
+    def test_disabled_by_default(self):
+        arrivals = [0.0, 0.0, 0.0]
+        execs = [10.0, 10.0, 10.0]
+        result = simulate_wlm(
+            arrivals, execs, execs, WLMConfig(long_slots=1)
+        )
+        assert all(o.queue != "burst" for o in result.outcomes)
+
+    def test_burst_reduces_latency_under_contention(self):
+        rng = np.random.default_rng(3)
+        n = 100
+        arrivals = np.sort(rng.uniform(0, 50, n))
+        execs = rng.exponential(20.0, n) + 6.0  # all long-ish
+        preds = execs
+        base = simulate_wlm(
+            arrivals, execs, preds, WLMConfig(long_slots=2)
+        )
+        burst = simulate_wlm(
+            arrivals,
+            execs,
+            preds,
+            WLMConfig(long_slots=2, burst_slots=4, burst_startup_s=5.0),
+        )
+        assert burst.mean_latency < base.mean_latency
+        assert any(o.queue == "burst" for o in burst.outcomes)
+
+    def test_burst_only_used_when_long_slots_busy(self):
+        # two long queries, two long slots: no need for burst
+        arrivals = [0.0, 0.0]
+        execs = [10.0, 10.0]
+        result = simulate_wlm(
+            arrivals,
+            execs,
+            execs,
+            WLMConfig(long_slots=2, burst_slots=2),
+        )
+        assert all(o.queue == "long" for o in result.outcomes)
+
+    def test_burst_startup_delays_finish(self):
+        # one long slot busy; second query overflows to burst with startup
+        arrivals = [0.0, 0.0]
+        execs = [100.0, 10.0]
+        result = simulate_wlm(
+            arrivals,
+            execs,
+            [100.0, 99.0],  # both predicted long; SJF runs qid=1 second
+            WLMConfig(long_slots=1, burst_slots=1, burst_startup_s=30.0),
+        )
+        by_id = {o.query_id: o for o in result.outcomes}
+        assert by_id[1].queue == "burst"
+        assert by_id[1].latency == pytest.approx(30.0 + 10.0)
+
+    def test_invalid_burst_config(self):
+        with pytest.raises(ValueError):
+            WLMConfig(burst_slots=-1)
+        with pytest.raises(ValueError):
+            WLMConfig(burst_startup_s=-1.0)

@@ -1,0 +1,123 @@
+"""Tests for the global model: featurization, trainer, transfer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GlobalModelConfig
+from repro.core.interfaces import PredictionSource
+from repro.global_model import (
+    GlobalModelTrainer,
+    SYS_FEATURE_DIM,
+    record_to_graph,
+    system_features,
+)
+from repro.workload import FleetConfig, FleetGenerator
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    gen = FleetGenerator(FleetConfig(seed=21, volume_scale=0.4))
+    train = gen.generate_fleet_traces(8, 2.0, start_index=50)
+    held_out = gen.generate_trace(gen.sample_instance(0), 1.5)
+    return gen, train, held_out
+
+
+@pytest.fixture(scope="module")
+def trained_model(fleet):
+    _, train, __ = fleet
+    cfg = GlobalModelConfig(
+        hidden_dim=40, n_conv_layers=3, epochs=25, max_queries_per_instance=300
+    )
+    return GlobalModelTrainer(cfg).train(train)
+
+
+class TestFeaturization:
+    def test_system_features_dim(self, fleet):
+        _, train, __ = fleet
+        record = train[0][0]
+        sys = system_features(record.plan, train[0].instance)
+        assert sys.shape == (SYS_FEATURE_DIM,)
+
+    def test_graph_has_plan_shape(self, fleet):
+        _, train, __ = fleet
+        record = train[0][0]
+        g = record_to_graph(record.plan, train[0].instance)
+        assert g.node_features.shape[0] == record.plan.n_nodes
+        assert g.sys_features.shape == (SYS_FEATURE_DIM,)
+
+    def test_latent_speed_not_in_features(self, fleet):
+        """The hidden instance factor must be invisible to the global model."""
+        _, train, __ = fleet
+        import dataclasses
+
+        inst = train[0].instance
+        doubled = dataclasses.replace(inst, latent_speed=inst.latent_speed * 4)
+        record = train[0][0]
+        np.testing.assert_array_equal(
+            record_to_graph(record.plan, inst).sys_features,
+            record_to_graph(record.plan, doubled).sys_features,
+        )
+
+
+class TestTrainer:
+    def test_dataset_respects_per_instance_cap(self, fleet):
+        _, train, __ = fleet
+        cfg = GlobalModelConfig(max_queries_per_instance=20)
+        graphs, targets = GlobalModelTrainer(cfg).build_dataset(train)
+        assert len(graphs) <= 20 * len(train)
+        assert len(graphs) == targets.shape[0]
+
+    def test_dataset_deduplicates_identities(self, fleet):
+        _, train, __ = fleet
+        cfg = GlobalModelConfig(max_queries_per_instance=10_000)
+        graphs, _ = GlobalModelTrainer(cfg).build_dataset(train)
+        n_identities = sum(
+            len({r.identity for r in trace}) for trace in train
+        )
+        assert len(graphs) == n_identities
+
+    def test_empty_traces_raise(self):
+        with pytest.raises(ValueError, match="empty traces"):
+            GlobalModelTrainer().train([])
+
+
+class TestTrainedModel:
+    def test_predicts_positive_seconds(self, trained_model, fleet):
+        _, __, held_out = fleet
+        pred = trained_model.predict(held_out[0].plan, held_out.instance)
+        assert pred.source == PredictionSource.GLOBAL
+        assert pred.exec_time > 0
+
+    def test_transfer_beats_constant_on_unseen_instance(
+        self, trained_model, fleet
+    ):
+        """Zero-shot transfer: on a *held-out* instance the global model
+        should rank queries far better than a constant predictor."""
+        _, __, held_out = fleet
+        records = list(held_out)[:300]
+        graphs = [
+            record_to_graph(r.plan, held_out.instance) for r in records
+        ]
+        preds = trained_model.predict_graphs(graphs)
+        true = np.array([r.exec_time for r in records])
+        corr = np.corrcoef(np.log1p(preds), np.log1p(true))[0, 1]
+        # the hidden per-instance speed factor bounds what zero-shot
+        # transfer can achieve (the paper's Section 5.4 discussion), but
+        # plan difficulty must still rank clearly better than chance
+        assert corr > 0.5
+
+    def test_batch_and_single_predictions_match(self, trained_model, fleet):
+        _, __, held_out = fleet
+        records = list(held_out)[:5]
+        graphs = [
+            record_to_graph(r.plan, held_out.instance) for r in records
+        ]
+        batch = trained_model.predict_graphs(graphs)
+        singles = [
+            trained_model.predict(r.plan, held_out.instance).exec_time
+            for r in records
+        ]
+        np.testing.assert_allclose(batch, singles, rtol=1e-9)
+
+    def test_byte_size(self, trained_model):
+        assert trained_model.byte_size() > 0

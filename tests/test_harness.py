@@ -1,0 +1,206 @@
+"""Tests for the replay harness, reporting and experiment runners."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GlobalModelConfig, StageConfig, fast_profile
+from repro.core.metrics import ErrorSummary
+from repro.harness import (
+    SweepConfig,
+    accuracy_table,
+    component_summaries,
+    component_table,
+    end_to_end_comparison,
+    fleet_statistics,
+    improvement,
+    inference_cost,
+    prr_analysis,
+    render_comparison_table,
+    render_simple_table,
+    replay_instance,
+    run_sweep,
+)
+from repro.workload import FleetConfig, FleetGenerator
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    return run_sweep(
+        SweepConfig(
+            seed=5,
+            n_eval_instances=4,
+            n_train_instances=4,
+            duration_days=1.5,
+            volume_scale=0.2,
+            global_model=GlobalModelConfig(
+                hidden_dim=24, n_conv_layers=2, epochs=8, max_queries_per_instance=150
+            ),
+        )
+    )
+
+
+class TestReporting:
+    def test_improvement_sign(self):
+        assert improvement(8.0, 10.0) == pytest.approx(0.2)
+        assert improvement(12.0, 10.0) == pytest.approx(-0.2)
+        assert improvement(1.0, 0.0) == 0.0
+
+    def test_render_comparison_table(self):
+        summary = {"Overall": ErrorSummary(n=10, mean=1.5, p50=1.0, p90=3.0)}
+        text = render_comparison_table(
+            "T", "A", summary, "B", summary
+        )
+        assert "Overall" in text and "A MAE" in text and "B MAE" in text
+
+    def test_render_simple_table(self):
+        text = render_simple_table(
+            "title", ["x", "y"], [["a", 1.0], ["b", 2000.0]]
+        )
+        assert "title" in text and "2000" in text
+
+    def test_nan_rendered_as_dash(self):
+        summary = {
+            "Overall": ErrorSummary(n=0, mean=float("nan"), p50=float("nan"), p90=float("nan"))
+        }
+        text = render_comparison_table("T", "A", summary, "B", summary)
+        assert "-" in text
+
+
+class TestReplay:
+    @pytest.fixture(scope="class")
+    def replay(self):
+        gen = FleetGenerator(FleetConfig(seed=9, volume_scale=0.25))
+        trace = gen.generate_trace(gen.sample_instance(0), 1.5)
+        return trace, replay_instance(trace, config=fast_profile())
+
+    def test_arrays_aligned(self, replay):
+        trace, result = replay
+        n = len(trace)
+        assert len(result) == n
+        for attr in (
+            "true",
+            "arrival",
+            "stage_pred",
+            "autowlm_pred",
+            "cache_pred",
+            "local_pred",
+            "local_std",
+            "global_pred",
+        ):
+            assert getattr(result, attr).shape == (n,)
+
+    def test_true_matches_trace(self, replay):
+        trace, result = replay
+        np.testing.assert_array_equal(
+            result.true, [r.exec_time for r in trace]
+        )
+
+    def test_first_query_is_never_cache_hit(self, replay):
+        _, result = replay
+        assert np.isnan(result.cache_pred[0])
+
+    def test_cache_hits_match_stage_source(self, replay):
+        """Whenever the cache had an answer, Stage must have used it."""
+        _, result = replay
+        hits = result.cache_hit_mask
+        assert (result.stage_source[hits] == "cache").all()
+
+    def test_stage_stats_recorded(self, replay):
+        _, result = replay
+        assert 0 <= result.stage_stats["cache_hit_rate"] <= 1
+        assert result.stage_stats["n_local_retrains"] >= 0
+
+    def test_no_global_means_nan_global_preds(self, replay):
+        _, result = replay
+        assert np.isnan(result.global_pred).all()
+
+    def test_no_leakage_on_unique_trace(self):
+        """On a trace with no repeats and models disabled (huge
+        min_train_size), every Stage answer must be the default — i.e.
+        nothing about a query's own exec-time is available at prediction
+        time."""
+        import dataclasses
+
+        gen = FleetGenerator(FleetConfig(seed=12, volume_scale=0.2))
+        # pure-adhoc instances never repeat; find one
+        trace = None
+        for i in range(30):
+            inst = gen.sample_instance(i)
+            if inst.kind_weights.get("adhoc", 0) == 1.0:
+                trace = gen.generate_trace(inst, 1.0)
+                break
+        assert trace is not None
+        cfg = fast_profile()
+        cfg = dataclasses.replace(
+            cfg,
+            local=dataclasses.replace(cfg.local, min_train_size=10**9),
+        )
+        result = replay_instance(trace, config=cfg)
+        assert (result.stage_source == "default").all()
+
+
+class TestSweep:
+    def test_sweep_shapes(self, tiny_sweep):
+        assert len(tiny_sweep.replays) == 4
+        assert tiny_sweep.global_model is not None
+        pooled_true = tiny_sweep.pooled("true")
+        assert pooled_true.shape[0] == sum(len(r) for r in tiny_sweep.replays)
+
+    def test_global_predictions_present(self, tiny_sweep):
+        assert np.isfinite(tiny_sweep.pooled("global_pred")).all()
+
+    def test_accuracy_tables_render(self, tiny_sweep):
+        t1 = accuracy_table(tiny_sweep, "absolute")
+        t2 = accuracy_table(tiny_sweep, "q")
+        assert "Table 1" in t1 and "Stage" in t1
+        assert "Table 2" in t2
+
+    def test_component_tables_render(self, tiny_sweep):
+        for table in ("table3", "table4", "table5", "table6"):
+            text = component_table(tiny_sweep, table)
+            assert "Overall" in text
+
+    def test_component_summaries_consistent(self, tiny_sweep):
+        left, right, n = component_summaries(tiny_sweep, "table3")
+        assert left["Overall"].n == right["Overall"].n == n
+
+    def test_end_to_end_structure(self, tiny_sweep):
+        e2e = end_to_end_comparison(tiny_sweep)
+        assert set(e2e["aggregates"]) == {"stage", "autowlm", "optimal"}
+        assert len(e2e["per_instance"]) == 4
+        # per-instance list is sorted by the optimal improvement
+        vals = [d["optimal_improvement"] for d in e2e["per_instance"]]
+        assert vals == sorted(vals)
+
+    def test_optimal_beats_stage_on_average(self, tiny_sweep):
+        e2e = end_to_end_comparison(tiny_sweep)
+        assert (
+            e2e["improvements"]["optimal"]["mean"]
+            >= e2e["improvements"]["stage"]["mean"] - 0.05
+        )
+
+    def test_prr_analysis(self, tiny_sweep):
+        prr = prr_analysis(tiny_sweep)
+        assert isinstance(prr["scores"], list)
+        if prr["scores"]:
+            assert -1.0 <= prr["median"] <= 1.0
+
+    def test_inference_cost_orderings(self, tiny_sweep):
+        cost = inference_cost(tiny_sweep, n_probe=40)
+        assert "cache" in cost and "stage" in cost and "autowlm" in cost
+        # the cache must be the cheapest component by a wide margin
+        others = [
+            v["latency_s"] for k, v in cost.items() if k not in ("cache", "stage")
+        ]
+        assert cost["cache"]["latency_s"] < min(others)
+
+
+class TestFleetStatistics:
+    def test_statistics_fields(self):
+        stats = fleet_statistics(n_instances=10, duration_days=1.5, volume_scale=0.15)
+        assert 0 <= stats["clusters_over_50pct_unique"] <= 1
+        assert 0 <= stats["fleet_repeat_fraction"] <= 1
+        assert stats["exec_times"].shape[0] == sum(
+            stats["bucket_counts"].values()
+        )
+        assert stats["latency_percentiles_ms"][99.9] >= stats["latency_percentiles_ms"][50]

@@ -1,0 +1,145 @@
+"""Cross-module integration tests: the full pipeline end to end."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import (
+    AutoWLMPredictor,
+    FleetConfig,
+    FleetGenerator,
+    OptimalPredictor,
+    StagePredictor,
+    fast_profile,
+)
+from repro.core.interfaces import PredictionSource, RunningMedian
+from repro.core.metrics import summarize_errors
+from repro.wlm import WLMConfig, simulate_wlm
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return FleetGenerator(FleetConfig(seed=101, volume_scale=0.3))
+
+
+class TestRunningMedian:
+    def test_first_value_adopted(self):
+        m = RunningMedian()
+        m.update(5.0)
+        assert m.value == 5.0
+
+    def test_converges_towards_median(self):
+        rng = np.random.default_rng(0)
+        m = RunningMedian()
+        for x in rng.lognormal(0, 1, 4000):
+            m.update(x)
+        assert 0.3 < m.value < 3.0  # true median is 1.0
+
+
+class TestStatisticsEpochs:
+    def test_analyze_changes_feature_vectors(self, generator):
+        """After an ANALYZE the same template/variant re-plans with new
+        estimates, so its feature vector (and cache key) changes."""
+        instance = generator.sample_instance(0)
+        trace = generator.generate_trace(instance, 6.0)
+        by_tv = {}
+        found_epoch_change = False
+        for r in trace:
+            key = (r.template_id, r.variant_id)
+            if key in by_tv:
+                prev_epoch, prev_features = by_tv[key]
+                if r.plan_epoch != prev_epoch:
+                    found_epoch_change = True
+                    assert not np.array_equal(prev_features, r.features)
+            by_tv[key] = (r.plan_epoch, r.features)
+        assert found_epoch_change
+
+    def test_same_epoch_same_features(self, generator):
+        instance = generator.sample_instance(0)
+        trace = generator.generate_trace(instance, 2.0)
+        seen = {}
+        repeats_checked = 0
+        for r in trace:
+            key = r.identity
+            if key in seen:
+                np.testing.assert_array_equal(seen[key], r.features)
+                repeats_checked += 1
+            seen[key] = r.features
+        assert repeats_checked > 0
+
+
+class TestFullPipeline:
+    def test_stage_beats_autowlm_on_repetitive_instance(self, generator):
+        """The core claim at module scale: on a repetition-heavy instance
+        the Stage hierarchy out-predicts the single-model baseline."""
+        trace = None
+        for i in range(10):
+            inst = generator.sample_instance(i)
+            if inst.kind_weights.get("dashboard", 0) >= 0.45:
+                candidate = generator.generate_trace(inst, 2.0)
+                if len(candidate) > 400:
+                    trace = candidate
+                    break
+        assert trace is not None
+
+        stage = StagePredictor(trace.instance, config=fast_profile())
+        auto = AutoWLMPredictor(config=fast_profile().local)
+        s_pred, a_pred, true = [], [], []
+        for r in trace:
+            s_pred.append(stage.predict(r).exec_time)
+            a_pred.append(auto.predict(r).exec_time)
+            stage.observe(r)
+            auto.observe(r)
+            true.append(r.exec_time)
+        s = summarize_errors(true, s_pred)
+        a = summarize_errors(true, a_pred)
+        assert s.p50 <= a.p50
+        assert s.mean <= a.mean * 1.2
+
+    def test_wlm_prefers_better_predictions(self, generator):
+        """Feeding WLM the oracle's predictions can't be (much) worse
+        than feeding it a constant."""
+        trace = generator.generate_trace(generator.sample_instance(2), 1.5)
+        arrivals = np.array([r.arrival_time for r in trace])
+        # compress to create contention
+        arrivals = arrivals / 50.0
+        execs = np.array([r.exec_time for r in trace])
+        cfg = WLMConfig()
+        oracle = simulate_wlm(arrivals, execs, execs, cfg)
+        constant = simulate_wlm(arrivals, execs, np.ones_like(execs), cfg)
+        assert oracle.mean_latency <= constant.mean_latency * 1.05
+
+    def test_optimal_predictor_protocol(self, generator):
+        trace = generator.generate_trace(generator.sample_instance(3), 1.0)
+        optimal = OptimalPredictor()
+        for r in list(trace)[:20]:
+            p = optimal.predict(r)
+            assert p.exec_time == r.exec_time
+            assert p.source == PredictionSource.OPTIMAL
+            optimal.observe(r)
+
+    def test_cache_hit_rate_tracks_repetition(self, generator):
+        """Across instances, cache hit rate should correlate with the
+        trace's repeated fraction (Fig 1a -> cache effectiveness)."""
+        hit_rates, repeat_fracs = [], []
+        for i in range(6):
+            trace = generator.generate_trace(generator.sample_instance(i), 1.5)
+            if len(trace) < 100:
+                continue
+            stage = StagePredictor(trace.instance, config=fast_profile())
+            for r in trace:
+                stage.predict(r)
+                stage.observe(r)
+            hit_rates.append(stage.cache.hit_rate)
+            repeat_fracs.append(trace.repeated_fraction())
+        assert len(hit_rates) >= 3
+        order_hits = np.argsort(hit_rates)
+        order_repeats = np.argsort(repeat_fracs)
+        # same instance has the max of both
+        assert order_hits[-1] == order_repeats[-1]
+
+    def test_config_is_immutable(self):
+        cfg = fast_profile()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.short_circuit_seconds = 1.0

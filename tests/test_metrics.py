@@ -1,0 +1,135 @@
+"""Tests for accuracy and PRR metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    ErrorSummary,
+    absolute_errors,
+    bucketed_summary,
+    prr_curves,
+    prr_score,
+    q_errors,
+    summarize_errors,
+)
+
+
+class TestAbsoluteErrors:
+    def test_basic(self):
+        np.testing.assert_allclose(
+            absolute_errors([1.0, 5.0], [2.0, 3.0]), [1.0, 2.0]
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            absolute_errors([1.0], [1.0, 2.0])
+
+
+class TestQErrors:
+    def test_minimum_is_one(self):
+        assert q_errors([5.0], [5.0])[0] == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        over = q_errors([2.0], [8.0])[0]
+        under = q_errors([8.0], [2.0])[0]
+        assert over == pytest.approx(under) == pytest.approx(4.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=1e-4, max_value=1e5, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+        st.lists(
+            st.floats(min_value=1e-4, max_value=1e5, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_always_at_least_one(self, true, pred):
+        n = min(len(true), len(pred))
+        qe = q_errors(true[:n], pred[:n])
+        assert (qe >= 1.0 - 1e-12).all()
+
+    def test_floor_prevents_blowup(self):
+        qe = q_errors([1e-9], [1.0], floor=1e-3)
+        assert qe[0] == pytest.approx(1000.0)
+
+
+class TestSummaries:
+    def test_error_summary_fields(self):
+        s = ErrorSummary.from_errors(np.array([1.0, 2.0, 3.0, 4.0, 100.0]))
+        assert s.n == 5
+        assert s.mean == pytest.approx(22.0)
+        assert s.p50 == pytest.approx(3.0)
+
+    def test_empty_summary_is_nan(self):
+        s = ErrorSummary.from_errors(np.zeros(0))
+        assert s.n == 0 and np.isnan(s.mean)
+
+    def test_summarize_unknown_metric(self):
+        with pytest.raises(ValueError):
+            summarize_errors([1.0], [1.0], metric="rmse")
+
+    def test_bucketed_summary_covers_all_buckets(self):
+        true = np.array([1.0, 30.0, 90.0, 200.0, 500.0])
+        pred = true + 1.0
+        out = bucketed_summary(true, pred)
+        assert out["Overall"].n == 5
+        for label in ("0s - 10s", "10s - 60s", "60s - 120s", "120s - 300s", "300s+"):
+            assert out[label].n == 1
+
+    def test_bucketed_by_true_time(self):
+        # a 1s query predicted as 500s must stay in the 0-10s bucket
+        out = bucketed_summary(np.array([1.0]), np.array([500.0]))
+        assert out["0s - 10s"].n == 1
+        assert out["300s+"].n == 0
+
+
+class TestPRR:
+    def test_oracle_ranking_scores_one(self):
+        rng = np.random.default_rng(0)
+        errors = rng.exponential(size=200)
+        assert prr_score(errors, errors) == pytest.approx(1.0)
+
+    def test_random_ranking_scores_near_zero(self):
+        rng = np.random.default_rng(1)
+        errors = rng.exponential(size=5000)
+        noise = rng.random(5000)
+        assert abs(prr_score(errors, noise)) < 0.1
+
+    def test_anticorrelated_ranking_negative(self):
+        errors = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert prr_score(errors, -errors) < 0
+
+    def test_partial_correlation_between(self):
+        rng = np.random.default_rng(2)
+        errors = rng.exponential(size=2000)
+        noisy_unc = errors + rng.exponential(size=2000)
+        score = prr_score(errors, noisy_unc)
+        assert 0.2 < score < 1.0
+
+    def test_curves_shapes_and_bounds(self):
+        errors = np.array([3.0, 1.0, 2.0])
+        unc = np.array([1.0, 2.0, 3.0])
+        fractions, oracle, by_unc, random = prr_curves(errors, unc)
+        for curve in (fractions, oracle, by_unc, random):
+            assert curve.shape == (4,)
+            assert curve[0] == 0.0
+            assert curve[-1] == pytest.approx(1.0)
+        # oracle dominates any other ranking pointwise
+        assert (oracle >= by_unc - 1e-12).all()
+
+    def test_zero_errors_score_zero(self):
+        assert prr_score(np.zeros(10), np.arange(10)) == 0.0
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            prr_curves(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            prr_curves(np.zeros(0), np.zeros(0))

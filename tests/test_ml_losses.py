@@ -1,0 +1,131 @@
+"""Unit and property tests for the boosting objectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.losses import (
+    AbsoluteError,
+    GaussianNLL,
+    SquaredError,
+    get_objective,
+)
+
+
+def _finite_arrays(n_min=2, n_max=40):
+    return st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=n_min,
+        max_size=n_max,
+    ).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+
+class TestGetObjective:
+    def test_lookup_by_name(self):
+        assert isinstance(get_objective("squared_error"), SquaredError)
+        assert isinstance(get_objective("absolute_error"), AbsoluteError)
+        assert isinstance(get_objective("gaussian_nll"), GaussianNLL)
+
+    def test_pass_through_instance(self):
+        obj = SquaredError()
+        assert get_objective(obj) is obj
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            get_objective("nope")
+
+
+class TestSquaredError:
+    def test_init_raw_is_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert SquaredError().init_raw(y) == pytest.approx([2.0])
+
+    def test_grad_is_residual(self):
+        obj = SquaredError()
+        y = np.array([1.0, 2.0])
+        raw = np.array([[3.0], [1.0]])
+        grad, hess = obj.grad_hess(y, raw)
+        np.testing.assert_allclose(grad[:, 0], [2.0, -1.0])
+        np.testing.assert_allclose(hess[:, 0], [1.0, 1.0])
+
+    def test_zero_variance_prediction(self):
+        mean, var = SquaredError().raw_to_prediction(np.array([[5.0]]))
+        assert mean[0] == 5.0 and var[0] == 0.0
+
+    @given(_finite_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_loss_zero_at_perfect_fit(self, y):
+        obj = SquaredError()
+        assert obj.loss(y, y[:, None]) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestAbsoluteError:
+    def test_init_raw_is_median(self):
+        y = np.array([1.0, 9.0, 2.0])
+        assert AbsoluteError().init_raw(y) == pytest.approx([2.0])
+
+    def test_grad_is_sign(self):
+        obj = AbsoluteError()
+        y = np.array([1.0, 5.0])
+        raw = np.array([[3.0], [3.0]])
+        grad, _ = obj.grad_hess(y, raw)
+        np.testing.assert_allclose(grad[:, 0], [1.0, -1.0])
+
+    def test_loss_is_mae(self):
+        obj = AbsoluteError()
+        y = np.array([0.0, 4.0])
+        raw = np.array([[1.0], [1.0]])
+        assert obj.loss(y, raw) == pytest.approx(2.0)
+
+
+class TestGaussianNLL:
+    def test_two_params(self):
+        assert GaussianNLL().n_params == 2
+
+    def test_init_raw_matches_moments(self):
+        y = np.array([1.0, 3.0, 5.0])
+        raw0 = GaussianNLL().init_raw(y)
+        assert raw0[0] == pytest.approx(3.0)
+        assert np.exp(raw0[1]) == pytest.approx(np.var(y), rel=1e-3)
+
+    def test_gradients_numerically(self):
+        obj = GaussianNLL()
+        y = np.array([2.0])
+        raw = np.array([[1.0, 0.3]])
+        grad, _ = obj.grad_hess(y, raw)
+        eps = 1e-6
+        for p in range(2):
+            raw_hi = raw.copy()
+            raw_hi[0, p] += eps
+            raw_lo = raw.copy()
+            raw_lo[0, p] -= eps
+            num = (obj.loss(y, raw_hi) - obj.loss(y, raw_lo)) / (2 * eps)
+            assert grad[0, p] == pytest.approx(num, rel=1e-4)
+
+    def test_hessians_positive(self):
+        obj = GaussianNLL()
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=50)
+        raw = np.column_stack([rng.normal(size=50), rng.normal(size=50)])
+        _, hess = obj.grad_hess(y, raw)
+        assert (hess > 0).all()
+
+    def test_variance_decoded_positive(self):
+        obj = GaussianNLL()
+        raw = np.array([[0.0, -3.0], [1.0, 2.0]])
+        _, var = obj.raw_to_prediction(raw)
+        assert (var > 0).all()
+
+    @given(
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_loss_minimized_at_true_mean(self, y_val, log_var):
+        """For fixed variance, loss at mu=y must not exceed loss at mu!=y."""
+        obj = GaussianNLL()
+        y = np.array([y_val])
+        at_true = obj.loss(y, np.array([[y_val, log_var]]))
+        off = obj.loss(y, np.array([[y_val + 1.0, log_var]]))
+        assert at_true <= off

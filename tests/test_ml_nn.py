@@ -1,0 +1,181 @@
+"""Tests for the neural-network building blocks (gradient checks etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.nn import (
+    MLP,
+    Adam,
+    Dropout,
+    Linear,
+    Parameter,
+    ReLU,
+    huber_loss,
+    mse_loss,
+)
+
+
+def _numeric_grad(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = f()
+        x[idx] = orig - eps
+        lo = f()
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        rng = np.random.default_rng(0)
+        lin = Linear(4, 3, rng)
+        out = lin.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(1)
+        lin = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss_fn():
+            out = lin.forward(x)
+            return 0.5 * np.sum((out - target) ** 2)
+
+        out = lin.forward(x)
+        dout = out - target
+        lin.W.zero_grad()
+        lin.b.zero_grad()
+        dx = lin.backward(dout)
+
+        num_W = _numeric_grad(loss_fn, lin.W.value)
+        np.testing.assert_allclose(lin.W.grad, num_W, atol=1e-5)
+        num_b = _numeric_grad(loss_fn, lin.b.value)
+        np.testing.assert_allclose(lin.b.grad, num_b, atol=1e-5)
+
+        def loss_fn_x():
+            return 0.5 * np.sum((lin.forward(x) - target) ** 2)
+
+        num_x = _numeric_grad(loss_fn_x, x)
+        np.testing.assert_allclose(dx, num_x, atol=1e-5)
+
+
+class TestReLU:
+    def test_forward_clips_negatives(self):
+        relu = ReLU()
+        out = relu.forward(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out, [0.0, 0.0, 2.0])
+
+    def test_backward_masks(self):
+        relu = ReLU()
+        relu.forward(np.array([-1.0, 3.0]))
+        dout = relu.backward(np.array([5.0, 5.0]))
+        np.testing.assert_allclose(dout, [0.0, 5.0])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        rng = np.random.default_rng(0)
+        d = Dropout(0.5, rng)
+        x = rng.normal(size=(10, 10))
+        np.testing.assert_allclose(d.forward(x, training=False), x)
+
+    def test_train_mode_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        d = Dropout(0.3, rng)
+        x = np.ones((200, 200))
+        out = d.forward(x, training=True)
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0, np.random.default_rng(0))
+
+
+class TestMLP:
+    def test_needs_two_dims(self):
+        with pytest.raises(ValueError):
+            MLP([5], np.random.default_rng(0))
+
+    def test_learns_linear_function(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(400, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 0.3
+        mlp = MLP([3, 16, 1], rng)
+        opt = Adam(mlp.parameters(), lr=1e-2)
+        for _ in range(300):
+            pred = mlp.forward(X, training=True)[:, 0]
+            loss, dpred = mse_loss(pred, y)
+            opt.zero_grad()
+            mlp.backward(dpred[:, None])
+            opt.step()
+        final = mlp.forward(X)[:, 0]
+        assert np.mean((final - y) ** 2) < 0.05 * np.var(y)
+
+    def test_full_gradient_check(self):
+        rng = np.random.default_rng(3)
+        mlp = MLP([3, 4, 1], rng)
+        x = rng.normal(size=(6, 3))
+        target = rng.normal(size=6)
+
+        pred = mlp.forward(x)[:, 0]
+        _, dpred = mse_loss(pred, target)
+        for p in mlp.parameters():
+            p.zero_grad()
+        mlp.backward(dpred[:, None])
+
+        for p in mlp.parameters():
+            def loss_fn():
+                out = mlp.forward(x)[:, 0]
+                return mse_loss(out, target)[0]
+
+            num = _numeric_grad(loss_fn, p.value)
+            np.testing.assert_allclose(p.grad, num, atol=1e-5)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            opt.zero_grad()
+            p.grad += 2 * p.value  # d/dx of ||x||^2
+            opt.step()
+        assert np.abs(p.value).max() < 1e-2
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.05, weight_decay=1.0)
+        for _ in range(200):
+            opt.zero_grad()
+            opt.step()
+        assert abs(p.value[0]) < 10.0
+
+
+class TestLosses:
+    def test_mse_gradient(self):
+        pred = np.array([1.0, 2.0])
+        target = np.array([0.0, 0.0])
+        loss, dpred = mse_loss(pred, target)
+        assert loss == pytest.approx(2.5)
+        np.testing.assert_allclose(dpred, [1.0, 2.0])
+
+    def test_huber_quadratic_region(self):
+        pred = np.array([0.5])
+        target = np.array([0.0])
+        loss, dpred = huber_loss(pred, target, delta=1.0)
+        assert loss == pytest.approx(0.125)
+        np.testing.assert_allclose(dpred, [0.5])
+
+    def test_huber_linear_region(self):
+        pred = np.array([10.0])
+        target = np.array([0.0])
+        loss, dpred = huber_loss(pred, target, delta=1.0)
+        assert loss == pytest.approx(9.5)
+        np.testing.assert_allclose(dpred, [1.0])

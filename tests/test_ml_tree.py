@@ -1,0 +1,132 @@
+"""Tests for the histogram binner and regression tree learner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.tree import Binner, RegressionTree
+
+
+def _fit_tree_to_targets(X, y, **kwargs):
+    """Helper: fit a tree directly to squared-loss gradients of y."""
+    binner = Binner(max_bins=32).fit(X)
+    binned = binner.transform(X)
+    # For squared loss starting at raw=0: grad = -y, hess = 1, so the
+    # Newton leaf value approximates the mean of y within the leaf.
+    grad = -y
+    hess = np.ones_like(y)
+    tree = RegressionTree(reg_lambda=0.0, min_samples_leaf=1, **kwargs)
+    tree.fit(binned, grad, hess, binner)
+    return tree
+
+
+class TestBinner:
+    def test_bins_within_range(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        binner = Binner(max_bins=16).fit(X)
+        binned = binner.transform(X)
+        for j in range(3):
+            assert binned[:, j].max() < binner.n_bins(j)
+
+    def test_monotone_in_feature_value(self):
+        X = np.linspace(0, 1, 100)[:, None]
+        binner = Binner(max_bins=8).fit(X)
+        binned = binner.transform(X)[:, 0]
+        assert (np.diff(binned.astype(int)) >= 0).all()
+
+    def test_constant_feature_single_bin(self):
+        X = np.full((50, 1), 7.0)
+        binner = Binner(max_bins=8).fit(X)
+        assert binner.n_bins(0) <= 2
+
+    def test_invalid_max_bins(self):
+        with pytest.raises(ValueError):
+            Binner(max_bins=1)
+        with pytest.raises(ValueError):
+            Binner(max_bins=1000)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Binner().transform(np.zeros((2, 2)))
+
+    def test_threshold_value_matches_edges(self):
+        X = np.arange(100, dtype=float)[:, None]
+        binner = Binner(max_bins=4).fit(X)
+        t = binner.threshold_value(0, 0)
+        assert X.min() < t < X.max()
+
+
+class TestRegressionTree:
+    def test_perfect_split_on_step_function(self):
+        X = np.concatenate([np.zeros(50), np.ones(50)])[:, None]
+        y = np.concatenate([np.full(50, -1.0), np.full(50, 3.0)])
+        tree = _fit_tree_to_targets(X, y, max_depth=2)
+        pred = tree.predict(X)
+        np.testing.assert_allclose(pred, y, atol=1e-9)
+
+    def test_depth_zero_returns_mean(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+        tree = _fit_tree_to_targets(X, y, max_depth=0)
+        pred = tree.predict(X)
+        np.testing.assert_allclose(pred, np.full(100, y.mean()), atol=1e-9)
+
+    def test_min_samples_leaf_respected(self):
+        X = np.arange(20, dtype=float)[:, None]
+        y = np.where(X[:, 0] >= 19, 100.0, 0.0)  # one extreme point
+        binner = Binner(max_bins=32).fit(X)
+        binned = binner.transform(X)
+        tree = RegressionTree(min_samples_leaf=5, reg_lambda=0.0, max_depth=4)
+        tree.fit(binned, -y, np.ones_like(y), binner)
+        # No leaf may contain fewer than 5 training rows.
+        leaves = {}
+        pred_bins = tree.predict(X)
+        for v in pred_bins:
+            leaves[v] = leaves.get(v, 0) + 1
+        assert min(leaves.values()) >= 5
+
+    def test_predict_matches_predict_binned(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(300, 4))
+        y = X[:, 0] * 2 + rng.normal(size=300) * 0.1
+        binner = Binner(max_bins=32).fit(X)
+        binned = binner.transform(X)
+        tree = RegressionTree(max_depth=4, min_samples_leaf=2)
+        tree.fit(binned, -y, np.ones_like(y), binner)
+        np.testing.assert_allclose(
+            tree.predict(X), tree.predict_binned(binned), atol=1e-12
+        )
+
+    def test_reduces_squared_loss_vs_constant(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(400, 3))
+        y = np.sin(X[:, 0]) + 0.5 * X[:, 1]
+        tree = _fit_tree_to_targets(X, y, max_depth=5)
+        pred = tree.predict(X)
+        assert np.mean((pred - y) ** 2) < np.var(y)
+
+    def test_n_leaves_and_byte_size(self):
+        X = np.arange(100, dtype=float)[:, None]
+        y = (X[:, 0] > 50).astype(float)
+        tree = _fit_tree_to_targets(X, y, max_depth=3)
+        assert tree.n_leaves >= 2
+        assert tree.byte_size() > 0
+
+    @given(
+        st.integers(min_value=10, max_value=80),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_leaf_predictions_bounded_by_target_range(self, n, depth):
+        """With reg_lambda=0, Newton leaves are in-leaf means, hence within
+        the global min/max of the targets."""
+        rng = np.random.default_rng(n * depth)
+        X = rng.normal(size=(n, 2))
+        y = rng.uniform(-5, 5, size=n)
+        tree = _fit_tree_to_targets(X, y, max_depth=depth)
+        pred = tree.predict(X)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9

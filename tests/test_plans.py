@@ -1,0 +1,217 @@
+"""Tests for the plan substrate: operators, trees, featurizations."""
+
+import numpy as np
+import pytest
+
+from repro.plans import (
+    FEATURE_DIM,
+    N_OPERATOR_TYPES,
+    NODE_FEATURE_DIM,
+    OPERATOR_TYPES,
+    OperatorClass,
+    PhysicalPlan,
+    PlanNode,
+    feature_names,
+    featurize_plan,
+    hash_feature_vector,
+    is_scan_operator,
+    node_feature_matrix,
+    operator_class,
+    plan_to_graph,
+)
+
+
+def make_plan():
+    """join(scan(a), sort(scan(b))) — a small but realistic tree."""
+    scan_a = PlanNode(
+        "seq_scan",
+        estimated_cost=100.0,
+        estimated_cardinality=1000.0,
+        width=32,
+        s3_format="local",
+        table_rows=50_000,
+        table_name="a",
+    )
+    scan_b = PlanNode(
+        "s3_seq_scan",
+        estimated_cost=400.0,
+        estimated_cardinality=9000.0,
+        width=16,
+        s3_format="parquet",
+        table_rows=2_000_000,
+        table_name="b",
+    )
+    sort = PlanNode(
+        "sort", estimated_cost=50.0, estimated_cardinality=9000.0, width=16,
+        children=[scan_b],
+    )
+    join = PlanNode(
+        "distributed_hash_join",
+        estimated_cost=800.0,
+        estimated_cardinality=500.0,
+        width=48,
+        children=[scan_a, sort],
+    )
+    return PhysicalPlan(root=join, query_type="select")
+
+
+class TestOperators:
+    def test_vocabulary_size_is_90(self):
+        assert N_OPERATOR_TYPES == 90
+        assert len(set(OPERATOR_TYPES)) == 90
+
+    def test_every_operator_has_a_class(self):
+        for op in OPERATOR_TYPES:
+            assert isinstance(operator_class(op), OperatorClass)
+
+    def test_scan_detection(self):
+        assert is_scan_operator("seq_scan")
+        assert not is_scan_operator("hash_join")
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError):
+            operator_class("teleport")
+
+
+class TestPlanNode:
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(ValueError, match="unknown operator"):
+            PlanNode("warp_scan")
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            PlanNode("seq_scan", estimated_cost=-1.0)
+
+    def test_rejects_table_features_on_non_scan(self):
+        with pytest.raises(ValueError, match="scan operators"):
+            PlanNode("hash_join", s3_format="parquet")
+        with pytest.raises(ValueError, match="scan operators"):
+            PlanNode("hash_join", table_rows=10)
+
+    def test_scan_accepts_table_features(self):
+        node = PlanNode("seq_scan", s3_format="text", table_rows=5)
+        assert node.is_scan
+
+
+class TestPhysicalPlan:
+    def test_structure_properties(self):
+        plan = make_plan()
+        assert plan.n_nodes == 4
+        assert plan.depth == 3
+        assert plan.n_joins == 1
+        assert len(plan.scan_nodes()) == 2
+        assert plan.total_estimated_cost == pytest.approx(1350.0)
+
+    def test_rejects_shared_nodes(self):
+        shared = PlanNode("seq_scan")
+        root = PlanNode("hash_join", children=[shared, shared])
+        with pytest.raises(ValueError, match="cycle or shared"):
+            PhysicalPlan(root=root)
+
+    def test_rejects_unknown_query_type(self):
+        with pytest.raises(ValueError, match="query type"):
+            PhysicalPlan(root=PlanNode("seq_scan"), query_type="merge")
+
+    def test_edges_point_child_to_parent(self):
+        plan = make_plan()
+        edges = plan.edges()
+        nodes = plan.nodes()
+        assert len(edges) == plan.n_nodes - 1
+        for child_i, parent_i in edges:
+            assert nodes[child_i] in nodes[parent_i].children
+
+    def test_describe_contains_operators(self):
+        text = make_plan().describe()
+        assert "distributed_hash_join" in text
+        assert "seq_scan on a" in text
+
+
+class TestFeaturize:
+    def test_dimension_is_33(self):
+        assert FEATURE_DIM == 33
+        assert featurize_plan(make_plan()).shape == (33,)
+        assert len(feature_names()) == 33
+
+    def test_deterministic(self):
+        v1 = featurize_plan(make_plan())
+        v2 = featurize_plan(make_plan())
+        np.testing.assert_array_equal(v1, v2)
+
+    def test_query_type_one_hot(self):
+        plan = make_plan()
+        vec = featurize_plan(plan)
+        names = feature_names()
+        assert vec[names.index("qt_select")] == 1.0
+        assert vec[names.index("qt_delete")] == 0.0
+
+    def test_counts_by_class(self):
+        vec = featurize_plan(make_plan())
+        names = feature_names()
+        assert vec[names.index("scan_count")] == 2.0
+        assert vec[names.index("join_count")] == 1.0
+        assert vec[names.index("sort_count")] == 1.0
+
+    def test_summary_features(self):
+        vec = featurize_plan(make_plan())
+        names = feature_names()
+        assert vec[names.index("n_nodes")] == 4.0
+        assert vec[names.index("depth")] == 3.0
+        assert vec[names.index("log_total_cost")] == pytest.approx(
+            np.log1p(1350.0)
+        )
+
+    def test_different_plans_different_vectors(self):
+        plan = make_plan()
+        other = PhysicalPlan(
+            root=PlanNode("seq_scan", estimated_cost=10.0), query_type="select"
+        )
+        assert not np.array_equal(featurize_plan(plan), featurize_plan(other))
+
+
+class TestHashing:
+    def test_stable_hash(self):
+        v = featurize_plan(make_plan())
+        assert hash_feature_vector(v) == hash_feature_vector(v.copy())
+
+    def test_negative_zero_normalized(self):
+        a = np.array([0.0, 1.0])
+        b = np.array([-0.0, 1.0])
+        assert hash_feature_vector(a) == hash_feature_vector(b)
+
+    def test_distinct_vectors_distinct_hashes(self):
+        rng = np.random.default_rng(0)
+        vecs = rng.normal(size=(500, 33))
+        hashes = {hash_feature_vector(v) for v in vecs}
+        assert len(hashes) == 500
+
+
+class TestGraphFeaturization:
+    def test_node_matrix_shape(self):
+        plan = make_plan()
+        X = node_feature_matrix(plan)
+        assert X.shape == (4, NODE_FEATURE_DIM)
+
+    def test_one_hot_rows(self):
+        plan = make_plan()
+        X = node_feature_matrix(plan)
+        # exactly one operator bit per node
+        assert (X[:, :90].sum(axis=1) == 1.0).all()
+
+    def test_table_rows_only_on_scans(self):
+        plan = make_plan()
+        X = node_feature_matrix(plan)
+        has_table = X[:, -1]
+        scans = [n.is_scan for n in plan.nodes()]
+        np.testing.assert_array_equal(has_table.astype(bool), scans)
+
+    def test_plan_to_graph_roundtrip(self):
+        plan = make_plan()
+        g = plan_to_graph(plan, sys_features=np.zeros(4))
+        assert g.node_features.shape[0] == plan.n_nodes
+        assert g.edges.shape == (2, plan.n_nodes - 1)
+        assert g.root == 0
+
+    def test_single_node_plan_graph(self):
+        plan = PhysicalPlan(root=PlanNode("seq_scan"))
+        g = plan_to_graph(plan, sys_features=np.zeros(2))
+        assert g.edges.shape == (2, 0)

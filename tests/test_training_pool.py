@@ -1,0 +1,110 @@
+"""Tests for the local model's training pool (bounding/dedup/bucketing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import TrainingPoolConfig
+from repro.local_model import TrainingPool
+
+
+def _vec(i):
+    return np.full(4, float(i))
+
+
+class TestBasics:
+    def test_add_and_dataset(self):
+        pool = TrainingPool(TrainingPoolConfig(max_size=10))
+        pool.add(_vec(1), 1.0)
+        pool.add(_vec(2), 20.0)
+        X, y = pool.dataset()
+        assert X.shape == (2, 4)
+        assert set(y) == {1.0, 20.0}
+
+    def test_empty_dataset(self):
+        X, y = TrainingPool().dataset()
+        assert X.shape[0] == 0 and y.shape[0] == 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TrainingPool(TrainingPoolConfig(max_size=0))
+        with pytest.raises(ValueError, match="sum to 1"):
+            TrainingPool(
+                TrainingPoolConfig(bucket_shares=((10.0, 0.5), (float("inf"), 0.2)))
+            )
+
+    def test_negative_exec_time_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingPool().add(_vec(0), -1.0)
+
+
+class TestDeduplication:
+    def test_cache_hits_are_skipped(self):
+        """Paper 4.3: queries the cache already knows never enter the pool."""
+        pool = TrainingPool(TrainingPoolConfig(max_size=10))
+        assert pool.add(_vec(0), 1.0, cache_hit=True) is False
+        assert len(pool) == 0
+        assert pool.skipped_duplicates == 1
+
+    def test_cache_misses_are_added(self):
+        pool = TrainingPool(TrainingPoolConfig(max_size=10))
+        assert pool.add(_vec(0), 1.0, cache_hit=False) is True
+        assert len(pool) == 1
+
+
+class TestBucketing:
+    def test_bucket_routing(self):
+        pool = TrainingPool(TrainingPoolConfig(max_size=100))
+        pool.add(_vec(0), 1.0)     # 0-10s
+        pool.add(_vec(1), 30.0)    # 10-60s
+        pool.add(_vec(2), 500.0)   # 60s+
+        assert pool.bucket_sizes() == [1, 1, 1]
+
+    def test_short_queries_cannot_evict_long(self):
+        """Duration diversity (paper 4.3): the flood of short queries must
+        not displace the rare long ones."""
+        pool = TrainingPool(TrainingPoolConfig(max_size=20))
+        pool.add(_vec(0), 100.0)  # one long query
+        for i in range(200):
+            pool.add(_vec(i), 0.5)  # flood of short queries
+        X, y = pool.dataset()
+        assert 100.0 in y
+
+    def test_bucket_caps_respected(self):
+        cfg = TrainingPoolConfig(
+            max_size=10, bucket_shares=((10.0, 0.5), (60.0, 0.3), (float("inf"), 0.2))
+        )
+        pool = TrainingPool(cfg)
+        for i in range(50):
+            pool.add(_vec(i), 1.0)
+        for i in range(50):
+            pool.add(_vec(i), 30.0)
+        sizes = pool.bucket_sizes()
+        caps = pool.bucket_caps()
+        assert all(s <= c for s, c in zip(sizes, caps))
+        assert sum(caps) == 10
+
+    def test_within_bucket_fifo_eviction(self):
+        cfg = TrainingPoolConfig(
+            max_size=4, bucket_shares=((float("inf"), 1.0),)
+        )
+        pool = TrainingPool(cfg)
+        for i in range(10):
+            pool.add(_vec(i), float(i))
+        _, y = pool.dataset()
+        assert list(y) == [6.0, 7.0, 8.0, 9.0]
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1000, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_size_never_exceeds_max(self, times):
+        pool = TrainingPool(TrainingPoolConfig(max_size=25))
+        for i, t in enumerate(times):
+            pool.add(_vec(i), t)
+        assert len(pool) <= 25

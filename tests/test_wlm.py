@@ -1,0 +1,208 @@
+"""Tests for the workload-manager simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wlm import (
+    FIFOQueue,
+    ShortestJobFirstQueue,
+    SimulationResult,
+    WLMConfig,
+    simulate_wlm,
+)
+
+
+class TestQueues:
+    def test_fifo_order(self):
+        q = FIFOQueue()
+        for i in (3, 1, 2):
+            q.push(i)
+        assert [q.pop(), q.pop(), q.pop()] == [3, 1, 2]
+
+    def test_fifo_empty_pop(self):
+        assert FIFOQueue().pop() is None
+
+    def test_sjf_order(self):
+        q = ShortestJobFirstQueue()
+        q.push(1, priority=10.0)
+        q.push(2, priority=1.0)
+        q.push(3, priority=5.0)
+        assert [q.pop(), q.pop(), q.pop()] == [2, 3, 1]
+
+    def test_sjf_fifo_on_ties(self):
+        q = ShortestJobFirstQueue()
+        q.push(7, priority=1.0)
+        q.push(8, priority=1.0)
+        assert [q.pop(), q.pop()] == [7, 8]
+
+    def test_sjf_empty_pop(self):
+        assert ShortestJobFirstQueue().pop() is None
+
+
+class TestConfig:
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            WLMConfig(short_slots=0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            WLMConfig(short_threshold_s=0.0)
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            WLMConfig(sqa_timeout_s=-1.0)
+
+
+def _simulate(arrivals, execs, preds, **cfg):
+    return simulate_wlm(arrivals, execs, preds, WLMConfig(**cfg))
+
+
+class TestSimulatorBasics:
+    def test_empty_workload(self):
+        result = simulate_wlm([], [], [])
+        assert result.outcomes == []
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            simulate_wlm([0.0], [1.0, 2.0], [1.0])
+
+    def test_negative_exec_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_wlm([0.0], [-1.0], [1.0])
+
+    def test_uncontended_latency_equals_exec(self):
+        arrivals = [0.0, 100.0, 200.0]
+        execs = [1.0, 2.0, 3.0]
+        result = _simulate(arrivals, execs, execs)
+        np.testing.assert_allclose(result.latencies(), execs)
+        np.testing.assert_allclose(result.waits(), 0.0)
+
+    def test_every_query_completes_once(self):
+        rng = np.random.default_rng(0)
+        n = 300
+        arrivals = np.sort(rng.uniform(0, 100, n))
+        execs = rng.exponential(2.0, n)
+        result = _simulate(arrivals, execs, execs)
+        assert len(result.outcomes) == n
+        ids = [o.query_id for o in result.outcomes]
+        assert sorted(ids) == list(range(n))
+        for o in result.outcomes:
+            assert np.isfinite(o.finish)
+            assert o.finish >= o.start >= o.arrival
+
+    def test_routing_by_prediction(self):
+        # true exec long, but predicted short -> goes to short queue
+        result = _simulate(
+            [0.0, 0.0],
+            [100.0, 0.5],
+            [1.0, 100.0],
+            sqa_timeout_s=None,
+        )
+        by_id = {o.query_id: o for o in result.outcomes}
+        assert by_id[0].queue == "short"
+        assert by_id[1].queue == "long"
+
+    def test_sjf_in_long_queue(self):
+        """With one long slot, the shortest-predicted waits least."""
+        arrivals = [0.0, 0.01, 0.01]
+        execs = [50.0, 30.0, 10.0]
+        preds = [50.0, 30.0, 10.0]
+        result = _simulate(arrivals, execs, preds, long_slots=1)
+        by_id = {o.query_id: o for o in result.outcomes}
+        # query 0 grabbed the slot; then 2 (pred 10) runs before 1 (pred 30)
+        assert by_id[2].start < by_id[1].start
+
+
+class TestHeadOfLineBlocking:
+    def test_misrouted_long_query_delays_short_queries(self):
+        """The paper's motivating failure: a long query predicted short
+        blocks the short queue."""
+        # one long query misrouted short, then a stream of true short ones
+        arrivals = [0.0] + [0.1 * i for i in range(1, 11)]
+        execs = [500.0] + [0.1] * 10
+        good_preds = [500.0] + [0.1] * 10
+        bad_preds = [0.1] + [0.1] * 10  # the long one mispredicted short
+        good = _simulate(
+            arrivals, execs, good_preds, short_slots=1, long_slots=1, sqa_timeout_s=None
+        )
+        bad = _simulate(
+            arrivals, execs, bad_preds, short_slots=1, long_slots=1, sqa_timeout_s=None
+        )
+        assert bad.mean_latency > good.mean_latency
+
+    def test_sqa_timeout_bounds_blocking(self):
+        arrivals = [0.0] + [0.1 * i for i in range(1, 11)]
+        execs = [500.0] + [0.1] * 10
+        bad_preds = [0.1] + [0.1] * 10
+        unbounded = _simulate(
+            arrivals, execs, bad_preds, short_slots=1, long_slots=1, sqa_timeout_s=None
+        )
+        bounded = _simulate(
+            arrivals, execs, bad_preds, short_slots=1, long_slots=1, sqa_timeout_s=5.0
+        )
+        assert bounded.mean_latency < unbounded.mean_latency
+        demoted = [o for o in bounded.outcomes if o.demoted]
+        assert len(demoted) == 1
+        assert demoted[0].query_id == 0
+        # the demoted query's latency includes its wasted short attempt
+        assert demoted[0].latency >= 500.0 + 5.0
+
+    def test_optimal_not_worse_than_inverted_predictions(self):
+        """Perfect predictions should beat maximally wrong ones."""
+        rng = np.random.default_rng(1)
+        n = 200
+        arrivals = np.sort(rng.uniform(0, 50, n))
+        execs = rng.lognormal(0.0, 2.0, n)
+        optimal = _simulate(arrivals, execs, execs)
+        inverted = _simulate(arrivals, execs, 1.0 / np.maximum(execs, 1e-3))
+        assert optimal.mean_latency <= inverted.mean_latency
+
+
+class TestWorkConservation:
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_no_idle_slot_with_waiting_query(self, seed):
+        """At any instant, a query cannot be waiting while a slot of its
+        queue class is free: equivalently, a query's wait ends exactly
+        when some query of its class finishes (or is zero)."""
+        rng = np.random.default_rng(seed)
+        n = 60
+        arrivals = np.sort(rng.uniform(0, 20, n))
+        execs = rng.exponential(3.0, n)
+        preds = execs * rng.lognormal(0, 0.5, n)
+        result = _simulate(arrivals, execs, preds, sqa_timeout_s=None)
+        finishes = {o.finish for o in result.outcomes}
+        for o in result.outcomes:
+            assert o.wait >= -1e-9
+            if o.wait > 1e-9:
+                # started exactly when another query finished
+                assert any(abs(o.start - f) < 1e-6 for f in finishes)
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_all_latencies_at_least_exec(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 80
+        arrivals = np.sort(rng.uniform(0, 30, n))
+        execs = rng.exponential(1.0, n)
+        preds = np.maximum(execs + rng.normal(0, 1, n), 0.0)
+        result = _simulate(arrivals, execs, preds)
+        for o in result.outcomes:
+            assert o.latency >= o.exec_time - 1e-9
+
+
+class TestAggregates:
+    def test_summary_stats(self):
+        result = SimulationResult(
+            outcomes=[
+                type("O", (), {"latency": float(v), "wait": 0.0})()
+                for v in (1.0, 2.0, 3.0, 4.0, 100.0)
+            ]
+        )
+        # use the real helpers through arrays
+        lat = np.array([o.latency for o in result.outcomes])
+        assert result.mean_latency == pytest.approx(lat.mean())
+        assert result.median_latency == pytest.approx(np.percentile(lat, 50))
+        assert result.tail_latency(90) == pytest.approx(np.percentile(lat, 90))

@@ -1,0 +1,336 @@
+"""Tests for the synthetic workload substrate."""
+
+import numpy as np
+import pytest
+
+from repro.plans import featurize_plan
+from repro.workload import (
+    EXEC_TIME_BUCKETS,
+    FleetConfig,
+    FleetGenerator,
+    InstanceProfile,
+    QueryKind,
+    Table,
+    TrueCostModel,
+    bucket_counts,
+    bucket_of,
+    fleet_exec_times,
+    fleet_unique_daily_fractions,
+)
+from repro.workload.arrival import (
+    adhoc_arrivals,
+    dashboard_arrivals,
+    etl_arrivals,
+    report_arrivals,
+)
+from repro.workload.drift import AnalyzeSchedule, sample_template_start_days
+from repro.workload.instance import HARDWARE_CLASSES
+from repro.workload.plangen import PlanGenerator
+from repro.workload.seeding import derive_seed
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    gen = FleetGenerator(FleetConfig(seed=7, volume_scale=0.15))
+    traces = gen.generate_fleet_traces(12, duration_days=2.0)
+    return gen, traces
+
+
+class TestSeeding:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_order_sensitive(self):
+        assert derive_seed(1, 2) != derive_seed(2, 1)
+
+    def test_no_concat_ambiguity(self):
+        assert derive_seed("ab", "c") != derive_seed("a", "bc")
+
+
+class TestArrivals:
+    def test_dashboard_periodicity(self):
+        rng = np.random.default_rng(0)
+        events = dashboard_arrivals(rng, 0.0, 86400.0, period_s=600.0)
+        assert 100 <= len(events) <= 160  # ~144 expected
+        times = [t for t, _ in events]
+        assert all(0 <= t < 86400 for t in times)
+
+    def test_dashboard_variants_within_pool(self):
+        rng = np.random.default_rng(1)
+        events = dashboard_arrivals(rng, 0.0, 86400.0, 300.0, n_variants=3)
+        assert {v for _, v in events} <= {0, 1, 2}
+
+    def test_dashboard_invalid_period(self):
+        with pytest.raises(ValueError):
+            dashboard_arrivals(np.random.default_rng(0), 0, 1, 0.0)
+
+    def test_report_variant_is_day(self):
+        rng = np.random.default_rng(2)
+        events = report_arrivals(rng, 0.0, 3 * 86400.0, runs_per_day=5.0)
+        for t, v in events:
+            assert v == int(t // 86400)
+
+    def test_adhoc_rerun_produces_repeats(self):
+        rng = np.random.default_rng(3)
+        events = adhoc_arrivals(
+            rng, 0.0, 86400.0, mean_per_day=200, rerun_probability=0.5
+        )
+        variants = [v for _, v in events]
+        assert len(set(variants)) < len(variants)
+
+    def test_adhoc_zero_rerun_all_unique(self):
+        rng = np.random.default_rng(4)
+        events = adhoc_arrivals(
+            rng, 0.0, 86400.0, mean_per_day=100, rerun_probability=0.0
+        )
+        variants = [v for _, v in events]
+        assert len(set(variants)) == len(variants)
+
+    def test_adhoc_invalid_rerun_probability(self):
+        with pytest.raises(ValueError):
+            adhoc_arrivals(np.random.default_rng(0), 0, 1, 10, rerun_probability=2.0)
+
+    def test_etl_runs_at_night(self):
+        rng = np.random.default_rng(5)
+        events = etl_arrivals(rng, 0.0, 2 * 86400.0, runs_per_day=2.0)
+        for t, _ in events:
+            hour = (t % 86400.0) / 3600.0
+            assert hour < 6.0
+
+
+class TestDrift:
+    def test_epochs_monotone(self):
+        rng = np.random.default_rng(0)
+        sched = AnalyzeSchedule(14.0, 3.0, rng)
+        assert sched.n_epochs >= 2
+        epochs = [sched.epoch_at(t * 86400.0) for t in np.linspace(0, 13.9, 50)]
+        assert all(b >= a for a, b in zip(epochs, epochs[1:]))
+
+    def test_epoch_zero_starts_at_day_zero(self):
+        sched = AnalyzeSchedule(10.0, 2.0, np.random.default_rng(1))
+        assert sched.epoch_start_day(0) == 0.0
+        assert sched.epoch_start_day(1) > 0.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            AnalyzeSchedule(10.0, 0.0, np.random.default_rng(0))
+
+    def test_template_start_days(self):
+        rng = np.random.default_rng(2)
+        starts = sample_template_start_days(rng, 200, 10.0, late_fraction=0.3)
+        assert (starts >= 0).all() and (starts <= 10.0).all()
+        late = (starts > 0).mean()
+        assert 0.15 < late < 0.45
+
+    def test_zero_late_fraction(self):
+        starts = sample_template_start_days(
+            np.random.default_rng(3), 50, 10.0, late_fraction=0.0
+        )
+        assert (starts == 0).all()
+
+
+class TestPlanGenerator:
+    def _tables(self):
+        return [
+            Table("dim1", 1e5),
+            Table("dim2", 5e5),
+            Table("fact1", 1e8),
+            Table("fact2", 5e8, s3_format="parquet"),
+        ]
+
+    def test_template_materializes_valid_plan(self):
+        gen = PlanGenerator()
+        rng = np.random.default_rng(0)
+        for kind in QueryKind.ALL:
+            spec = gen.build_template(rng, kind, self._tables())
+            mat = gen.materialize(spec, self._tables(), {i: t.base_rows for i, t in enumerate(self._tables())})
+            assert mat.plan.n_nodes >= 1
+            assert mat.base_work > 0
+            vec = featurize_plan(mat.plan)
+            assert vec.shape == (33,)
+
+    def test_same_spec_same_plan_features(self):
+        gen = PlanGenerator()
+        rng = np.random.default_rng(1)
+        spec = gen.build_template(rng, QueryKind.REPORT, self._tables())
+        stats = {i: t.base_rows for i, t in enumerate(self._tables())}
+        v1 = featurize_plan(gen.materialize(spec, self._tables(), stats).plan)
+        v2 = featurize_plan(gen.materialize(spec, self._tables(), stats).plan)
+        np.testing.assert_array_equal(v1, v2)
+
+    def test_variant_differs_from_base(self):
+        gen = PlanGenerator()
+        rng = np.random.default_rng(2)
+        spec = gen.build_template(rng, QueryKind.ADHOC, self._tables())
+        variant = gen.perturb_variant(np.random.default_rng(3), spec)
+        stats = {i: t.base_rows for i, t in enumerate(self._tables())}
+        v1 = featurize_plan(gen.materialize(spec, self._tables(), stats).plan)
+        v2 = featurize_plan(gen.materialize(variant, self._tables(), stats).plan)
+        assert not np.array_equal(v1, v2)
+
+    def test_stale_stats_change_estimates_not_structure(self):
+        gen = PlanGenerator()
+        rng = np.random.default_rng(4)
+        spec = gen.build_template(rng, QueryKind.REPORT, self._tables())
+        stats_old = {i: t.base_rows for i, t in enumerate(self._tables())}
+        stats_new = {i: r * 2 for i, r in stats_old.items()}
+        m1 = gen.materialize(spec, self._tables(), stats_old)
+        m2 = gen.materialize(spec, self._tables(), stats_new)
+        assert m1.plan.n_nodes == m2.plan.n_nodes
+        assert m1.plan.total_estimated_cost < m2.plan.total_estimated_cost
+
+
+class TestCostModel:
+    def test_exec_time_positive_and_bounded(self):
+        cm = TrueCostModel()
+        rng = np.random.default_rng(0)
+        for work in (0.001, 1.0, 1e4, 1e9):
+            t = cm.exec_time(work, 10.0, 100.0, rng, 0.3)
+            assert 0 < t <= cm.params.max_exec_time
+
+    def test_faster_cluster_faster_queries(self):
+        cm = TrueCostModel()
+        slow = np.median(
+            [cm.exec_time(100.0, 2.0, 100.0, np.random.default_rng(i), 0.2) for i in range(50)]
+        )
+        fast = np.median(
+            [cm.exec_time(100.0, 50.0, 100.0, np.random.default_rng(i), 0.2) for i in range(50)]
+        )
+        assert fast < slow
+
+    def test_repeated_executions_vary(self):
+        cm = TrueCostModel()
+        rng = np.random.default_rng(1)
+        times = [cm.exec_time(10.0, 10.0, 100.0, rng, 0.3) for _ in range(30)]
+        assert np.std(times) > 0
+
+
+class TestBuckets:
+    def test_bucket_of(self):
+        assert bucket_of(1.0) == "0s - 10s"
+        assert bucket_of(30.0) == "10s - 60s"
+        assert bucket_of(90.0) == "60s - 120s"
+        assert bucket_of(200.0) == "120s - 300s"
+        assert bucket_of(1e5) == "300s+"
+
+    def test_bucket_counts_total(self):
+        times = [0.1, 20.0, 70.0, 150.0, 400.0, 5.0]
+        counts = bucket_counts(times)
+        assert sum(counts.values()) == len(times)
+        assert len(counts) == len(EXEC_TIME_BUCKETS)
+
+
+class TestFleet:
+    def test_instance_sampling_deterministic(self, small_fleet):
+        gen, _ = small_fleet
+        a = gen.sample_instance(3)
+        b = gen.sample_instance(3)
+        assert a.instance_id == b.instance_id
+        assert a.latent_speed == b.latent_speed
+        assert [t.base_rows for t in a.tables] == [t.base_rows for t in b.tables]
+
+    def test_instance_fields_valid(self, small_fleet):
+        gen, _ = small_fleet
+        for i in range(8):
+            inst = gen.sample_instance(i)
+            assert inst.hardware.name in HARDWARE_CLASSES
+            assert inst.effective_speed > 0
+            assert 0.999 <= sum(inst.kind_weights.values()) <= 1.001
+
+    def test_traces_time_ordered(self, small_fleet):
+        _, traces = small_fleet
+        for trace in traces:
+            times = [r.arrival_time for r in trace]
+            assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_repeated_queries_share_feature_vectors(self, small_fleet):
+        _, traces = small_fleet
+        shared = 0
+        for trace in traces:
+            by_identity = {}
+            for r in trace:
+                key = r.identity
+                if key in by_identity:
+                    assert by_identity[key] is r.features
+                    shared += 1
+                else:
+                    by_identity[key] = r.features
+        assert shared > 0  # the fleet does contain repeats
+
+    def test_exec_times_positive(self, small_fleet):
+        _, traces = small_fleet
+        et = fleet_exec_times(traces)
+        assert (et > 0).all()
+
+    def test_fleet_has_repetition_structure(self, small_fleet):
+        """Most clusters repeat queries; a minority never do (Fig 1a)."""
+        _, traces = small_fleet
+        fractions = fleet_unique_daily_fractions(traces)
+        assert (fractions >= 0).all() and (fractions <= 1).all()
+        assert fractions.min() < 0.5  # some heavy repeaters exist
+
+    def test_trace_generation_deterministic(self):
+        cfg = FleetConfig(seed=11, volume_scale=0.1)
+        t1 = FleetGenerator(cfg).generate_fleet_traces(2, 1.0)
+        t2 = FleetGenerator(cfg).generate_fleet_traces(2, 1.0)
+        assert [len(a) for a in t1] == [len(b) for b in t2]
+        for a, b in zip(t1, t2):
+            for ra, rb in zip(a, b):
+                assert ra.exec_time == rb.exec_time
+                assert ra.arrival_time == rb.arrival_time
+
+    def test_latency_spans_orders_of_magnitude(self, small_fleet):
+        """Fig 1b: exec times range from milliseconds to minutes+."""
+        _, traces = small_fleet
+        et = fleet_exec_times(traces)
+        assert et.min() < 0.1
+        assert et.max() > 10.0
+
+    def test_kind_mix_matches_weights_roughly(self, small_fleet):
+        _, traces = small_fleet
+        for trace in traces:
+            mix = trace.kind_mix()
+            w = trace.instance.kind_weights
+            if w[QueryKind.DASHBOARD] > 0.5 and len(trace) > 200:
+                assert mix.get(QueryKind.DASHBOARD, 0) > 0.3
+
+
+class TestInstanceProfile:
+    def _profile(self, **kwargs):
+        defaults = dict(
+            instance_id="i",
+            hardware=HARDWARE_CLASSES["ra3.4xlarge"],
+            n_nodes=4,
+            latent_speed=1.0,
+            load_sigma=0.2,
+            tables=[Table("t", 1e6, growth_per_day=0.1)],
+            kind_weights={QueryKind.ADHOC: 1.0},
+            queries_per_day=100.0,
+            seed=0,
+        )
+        defaults.update(kwargs)
+        return InstanceProfile(**defaults)
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            self._profile(kind_weights={QueryKind.ADHOC: 0.5})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown query kind"):
+            self._profile(kind_weights={"mystery": 1.0})
+
+    def test_growth_factor_compounds(self):
+        p = self._profile()
+        assert p.growth_factor(0) == 1.0
+        assert p.growth_factor(1) == pytest.approx(1.1)
+        assert p.growth_factor(2) == pytest.approx(1.21)
+
+    def test_system_features_exclude_latent_speed(self):
+        a = self._profile(latent_speed=0.5)
+        b = self._profile(latent_speed=2.0)
+        np.testing.assert_array_equal(a.system_features(), b.system_features())
+
+    def test_effective_speed_uses_latent(self):
+        a = self._profile(latent_speed=0.5)
+        b = self._profile(latent_speed=2.0)
+        assert b.effective_speed == pytest.approx(4 * a.effective_speed)
