@@ -1,0 +1,120 @@
+"""Perf: fleet-sweep wall clock, sequential vs parallel vs batched.
+
+Replays an 8-instance fleet with full component collection
+(``collect_components=True``) three ways over identical pre-built
+traces:
+
+1. ``per_query`` — the reference path, re-running the local GBM
+   ensemble once per eligible query (how component collection worked
+   before the batched engine);
+2. ``batched`` sequential — reuse the router's own ensemble answers on
+   cache misses, one batched ensemble call per retrain window for hits;
+3. ``batched`` with ``n_jobs=2`` — the process-pool engine (recorded
+   for reference; on a single-core machine it cannot beat 2).
+
+All three must produce bit-identical replay arrays; the batched path
+must be at least 1.5x faster than per-query inference — that speedup is
+algorithmic (fewer ensemble invocations), not parallelism, so it holds
+on any core count.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.core.config import (
+    CacheConfig,
+    LocalModelConfig,
+    StageConfig,
+    TrainingPoolConfig,
+)
+from repro.harness import FleetSweeper
+from repro.workload import FleetConfig, FleetGenerator
+
+
+def assert_replays_identical(a, b):
+    assert a.instance_id == b.instance_id
+    for attr in (
+        "true",
+        "arrival",
+        "kind",
+        "stage_pred",
+        "stage_source",
+        "autowlm_pred",
+        "cache_pred",
+        "local_pred",
+        "local_std",
+        "global_pred",
+        "uncertain",
+    ):
+        x, y = getattr(a, attr), getattr(b, attr)
+        equal_nan = x.dtype.kind == "f"
+        assert np.array_equal(x, y, equal_nan=equal_nan), attr
+    assert a.stage_stats == b.stage_stats
+
+
+N_INSTANCES = 8
+DURATION_DAYS = 2.0
+MIN_SPEEDUP = 1.5
+
+#: paper-sized ensemble (10 members) with a moderate tree budget: the
+#: operating point where per-query duplicate inference hurts most
+PERF_STAGE = StageConfig(
+    cache=CacheConfig(capacity=500),
+    pool=TrainingPoolConfig(max_size=600),
+    local=LocalModelConfig(
+        n_members=10,
+        n_estimators=40,
+        max_depth=3,
+        min_train_size=30,
+        retrain_interval=300,
+    ),
+)
+PERF_FLEET = FleetConfig(seed=7, volume_scale=0.25)
+
+
+def test_batched_component_inference_speedup(results_dir):
+    traces = FleetGenerator(PERF_FLEET).generate_fleet_traces(
+        N_INSTANCES, DURATION_DAYS
+    )
+    n_queries = sum(len(t) for t in traces)
+
+    def sweep(component_inference, n_jobs):
+        sweeper = FleetSweeper(
+            fleet_config=PERF_FLEET,
+            stage_config=PERF_STAGE,
+            collect_components=True,
+            component_inference=component_inference,
+            n_jobs=n_jobs,
+        )
+        t0 = time.perf_counter()
+        replays = sweeper.replay_traces(traces)
+        return time.perf_counter() - t0, replays
+
+    t_per_query, r_per_query = sweep("per_query", 1)
+    t_batched, r_batched = sweep("batched", 1)
+    t_parallel, r_parallel = sweep("batched", 2)
+
+    for a, b, c in zip(r_per_query, r_batched, r_parallel):
+        assert_replays_identical(a, b)
+        assert_replays_identical(a, c)
+
+    speedup = t_per_query / t_batched
+    lines = [
+        f"fleet sweep: {N_INSTANCES} instances, {n_queries} queries, "
+        f"collect_components=True",
+        f"per-query component inference (n_jobs=1): {t_per_query:8.2f} s",
+        f"batched component inference   (n_jobs=1): {t_batched:8.2f} s",
+        f"batched component inference   (n_jobs=2): {t_parallel:8.2f} s",
+        f"batched speedup over per-query: {speedup:.2f}x (floor {MIN_SPEEDUP}x)",
+        "replay arrays bit-identical across all three paths",
+    ]
+    write_result(results_dir, "perf_sweep", "\n".join(lines))
+    print("\n" + "\n".join(lines))
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched component inference only {speedup:.2f}x faster than "
+        f"per-query (expected >= {MIN_SPEEDUP}x)"
+    )

@@ -83,11 +83,25 @@ class ExecTimeCache:
         eviction policy is least-recently-*updated*, not least-recently-
         used).
         """
+        value = self.peek(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def peek(self, key) -> Optional[float]:
+        """Predicted exec-time for ``key`` without touching accounting.
+
+        Identical value to :meth:`lookup`, but neither ``hits`` nor
+        ``misses`` move: use this for instrumentation (component
+        collection, probes, debugging) so that ``hit_rate`` keeps meaning
+        "fraction of *routed* predictions served by the cache" — exactly
+        one counted lookup per query.
+        """
         stats = self._entries.get(key)
         if stats is None:
-            self.misses += 1
             return None
-        self.hits += 1
         if self.mode == "ewma":
             return stats.ewma
         return self.alpha * stats.mean + (1.0 - self.alpha) * stats.last

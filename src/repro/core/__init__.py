@@ -21,7 +21,7 @@ from .metrics import (
 )
 from .autowlm import AutoWLMPredictor
 from .optimal import OptimalPredictor
-from .stage import StagePredictor
+from .stage import RoutedComponents, StagePredictor
 
 __all__ = [
     "Prediction",
@@ -44,5 +44,6 @@ __all__ = [
     "prr_curves",
     "AutoWLMPredictor",
     "OptimalPredictor",
+    "RoutedComponents",
     "StagePredictor",
 ]

@@ -16,6 +16,7 @@ query *missed* the cache (dedup rule) — the local training pool.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.cache import ExecTimeCache
@@ -27,7 +28,34 @@ from repro.workload.query import QueryRecord
 from .config import StageConfig
 from .interfaces import Prediction, PredictionSource, Predictor, RunningMedian
 
-__all__ = ["StagePredictor"]
+__all__ = ["RoutedComponents", "StagePredictor"]
+
+
+@dataclass
+class RoutedComponents:
+    """One routed prediction plus the component answers the router saw.
+
+    Produced by :meth:`StagePredictor.predict_with_components`: exactly
+    the same routing (and the same cache/counter accounting — one counted
+    cache lookup, at most one local-ensemble inference) as
+    :meth:`StagePredictor.predict`, but the intermediate answers are
+    surfaced instead of discarded.  This is what lets the replay harness
+    collect per-component arrays without re-invoking any model.
+    """
+
+    #: the answer Stage actually routed to
+    prediction: Prediction
+    #: the cache's blended value, or ``None`` on a cache miss
+    cache_value: Optional[float]
+    #: the local ensemble's answer where the router consulted it
+    #: (i.e. on every cache miss with a ready local model); ``None``
+    #: on cache hits and before the first local retrain
+    local: Optional[Prediction]
+    #: whether the local model had a trained ensemble at prediction time
+    local_ready: bool
+    #: ``LocalModel.n_retrains`` at prediction time — identifies the
+    #: retrain window a deferred (batched) local inference must target
+    local_generation: int
 
 
 class StagePredictor(Predictor):
@@ -76,36 +104,74 @@ class StagePredictor(Predictor):
 
     # ------------------------------------------------------------------
     def predict(self, record: QueryRecord) -> Prediction:
+        return self.predict_with_components(record).prediction
+
+    def predict_with_components(self, record: QueryRecord) -> RoutedComponents:
+        """Route ``record`` and expose every component answer seen.
+
+        This is the one routing implementation; :meth:`predict` is a
+        thin wrapper over it.  Counter semantics are guaranteed: exactly
+        one counted cache lookup per call, and the local ensemble runs at
+        most once (only on cache misses once it is ready) — component
+        collection must *not* add lookups or inferences on top.
+        """
         cfg = self.config
+        local_ready = self.local.is_ready
+        local_generation = self.local.n_retrains
+
         # stage 1: exec-time cache
         cached = self.cache.lookup(self.cache.key_for(record.features))
         if cached is not None:
             self.source_counts[PredictionSource.CACHE] += 1
-            return Prediction(
-                exec_time=cached, source=PredictionSource.CACHE
+            return RoutedComponents(
+                prediction=Prediction(
+                    exec_time=cached, source=PredictionSource.CACHE
+                ),
+                cache_value=cached,
+                local=None,
+                local_ready=local_ready,
+                local_generation=local_generation,
             )
 
         # stage 2: local model ("short or certain" -> trust it)
         local_pred = None
-        if self.local.is_ready:
+        if local_ready:
             local_pred = self.local.predict(record.features)
             is_short = local_pred.exec_time < cfg.short_circuit_seconds
             is_certain = local_pred.std < cfg.uncertainty_threshold
             if is_short or is_certain or self.global_model is None:
                 self.source_counts[PredictionSource.LOCAL] += 1
-                return local_pred
+                return RoutedComponents(
+                    prediction=local_pred,
+                    cache_value=None,
+                    local=local_pred,
+                    local_ready=True,
+                    local_generation=local_generation,
+                )
 
         # stage 3: global model (local is uncertain or not ready)
         if self.global_model is not None:
             self.source_counts[PredictionSource.GLOBAL] += 1
-            return self.global_model.predict(
-                record.plan, self.instance, n_concurrent=0.0
+            return RoutedComponents(
+                prediction=self.global_model.predict(
+                    record.plan, self.instance, n_concurrent=0.0
+                ),
+                cache_value=None,
+                local=local_pred,
+                local_ready=local_ready,
+                local_generation=local_generation,
             )
 
         # cold start with no global model: running-median default
         self.source_counts[PredictionSource.DEFAULT] += 1
-        return Prediction(
-            exec_time=self._default.value, source=PredictionSource.DEFAULT
+        return RoutedComponents(
+            prediction=Prediction(
+                exec_time=self._default.value, source=PredictionSource.DEFAULT
+            ),
+            cache_value=None,
+            local=None,
+            local_ready=local_ready,
+            local_generation=local_generation,
         )
 
     # ------------------------------------------------------------------

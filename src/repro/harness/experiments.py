@@ -1,10 +1,16 @@
-"""One runner per paper table/figure (the per-experiment index lives in
-DESIGN.md section 4).
+"""One runner per paper table/figure.
+
+Each benchmark under ``benchmarks/`` exercises one runner and writes its
+rendered output to ``results/`` — those two directories are the
+per-experiment index.
 
 The heart is :func:`run_sweep`: train a global model on a training fleet,
 then replay every evaluation instance through Stage and AutoWLM.  All
 accuracy tables, the WLM end-to-end comparison and the PRR analysis are
 pure post-processing over the sweep's :class:`InstanceReplay` arrays.
+Replays fan out over a process pool when ``n_jobs > 1`` (see
+:class:`~repro.harness.parallel.FleetSweeper`); results are bit-identical
+to the sequential path for any ``n_jobs``.
 
 Run everything and print paper-style tables with::
 
@@ -42,7 +48,8 @@ from repro.workload.trace import (
     fleet_unique_daily_fractions,
 )
 
-from .replay import InstanceReplay, replay_instance
+from .parallel import FleetSweeper
+from .replay import InstanceReplay
 from .reporting import improvement, render_comparison_table, render_simple_table
 
 __all__ = [
@@ -77,6 +84,15 @@ class SweepConfig:
         )
     )
     use_global: bool = True
+    #: record every component's answer on every query (ablation tables)
+    collect_components: bool = True
+    #: how component-mode local answers are obtained ("batched" reuses
+    #: the router + one ensemble call per retrain window; "per_query" is
+    #: the bit-identical reference path)
+    component_inference: str = "batched"
+    #: worker processes for trace generation and replay;
+    #: 1 = sequential/inline, ``<=0`` = all cores
+    n_jobs: int = 1
 
 
 @dataclass
@@ -100,9 +116,19 @@ class SweepResult:
         )
 
 
-def run_sweep(config: SweepConfig | None = None, verbose: bool = False) -> SweepResult:
-    """Train the global model, then replay the evaluation fleet."""
+def run_sweep(
+    config: SweepConfig | None = None,
+    verbose: bool = False,
+    n_jobs: int | None = None,
+) -> SweepResult:
+    """Train the global model, then replay the evaluation fleet.
+
+    ``n_jobs`` overrides ``config.n_jobs`` when given; any value yields
+    arrays bit-identical to the sequential (``n_jobs=1``) path.
+    """
     config = config or SweepConfig()
+    if n_jobs is None:
+        n_jobs = config.n_jobs
     fleet_cfg = FleetConfig(seed=config.seed, volume_scale=config.volume_scale)
     gen = FleetGenerator(fleet_cfg)
 
@@ -115,6 +141,7 @@ def run_sweep(config: SweepConfig | None = None, verbose: bool = False) -> Sweep
             config.n_train_instances,
             config.duration_days,
             start_index=10_000,
+            n_jobs=n_jobs,
         )
         t0 = time.time()
         global_model = GlobalModelTrainer(config.global_model).train(train_traces)
@@ -123,26 +150,26 @@ def run_sweep(config: SweepConfig | None = None, verbose: bool = False) -> Sweep
             n = sum(len(t) for t in train_traces)
             print(f"global model trained on {n} queries in {train_seconds:.1f}s")
 
-    replays = []
+    sweeper = FleetSweeper(
+        fleet_config=fleet_cfg,
+        stage_config=config.stage,
+        global_model=global_model,
+        random_state=config.seed,
+        collect_components=config.collect_components,
+        component_inference=config.component_inference,
+        n_jobs=n_jobs,
+    )
     t0 = time.time()
-    for i in range(config.n_eval_instances):
-        trace = gen.generate_trace(
-            gen.sample_instance(i), config.duration_days
-        )
-        replays.append(
-            replay_instance(
-                trace,
-                global_model=global_model,
-                config=config.stage,
-                random_state=config.seed,
-            )
-        )
-        if verbose:
-            print(
-                f"replayed {trace.instance.instance_id}: {len(trace)} queries, "
-                f"hit rate {replays[-1].stage_stats['cache_hit_rate']:.2f}"
-            )
+    replays = sweeper.replay_indices(
+        range(config.n_eval_instances), config.duration_days
+    )
     replay_seconds = time.time() - t0
+    if verbose:
+        for replay in replays:
+            print(
+                f"replayed {replay.instance_id}: {len(replay)} queries, "
+                f"hit rate {replay.stage_stats['cache_hit_rate']:.2f}"
+            )
     return SweepResult(
         config=config,
         replays=replays,

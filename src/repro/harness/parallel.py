@@ -1,0 +1,134 @@
+"""Parallel fleet-sweep engine: replay many instances across processes.
+
+The paper's evaluation (Section 5) replays whole fleets through Stage;
+each instance's replay is embarrassingly parallel because every random
+stream is derived deterministically from ``(fleet seed, instance index)``
+— never from execution order or shared state.  A worker that generates
+and replays instance ``i`` therefore produces **bit-identical** arrays
+whether it runs inline, in another process, or in any order relative to
+its siblings.  ``n_jobs=1`` runs inline (no pool, no pickling), which is
+both the fast path on one core and the reference the parity tests
+compare against.
+
+Workers are module-level functions so they pickle by reference under any
+multiprocessing start method (fork, forkserver, spawn).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.config import StageConfig
+from repro.global_model.model import GlobalModel
+from repro.parallelism import resolve_n_jobs
+from repro.workload.fleet import FleetConfig, FleetGenerator
+from repro.workload.trace import Trace
+
+from .replay import InstanceReplay, replay_instance
+
+__all__ = ["FleetSweeper", "resolve_n_jobs"]
+
+
+# ---------------------------------------------------------------------------
+# picklable worker payloads + entrypoints
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ReplaySettings:
+    """Everything a worker needs besides the instance itself."""
+
+    stage_config: Optional[StageConfig]
+    global_model: Optional[GlobalModel]
+    random_state: int
+    collect_components: bool
+    component_inference: str
+
+
+def _replay_trace(trace: Trace, settings: _ReplaySettings) -> InstanceReplay:
+    return replay_instance(
+        trace,
+        global_model=settings.global_model,
+        config=settings.stage_config,
+        random_state=settings.random_state,
+        collect_components=settings.collect_components,
+        component_inference=settings.component_inference,
+    )
+
+
+def _replay_index_worker(args) -> InstanceReplay:
+    """Generate instance ``index``'s trace and replay it (one task)."""
+    fleet_config, duration_days, index, settings = args
+    gen = FleetGenerator(fleet_config)
+    trace = gen.generate_trace(gen.sample_instance(index), duration_days)
+    return _replay_trace(trace, settings)
+
+
+def _replay_trace_worker(args) -> InstanceReplay:
+    """Replay one pre-built trace (one task)."""
+    trace, settings = args
+    return _replay_trace(trace, settings)
+
+
+# ---------------------------------------------------------------------------
+# the sweeper
+# ---------------------------------------------------------------------------
+@dataclass
+class FleetSweeper:
+    """Fans instance replays out over a process pool.
+
+    Parameters mirror :func:`~repro.harness.replay.replay_instance`; the
+    sweeper adds fan-out (``n_jobs``) and the choice of feeding it
+    instance *indices* (workers generate their own traces — nothing but
+    the config and the replay arrays cross process boundaries) or
+    pre-built :class:`Trace` objects (pay the trace pickling, but time
+    replay in isolation).
+    """
+
+    fleet_config: FleetConfig = field(default_factory=FleetConfig)
+    stage_config: Optional[StageConfig] = None
+    global_model: Optional[GlobalModel] = None
+    random_state: int = 0
+    collect_components: bool = True
+    component_inference: str = "batched"
+    #: worker processes; 1 = inline (no pool), ``<=0`` = all cores
+    n_jobs: int = 1
+
+    # ------------------------------------------------------------------
+    def _settings(self) -> _ReplaySettings:
+        return _ReplaySettings(
+            stage_config=self.stage_config,
+            global_model=self.global_model,
+            random_state=self.random_state,
+            collect_components=self.collect_components,
+            component_inference=self.component_inference,
+        )
+
+    def _map(self, worker, tasks: Sequence) -> List[InstanceReplay]:
+        n_jobs = resolve_n_jobs(self.n_jobs, len(tasks))
+        if n_jobs == 1 or len(tasks) <= 1:
+            return [worker(task) for task in tasks]
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            return list(pool.map(worker, tasks))
+
+    # ------------------------------------------------------------------
+    def replay_indices(
+        self, indices: Iterable[int], duration_days: float
+    ) -> List[InstanceReplay]:
+        """Generate and replay instances ``indices``, in index order.
+
+        Each worker samples its instance and unrolls its trace itself,
+        so results are independent of how work is distributed.
+        """
+        settings = self._settings()
+        tasks = [
+            (self.fleet_config, duration_days, int(index), settings)
+            for index in indices
+        ]
+        return self._map(_replay_index_worker, tasks)
+
+    def replay_traces(self, traces: Sequence[Trace]) -> List[InstanceReplay]:
+        """Replay pre-built traces, preserving their order."""
+        settings = self._settings()
+        tasks = [(trace, settings) for trace in traces]
+        return self._map(_replay_trace_worker, tasks)

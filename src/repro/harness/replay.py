@@ -1,10 +1,26 @@
-"""Sequential replay evaluation, exactly as deployed (paper Section 5.1).
+"""Replay evaluation, exactly as deployed (paper Section 5.1).
 
 Queries are replayed in arrival order: each predictor predicts *before*
 seeing the outcome, then observes it.  Besides the Stage and AutoWLM
 predictions, the replay records every component's answer on every query
 (cache hit value, local mean/uncertainty, global estimate), which is what
 the ablation tables (paper Tables 3-6) slice on afterwards.
+
+Component collection never perturbs the predictors it is measuring:
+
+- the cache answer is the router's own (single, counted) lookup, so
+  ``hits + misses`` equals exactly one lookup per query whether or not
+  components are collected;
+- the local ensemble's answer is reused from the router wherever the
+  router consulted it (every cache miss with a ready local model);
+- for queries the router never routed locally (cache hits), inference is
+  deferred and served by **one batched ensemble call per retrain
+  window** (the ensemble is frozen between retrains, so deferral changes
+  no arithmetic — results are bit-identical to per-query calls).
+
+``component_inference="per_query"`` keeps the reference per-query
+implementation (one extra ensemble inference per eligible query) for
+parity tests and for benchmarking the cost of the batched path.
 """
 
 from __future__ import annotations
@@ -21,7 +37,7 @@ from repro.core.stage import StagePredictor
 from repro.global_model.model import GlobalModel
 from repro.workload.trace import Trace
 
-__all__ = ["InstanceReplay", "replay_instance"]
+__all__ = ["COMPONENT_INFERENCE_MODES", "InstanceReplay", "replay_instance"]
 
 
 @dataclass
@@ -66,20 +82,35 @@ class InstanceReplay:
         return ~np.isnan(self.global_pred)
 
 
+#: valid ``component_inference`` modes for :func:`replay_instance`
+COMPONENT_INFERENCE_MODES = ("batched", "per_query")
+
+
 def replay_instance(
     trace: Trace,
     global_model: Optional[GlobalModel] = None,
     config: StageConfig | None = None,
     random_state: int = 0,
     collect_components: bool = True,
+    component_inference: str = "batched",
 ) -> InstanceReplay:
     """Replay one instance's trace through Stage and AutoWLM.
 
     When ``collect_components`` is set, the local and global models are
-    additionally queried on *every* eligible query (not only when the
+    additionally recorded on *every* eligible query (not only when the
     router would have consulted them), so ablations can compare the
     components on identical query sets.
+
+    ``component_inference`` selects how the extra local answers are
+    obtained: ``"batched"`` (default) reuses the router's own inference
+    on cache misses and serves cache hits with one batched ensemble call
+    per retrain window; ``"per_query"`` is the bit-identical reference
+    path that re-runs the ensemble per eligible query.
     """
+    if component_inference not in COMPONENT_INFERENCE_MODES:
+        raise ValueError(
+            f"component_inference must be one of {COMPONENT_INFERENCE_MODES}"
+        )
     config = config or StageConfig()
     stage = StagePredictor(
         trace.instance,
@@ -104,12 +135,42 @@ def replay_instance(
     global_pred = np.full(n, np.nan)
     uncertain = np.zeros(n, dtype=bool)
 
+    def _is_uncertain(lp) -> bool:
+        return (
+            lp.exec_time >= config.short_circuit_seconds
+            and lp.std >= config.uncertainty_threshold
+        )
+
+    # Deferred local inference for the current retrain window: the
+    # ensemble only changes at a retrain and the window id never
+    # decreases over the replay, so at most one window is pending at a
+    # time.  It is answered by its frozen snapshot in one batched call
+    # when the next window opens (or after the loop), which also bounds
+    # how many stale ensembles stay alive to one.
+    pending_frozen = None
+    pending_indices: List[int] = []
+    pending_features: list = []
+
+    def _flush_pending():
+        nonlocal pending_frozen
+        if pending_frozen is None:
+            return
+        batch = pending_frozen.predict_batch(np.vstack(pending_features))
+        for idx, lp in zip(pending_indices, batch):
+            local_pred[idx] = lp.exec_time
+            local_std[idx] = lp.std
+            uncertain[idx] = _is_uncertain(lp)
+        pending_frozen = None
+        pending_indices.clear()
+        pending_features.clear()
+
     for i, record in enumerate(trace):
         true[i] = record.exec_time
         arrival[i] = record.arrival_time
         kind[i] = record.kind
 
-        sp = stage.predict(record)
+        routed = stage.predict_with_components(record)
+        sp = routed.prediction
         stage_pred[i] = sp.exec_time
         stage_source[i] = sp.source
 
@@ -117,22 +178,48 @@ def replay_instance(
         autowlm_pred[i] = ap.exec_time
 
         if collect_components:
-            cached = stage.cache.lookup(stage.cache.key_for(record.features))
-            if cached is not None:
-                cache_pred[i] = cached
-            if stage.local.is_ready:
-                lp = stage.local.predict(record.features)
-                local_pred[i] = lp.exec_time
-                local_std[i] = lp.std
-                uncertain[i] = (
-                    lp.exec_time >= config.short_circuit_seconds
-                    and lp.std >= config.uncertainty_threshold
-                )
+            if component_inference == "per_query":
+                # Reference path: probe the cache again — via the
+                # non-mutating peek, so the router's lookup stays the
+                # only counted one — and re-run the ensemble on every
+                # local-ready query.
+                cached = stage.cache.peek(stage.cache.key_for(record.features))
+                if cached is not None:
+                    cache_pred[i] = cached
+                if stage.local.is_ready:
+                    lp = stage.local.predict(record.features)
+                    local_pred[i] = lp.exec_time
+                    local_std[i] = lp.std
+                    uncertain[i] = _is_uncertain(lp)
+            else:
+                if routed.cache_value is not None:
+                    cache_pred[i] = routed.cache_value
+                if routed.local is not None:
+                    lp = routed.local
+                    local_pred[i] = lp.exec_time
+                    local_std[i] = lp.std
+                    uncertain[i] = _is_uncertain(lp)
+                elif routed.local_ready:
+                    # Cache hit with a ready local model: the router
+                    # never consulted the ensemble — defer to the
+                    # window batch.
+                    if (
+                        pending_frozen is not None
+                        and pending_frozen.generation
+                        != routed.local_generation
+                    ):
+                        _flush_pending()
+                    if pending_frozen is None:
+                        pending_frozen = stage.local.frozen()
+                    pending_indices.append(i)
+                    pending_features.append(record.features)
         elif sp.source == PredictionSource.CACHE:
             cache_pred[i] = sp.exec_time
 
         stage.observe(record)
         autowlm.observe(record)
+
+    _flush_pending()
 
     if collect_components and global_model is not None:
         # The global model is trained offline and frozen during replay, so
@@ -159,6 +246,8 @@ def replay_instance(
         uncertain=uncertain,
         stage_stats={
             "cache_hit_rate": stage.cache.hit_rate,
+            "cache_hits": stage.cache.hits,
+            "cache_misses": stage.cache.misses,
             "source_counts": dict(stage.source_counts),
             "global_use_fraction": stage.global_use_fraction,
             "n_local_retrains": stage.local.n_retrains,

@@ -1,6 +1,6 @@
 """Instance-optimized local model: training pool + Bayesian GBM ensemble."""
 
 from .training_pool import TrainingPool
-from .model import LocalModel
+from .model import FrozenLocalModel, LocalModel
 
-__all__ = ["TrainingPool", "LocalModel"]
+__all__ = ["TrainingPool", "FrozenLocalModel", "LocalModel"]

@@ -9,7 +9,7 @@ Stage router needs to decide when to escalate to the global model.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -20,7 +20,52 @@ from repro.ml.preprocessing import LogTargetTransform
 
 from .training_pool import TrainingPool
 
-__all__ = ["LocalModel"]
+__all__ = ["FrozenLocalModel", "LocalModel"]
+
+
+class FrozenLocalModel:
+    """Read-only view of one trained ensemble (one retrain window).
+
+    Between two retrains the ensemble is immutable, so predictions for
+    any query that arrived inside that window can be deferred and served
+    later in a single batched call — even after the live
+    :class:`LocalModel` has retrained and replaced its ensemble.  The
+    replay harness uses this to turn per-query component collection into
+    one ensemble invocation per retrain window.
+    """
+
+    def __init__(
+        self,
+        ensemble: BayesianGBMEnsemble,
+        transform: LogTargetTransform,
+        generation: int,
+    ):
+        self.ensemble = ensemble
+        self.transform = transform
+        #: the ``n_retrains`` value this snapshot was taken at
+        self.generation = generation
+
+    def predict_batch(self, X: np.ndarray) -> List[Prediction]:
+        """Predict a batch of feature rows in one ensemble call.
+
+        Row ``i`` of the result is bit-identical to
+        ``LocalModel.predict(X[i])`` against the same ensemble: member
+        trees predict each row independently and the ensemble moments are
+        per-column reductions, so batching changes no arithmetic.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        out = self.ensemble.predict(X)
+        exec_times = self.transform.inverse(out.mean)
+        return [
+            Prediction(
+                exec_time=float(exec_times[i]),
+                variance=float(out.total_uncertainty[i]),
+                source=PredictionSource.LOCAL,
+                model_uncertainty=float(out.model_uncertainty[i]),
+                data_uncertainty=float(out.data_uncertainty[i]),
+            )
+            for i in range(X.shape[0])
+        ]
 
 
 class LocalModel:
@@ -96,6 +141,27 @@ class LocalModel:
             model_uncertainty=float(out.model_uncertainty[0]),
             data_uncertainty=float(out.data_uncertainty[0]),
         )
+
+    def predict_batch(self, X: np.ndarray) -> List[Prediction]:
+        """Batched :meth:`predict`: one ensemble call for many rows.
+
+        Raises ``RuntimeError`` before the first retrain, like
+        :meth:`predict`.
+        """
+        frozen = self.frozen()
+        if frozen is None:
+            raise RuntimeError("local model has no trained ensemble yet")
+        return frozen.predict_batch(X)
+
+    def frozen(self) -> Optional[FrozenLocalModel]:
+        """Snapshot of the current ensemble, or ``None`` if not ready.
+
+        The snapshot stays valid (and keeps answering from the same
+        ensemble) across later retrains of this model.
+        """
+        if self._ensemble is None:
+            return None
+        return FrozenLocalModel(self._ensemble, self.transform, self.n_retrains)
 
     def byte_size(self) -> int:
         if self._ensemble is None:

@@ -86,7 +86,17 @@ class BayesianGBMEnsemble:
         return self
 
     def predict(self, X):
-        """Return an :class:`EnsemblePrediction` for ``X``."""
+        """Return an :class:`EnsemblePrediction` for ``X``.
+
+        The ensemble moments are accumulated member by member rather
+        than via ``ndarray.mean(axis=0)``: numpy's axis reductions pick
+        different summation orders for different shapes (pairwise for a
+        single column, sequential otherwise), which would make batched
+        predictions differ from per-row predictions in the last ulp.
+        Member-order accumulation is batch-size-invariant, so a row
+        predicted in any batch is bit-identical to predicting it alone —
+        the replay harness depends on this to defer and batch inference.
+        """
         if self.members_ is None:
             raise RuntimeError("ensemble is not fitted")
         X = np.asarray(X, dtype=np.float64)
@@ -96,9 +106,17 @@ class BayesianGBMEnsemble:
             mu, sigma2 = model.predict_dist(X)
             mus[k] = mu
             sigma2s[k] = sigma2
-        mean = mus.mean(axis=0)
-        model_unc = ((mean[None, :] - mus) ** 2).mean(axis=0)
-        data_unc = sigma2s.mean(axis=0)
+        mean = np.zeros(X.shape[0])
+        data_unc = np.zeros(X.shape[0])
+        for k in range(self.n_members):
+            mean += mus[k]
+            data_unc += sigma2s[k]
+        mean /= self.n_members
+        data_unc /= self.n_members
+        model_unc = np.zeros(X.shape[0])
+        for k in range(self.n_members):
+            model_unc += (mean - mus[k]) ** 2
+        model_unc /= self.n_members
         return EnsemblePrediction(
             mean=mean,
             model_uncertainty=model_unc,

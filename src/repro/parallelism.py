@@ -1,0 +1,21 @@
+"""Shared process-pool conventions for every parallel knob in the repo.
+
+One rule, used by the fleet generator and the sweep engine alike:
+``n_jobs=1`` means inline (no pool, no pickling), ``None`` or any
+non-positive value means "all cores", and the worker count never
+exceeds the number of tasks.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["resolve_n_jobs"]
+
+
+def resolve_n_jobs(n_jobs: Optional[int], n_tasks: int) -> int:
+    """Effective worker count: ``None``/``<=0`` means "all cores"."""
+    if n_jobs is None or n_jobs <= 0:
+        n_jobs = os.cpu_count() or 1
+    return max(1, min(n_jobs, n_tasks))

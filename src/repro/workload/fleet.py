@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.parallelism import resolve_n_jobs
 from repro.plans import featurize_plan
 
 from .arrival import (
@@ -76,6 +77,13 @@ def _stochastic_round(rng: np.random.Generator, x: float) -> int:
     """Round so the expectation is preserved (0.3 -> 0 or 1, E=0.3)."""
     base = int(np.floor(x))
     return base + (1 if rng.random() < (x - base) else 0)
+
+
+def _generate_trace_worker(args) -> "Trace":
+    """Process-pool entrypoint: unroll one instance by index."""
+    config, index, duration_days = args
+    gen = FleetGenerator(config)
+    return gen.generate_trace(gen.sample_instance(index), duration_days)
 
 
 @dataclass
@@ -355,7 +363,6 @@ class FleetGenerator:
             epoch = schedule.epoch_at(t)
             stat_rows = stat_rows_by_epoch.get(epoch)
             if stat_rows is None:
-                g = instance.growth_factor(schedule.epoch_start_day(epoch))
                 stat_rows = {
                     i: tab.base_rows * ((1.0 + tab.growth_per_day) ** schedule.epoch_start_day(epoch))
                     for i, tab in enumerate(instance.tables)
@@ -393,9 +400,28 @@ class FleetGenerator:
         )
 
     def generate_fleet_traces(
-        self, n_instances: int, duration_days: float, start_index: int = 0
+        self,
+        n_instances: int,
+        duration_days: float,
+        start_index: int = 0,
+        n_jobs: int = 1,
     ) -> List[Trace]:
-        return [
-            self.generate_trace(self.sample_instance(start_index + i), duration_days)
-            for i in range(n_instances)
-        ]
+        """Traces for instances ``start_index .. start_index+n-1``.
+
+        With ``n_jobs != 1`` the instances are unrolled in a process
+        pool (``<=0`` means all cores).  Every instance's randomness is
+        derived from ``(config seed, instance index)`` alone, so the
+        traces are identical for any ``n_jobs``.
+        """
+        indices = range(start_index, start_index + n_instances)
+        n_jobs = resolve_n_jobs(n_jobs, n_instances)
+        if n_jobs == 1 or n_instances <= 1:
+            return [
+                self.generate_trace(self.sample_instance(i), duration_days)
+                for i in indices
+            ]
+        from concurrent.futures import ProcessPoolExecutor
+
+        tasks = [(self.config, i, duration_days) for i in indices]
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            return list(pool.map(_generate_trace_worker, tasks))

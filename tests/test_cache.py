@@ -180,6 +180,36 @@ class TestEWMAMode:
         assert stats.ewma == pytest.approx(3.0)
 
 
+class TestPeek:
+    def test_peek_matches_lookup_value(self):
+        cache = ExecTimeCache(capacity=4, alpha=0.8)
+        cache.observe("a", 1.0)
+        cache.observe("a", 3.0)
+        assert cache.peek("a") == pytest.approx(cache.lookup("a"))
+
+    def test_peek_does_not_touch_counters(self):
+        cache = ExecTimeCache(capacity=4)
+        cache.observe("a", 1.0)
+        assert cache.peek("a") is not None
+        assert cache.peek("missing") is None
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.hit_rate == 0.0
+
+    def test_peek_does_not_change_eviction_order(self):
+        cache = ExecTimeCache(capacity=2)
+        cache.observe("a", 1.0)
+        cache.observe("b", 2.0)
+        cache.peek("a")  # must NOT refresh "a"
+        cache.observe("c", 3.0)  # evicts least-recently-updated: "a"
+        assert "a" not in cache and "b" in cache and "c" in cache
+
+    def test_peek_respects_ewma_mode(self):
+        cache = ExecTimeCache(capacity=4, mode="ewma", ewma_decay=0.5)
+        cache.observe("a", 2.0)
+        cache.observe("a", 4.0)
+        assert cache.peek("a") == pytest.approx(3.0)
+
+
 class TestCacheAccounting:
     def test_hit_rate(self):
         cache = ExecTimeCache(capacity=4)

@@ -91,6 +91,43 @@ class TestPrediction:
         assert model.byte_size() > 0
         assert LocalModel(_fast_config()).byte_size() == 0
 
+    def test_predict_batch_rowwise_equals_predict(self, trained):
+        """One batched ensemble call must be bit-identical, row by row,
+        to looping :meth:`predict` — the replay harness relies on this
+        to defer component inference without changing any array."""
+        model, X, _ = trained
+        batch = model.predict_batch(X[:50])
+        assert len(batch) == 50
+        for i, bp in enumerate(batch):
+            lp = model.predict(X[i])
+            assert bp.exec_time == lp.exec_time
+            assert bp.variance == lp.variance
+            assert bp.model_uncertainty == lp.model_uncertainty
+            assert bp.data_uncertainty == lp.data_uncertainty
+            assert bp.source == PredictionSource.LOCAL
+
+    def test_predict_batch_requires_trained_model(self):
+        model = LocalModel(_fast_config())
+        with pytest.raises(RuntimeError):
+            model.predict_batch(np.zeros((2, 6)))
+        assert model.frozen() is None
+
+    def test_frozen_snapshot_survives_retrain(self):
+        """A frozen snapshot keeps answering from its own ensemble even
+        after the live model retrains (per-retrain-window batching)."""
+        model = LocalModel(_fast_config(), random_state=3)
+        X, y = _make_examples(60, seed=2)
+        for i in range(60):
+            model.add_example(X[i], y[i])
+        frozen = model.frozen()
+        assert frozen is not None and frozen.generation == model.n_retrains
+        before = frozen.predict_batch(X[:5])
+        model.retrain()
+        assert model.n_retrains == frozen.generation + 1
+        after = frozen.predict_batch(X[:5])
+        for a, b in zip(before, after):
+            assert a.exec_time == b.exec_time and a.variance == b.variance
+
     def test_uncertainty_higher_off_distribution(self, trained):
         """Novel feature regions should carry higher total uncertainty on
         average than the densest training region."""

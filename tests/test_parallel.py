@@ -1,0 +1,183 @@
+"""Tests for the parallel fleet-sweep engine and component-inference modes.
+
+The engine's contract is bit-identical results: any ``n_jobs`` and
+either ``component_inference`` mode must reproduce the sequential
+per-query arrays exactly, and component collection must never perturb
+the predictors' accounting (exactly one counted cache lookup per query).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GlobalModelConfig, fast_profile
+from repro.harness import (
+    FleetSweeper,
+    SweepConfig,
+    replay_instance,
+    resolve_n_jobs,
+    run_sweep,
+)
+from repro.workload import FleetConfig, FleetGenerator
+
+#: every per-query array an InstanceReplay carries
+ARRAY_ATTRS = (
+    "true",
+    "arrival",
+    "kind",
+    "stage_pred",
+    "stage_source",
+    "autowlm_pred",
+    "cache_pred",
+    "local_pred",
+    "local_std",
+    "global_pred",
+    "uncertain",
+)
+
+
+def assert_replays_identical(a, b):
+    assert a.instance_id == b.instance_id
+    for attr in ARRAY_ATTRS:
+        x, y = getattr(a, attr), getattr(b, attr)
+        if x.dtype.kind == "f":
+            assert np.array_equal(x, y, equal_nan=True), attr
+        else:
+            assert np.array_equal(x, y), attr
+    assert a.stage_stats == b.stage_stats
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    gen = FleetGenerator(FleetConfig(seed=9, volume_scale=0.12))
+    return gen.generate_trace(gen.sample_instance(0), 1.0)
+
+
+class TestResolveNJobs:
+    def test_one_means_one(self):
+        assert resolve_n_jobs(1, 100) == 1
+
+    def test_capped_by_tasks(self):
+        assert resolve_n_jobs(8, 3) == 3
+
+    def test_nonpositive_means_all_cores(self):
+        import os
+
+        cores = os.cpu_count() or 1
+        assert resolve_n_jobs(0, 1000) == min(cores, 1000)
+        assert resolve_n_jobs(None, 1000) == min(cores, 1000)
+
+    def test_never_below_one(self):
+        assert resolve_n_jobs(4, 0) == 1
+
+
+class TestComponentModes:
+    def test_batched_matches_per_query(self, small_trace):
+        cfg = fast_profile()
+        batched = replay_instance(small_trace, config=cfg)
+        per_query = replay_instance(
+            small_trace, config=cfg, component_inference="per_query"
+        )
+        assert_replays_identical(batched, per_query)
+
+    def test_unknown_mode_rejected(self, small_trace):
+        with pytest.raises(ValueError):
+            replay_instance(small_trace, component_inference="loop")
+
+    def test_one_counted_lookup_per_query(self, small_trace):
+        """Regression for the stat double-count bug: ``hits + misses``
+        equals exactly one lookup per query regardless of component
+        collection, and the stage stats are identical with and without
+        it (in both inference modes)."""
+        cfg = fast_profile()
+        results = {
+            "off": replay_instance(
+                small_trace, config=cfg, collect_components=False
+            ),
+            "batched": replay_instance(small_trace, config=cfg),
+            "per_query": replay_instance(
+                small_trace, config=cfg, component_inference="per_query"
+            ),
+        }
+        n = len(small_trace)
+        for name, replay in results.items():
+            stats = replay.stage_stats
+            assert stats["cache_hits"] + stats["cache_misses"] == n, name
+        assert (
+            results["off"].stage_stats
+            == results["batched"].stage_stats
+            == results["per_query"].stage_stats
+        )
+
+    def test_routed_arrays_unaffected_by_collection(self, small_trace):
+        cfg = fast_profile()
+        with_components = replay_instance(small_trace, config=cfg)
+        without = replay_instance(
+            small_trace, config=cfg, collect_components=False
+        )
+        for attr in ("stage_pred", "stage_source", "autowlm_pred"):
+            assert np.array_equal(
+                getattr(with_components, attr), getattr(without, attr)
+            )
+
+
+class TestFleetSweeper:
+    def test_indices_and_traces_agree(self, small_trace):
+        fleet_cfg = FleetConfig(seed=9, volume_scale=0.12)
+        sweeper = FleetSweeper(
+            fleet_config=fleet_cfg, stage_config=fast_profile()
+        )
+        by_index = sweeper.replay_indices([0], 1.0)
+        by_trace = sweeper.replay_traces([small_trace])
+        assert_replays_identical(by_index[0], by_trace[0])
+
+    def test_parallel_traces_match_sequential(self):
+        fleet_cfg = FleetConfig(seed=21, volume_scale=0.1)
+        kwargs = dict(fleet_config=fleet_cfg, stage_config=fast_profile())
+        seq = FleetSweeper(n_jobs=1, **kwargs).replay_indices(range(3), 1.0)
+        par = FleetSweeper(n_jobs=2, **kwargs).replay_indices(range(3), 1.0)
+        assert len(seq) == len(par) == 3
+        for a, b in zip(seq, par):
+            assert_replays_identical(a, b)
+
+
+class TestParallelFleetGeneration:
+    def test_generate_fleet_traces_n_jobs_parity(self):
+        gen = FleetGenerator(FleetConfig(seed=4, volume_scale=0.1))
+        seq = gen.generate_fleet_traces(3, 1.0, n_jobs=1)
+        par = gen.generate_fleet_traces(3, 1.0, n_jobs=2)
+        assert [t.instance.instance_id for t in seq] == [
+            t.instance.instance_id for t in par
+        ]
+        for a, b in zip(seq, par):
+            assert len(a) == len(b)
+            np.testing.assert_array_equal(
+                [r.exec_time for r in a], [r.exec_time for r in b]
+            )
+            np.testing.assert_array_equal(
+                np.vstack([r.features for r in a]),
+                np.vstack([r.features for r in b]),
+            )
+
+
+class TestSweepParity:
+    def test_run_sweep_n_jobs_2_matches_sequential(self):
+        """A 3-instance sweep (with a trained global model) is array-for-
+        array identical under ``n_jobs=2`` and ``n_jobs=1``."""
+        cfg = SweepConfig(
+            seed=5,
+            n_eval_instances=3,
+            n_train_instances=2,
+            duration_days=1.0,
+            volume_scale=0.12,
+            global_model=GlobalModelConfig(
+                hidden_dim=16,
+                n_conv_layers=2,
+                epochs=4,
+                max_queries_per_instance=80,
+            ),
+        )
+        seq = run_sweep(cfg, n_jobs=1)
+        par = run_sweep(cfg, n_jobs=2)
+        assert len(seq.replays) == len(par.replays) == 3
+        for a, b in zip(seq.replays, par.replays):
+            assert_replays_identical(a, b)

@@ -100,6 +100,51 @@ class TestRouting:
         assert stage.local.pool.skipped_duplicates >= 1
 
 
+class TestPredictWithComponents:
+    def test_cache_hit_exposes_value_without_local_call(self, trace):
+        stage = _fast_stage(trace)
+        first = trace[0]
+        stage.observe(first)
+        routed = stage.predict_with_components(first)
+        assert routed.prediction.source == PredictionSource.CACHE
+        assert routed.cache_value == pytest.approx(routed.prediction.exec_time)
+        assert routed.local is None
+
+    def test_miss_reuses_router_local_answer(self, trace):
+        stage = _fast_stage(trace)
+        records = list(trace)
+        for record in records[:200]:
+            stage.predict(record)
+            stage.observe(record)
+        assert stage.local.is_ready
+        # find a record that misses the cache
+        routed = None
+        for record in records[200:]:
+            routed = stage.predict_with_components(record)
+            if routed.cache_value is None:
+                break
+        assert routed is not None and routed.cache_value is None
+        assert routed.local is not None
+        assert routed.local_ready
+        assert routed.local_generation == stage.local.n_retrains
+        # the routed answer IS the local answer (no global attached)
+        assert routed.prediction.exec_time == routed.local.exec_time
+
+    def test_counters_match_plain_predict(self, trace):
+        """The component-exposing path must account identically to
+        ``predict`` — same source counts, same cache hits/misses."""
+        a, b = _fast_stage(trace), _fast_stage(trace)
+        for record in list(trace)[:150]:
+            a.predict(record)
+            b.predict_with_components(record)
+            a.observe(record)
+            b.observe(record)
+        assert a.source_counts == b.source_counts
+        assert a.cache.hits == b.cache.hits
+        assert a.cache.misses == b.cache.misses
+        assert a.cache.hits + a.cache.misses == 150
+
+
 class _FixedGlobal:
     """Stub global model returning a constant, for routing tests."""
 
@@ -157,6 +202,31 @@ class TestGlobalRouting:
         # with local ready and always certain, no query escalates
         assert gm.calls == calls_after_warmup
         assert stage.source_counts[PredictionSource.LOCAL] > 0
+
+    def test_components_expose_local_on_escalation(self, trace):
+        """When the router escalates to the global model, the local
+        answer it computed on the way is still surfaced for reuse."""
+        gm = _FixedGlobal()
+        cfg = fast_profile()
+        import dataclasses
+
+        cfg = dataclasses.replace(
+            cfg, uncertainty_threshold=0.0, short_circuit_seconds=0.0
+        )
+        stage = StagePredictor(trace.instance, global_model=gm, config=cfg)
+        records = list(trace)
+        for record in records[:200]:
+            stage.predict(record)
+            stage.observe(record)
+        assert stage.local.is_ready
+        routed = None
+        for record in records[200:]:
+            routed = stage.predict_with_components(record)
+            if routed.cache_value is None:
+                break
+        assert routed is not None and routed.cache_value is None
+        assert routed.prediction.source == PredictionSource.GLOBAL
+        assert routed.local is not None  # computed and escalated past
 
     def test_global_used_before_local_ready(self, trace):
         gm = _FixedGlobal()
