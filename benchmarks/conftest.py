@@ -61,3 +61,45 @@ def write_result(results_dir: str, name: str, text: str) -> None:
     """Persist one experiment's rendered output under ``results/``."""
     with open(os.path.join(results_dir, f"{name}.txt"), "w") as f:
         f.write(text + "\n")
+
+
+def append_result(results_dir: str, name: str, title: str, text: str) -> None:
+    """Append one ``== title ==`` section to an experiment file.
+
+    Used by benchmarks that share a results file: re-running a benchmark
+    replaces its own section (marker line up to the next section marker)
+    and leaves the others alone, so the file never grows unbounded and
+    tests can run in any subset or order.
+    """
+    path = os.path.join(results_dir, f"{name}.txt")
+    marker = f"== {title} =="
+    sections = []
+    if os.path.exists(path):
+        current = []
+        previous = ""
+        for line in open(path).read().splitlines():
+            # a marker only opens a section at the file start or after a
+            # blank line, so table rules inside a body can't split it
+            if (
+                line.startswith("== ")
+                and line.endswith(" ==")
+                and not previous.strip()
+            ):
+                sections.append(current)
+                current = [line]
+            else:
+                current.append(line)
+            previous = line
+        sections.append(current)
+        sections = [s for s in sections if s and "\n".join(s).strip()]
+    new_section = [marker] + text.splitlines()
+    slot = next(
+        (i for i, s in enumerate(sections) if s[0] == marker), None
+    )
+    if slot is None:
+        sections.append(new_section)
+    else:
+        # replace in place so a partial re-run never permutes sections
+        sections[slot] = new_section
+    with open(path, "w") as f:
+        f.write("\n\n".join("\n".join(s).rstrip("\n") for s in sections) + "\n")

@@ -78,6 +78,14 @@ class GlobalModelConfig:
     #: cap on training queries sampled from each training instance
     max_queries_per_instance: int = 400
     random_state: int = 0
+    #: worker processes for dataset construction (dedup + subsample +
+    #: graph featurization); 1 = inline, ``<=0`` = all cores.  Any value
+    #: builds a bit-identical dataset (per-trace seeding + ordered
+    #: moment merging make sharding invisible).  Used when calling
+    #: ``GlobalModelTrainer`` directly; ``run_sweep`` overrides it with
+    #: the sweep-wide ``SweepConfig.n_jobs``, which governs every
+    #: parallel stage of a sweep.
+    n_jobs: int = 1
 
 
 @dataclass(frozen=True)

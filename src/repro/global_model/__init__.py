@@ -1,6 +1,11 @@
 """Transferable global model: fleet-trained GCN over plan graphs."""
 
-from .featurization import SYS_FEATURE_DIM, record_to_graph, system_features
+from .featurization import (
+    SYS_FEATURE_DIM,
+    record_to_graph,
+    records_to_graphs,
+    system_features,
+)
 from .model import GlobalModel
 from .trainer import GlobalModelTrainer
 from .serialization import load_global_model, save_global_model
@@ -8,6 +13,7 @@ from .serialization import load_global_model, save_global_model
 __all__ = [
     "SYS_FEATURE_DIM",
     "record_to_graph",
+    "records_to_graphs",
     "system_features",
     "GlobalModel",
     "GlobalModelTrainer",

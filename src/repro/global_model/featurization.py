@@ -18,7 +18,12 @@ from repro.ml.gcn import PlanGraph
 from repro.plans import PhysicalPlan, plan_to_graph
 from repro.workload.instance import InstanceProfile, N_SYSTEM_FEATURES
 
-__all__ = ["SYS_FEATURE_DIM", "system_features", "record_to_graph"]
+__all__ = [
+    "SYS_FEATURE_DIM",
+    "system_features",
+    "record_to_graph",
+    "records_to_graphs",
+]
 
 # instance features + plan summary (n_nodes, depth, n_joins, log cost)
 SYS_FEATURE_DIM = N_SYSTEM_FEATURES + 4
@@ -52,3 +57,16 @@ def record_to_graph(
     return plan_to_graph(
         plan, system_features(plan, instance, n_concurrent)
     )
+
+
+def records_to_graphs(
+    records, instance: InstanceProfile, n_concurrent: float = 0.0
+):
+    """Graphs for many records of one instance (the trainer's hot loop).
+
+    Featurization dominates dataset-construction cost, so this is the
+    unit the sharded trainer fans out to worker processes.
+    """
+    return [
+        record_to_graph(r.plan, instance, n_concurrent) for r in records
+    ]

@@ -5,24 +5,121 @@ disjoint from the evaluation set (Section 5.1).  The trainer consumes
 :class:`~repro.workload.trace.Trace` objects from *training* instances,
 subsamples a per-instance cap (so one chatty dashboard cluster cannot
 dominate), fits input scalers, and trains the GCN on ``log1p`` targets.
+
+Dataset construction (dedup + subsample + graph featurization) is the
+dominant cost at fleet scale and is embarrassingly parallel, so it
+shards over a process pool (``n_jobs`` on :class:`GlobalModelConfig` or
+:meth:`GlobalModelTrainer.train`).  Two invariants make sharding
+invisible — any ``n_jobs`` and any shard assignment produce a
+bit-identical dataset, scalers, and model:
+
+- every trace's subsampler is seeded from ``(random_state, instance
+  id)`` alone, never from how many graphs precede it;
+- scaler moments are computed per trace and merged **in trace order**
+  in the parent (:class:`~repro.ml.preprocessing.RunningMoments`), so
+  the reduction never depends on shard boundaries.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import GlobalModelConfig
 from repro.ml.gcn import DirectedGCN
-from repro.ml.preprocessing import LogTargetTransform, StandardScaler
+from repro.ml.preprocessing import (
+    LogTargetTransform,
+    RunningMoments,
+    StandardScaler,
+)
+from repro.parallelism import pool_map, resolve_n_jobs
 from repro.plans.graph import NODE_FEATURE_DIM
+from repro.workload.seeding import derive_seed
 from repro.workload.trace import Trace
 
-from .featurization import SYS_FEATURE_DIM, record_to_graph
+from .featurization import SYS_FEATURE_DIM, records_to_graphs
 from .model import GlobalModel
 
-__all__ = ["GlobalModelTrainer"]
+__all__ = ["GlobalModelTrainer", "subsample_trace"]
+
+
+# ---------------------------------------------------------------------------
+# per-trace dataset construction (picklable, order-independent)
+# ---------------------------------------------------------------------------
+def subsample_trace(trace: Trace, config: GlobalModelConfig):
+    """Deduplicated, capped training records for one trace.
+
+    Sampling is deduplicated by query identity: repeated executions of an
+    identical query would otherwise dominate the dataset with copies of
+    one plan.  (The paper trains on executed queries from each instance —
+    its fleet sweep also collapses identical plans.)
+
+    The subsampler's seed derives from ``(random_state, instance id)``
+    only — a trace draws the same sample regardless of its position in
+    the input ordering or which shard processed it.
+    """
+    rng = np.random.default_rng(
+        derive_seed(config.random_state, "subsample", trace.instance.instance_id)
+    )
+    seen = set()
+    candidates = []
+    for record in trace:
+        if record.identity in seen:
+            continue
+        seen.add(record.identity)
+        candidates.append(record)
+    if len(candidates) > config.max_queries_per_instance:
+        idx = rng.choice(
+            len(candidates),
+            size=config.max_queries_per_instance,
+            replace=False,
+        )
+        candidates = [candidates[i] for i in sorted(idx)]
+    return candidates
+
+
+def _featurize_trace(
+    trace: Trace, config: GlobalModelConfig, want_moments: bool = True
+):
+    """``(graphs, targets, node_moments, sys_moments)`` for one trace.
+
+    Self-contained per trace so it can run in any process: moments are
+    accumulated here (one numpy batch per trace) and merged by the
+    parent in trace order.  ``want_moments=False`` skips the moment
+    pass (and its feature-matrix copies) for graphs-only callers; the
+    moment slots come back empty.
+    """
+    records = subsample_trace(trace, config)
+    graphs = records_to_graphs(records, trace.instance, 0.0)
+    targets = np.array([r.exec_time for r in records], dtype=np.float64)
+    node_moments = RunningMoments(NODE_FEATURE_DIM)
+    sys_moments = RunningMoments(SYS_FEATURE_DIM)
+    if want_moments and graphs:
+        node_moments.update(np.vstack([g.node_features for g in graphs]))
+        sys_moments.update(np.vstack([g.sys_features for g in graphs]))
+    return graphs, targets, node_moments, sys_moments
+
+
+def _featurize_shard_worker(args) -> List[tuple]:
+    """Process-pool entrypoint: featurize one shard of traces.
+
+    Returns the *per-trace* tuples unmerged — the parent owns the merge
+    order, which is what keeps the reduction shard-stable.
+    """
+    traces, config, want_moments = args
+    return [
+        _featurize_trace(trace, config, want_moments) for trace in traces
+    ]
+
+
+def _shard(items: Sequence, n_shards: int) -> List[list]:
+    """Split into ``n_shards`` contiguous chunks, sizes within one."""
+    n_shards = max(1, min(n_shards, len(items)))
+    bounds = np.linspace(0, len(items), n_shards + 1).astype(int)
+    return [
+        list(items[bounds[i] : bounds[i + 1]]) for i in range(n_shards)
+    ]
 
 
 class GlobalModelTrainer:
@@ -32,53 +129,74 @@ class GlobalModelTrainer:
         self.config = config or GlobalModelConfig()
 
     # ------------------------------------------------------------------
-    def build_dataset(self, traces: Iterable[Trace]):
+    def _build(
+        self,
+        traces: Iterable[Trace],
+        n_jobs: Optional[int],
+        want_moments: bool = True,
+    ) -> Tuple[list, np.ndarray, RunningMoments, RunningMoments]:
+        """Sharded dataset construction with ordered moment merging."""
+        cfg = self.config
+        traces = list(traces)
+        if n_jobs is None:
+            n_jobs = cfg.n_jobs
+        n_jobs = resolve_n_jobs(n_jobs, len(traces))
+
+        tasks = [
+            (shard, cfg, want_moments) for shard in _shard(traces, n_jobs)
+        ]
+        shards = pool_map(_featurize_shard_worker, tasks, n_jobs)
+        per_trace = [entry for shard in shards for entry in shard]
+
+        graphs: list = []
+        targets: List[np.ndarray] = []
+        node_moments = RunningMoments(NODE_FEATURE_DIM)
+        sys_moments = RunningMoments(SYS_FEATURE_DIM)
+        for trace_graphs, trace_targets, node_m, sys_m in per_trace:
+            graphs.extend(trace_graphs)
+            targets.append(trace_targets)
+            node_moments.merge(node_m)
+            sys_moments.merge(sys_m)
+        flat_targets = (
+            np.concatenate(targets) if targets else np.zeros(0)
+        )
+        return graphs, flat_targets, node_moments, sys_moments
+
+    def build_dataset(
+        self, traces: Iterable[Trace], n_jobs: Optional[int] = None
+    ):
         """``(graphs, targets)`` with the per-instance sampling cap.
 
-        Sampling is deduplicated by query identity: repeated executions
-        of an identical query would otherwise dominate the dataset with
-        copies of one plan.  (The paper trains on executed queries from
-        each instance — its fleet sweep also collapses identical plans.)
+        ``n_jobs`` overrides ``config.n_jobs`` when given; any value
+        yields a bit-identical dataset (see the module docstring).
         """
-        cfg = self.config
-        graphs, targets = [], []
-        for trace in traces:
-            rng = np.random.default_rng(cfg.random_state + len(graphs))
-            seen = set()
-            candidates = []
-            for record in trace:
-                if record.identity in seen:
-                    continue
-                seen.add(record.identity)
-                candidates.append(record)
-            if len(candidates) > cfg.max_queries_per_instance:
-                idx = rng.choice(
-                    len(candidates),
-                    size=cfg.max_queries_per_instance,
-                    replace=False,
-                )
-                candidates = [candidates[i] for i in sorted(idx)]
-            for record in candidates:
-                graphs.append(
-                    record_to_graph(record.plan, trace.instance, 0.0)
-                )
-                targets.append(record.exec_time)
-        return graphs, np.asarray(targets)
+        graphs, targets, _, __ = self._build(
+            traces, n_jobs, want_moments=False
+        )
+        return graphs, targets
 
     # ------------------------------------------------------------------
-    def train(self, traces: Iterable[Trace], verbose: bool = False) -> GlobalModel:
-        """Fit scalers + GCN on the given training traces."""
+    def train(
+        self,
+        traces: Iterable[Trace],
+        verbose: bool = False,
+        n_jobs: Optional[int] = None,
+    ) -> GlobalModel:
+        """Fit scalers + GCN on the given training traces.
+
+        ``n_jobs`` shards dataset construction (``None`` defers to
+        ``config.n_jobs``); the fitted model is bit-identical for any
+        value.
+        """
         cfg = self.config
-        graphs, targets = self.build_dataset(traces)
+        graphs, targets, node_moments, sys_moments = self._build(
+            traces, n_jobs
+        )
         if not graphs:
             raise ValueError("no training data: empty traces")
 
-        node_scaler = StandardScaler().fit(
-            np.vstack([g.node_features for g in graphs])
-        )
-        sys_scaler = StandardScaler().fit(
-            np.vstack([g.sys_features for g in graphs])
-        )
+        node_scaler = StandardScaler.from_moments(node_moments)
+        sys_scaler = StandardScaler.from_moments(sys_moments)
         transform = LogTargetTransform()
 
         gcn = DirectedGCN(

@@ -8,9 +8,12 @@ The heart is :func:`run_sweep`: train a global model on a training fleet,
 then replay every evaluation instance through Stage and AutoWLM.  All
 accuracy tables, the WLM end-to-end comparison and the PRR analysis are
 pure post-processing over the sweep's :class:`InstanceReplay` arrays.
-Replays fan out over a process pool when ``n_jobs > 1`` (see
-:class:`~repro.harness.parallel.FleetSweeper`); results are bit-identical
-to the sequential path for any ``n_jobs``.
+Trace generation, global-model dataset construction (sharded
+:class:`~repro.global_model.trainer.GlobalModelTrainer`) and replays
+(:class:`~repro.harness.parallel.FleetSweeper`, which ships the global
+model to each worker once via the pool initializer) all fan out over
+process pools when ``n_jobs > 1``; results are bit-identical to the
+sequential path for any ``n_jobs``.
 
 Run everything and print paper-style tables with::
 
@@ -90,8 +93,8 @@ class SweepConfig:
     #: the router + one ensemble call per retrain window; "per_query" is
     #: the bit-identical reference path)
     component_inference: str = "batched"
-    #: worker processes for trace generation and replay;
-    #: 1 = sequential/inline, ``<=0`` = all cores
+    #: worker processes for trace generation, global-model dataset
+    #: construction and replay; 1 = sequential/inline, ``<=0`` = all cores
     n_jobs: int = 1
 
 
@@ -144,7 +147,9 @@ def run_sweep(
             n_jobs=n_jobs,
         )
         t0 = time.time()
-        global_model = GlobalModelTrainer(config.global_model).train(train_traces)
+        global_model = GlobalModelTrainer(config.global_model).train(
+            train_traces, n_jobs=n_jobs
+        )
         train_seconds = time.time() - t0
         if verbose:
             n = sum(len(t) for t in train_traces)

@@ -10,19 +10,24 @@ its siblings.  ``n_jobs=1`` runs inline (no pool, no pickling), which is
 both the fast path on one core and the reference the parity tests
 compare against.
 
+The shared :class:`~repro.global_model.model.GlobalModel` is shipped to
+each worker process **once**, through the pool initializer, instead of
+riding inside every task payload: per-task pickles stay small (config +
+scalars) no matter how many instances the sweep replays.  The inline
+path never pickles anything.
+
 Workers are module-level functions so they pickle by reference under any
 multiprocessing start method (fork, forkserver, spawn).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
 from repro.core.config import StageConfig
 from repro.global_model.model import GlobalModel
-from repro.parallelism import resolve_n_jobs
+from repro.parallelism import pool_map, resolve_n_jobs, runs_inline
 from repro.workload.fleet import FleetConfig, FleetGenerator
 from repro.workload.trace import Trace
 
@@ -34,21 +39,53 @@ __all__ = ["FleetSweeper", "resolve_n_jobs"]
 # ---------------------------------------------------------------------------
 # picklable worker payloads + entrypoints
 # ---------------------------------------------------------------------------
+#: the per-process model slot, filled once by the pool initializer
+_WORKER_GLOBAL_MODEL: Optional[GlobalModel] = None
+
+
+def _init_replay_worker(global_model: Optional[GlobalModel]) -> None:
+    """Pool initializer: install the shared model once per worker."""
+    global _WORKER_GLOBAL_MODEL
+    _WORKER_GLOBAL_MODEL = global_model
+
+
 @dataclass(frozen=True)
 class _ReplaySettings:
-    """Everything a worker needs besides the instance itself."""
+    """Everything a worker needs besides the instance itself.
+
+    The model itself never rides here on the pool path — only the
+    ``use_global_model`` handle, resolved against the worker's
+    initializer-installed slot.  The inline path (no pool, no pickling)
+    carries the object directly in ``global_model``.
+    """
 
     stage_config: Optional[StageConfig]
-    global_model: Optional[GlobalModel]
     random_state: int
     collect_components: bool
     component_inference: str
+    #: whether a global model exists for this sweep
+    use_global_model: bool = False
+    #: inline path only; always ``None`` in pool-bound settings
+    global_model: Optional[GlobalModel] = None
+
+
+def _resolve_global_model(settings: _ReplaySettings) -> Optional[GlobalModel]:
+    if not settings.use_global_model:
+        return None
+    if settings.global_model is not None:
+        return settings.global_model
+    if _WORKER_GLOBAL_MODEL is None:
+        raise RuntimeError(
+            "replay worker has no global model installed; pool was "
+            "created without _init_replay_worker"
+        )
+    return _WORKER_GLOBAL_MODEL
 
 
 def _replay_trace(trace: Trace, settings: _ReplaySettings) -> InstanceReplay:
     return replay_instance(
         trace,
-        global_model=settings.global_model,
+        global_model=_resolve_global_model(settings),
         config=settings.stage_config,
         random_state=settings.random_state,
         collect_components=settings.collect_components,
@@ -95,21 +132,29 @@ class FleetSweeper:
     n_jobs: int = 1
 
     # ------------------------------------------------------------------
-    def _settings(self) -> _ReplaySettings:
+    def _settings(self, inline: bool) -> _ReplaySettings:
+        """Worker settings; pool-bound settings never carry the model."""
         return _ReplaySettings(
             stage_config=self.stage_config,
-            global_model=self.global_model,
             random_state=self.random_state,
             collect_components=self.collect_components,
             component_inference=self.component_inference,
+            use_global_model=self.global_model is not None,
+            global_model=self.global_model if inline else None,
         )
 
-    def _map(self, worker, tasks: Sequence) -> List[InstanceReplay]:
-        n_jobs = resolve_n_jobs(self.n_jobs, len(tasks))
-        if n_jobs == 1 or len(tasks) <= 1:
-            return [worker(task) for task in tasks]
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            return list(pool.map(worker, tasks))
+    def _map(self, worker, payloads: Sequence[tuple]) -> List[InstanceReplay]:
+        settings = self._settings(
+            inline=runs_inline(self.n_jobs, len(payloads))
+        )
+        tasks = [payload + (settings,) for payload in payloads]
+        return pool_map(
+            worker,
+            tasks,
+            self.n_jobs,
+            initializer=_init_replay_worker,
+            initargs=(self.global_model,),
+        )
 
     # ------------------------------------------------------------------
     def replay_indices(
@@ -120,15 +165,13 @@ class FleetSweeper:
         Each worker samples its instance and unrolls its trace itself,
         so results are independent of how work is distributed.
         """
-        settings = self._settings()
-        tasks = [
-            (self.fleet_config, duration_days, int(index), settings)
+        payloads = [
+            (self.fleet_config, duration_days, int(index))
             for index in indices
         ]
-        return self._map(_replay_index_worker, tasks)
+        return self._map(_replay_index_worker, payloads)
 
     def replay_traces(self, traces: Sequence[Trace]) -> List[InstanceReplay]:
         """Replay pre-built traces, preserving their order."""
-        settings = self._settings()
-        tasks = [(trace, settings) for trace in traces]
-        return self._map(_replay_trace_worker, tasks)
+        payloads = [(trace,) for trace in traces]
+        return self._map(_replay_trace_worker, payloads)

@@ -1,17 +1,28 @@
 """Shared process-pool conventions for every parallel knob in the repo.
 
-One rule, used by the fleet generator and the sweep engine alike:
-``n_jobs=1`` means inline (no pool, no pickling), ``None`` or any
+One rule, used by the fleet generator, the sweep engine and the trainer
+alike: ``n_jobs=1`` means inline (no pool, no pickling), ``None`` or any
 non-positive value means "all cores", and the worker count never
 exceeds the number of tasks.
+
+Every pool in the repo is created through :func:`pool_context`, so the
+``REPRO_MP_START_METHOD`` environment variable can force a start method
+(``fork``, ``spawn``, ``forkserver``) uniformly — CI runs the parity
+suites under both ``fork`` and ``spawn`` to prove results are
+start-method independent (workers are module-level functions that pickle
+by reference, so they must be).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from typing import Optional
 
-__all__ = ["resolve_n_jobs"]
+__all__ = ["resolve_n_jobs", "runs_inline", "pool_context", "pool_map"]
+
+#: environment variable forcing the multiprocessing start method
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
 
 
 def resolve_n_jobs(n_jobs: Optional[int], n_tasks: int) -> int:
@@ -19,3 +30,47 @@ def resolve_n_jobs(n_jobs: Optional[int], n_tasks: int) -> int:
     if n_jobs is None or n_jobs <= 0:
         n_jobs = os.cpu_count() or 1
     return max(1, min(n_jobs, n_tasks))
+
+
+def runs_inline(n_jobs: Optional[int], n_tasks: int) -> bool:
+    """Whether :func:`pool_map` will run inline for this workload.
+
+    The single source of truth for the inline-vs-pool decision: callers
+    that prepare different task payloads for the two paths (e.g. the
+    fleet sweeper, which embeds its model only in inline settings) must
+    consult this rather than re-deriving the predicate, so their
+    payloads can never disagree with the path actually taken.
+    """
+    return resolve_n_jobs(n_jobs, n_tasks) == 1
+
+
+def pool_context():
+    """The multiprocessing context every pool in the repo is built from.
+
+    Honors ``REPRO_MP_START_METHOD`` when set; otherwise the platform
+    default (``fork`` on Linux, ``spawn`` on macOS/Windows).
+    """
+    method = os.environ.get(START_METHOD_ENV) or None
+    return multiprocessing.get_context(method)
+
+
+def pool_map(worker, tasks, n_jobs, initializer=None, initargs=()):
+    """Order-preserving map, inline or over a process pool.
+
+    The one pooling idiom behind every parallel knob: ``n_jobs=1`` (or a
+    single task) runs inline — no pool, no pickling, and ``initializer``
+    is NOT invoked (inline callers wire their state into the tasks
+    directly).  ``worker`` must be a module-level function so it pickles
+    by reference under any start method.
+    """
+    if runs_inline(n_jobs, len(tasks)):
+        return [worker(task) for task in tasks]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(
+        max_workers=resolve_n_jobs(n_jobs, len(tasks)),
+        mp_context=pool_context(),
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
+        return list(pool.map(worker, tasks))

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.parallelism import resolve_n_jobs
+from repro.parallelism import pool_map
 from repro.plans import featurize_plan
 
 from .arrival import (
@@ -414,14 +414,5 @@ class FleetGenerator:
         traces are identical for any ``n_jobs``.
         """
         indices = range(start_index, start_index + n_instances)
-        n_jobs = resolve_n_jobs(n_jobs, n_instances)
-        if n_jobs == 1 or n_instances <= 1:
-            return [
-                self.generate_trace(self.sample_instance(i), duration_days)
-                for i in indices
-            ]
-        from concurrent.futures import ProcessPoolExecutor
-
         tasks = [(self.config, i, duration_days) for i in indices]
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            return list(pool.map(_generate_trace_worker, tasks))
+        return pool_map(_generate_trace_worker, tasks, n_jobs)

@@ -8,7 +8,10 @@ from repro.core.interfaces import PredictionSource
 from repro.global_model import (
     GlobalModelTrainer,
     SYS_FEATURE_DIM,
+    load_global_model,
     record_to_graph,
+    records_to_graphs,
+    save_global_model,
     system_features,
 )
 from repro.workload import FleetConfig, FleetGenerator
@@ -121,3 +124,85 @@ class TestTrainedModel:
 
     def test_byte_size(self, trained_model):
         assert trained_model.byte_size() > 0
+
+    def test_records_to_graphs_matches_singles(self, fleet):
+        _, __, held_out = fleet
+        records = list(held_out)[:8]
+        batch = records_to_graphs(records, held_out.instance)
+        for graph, record in zip(batch, records):
+            single = record_to_graph(record.plan, held_out.instance)
+            np.testing.assert_array_equal(
+                graph.node_features, single.node_features
+            )
+            np.testing.assert_array_equal(
+                graph.sys_features, single.sys_features
+            )
+
+
+class TestSerialization:
+    """Save → load → identical predictions; the sweeper's pool
+    initializer and any fleet-wide deployment depend on this artifact
+    being faithful."""
+
+    def test_round_trip_predictions_identical(
+        self, trained_model, fleet, tmp_path
+    ):
+        _, __, held_out = fleet
+        graphs = records_to_graphs(list(held_out)[:50], held_out.instance)
+        path = str(tmp_path / "global_model.npz")
+        save_global_model(trained_model, path)
+        loaded = load_global_model(path)
+        np.testing.assert_array_equal(
+            trained_model.predict_graphs(graphs),
+            loaded.predict_graphs(graphs),
+        )
+
+    def test_round_trip_preserves_scalers_and_architecture(
+        self, trained_model, tmp_path
+    ):
+        path = str(tmp_path / "global_model.npz")
+        save_global_model(trained_model, path)
+        loaded = load_global_model(path)
+        np.testing.assert_array_equal(
+            trained_model.node_scaler.mean_, loaded.node_scaler.mean_
+        )
+        np.testing.assert_array_equal(
+            trained_model.node_scaler.scale_, loaded.node_scaler.scale_
+        )
+        np.testing.assert_array_equal(
+            trained_model.sys_scaler.mean_, loaded.sys_scaler.mean_
+        )
+        np.testing.assert_array_equal(
+            trained_model.sys_scaler.scale_, loaded.sys_scaler.scale_
+        )
+        assert loaded.gcn.hidden_dim == trained_model.gcn.hidden_dim
+        assert len(loaded.gcn.convs) == len(trained_model.gcn.convs)
+        assert (
+            loaded.transform.max_seconds
+            == trained_model.transform.max_seconds
+        )
+
+    def test_round_trip_survives_pickle(self, trained_model, fleet, tmp_path):
+        """The loaded artifact must also pickle cleanly — that is how
+        the pool initializer ships it to worker processes."""
+        import pickle
+
+        _, __, held_out = fleet
+        graphs = records_to_graphs(list(held_out)[:10], held_out.instance)
+        path = str(tmp_path / "global_model.npz")
+        save_global_model(trained_model, path)
+        loaded = pickle.loads(pickle.dumps(load_global_model(path)))
+        np.testing.assert_array_equal(
+            trained_model.predict_graphs(graphs),
+            loaded.predict_graphs(graphs),
+        )
+
+    def test_version_mismatch_rejected(self, trained_model, tmp_path):
+        path = str(tmp_path / "global_model.npz")
+        save_global_model(trained_model, path)
+        with np.load(path) as data:
+            arrays = {k: data[k].copy() for k in data.files}
+        arrays["meta"][0] = 999
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="format version"):
+            load_global_model(path)

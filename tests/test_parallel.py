@@ -6,10 +6,13 @@ per-query arrays exactly, and component collection must never perturb
 the predictors' accounting (exactly one counted cache lookup per query).
 """
 
+import pickle
+
 import numpy as np
 import pytest
 
 from repro.core.config import GlobalModelConfig, fast_profile
+from repro.global_model import GlobalModelTrainer
 from repro.harness import (
     FleetSweeper,
     SweepConfig,
@@ -138,6 +141,75 @@ class TestFleetSweeper:
         assert len(seq) == len(par) == 3
         for a, b in zip(seq, par):
             assert_replays_identical(a, b)
+
+
+class TestPoolInitializer:
+    """The global model ships to each worker once, via the pool
+    initializer — never inside per-task payloads."""
+
+    @pytest.fixture(scope="class")
+    def tiny_model(self):
+        gen = FleetGenerator(FleetConfig(seed=11, volume_scale=0.1))
+        train = gen.generate_fleet_traces(2, 1.0, start_index=500)
+        cfg = GlobalModelConfig(
+            hidden_dim=12, n_conv_layers=2, epochs=2,
+            max_queries_per_instance=50,
+        )
+        return GlobalModelTrainer(cfg).train(train)
+
+    def test_task_payloads_never_carry_the_model(self, tiny_model):
+        sweeper = FleetSweeper(
+            fleet_config=FleetConfig(seed=11, volume_scale=0.1),
+            stage_config=fast_profile(),
+            global_model=tiny_model,
+            n_jobs=2,
+        )
+        pool_settings = sweeper._settings(inline=False)
+        assert pool_settings.use_global_model
+        assert pool_settings.global_model is None
+        # the per-task payload is config + scalars: orders of magnitude
+        # below the model it used to embed
+        settings_bytes = len(pickle.dumps(pool_settings))
+        model_bytes = len(pickle.dumps(tiny_model))
+        assert settings_bytes < 4096
+        assert settings_bytes * 10 < model_bytes
+
+    def test_inline_path_keeps_the_model_unpickled(self, tiny_model):
+        sweeper = FleetSweeper(global_model=tiny_model)
+        inline_settings = sweeper._settings(inline=True)
+        assert inline_settings.global_model is tiny_model
+
+    def test_pool_results_match_inline_with_global_model(self, tiny_model):
+        """Replay outputs are unchanged by the initializer path: the
+        pooled sweep (worker-installed model) reproduces the inline
+        sweep (direct model reference) bit for bit."""
+        kwargs = dict(
+            fleet_config=FleetConfig(seed=11, volume_scale=0.1),
+            stage_config=fast_profile(),
+            global_model=tiny_model,
+        )
+        seq = FleetSweeper(n_jobs=1, **kwargs).replay_indices(range(3), 1.0)
+        par = FleetSweeper(n_jobs=2, **kwargs).replay_indices(range(3), 1.0)
+        assert all(np.isfinite(r.global_pred).any() for r in seq)
+        for a, b in zip(seq, par):
+            assert_replays_identical(a, b)
+
+    def test_missing_worker_model_is_an_error(self):
+        from repro.harness.parallel import (
+            _ReplaySettings,
+            _resolve_global_model,
+        )
+
+        orphan = _ReplaySettings(
+            stage_config=None,
+            random_state=0,
+            collect_components=False,
+            component_inference="batched",
+            use_global_model=True,
+            global_model=None,
+        )
+        with pytest.raises(RuntimeError, match="no global model"):
+            _resolve_global_model(orphan)
 
 
 class TestParallelFleetGeneration:
