@@ -46,9 +46,7 @@ def sweep():
 @pytest.fixture(scope="session")
 def fleet_stats():
     """Fleet statistics for Figure 1 (independent of the sweep)."""
-    return fleet_statistics(
-        n_instances=60, duration_days=2.0, volume_scale=0.25, seed=1
-    )
+    return fleet_statistics(n_instances=60, duration_days=2.0, volume_scale=0.25, seed=1)
 
 
 @pytest.fixture(scope="session")
@@ -93,9 +91,7 @@ def append_result(results_dir: str, name: str, title: str, text: str) -> None:
         sections.append(current)
         sections = [s for s in sections if s and "\n".join(s).strip()]
     new_section = [marker] + text.splitlines()
-    slot = next(
-        (i for i, s in enumerate(sections) if s[0] == marker), None
-    )
+    slot = next((i for i, s in enumerate(sections) if s[0] == marker), None)
     if slot is None:
         sections.append(new_section)
     else:

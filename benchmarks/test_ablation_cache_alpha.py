@@ -32,9 +32,7 @@ def _cache_errors(traces, alpha=0.8, mode="blend"):
 
 def test_ablation_cache_alpha(benchmark, results_dir):
     gen = FleetGenerator(FleetConfig(seed=77, volume_scale=0.3))
-    traces = [
-        gen.generate_trace(gen.sample_instance(i), 3.0) for i in range(4)
-    ]
+    traces = [gen.generate_trace(gen.sample_instance(i), 3.0) for i in range(4)]
 
     results = {}
     for alpha in (0.0, 0.5, 0.8, 1.0):
@@ -52,10 +50,7 @@ def test_ablation_cache_alpha(benchmark, results_dir):
 
     benchmark(_cache_errors, traces[:1], 0.8)
 
-    rows = [
-        [name, f"{mae:.3f}", f"{p50:.4f}"]
-        for name, (mae, p50) in results.items()
-    ]
+    rows = [[name, f"{mae:.3f}", f"{p50:.4f}"] for name, (mae, p50) in results.items()]
     table = render_simple_table(
         "Ablation: cache alpha blend (absolute error on cache hits, s)",
         ["setting", "MAE", "P50-AE"],

@@ -34,9 +34,7 @@ def _dataset(seed=31):
 
 def _fit_and_score(K, X_tr, y_tr, X_te, y_te):
     transform = LogTargetTransform()
-    ens = BayesianGBMEnsemble(
-        n_members=K, n_estimators=40, max_depth=4, random_state=0
-    )
+    ens = BayesianGBMEnsemble(n_members=K, n_estimators=40, max_depth=4, random_state=0)
     ens.fit(X_tr, transform.transform(y_tr))
     out = ens.predict(X_te)
     pred = transform.inverse(out.mean)
@@ -51,13 +49,9 @@ def test_ablation_ensemble_size(benchmark, results_dir):
     for K in (1, 4, 10):
         results[K] = _fit_and_score(K, X_tr, y_tr, X_te, y_te)
 
-    benchmark.pedantic(
-        _fit_and_score, args=(4, X_tr, y_tr, X_te, y_te), iterations=1, rounds=1
-    )
+    benchmark.pedantic(_fit_and_score, args=(4, X_tr, y_tr, X_te, y_te), iterations=1, rounds=1)
 
-    rows = [
-        [f"K={K}", f"{mae:.2f}", f"{prr:.2f}"] for K, (mae, prr) in results.items()
-    ]
+    rows = [[f"K={K}", f"{mae:.2f}", f"{prr:.2f}"] for K, (mae, prr) in results.items()]
     table = render_simple_table(
         "Ablation: ensemble size (held-out MAE and PRR)",
         ["members", "MAE (s)", "PRR"],

@@ -27,9 +27,7 @@ def _route(sweep, use_global):
     pred = cache.copy()
     miss = np.isnan(pred)
     local_ok = miss & ~np.isnan(local)
-    uncertain = local_ok & (local >= SHORT_CIRCUIT_S) & (
-        std >= UNCERTAINTY_THRESHOLD
-    )
+    uncertain = local_ok & (local >= SHORT_CIRCUIT_S) & (std >= UNCERTAINTY_THRESHOLD)
     pred[local_ok] = local[local_ok]
     if use_global:
         escalate = uncertain & ~np.isnan(glob)
@@ -38,9 +36,7 @@ def _route(sweep, use_global):
         pred[cold] = glob[cold]
     pred[np.isnan(pred)] = 1.0
     errors = np.abs(pred - true)
-    return float(errors.mean()), float(np.median(errors)), float(
-        np.percentile(errors, 90)
-    )
+    return float(errors.mean()), float(np.median(errors)), float(np.percentile(errors, 90))
 
 
 def test_ablation_no_global(benchmark, sweep, results_dir):
@@ -49,8 +45,18 @@ def test_ablation_no_global(benchmark, sweep, results_dir):
     benchmark.pedantic(_route, args=(sweep, True), iterations=1, rounds=2)
 
     rows = [
-        ["cache+local+global", f"{with_global[0]:.2f}", f"{with_global[1]:.3f}", f"{with_global[2]:.2f}"],
-        ["cache+local (deployed)", f"{without_global[0]:.2f}", f"{without_global[1]:.3f}", f"{without_global[2]:.2f}"],
+        [
+            "cache+local+global",
+            f"{with_global[0]:.2f}",
+            f"{with_global[1]:.3f}",
+            f"{with_global[2]:.2f}",
+        ],
+        [
+            "cache+local (deployed)",
+            f"{without_global[0]:.2f}",
+            f"{without_global[1]:.3f}",
+            f"{without_global[2]:.2f}",
+        ],
     ]
     table = render_simple_table(
         "Ablation: removing the global model",

@@ -26,9 +26,7 @@ def _route(sweep, threshold):
     pred = np.where(~np.isnan(cache), cache, np.nan)
     miss = np.isnan(pred)
     local_ok = miss & ~np.isnan(local)
-    trust_local = local_ok & (
-        (local < SHORT_CIRCUIT_S) | (std < threshold)
-    )
+    trust_local = local_ok & ((local < SHORT_CIRCUIT_S) | (std < threshold))
     pred[trust_local] = local[trust_local]
     escalate = miss & ~np.isnan(glob) & np.isnan(pred)
     pred[escalate] = glob[escalate]

@@ -6,8 +6,6 @@ on long queries collapses.  Without cache-dedup, repeated queries crowd
 the pool, shrinking its *diversity* (distinct queries retained).
 """
 
-import numpy as np
-
 from conftest import write_result
 
 from repro.cache import ExecTimeCache
@@ -50,9 +48,7 @@ def test_ablation_training_pool(benchmark, results_dir):
         "no bucketing": _run_pool(trace, bucketed=False, dedup=True),
         "no dedup": _run_pool(trace, bucketed=True, dedup=False),
     }
-    benchmark.pedantic(
-        _run_pool, args=(trace, True, True), iterations=1, rounds=1
-    )
+    benchmark.pedantic(_run_pool, args=(trace, True, True), iterations=1, rounds=1)
 
     stats = {}
     rows = []

@@ -38,9 +38,7 @@ def test_fig10_prr_example(benchmark, sweep, results_dir):
     rows = []
     for pct in (5, 10, 25, 50, 75):
         i = int(pct / 100 * (len(fractions) - 1))
-        rows.append(
-            [f"reject {pct}%", f"{oracle[i]:.0%}", f"{by_unc[i]:.0%}", f"{random[i]:.0%}"]
-        )
+        rows.append([f"reject {pct}%", f"{oracle[i]:.0%}", f"{by_unc[i]:.0%}", f"{random[i]:.0%}"])
     table = render_simple_table(
         f"Figure 10: cumulative-error curves on {instance_id} (PRR={score:.2f})",
         ["rejected", "oracle", "by uncertainty", "random"],

@@ -18,10 +18,7 @@ def test_fig11_prr_distribution(benchmark, sweep, results_dir):
 
     values = np.array([s for _, s in prr["scores"]])
     hist, edges = np.histogram(values, bins=np.linspace(-0.25, 1.0, 6))
-    rows = [
-        [f"{edges[i]:.2f}..{edges[i + 1]:.2f}", int(c)]
-        for i, c in enumerate(hist)
-    ]
+    rows = [[f"{edges[i]:.2f}..{edges[i + 1]:.2f}", int(c)] for i, c in enumerate(hist)]
     rows.append(["median", f"{prr['median']:.2f} (paper: 0.90)"])
     rows.append(["mean", f"{prr['mean']:.2f}"])
     table = render_simple_table(

@@ -10,7 +10,6 @@ import numpy as np
 from conftest import write_result
 
 from repro.harness.reporting import render_simple_table
-from repro.workload import fleet_unique_daily_fractions
 
 
 def test_fig1a_unique_query_distribution(benchmark, fleet_stats, results_dir):
@@ -38,9 +37,7 @@ def test_fig1a_unique_query_distribution(benchmark, fleet_stats, results_dir):
         ["statistic", "measured", "paper"],
         rows,
     )
-    hist_rows = [
-        [f"{10 * i}-{10 * (i + 1)}% unique", int(c)] for i, c in enumerate(hist)
-    ]
+    hist_rows = [[f"{10 * i}-{10 * (i + 1)}% unique", int(c)] for i, c in enumerate(hist)]
     table += "\n\n" + render_simple_table(
         "cluster histogram", ["daily-unique bin", "# clusters"], hist_rows
     )

@@ -84,9 +84,7 @@ PERF_FLEET = FleetConfig(seed=7, volume_scale=0.25)
 
 
 def test_batched_component_inference_speedup(results_dir):
-    traces = FleetGenerator(PERF_FLEET).generate_fleet_traces(
-        N_INSTANCES, DURATION_DAYS
-    )
+    traces = FleetGenerator(PERF_FLEET).generate_fleet_traces(N_INSTANCES, DURATION_DAYS)
     n_queries = sum(len(t) for t in traces)
 
     def sweep(component_inference, n_jobs):
@@ -119,9 +117,7 @@ def test_batched_component_inference_speedup(results_dir):
         f"batched speedup over per-query: {speedup:.2f}x (floor {MIN_SPEEDUP}x)",
         "replay arrays bit-identical across all three paths",
     ]
-    append_result(
-        results_dir, "perf_sweep", "batched component inference", "\n".join(lines)
-    )
+    append_result(results_dir, "perf_sweep", "batched component inference", "\n".join(lines))
     print("\n" + "\n".join(lines))
 
     assert speedup >= MIN_SPEEDUP, (
@@ -176,7 +172,5 @@ def test_trainer_sharded_build_dataset(results_dir):
         "datasets bit-identical across all shard counts "
         "(per-trace seeding + ordered moment merge) — the asserted contract",
     ]
-    append_result(
-        results_dir, "perf_sweep", "sharded trainer build_dataset", "\n".join(lines)
-    )
+    append_result(results_dir, "perf_sweep", "sharded trainer build_dataset", "\n".join(lines))
     print("\n" + "\n".join(lines))

@@ -1,0 +1,34 @@
+"""Perf: online serving throughput, micro-batched vs request-at-a-time.
+
+Drives the :class:`~repro.service.PredictionService` with a generated
+fleet trace (warmup with feedback, then concurrent prediction traffic)
+and writes ``results/service_bench.txt``.  The asserted floor mirrors
+the replay benchmark's: micro-batching must buy at least 1.5x the
+request-at-a-time throughput.  That speedup is algorithmic — one
+ensemble invocation per batch instead of per query — so it holds on any
+core count; the recorded latency percentiles are machine-dependent
+context.
+"""
+
+from conftest import write_result
+
+from repro.service import ServiceBenchConfig, run_service_bench
+
+MIN_SPEEDUP = 1.5
+
+
+def test_micro_batched_serving_speedup(results_dir):
+    result = run_service_bench(ServiceBenchConfig())
+    report = result.render()
+    write_result(results_dir, "service_bench", report)
+    print("\n" + report)
+
+    batched = result.modes["micro-batched"]
+    sequential = result.modes["request-at-a-time"]
+    # the batches really formed (this is what buys the throughput)
+    assert batched["mean_batch"] > 1.5
+    assert sequential["max_batch_size"] == 1.0
+    assert result.speedup >= MIN_SPEEDUP, (
+        f"micro-batched serving only {result.speedup:.2f}x the "
+        f"request-at-a-time throughput (expected >= {MIN_SPEEDUP}x)"
+    )

@@ -6,8 +6,6 @@ truth cannot beat the cache itself), though residual errors remain on
 long queries because of run-to-run load variance.
 """
 
-import numpy as np
-
 from conftest import write_result
 
 from repro.harness import component_summaries, component_table

@@ -19,9 +19,7 @@ from repro.global_model import GlobalModelTrainer
 
 
 def replay_cold(trace, global_model):
-    stage = StagePredictor(
-        trace.instance, global_model=global_model, config=fast_profile()
-    )
+    stage = StagePredictor(trace.instance, global_model=global_model, config=fast_profile())
     preds, true = [], []
     for record in trace:
         preds.append(stage.predict(record).exec_time)
@@ -34,9 +32,7 @@ def main() -> None:
     generator = FleetGenerator(FleetConfig(seed=19, volume_scale=0.35))
 
     print("training the global model on 8 disjoint instances...")
-    train_traces = generator.generate_fleet_traces(
-        8, duration_days=2.0, start_index=500
-    )
+    train_traces = generator.generate_fleet_traces(8, duration_days=2.0, start_index=500)
     global_model = GlobalModelTrainer(
         GlobalModelConfig(hidden_dim=48, n_conv_layers=4, epochs=20)
     ).train(train_traces)

@@ -51,8 +51,7 @@ def main() -> None:
     mask = replay.cache_miss_mask & replay.local_ready_mask
     errors = absolute_errors(replay.true[mask], replay.local_pred[mask])
     fractions, oracle, by_unc, random = prr_curves(errors, replay.local_std[mask])
-    print(f"\ncumulative error covered after rejecting x% of queries "
-          f"({replay.instance_id}):")
+    print(f"\ncumulative error covered after rejecting x% of queries " f"({replay.instance_id}):")
     for pct in (10, 25, 50, 75):
         i = int(pct / 100 * (len(fractions) - 1))
         print(

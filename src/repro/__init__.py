@@ -11,7 +11,9 @@ Public API quick map:
 - :mod:`repro.plans` — physical plan trees and featurizations;
 - :mod:`repro.workload` — the synthetic Redshift-fleet generator;
 - :mod:`repro.wlm` — the workload-manager simulator (end-to-end eval);
-- :mod:`repro.harness` — replay evaluation and the paper's experiments.
+- :mod:`repro.harness` — replay evaluation and the paper's experiments;
+- :mod:`repro.service` — the online serving layer (micro-batching
+  ``PredictionService``, model registry, serving benchmark).
 """
 
 from .core import (

@@ -5,6 +5,7 @@ from .config import (
     CacheConfig,
     GlobalModelConfig,
     LocalModelConfig,
+    ServiceConfig,
     StageConfig,
     TrainingPoolConfig,
     fast_profile,
@@ -21,7 +22,7 @@ from .metrics import (
 )
 from .autowlm import AutoWLMPredictor
 from .optimal import OptimalPredictor
-from .stage import RoutedComponents, StagePredictor
+from .stage import BatchRouter, RoutedComponents, RoutedSlot, StagePredictor
 
 __all__ = [
     "Prediction",
@@ -32,6 +33,7 @@ __all__ = [
     "TrainingPoolConfig",
     "LocalModelConfig",
     "GlobalModelConfig",
+    "ServiceConfig",
     "StageConfig",
     "fast_profile",
     "paper_profile",
@@ -44,6 +46,8 @@ __all__ = [
     "prr_curves",
     "AutoWLMPredictor",
     "OptimalPredictor",
+    "BatchRouter",
     "RoutedComponents",
+    "RoutedSlot",
     "StagePredictor",
 ]

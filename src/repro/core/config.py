@@ -11,13 +11,14 @@ with 8 conv layers (hidden width scaled down from 512 for CPU training).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 __all__ = [
     "CacheConfig",
     "TrainingPoolConfig",
     "LocalModelConfig",
     "GlobalModelConfig",
+    "ServiceConfig",
     "StageConfig",
     "fast_profile",
     "paper_profile",
@@ -102,6 +103,30 @@ class StageConfig:
     #: at 1.5 the global model serves a few percent of queries, matching
     #: the paper's "rarely used (3% of the time)" operating point
     uncertainty_threshold: float = 1.5
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Online :class:`~repro.service.PredictionService` settings.
+
+    The service collects concurrent ``predict`` calls into micro-batches:
+    cache hits are answered immediately, while queries that need the
+    local ensemble wait until either ``max_batch_size`` of them are
+    pending or ``max_batch_latency_ms`` has elapsed since the first one,
+    then are served by one batched ensemble call.  Batch boundaries never
+    change any prediction bit (the ensemble is frozen between retrains),
+    so these are pure latency/throughput knobs.
+    """
+
+    #: deferred (model-bound) predictions served per batched model call
+    max_batch_size: int = 32
+    #: how long the first deferred prediction of a batch may wait (ms)
+    max_batch_latency_ms: float = 2.0
+    #: also compute local-ensemble answers for cache hits (component
+    #: collection, used by the replay harness's ``via_service`` mode)
+    collect_components: bool = False
+    #: default timeout for :meth:`PredictionService.drain` (seconds)
+    drain_timeout_s: float = 120.0
 
 
 def fast_profile() -> StageConfig:

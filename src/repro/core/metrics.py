@@ -10,7 +10,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict
 
 import numpy as np
 
@@ -78,9 +78,7 @@ def summarize_errors(true, pred, metric: str = "absolute") -> ErrorSummary:
     raise ValueError(f"unknown metric {metric!r}")
 
 
-def bucketed_summary(
-    true, pred, metric: str = "absolute"
-) -> Dict[str, ErrorSummary]:
+def bucketed_summary(true, pred, metric: str = "absolute") -> Dict[str, ErrorSummary]:
     """Per-exec-time-bucket summaries plus an ``Overall`` row.
 
     Buckets are keyed by the *true* exec-time, as in the paper's tables.

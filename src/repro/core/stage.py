@@ -17,7 +17,9 @@ query *missed* the cache (dedup rule) — the local training pool.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
+
+import numpy as np
 
 from repro.cache import ExecTimeCache
 from repro.global_model.model import GlobalModel
@@ -28,7 +30,7 @@ from repro.workload.query import QueryRecord
 from .config import StageConfig
 from .interfaces import Prediction, PredictionSource, Predictor, RunningMedian
 
-__all__ = ["RoutedComponents", "StagePredictor"]
+__all__ = ["BatchRouter", "RoutedComponents", "RoutedSlot", "StagePredictor"]
 
 
 @dataclass
@@ -95,6 +97,9 @@ class StagePredictor(Predictor):
         )
         self.global_model = global_model
         self._default = RunningMedian()
+        #: reusable single-query router (lazily built) so the hot
+        #: predict path pays no per-call router construction
+        self._inline_router = None
         self.source_counts = {
             PredictionSource.CACHE: 0,
             PredictionSource.LOCAL: 0,
@@ -109,70 +114,20 @@ class StagePredictor(Predictor):
     def predict_with_components(self, record: QueryRecord) -> RoutedComponents:
         """Route ``record`` and expose every component answer seen.
 
-        This is the one routing implementation; :meth:`predict` is a
-        thin wrapper over it.  Counter semantics are guaranteed: exactly
-        one counted cache lookup per call, and the local ensemble runs at
-        most once (only on cache misses once it is ready) — component
-        collection must *not* add lookups or inferences on top.
+        The degenerate (batch size 1) case of :class:`BatchRouter` — the
+        one routing implementation, shared with the replay harness and
+        the online serving layer so the paths cannot drift.  Counter
+        semantics are guaranteed: exactly one counted cache lookup per
+        call, and the local ensemble runs at most once (only on cache
+        misses once it is ready) — component collection must *not* add
+        lookups or inferences on top.
         """
-        cfg = self.config
-        local_ready = self.local.is_ready
-        local_generation = self.local.n_retrains
-
-        # stage 1: exec-time cache
-        cached = self.cache.lookup(self.cache.key_for(record.features))
-        if cached is not None:
-            self.source_counts[PredictionSource.CACHE] += 1
-            return RoutedComponents(
-                prediction=Prediction(
-                    exec_time=cached, source=PredictionSource.CACHE
-                ),
-                cache_value=cached,
-                local=None,
-                local_ready=local_ready,
-                local_generation=local_generation,
-            )
-
-        # stage 2: local model ("short or certain" -> trust it)
-        local_pred = None
-        if local_ready:
-            local_pred = self.local.predict(record.features)
-            is_short = local_pred.exec_time < cfg.short_circuit_seconds
-            is_certain = local_pred.std < cfg.uncertainty_threshold
-            if is_short or is_certain or self.global_model is None:
-                self.source_counts[PredictionSource.LOCAL] += 1
-                return RoutedComponents(
-                    prediction=local_pred,
-                    cache_value=None,
-                    local=local_pred,
-                    local_ready=True,
-                    local_generation=local_generation,
-                )
-
-        # stage 3: global model (local is uncertain or not ready)
-        if self.global_model is not None:
-            self.source_counts[PredictionSource.GLOBAL] += 1
-            return RoutedComponents(
-                prediction=self.global_model.predict(
-                    record.plan, self.instance, n_concurrent=0.0
-                ),
-                cache_value=None,
-                local=local_pred,
-                local_ready=local_ready,
-                local_generation=local_generation,
-            )
-
-        # cold start with no global model: running-median default
-        self.source_counts[PredictionSource.DEFAULT] += 1
-        return RoutedComponents(
-            prediction=Prediction(
-                exec_time=self._default.value, source=PredictionSource.DEFAULT
-            ),
-            cache_value=None,
-            local=None,
-            local_ready=local_ready,
-            local_generation=local_generation,
-        )
+        router = self._inline_router
+        if router is None:
+            router = self._inline_router = BatchRouter(self)
+        slot = router.route(record)
+        router.flush()
+        return slot.components
 
     # ------------------------------------------------------------------
     def observe(self, record: QueryRecord) -> None:
@@ -202,3 +157,205 @@ class StagePredictor(Predictor):
         per instance.
         """
         return self.cache.byte_size() + self.local.byte_size()
+
+
+class RoutedSlot:
+    """Placeholder for one routed prediction.
+
+    ``components`` is filled either immediately (cache hit, cold-start
+    global/default routes) or at the router's next :meth:`BatchRouter.flush`
+    (routes that need the local ensemble).
+    """
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Optional[RoutedComponents] = None):
+        self.components = components
+
+    @property
+    def ready(self) -> bool:
+        return self.components is not None
+
+
+@dataclass
+class _PendingEntry:
+    """One deferred local-ensemble inference inside the open window."""
+
+    slot: RoutedSlot
+    record: QueryRecord
+    #: True when the router itself needs the answer to finish routing;
+    #: False for component-collection-only inference on cache hits
+    routed: bool
+
+
+class BatchRouter:
+    """Incremental batch routing over one :class:`StagePredictor`.
+
+    The single batch-path implementation shared by the replay harness
+    (``component_inference="batched"`` and ``via_service`` modes) and the
+    online :class:`~repro.service.PredictionService` — both consume this
+    class, so the offline and serving paths cannot drift.
+
+    Contract: interleaving :meth:`route` and :meth:`observe` calls in
+    arrival order produces, after the final :meth:`flush`, results
+    **bit-identical** to the sequential
+    ``predict_with_components``/``observe`` loop — for any flush points.
+    This holds because the only work the router defers is local-ensemble
+    inference, and the ensemble is frozen between retrains:
+
+    - cache lookups, observes (and the retrains they trigger) and the
+      cold-start routes run inline, in arrival order, with identical
+      counter accounting;
+    - a query routed while the local model is ready joins the *pending
+      window* — the deferred inferences against one frozen ensemble
+      generation.  The window is answered by one batched ensemble call
+      (bit-identical per row to per-query calls) at the next flush, which
+      happens no later than the next generation change;
+    - the "short or certain" rule and the global-model fallback complete
+      at flush time; the global model is frozen and evaluated per query
+      (batching a GCN forward across plans could change summation order),
+      so deferral changes no arithmetic there either.
+    """
+
+    def __init__(self, stage: StagePredictor, collect_cache_hit_local: bool = False):
+        self.stage = stage
+        #: also run the (frozen) local ensemble on cache hits, filling
+        #: ``components.local`` for them at flush time — used by replay
+        #: component collection; never affects routing or accounting
+        self.collect_cache_hit_local = collect_cache_hit_local
+        self._frozen = None
+        self._pending: List[_PendingEntry] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_deferred(self) -> int:
+        """Deferred *routed* predictions waiting on the next flush."""
+        return sum(1 for entry in self._pending if entry.routed)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    # ------------------------------------------------------------------
+    def route(self, record: QueryRecord) -> RoutedSlot:
+        """Route one query; may defer local inference to the next flush.
+
+        Returns a :class:`RoutedSlot` that is ready immediately for cache
+        hits and cold-start routes, and completes at the next
+        :meth:`flush` when the local ensemble is consulted.
+        """
+        stage = self.stage
+        local_ready = stage.local.is_ready
+        local_generation = stage.local.n_retrains
+
+        # stage 1: exec-time cache
+        cached = stage.cache.lookup(stage.cache.key_for(record.features))
+        if cached is not None:
+            stage.source_counts[PredictionSource.CACHE] += 1
+            slot = RoutedSlot(
+                RoutedComponents(
+                    prediction=Prediction(
+                        exec_time=cached, source=PredictionSource.CACHE
+                    ),
+                    cache_value=cached,
+                    local=None,
+                    local_ready=local_ready,
+                    local_generation=local_generation,
+                )
+            )
+            if self.collect_cache_hit_local and local_ready:
+                self._defer(slot, record, routed=False)
+            return slot
+
+        # stage 2/3 with a ready local model: defer to the window batch
+        if local_ready:
+            slot = RoutedSlot()
+            self._defer(slot, record, routed=True)
+            return slot
+
+        # stage 3 directly: local not ready yet
+        if stage.global_model is not None:
+            stage.source_counts[PredictionSource.GLOBAL] += 1
+            return RoutedSlot(
+                RoutedComponents(
+                    prediction=stage.global_model.predict(
+                        record.plan, stage.instance, n_concurrent=0.0
+                    ),
+                    cache_value=None,
+                    local=None,
+                    local_ready=local_ready,
+                    local_generation=local_generation,
+                )
+            )
+
+        # cold start with no global model: running-median default
+        stage.source_counts[PredictionSource.DEFAULT] += 1
+        return RoutedSlot(
+            RoutedComponents(
+                prediction=Prediction(
+                    exec_time=stage._default.value,
+                    source=PredictionSource.DEFAULT,
+                ),
+                cache_value=None,
+                local=None,
+                local_ready=local_ready,
+                local_generation=local_generation,
+            )
+        )
+
+    def observe(self, record: QueryRecord) -> None:
+        """Apply one execution outcome, in arrival order.
+
+        A retrain triggered here never disturbs the pending window: the
+        window holds a frozen snapshot of the pre-retrain ensemble.
+        """
+        self.stage.observe(record)
+
+    # ------------------------------------------------------------------
+    def _defer(self, slot: RoutedSlot, record: QueryRecord, routed: bool) -> None:
+        generation = self.stage.local.n_retrains
+        if self._frozen is not None and self._frozen.generation != generation:
+            self.flush()
+        if self._frozen is None:
+            self._frozen = self.stage.local.frozen()
+        self._pending.append(_PendingEntry(slot=slot, record=record, routed=routed))
+
+    def flush(self) -> None:
+        """Serve the pending window with one batched ensemble call.
+
+        Completes every deferred slot.  Flushing early (e.g. a serving
+        micro-batch boundary) is always safe: the window's ensemble is
+        frozen and per-row batched inference is bit-identical to
+        per-query inference, so flush points never change results.
+        """
+        if self._frozen is None:
+            return
+        stage = self.stage
+        cfg = stage.config
+        pending, self._pending = self._pending, []
+        frozen, self._frozen = self._frozen, None
+        features = np.vstack([entry.record.features for entry in pending])
+        batch = frozen.predict_batch(features)
+        for entry, local_pred in zip(pending, batch):
+            if not entry.routed:
+                # cache hit: prediction was already answered from the
+                # cache; only the component answer is filled in
+                entry.slot.components.local = local_pred
+                continue
+            is_short = local_pred.exec_time < cfg.short_circuit_seconds
+            is_certain = local_pred.std < cfg.uncertainty_threshold
+            if is_short or is_certain or stage.global_model is None:
+                stage.source_counts[PredictionSource.LOCAL] += 1
+                prediction = local_pred
+            else:
+                stage.source_counts[PredictionSource.GLOBAL] += 1
+                prediction = stage.global_model.predict(
+                    entry.record.plan, stage.instance, n_concurrent=0.0
+                )
+            entry.slot.components = RoutedComponents(
+                prediction=prediction,
+                cache_value=None,
+                local=local_pred,
+                local_ready=True,
+                local_generation=frozen.generation,
+            )

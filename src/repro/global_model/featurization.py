@@ -43,9 +43,7 @@ def system_features(
             float(np.log1p(plan.total_estimated_cost)),
         ]
     )
-    return np.concatenate(
-        [instance.system_features(n_concurrent), plan_summary]
-    )
+    return np.concatenate([instance.system_features(n_concurrent), plan_summary])
 
 
 def record_to_graph(
@@ -54,19 +52,13 @@ def record_to_graph(
     n_concurrent: float = 0.0,
 ) -> PlanGraph:
     """Build the GCN input graph for one query on one instance."""
-    return plan_to_graph(
-        plan, system_features(plan, instance, n_concurrent)
-    )
+    return plan_to_graph(plan, system_features(plan, instance, n_concurrent))
 
 
-def records_to_graphs(
-    records, instance: InstanceProfile, n_concurrent: float = 0.0
-):
+def records_to_graphs(records, instance: InstanceProfile, n_concurrent: float = 0.0):
     """Graphs for many records of one instance (the trainer's hot loop).
 
     Featurization dominates dataset-construction cost, so this is the
     unit the sharded trainer fans out to worker processes.
     """
-    return [
-        record_to_graph(r.plan, instance, n_concurrent) for r in records
-    ]
+    return [record_to_graph(r.plan, instance, n_concurrent) for r in records]

@@ -24,9 +24,7 @@ _FORMAT_VERSION = 1
 def save_global_model(model: GlobalModel, path: str) -> None:
     """Serialize a trained :class:`GlobalModel` to ``path`` (``.npz``)."""
     gcn = model.gcn
-    arrays = {
-        f"param_{i}": p.value for i, p in enumerate(gcn.parameters())
-    }
+    arrays = {f"param_{i}": p.value for i, p in enumerate(gcn.parameters())}
     arrays["meta"] = np.array(
         [
             _FORMAT_VERSION,
@@ -53,9 +51,7 @@ def load_global_model(path: str) -> GlobalModel:
         meta = data["meta"]
         version = int(meta[0])
         if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported global-model format version {version}"
-            )
+            raise ValueError(f"unsupported global-model format version {version}")
         n_node_features = int(meta[1])
         n_sys_features = int(meta[2])
         hidden_dim = int(meta[3])
@@ -80,9 +76,7 @@ def load_global_model(path: str) -> GlobalModel:
         for i, p in enumerate(params):
             value = data[f"param_{i}"]
             if value.shape != p.value.shape:
-                raise ValueError(
-                    f"parameter {i} shape mismatch: {value.shape} vs {p.value.shape}"
-                )
+                raise ValueError(f"parameter {i} shape mismatch: {value.shape} vs {p.value.shape}")
             p.value = value.copy()
 
         node_scaler = StandardScaler()

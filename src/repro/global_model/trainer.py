@@ -79,9 +79,7 @@ def subsample_trace(trace: Trace, config: GlobalModelConfig):
     return candidates
 
 
-def _featurize_trace(
-    trace: Trace, config: GlobalModelConfig, want_moments: bool = True
-):
+def _featurize_trace(trace: Trace, config: GlobalModelConfig, want_moments: bool = True):
     """``(graphs, targets, node_moments, sys_moments)`` for one trace.
 
     Self-contained per trace so it can run in any process: moments are
@@ -108,18 +106,14 @@ def _featurize_shard_worker(args) -> List[tuple]:
     order, which is what keeps the reduction shard-stable.
     """
     traces, config, want_moments = args
-    return [
-        _featurize_trace(trace, config, want_moments) for trace in traces
-    ]
+    return [_featurize_trace(trace, config, want_moments) for trace in traces]
 
 
 def _shard(items: Sequence, n_shards: int) -> List[list]:
     """Split into ``n_shards`` contiguous chunks, sizes within one."""
     n_shards = max(1, min(n_shards, len(items)))
     bounds = np.linspace(0, len(items), n_shards + 1).astype(int)
-    return [
-        list(items[bounds[i] : bounds[i + 1]]) for i in range(n_shards)
-    ]
+    return [list(items[bounds[i] : bounds[i + 1]]) for i in range(n_shards)]
 
 
 class GlobalModelTrainer:
@@ -142,9 +136,7 @@ class GlobalModelTrainer:
             n_jobs = cfg.n_jobs
         n_jobs = resolve_n_jobs(n_jobs, len(traces))
 
-        tasks = [
-            (shard, cfg, want_moments) for shard in _shard(traces, n_jobs)
-        ]
+        tasks = [(shard, cfg, want_moments) for shard in _shard(traces, n_jobs)]
         shards = pool_map(_featurize_shard_worker, tasks, n_jobs)
         per_trace = [entry for shard in shards for entry in shard]
 
@@ -157,22 +149,16 @@ class GlobalModelTrainer:
             targets.append(trace_targets)
             node_moments.merge(node_m)
             sys_moments.merge(sys_m)
-        flat_targets = (
-            np.concatenate(targets) if targets else np.zeros(0)
-        )
+        flat_targets = np.concatenate(targets) if targets else np.zeros(0)
         return graphs, flat_targets, node_moments, sys_moments
 
-    def build_dataset(
-        self, traces: Iterable[Trace], n_jobs: Optional[int] = None
-    ):
+    def build_dataset(self, traces: Iterable[Trace], n_jobs: Optional[int] = None):
         """``(graphs, targets)`` with the per-instance sampling cap.
 
         ``n_jobs`` overrides ``config.n_jobs`` when given; any value
         yields a bit-identical dataset (see the module docstring).
         """
-        graphs, targets, _, __ = self._build(
-            traces, n_jobs, want_moments=False
-        )
+        graphs, targets, _, __ = self._build(traces, n_jobs, want_moments=False)
         return graphs, targets
 
     # ------------------------------------------------------------------
@@ -189,9 +175,7 @@ class GlobalModelTrainer:
         value.
         """
         cfg = self.config
-        graphs, targets, node_moments, sys_moments = self._build(
-            traces, n_jobs
-        )
+        graphs, targets, node_moments, sys_moments = self._build(traces, n_jobs)
         if not graphs:
             raise ValueError("no training data: empty traces")
 

@@ -15,6 +15,12 @@ model to each worker once via the pool initializer) all fan out over
 process pools when ``n_jobs > 1``; results are bit-identical to the
 sequential path for any ``n_jobs``.
 
+The serving-side twin of this offline harness is ``repro.service``:
+``replay_instance(via_service=True)`` replays an instance *through* the
+online :class:`~repro.service.PredictionService` (micro-batch scheduler
+and all) with bit-identical results, and ``python -m repro.service``
+benchmarks that serving layer.
+
 Run everything and print paper-style tables with::
 
     python -m repro.harness.experiments [--scale small|medium]
@@ -23,14 +29,13 @@ Run everything and print paper-style tables with::
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.config import (
     GlobalModelConfig,
-    LocalModelConfig,
     StageConfig,
     fast_profile,
 )
@@ -45,7 +50,6 @@ from repro.global_model.trainer import GlobalModelTrainer
 from repro.wlm.simulator import WLMConfig, simulate_wlm
 from repro.workload.fleet import FleetConfig, FleetGenerator
 from repro.workload.trace import (
-    Trace,
     bucket_counts,
     fleet_exec_times,
     fleet_unique_daily_fractions,
@@ -114,9 +118,7 @@ class SweepResult:
         return np.concatenate([getattr(r, attr) for r in self.replays])
 
     def pooled_mask(self, mask_attr: str) -> np.ndarray:
-        return np.concatenate(
-            [getattr(r, mask_attr) for r in self.replays]
-        )
+        return np.concatenate([getattr(r, mask_attr) for r in self.replays])
 
 
 def run_sweep(
@@ -147,9 +149,7 @@ def run_sweep(
             n_jobs=n_jobs,
         )
         t0 = time.time()
-        global_model = GlobalModelTrainer(config.global_model).train(
-            train_traces, n_jobs=n_jobs
-        )
+        global_model = GlobalModelTrainer(config.global_model).train(train_traces, n_jobs=n_jobs)
         train_seconds = time.time() - t0
         if verbose:
             n = sum(len(t) for t in train_traces)
@@ -165,9 +165,7 @@ def run_sweep(
         n_jobs=n_jobs,
     )
     t0 = time.time()
-    replays = sweeper.replay_indices(
-        range(config.n_eval_instances), config.duration_days
-    )
+    replays = sweeper.replay_indices(range(config.n_eval_instances), config.duration_days)
     replay_seconds = time.time() - t0
     if verbose:
         for replay in replays:
@@ -199,9 +197,7 @@ def fleet_statistics(
     unique_fractions = fleet_unique_daily_fractions(traces)
     exec_times = fleet_exec_times(traces)
     weights = np.array([len(t) for t in traces], dtype=np.float64)
-    repeat_fraction = float(
-        ((1 - unique_fractions) * weights).sum() / weights.sum()
-    )
+    repeat_fraction = float(((1 - unique_fractions) * weights).sum() / weights.sum())
     return {
         "unique_fractions": unique_fractions,
         "exec_times": exec_times,
@@ -325,7 +321,8 @@ def accuracy_table(sweep: SweepResult, metric: str = "absolute") -> str:
     label = "AE" if metric == "absolute" else "QE"
     number = "Table 1" if metric == "absolute" else "Table 2"
     return render_comparison_table(
-        f"{number}: prediction accuracy ({'absolute error, s' if metric == 'absolute' else 'Q-error'})",
+        f"{number}: prediction accuracy "
+        f"({'absolute error, s' if metric == 'absolute' else 'Q-error'})",
         "Stage",
         left,
         "AutoWLM",
@@ -339,10 +336,30 @@ def accuracy_table(sweep: SweepResult, metric: str = "absolute") -> str:
 # ---------------------------------------------------------------------------
 _COMPONENT_TABLES = {
     # name: (mask builder, left column, right column, title)
-    "table3": ("cache_hit_mask", "cache_pred", "autowlm_pred", "Table 3: exec-time cache vs AutoWLM on cache hits"),
-    "table4": ("local_miss_mask", "local_pred", "autowlm_pred", "Table 4: local model vs AutoWLM on cache misses"),
-    "table5": ("local_miss_mask", "global_pred", "local_pred", "Table 5: global vs local on cache misses"),
-    "table6": ("uncertain_mask", "global_pred", "local_pred", "Table 6: global vs local on *uncertain* queries"),
+    "table3": (
+        "cache_hit_mask",
+        "cache_pred",
+        "autowlm_pred",
+        "Table 3: exec-time cache vs AutoWLM on cache hits",
+    ),
+    "table4": (
+        "local_miss_mask",
+        "local_pred",
+        "autowlm_pred",
+        "Table 4: local model vs AutoWLM on cache misses",
+    ),
+    "table5": (
+        "local_miss_mask",
+        "global_pred",
+        "local_pred",
+        "Table 5: global vs local on cache misses",
+    ),
+    "table6": (
+        "uncertain_mask",
+        "global_pred",
+        "local_pred",
+        "Table 6: global vs local on *uncertain* queries",
+    ),
 }
 
 
@@ -350,11 +367,7 @@ def _component_mask(replay: InstanceReplay, which: str) -> np.ndarray:
     if which == "cache_hit_mask":
         return replay.cache_hit_mask
     if which == "local_miss_mask":
-        return (
-            replay.cache_miss_mask
-            & replay.local_ready_mask
-            & replay.global_available_mask
-        )
+        return replay.cache_miss_mask & replay.local_ready_mask & replay.global_available_mask
     if which == "uncertain_mask":
         return replay.uncertain & replay.global_available_mask
     raise ValueError(which)
@@ -363,9 +376,7 @@ def _component_mask(replay: InstanceReplay, which: str) -> np.ndarray:
 def component_table(sweep: SweepResult, table: str, metric: str = "absolute") -> str:
     """Render one of the ablation tables (``table3`` .. ``table6``)."""
     mask_name, left_attr, right_attr, title = _COMPONENT_TABLES[table]
-    mask = np.concatenate(
-        [_component_mask(r, mask_name) for r in sweep.replays]
-    )
+    mask = np.concatenate([_component_mask(r, mask_name) for r in sweep.replays])
     true = sweep.pooled("true")[mask]
     left_names = {
         "cache_pred": "Cache",
@@ -387,9 +398,7 @@ def component_table(sweep: SweepResult, table: str, metric: str = "absolute") ->
 def component_summaries(sweep: SweepResult, table: str):
     """The underlying summaries for assertions (left, right, n)."""
     mask_name, left_attr, right_attr, _ = _COMPONENT_TABLES[table]
-    mask = np.concatenate(
-        [_component_mask(r, mask_name) for r in sweep.replays]
-    )
+    mask = np.concatenate([_component_mask(r, mask_name) for r in sweep.replays])
     true = sweep.pooled("true")[mask]
     left = bucketed_summary(true, sweep.pooled(left_attr)[mask])
     right = bucketed_summary(true, sweep.pooled(right_attr)[mask])
@@ -446,15 +455,9 @@ def inference_cost(
     from repro.core.stage import StagePredictor
 
     config = sweep.config
-    gen = FleetGenerator(
-        FleetConfig(seed=config.seed, volume_scale=config.volume_scale)
-    )
-    trace = gen.generate_trace(
-        gen.sample_instance(0), config.duration_days
-    )
-    stage = StagePredictor(
-        trace.instance, global_model=sweep.global_model, config=config.stage
-    )
+    gen = FleetGenerator(FleetConfig(seed=config.seed, volume_scale=config.volume_scale))
+    trace = gen.generate_trace(gen.sample_instance(0), config.duration_days)
+    stage = StagePredictor(trace.instance, global_model=sweep.global_model, config=config.stage)
     autowlm = AutoWLMPredictor(config=config.stage.local)
     for record in trace:
         stage.predict(record)
@@ -536,14 +539,9 @@ def _print_all(scale: str = "small") -> None:  # pragma: no cover - CLI
     rows = []
     for name in ("stage", "optimal"):
         imp = e2e["improvements"][name]
-        rows.append(
-            [name, f"{imp['mean']:.1%}", f"{imp['median']:.1%}", f"{imp['p90']:.1%}"]
-        )
+        rows.append([name, f"{imp['mean']:.1%}", f"{imp['median']:.1%}", f"{imp['p90']:.1%}"])
     print(render_simple_table("", ["predictor", "mean", "median", "p90(tail)"], rows))
-    print(
-        f"\n-- Figure 7: instances regressed: "
-        f"{e2e['fraction_instances_regressed']:.0%} --"
-    )
+    print(f"\n-- Figure 7: instances regressed: " f"{e2e['fraction_instances_regressed']:.0%} --")
 
     print("\n" + accuracy_table(sweep, "absolute"))
     print("\n" + accuracy_table(sweep, "q"))
@@ -551,9 +549,7 @@ def _print_all(scale: str = "small") -> None:  # pragma: no cover - CLI
         print("\n" + component_table(sweep, table))
 
     prr = prr_analysis(sweep)
-    print(
-        f"\n-- Figure 11: PRR mean={prr['mean']:.2f} median={prr['median']:.2f} --"
-    )
+    print(f"\n-- Figure 11: PRR mean={prr['mean']:.2f} median={prr['median']:.2f} --")
 
     cost = inference_cost(sweep)
     print("\n-- Figure 9: inference cost --")

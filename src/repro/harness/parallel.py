@@ -144,9 +144,7 @@ class FleetSweeper:
         )
 
     def _map(self, worker, payloads: Sequence[tuple]) -> List[InstanceReplay]:
-        settings = self._settings(
-            inline=runs_inline(self.n_jobs, len(payloads))
-        )
+        settings = self._settings(inline=runs_inline(self.n_jobs, len(payloads)))
         tasks = [payload + (settings,) for payload in payloads]
         return pool_map(
             worker,
@@ -165,10 +163,7 @@ class FleetSweeper:
         Each worker samples its instance and unrolls its trace itself,
         so results are independent of how work is distributed.
         """
-        payloads = [
-            (self.fleet_config, duration_days, int(index))
-            for index in indices
-        ]
+        payloads = [(self.fleet_config, duration_days, int(index)) for index in indices]
         return self._map(_replay_index_worker, payloads)
 
     def replay_traces(self, traces: Sequence[Trace]) -> List[InstanceReplay]:

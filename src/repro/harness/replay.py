@@ -18,6 +18,13 @@ Component collection never perturbs the predictors it is measuring:
   window** (the ensemble is frozen between retrains, so deferral changes
   no arithmetic — results are bit-identical to per-query calls).
 
+The batched path is :class:`~repro.core.stage.BatchRouter` — the same
+engine the online :class:`~repro.service.PredictionService` schedules
+micro-batches through.  ``via_service=True`` replays the trace *through*
+a live service (concurrent clients, micro-batch scheduler and all) and
+must reproduce the direct replay bit-for-bit; ``tests/test_service.py``
+enforces that parity.
+
 ``component_inference="per_query"`` keeps the reference per-query
 implementation (one extra ensemble inference per eligible query) for
 parity tests and for benchmarking the cost of the batched path.
@@ -31,9 +38,9 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.autowlm import AutoWLMPredictor
-from repro.core.config import StageConfig
+from repro.core.config import ServiceConfig, StageConfig
 from repro.core.interfaces import PredictionSource
-from repro.core.stage import StagePredictor
+from repro.core.stage import BatchRouter, RoutedComponents, StagePredictor
 from repro.global_model.model import GlobalModel
 from repro.workload.trace import Trace
 
@@ -86,6 +93,87 @@ class InstanceReplay:
 COMPONENT_INFERENCE_MODES = ("batched", "per_query")
 
 
+def _routed_components_direct(
+    trace: Trace,
+    stage: StagePredictor,
+    collect_components: bool,
+) -> List[RoutedComponents]:
+    """Fused predict+observe replay through the shared batch router."""
+    router = BatchRouter(stage, collect_cache_hit_local=collect_components)
+    slots = [None] * len(trace)
+    for i, record in enumerate(trace):
+        slots[i] = router.route(record)
+        router.observe(record)
+    router.flush()
+    return [slot.components for slot in slots]
+
+
+def _routed_components_via_service(
+    trace: Trace,
+    stage_config: Optional[StageConfig],
+    global_model: Optional[GlobalModel],
+    random_state: int,
+    collect_components: bool,
+    service_config: Optional[ServiceConfig],
+    service_clients: int,
+):
+    """Replay the trace through a live :class:`PredictionService`.
+
+    ``service_clients`` threads submit the fused predict/observe op
+    stream concurrently; explicit sequence numbers (predict of query
+    ``i`` is op ``2i``, its observe op ``2i+1``) make the service's
+    sequencer reconstruct arrival order, so any client count and any
+    ``max_batch_size`` reproduce the direct replay bit-for-bit.
+
+    Returns ``(components, stage)`` where ``stage`` is the service's
+    (now quiesced) predictor, for accounting.
+    """
+    import threading
+
+    from repro.service import PredictionService
+
+    from dataclasses import replace
+
+    service_config = replace(
+        service_config or ServiceConfig(),
+        collect_components=collect_components,
+    )
+    service = PredictionService(
+        trace.instance,
+        global_model=global_model,
+        stage_config=stage_config,
+        service_config=service_config,
+        random_state=random_state,
+    )
+    futures = [None] * len(trace)
+    observe_futures = [None] * len(trace)
+    n_clients = max(1, int(service_clients))
+
+    def client(worker_index: int) -> None:
+        # replay discipline: outcomes are known, so each client submits
+        # its queries' predict and observe ops without waiting — the
+        # service's sequencer enforces arrival order across clients
+        for i in range(worker_index, len(trace), n_clients):
+            record = trace[i]
+            futures[i] = service.predict_async(record, seq=2 * i)
+            observe_futures[i] = service.observe(record, seq=2 * i + 1)
+    threads = [
+        threading.Thread(target=client, args=(w,)) for w in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    components = [future.result(timeout=service_config.drain_timeout_s) for future in futures]
+    # surface worker-side observe failures: a swallowed observe would
+    # silently diverge the predictor state from the direct replay
+    for future in observe_futures:
+        future.result(timeout=service_config.drain_timeout_s)
+    service.drain()
+    service.close()
+    return components, service.stage
+
+
 def replay_instance(
     trace: Trace,
     global_model: Optional[GlobalModel] = None,
@@ -93,6 +181,9 @@ def replay_instance(
     random_state: int = 0,
     collect_components: bool = True,
     component_inference: str = "batched",
+    via_service: bool = False,
+    service_config: ServiceConfig | None = None,
+    service_clients: int = 1,
 ) -> InstanceReplay:
     """Replay one instance's trace through Stage and AutoWLM.
 
@@ -106,21 +197,21 @@ def replay_instance(
     on cache misses and serves cache hits with one batched ensemble call
     per retrain window; ``"per_query"`` is the bit-identical reference
     path that re-runs the ensemble per eligible query.
+
+    ``via_service=True`` routes the Stage predictions through an online
+    :class:`~repro.service.PredictionService` (micro-batch scheduler,
+    ``service_clients`` concurrent submitters, ``service_config`` knobs)
+    instead of calling the predictor directly; results are bit-identical
+    to the direct path for any batch size and client count.
     """
     if component_inference not in COMPONENT_INFERENCE_MODES:
+        raise ValueError(f"component_inference must be one of {COMPONENT_INFERENCE_MODES}")
+    if via_service and component_inference != "batched":
         raise ValueError(
-            f"component_inference must be one of {COMPONENT_INFERENCE_MODES}"
+            "via_service replays route through the batched path; "
+            'use component_inference="batched"'
         )
     config = config or StageConfig()
-    stage = StagePredictor(
-        trace.instance,
-        global_model=global_model,
-        config=config,
-        random_state=random_state,
-    )
-    autowlm = AutoWLMPredictor(
-        config=config.local, random_state=random_state
-    )
 
     n = len(trace)
     true = np.empty(n)
@@ -141,48 +232,34 @@ def replay_instance(
             and lp.std >= config.uncertainty_threshold
         )
 
-    # Deferred local inference for the current retrain window: the
-    # ensemble only changes at a retrain and the window id never
-    # decreases over the replay, so at most one window is pending at a
-    # time.  It is answered by its frozen snapshot in one batched call
-    # when the next window opens (or after the loop), which also bounds
-    # how many stale ensembles stay alive to one.
-    pending_frozen = None
-    pending_indices: List[int] = []
-    pending_features: list = []
-
-    def _flush_pending():
-        nonlocal pending_frozen
-        if pending_frozen is None:
-            return
-        batch = pending_frozen.predict_batch(np.vstack(pending_features))
-        for idx, lp in zip(pending_indices, batch):
-            local_pred[idx] = lp.exec_time
-            local_std[idx] = lp.std
-            uncertain[idx] = _is_uncertain(lp)
-        pending_frozen = None
-        pending_indices.clear()
-        pending_features.clear()
-
     for i, record in enumerate(trace):
         true[i] = record.exec_time
         arrival[i] = record.arrival_time
         kind[i] = record.kind
 
-        routed = stage.predict_with_components(record)
-        sp = routed.prediction
-        stage_pred[i] = sp.exec_time
-        stage_source[i] = sp.source
+    # The AutoWLM baseline shares no state with Stage, so its replay is
+    # an independent loop regardless of how Stage predictions are routed.
+    autowlm = AutoWLMPredictor(config=config.local, random_state=random_state)
+    for i, record in enumerate(trace):
+        autowlm_pred[i] = autowlm.predict(record).exec_time
+        autowlm.observe(record)
 
-        ap = autowlm.predict(record)
-        autowlm_pred[i] = ap.exec_time
-
-        if collect_components:
-            if component_inference == "per_query":
-                # Reference path: probe the cache again — via the
-                # non-mutating peek, so the router's lookup stays the
-                # only counted one — and re-run the ensemble on every
-                # local-ready query.
+    if component_inference == "per_query":
+        stage = StagePredictor(
+            trace.instance,
+            global_model=global_model,
+            config=config,
+            random_state=random_state,
+        )
+        # Reference path: per-query routing, probing the cache again —
+        # via the non-mutating peek, so the router's lookup stays the
+        # only counted one — and re-running the ensemble on every
+        # local-ready query.
+        for i, record in enumerate(trace):
+            sp = stage.predict_with_components(record).prediction
+            stage_pred[i] = sp.exec_time
+            stage_source[i] = sp.source
+            if collect_components:
                 cached = stage.cache.peek(stage.cache.key_for(record.features))
                 if cached is not None:
                     cache_pred[i] = cached
@@ -191,7 +268,33 @@ def replay_instance(
                     local_pred[i] = lp.exec_time
                     local_std[i] = lp.std
                     uncertain[i] = _is_uncertain(lp)
-            else:
+            elif sp.source == PredictionSource.CACHE:
+                cache_pred[i] = sp.exec_time
+            stage.observe(record)
+    else:
+        if via_service:
+            components, stage = _routed_components_via_service(
+                trace,
+                config,
+                global_model,
+                random_state,
+                collect_components,
+                service_config,
+                service_clients,
+            )
+        else:
+            stage = StagePredictor(
+                trace.instance,
+                global_model=global_model,
+                config=config,
+                random_state=random_state,
+            )
+            components = _routed_components_direct(trace, stage, collect_components)
+        for i, routed in enumerate(components):
+            sp = routed.prediction
+            stage_pred[i] = sp.exec_time
+            stage_source[i] = sp.source
+            if collect_components:
                 if routed.cache_value is not None:
                     cache_pred[i] = routed.cache_value
                 if routed.local is not None:
@@ -199,36 +302,15 @@ def replay_instance(
                     local_pred[i] = lp.exec_time
                     local_std[i] = lp.std
                     uncertain[i] = _is_uncertain(lp)
-                elif routed.local_ready:
-                    # Cache hit with a ready local model: the router
-                    # never consulted the ensemble — defer to the
-                    # window batch.
-                    if (
-                        pending_frozen is not None
-                        and pending_frozen.generation
-                        != routed.local_generation
-                    ):
-                        _flush_pending()
-                    if pending_frozen is None:
-                        pending_frozen = stage.local.frozen()
-                    pending_indices.append(i)
-                    pending_features.append(record.features)
-        elif sp.source == PredictionSource.CACHE:
-            cache_pred[i] = sp.exec_time
-
-        stage.observe(record)
-        autowlm.observe(record)
-
-    _flush_pending()
+            elif sp.source == PredictionSource.CACHE:
+                cache_pred[i] = sp.exec_time
 
     if collect_components and global_model is not None:
         # The global model is trained offline and frozen during replay, so
         # its per-query answers can be computed in one batch.
         from repro.global_model.featurization import record_to_graph
 
-        graphs = [
-            record_to_graph(r.plan, trace.instance) for r in trace
-        ]
+        graphs = [record_to_graph(r.plan, trace.instance) for r in trace]
         global_pred[:] = global_model.predict_graphs(graphs)
 
     return InstanceReplay(

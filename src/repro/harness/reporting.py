@@ -68,9 +68,7 @@ def render_simple_table(title: str, headers: Sequence[str], rows: Sequence[Seque
     header = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
     lines = [title, "=" * len(header), header, "-" * len(header)]
     for row in rows:
-        lines.append(
-            "  ".join(_cell(c).ljust(w) for c, w in zip(row, widths))
-        )
+        lines.append("  ".join(_cell(c).ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
 
 

@@ -128,11 +128,7 @@ class GradientBoostingModel:
         obj = self.objective
         self.init_raw_ = obj.init_raw(y)
         raw = np.tile(self.init_raw_, (n, 1))
-        raw_val = (
-            np.tile(self.init_raw_, (X_val.shape[0], 1))
-            if X_val is not None
-            else None
-        )
+        raw_val = np.tile(self.init_raw_, (X_val.shape[0], 1)) if X_val is not None else None
 
         self.trees_ = []
         self.train_losses_ = []
@@ -152,9 +148,7 @@ class GradientBoostingModel:
                 sample_w = None
             if self.colsample < 1.0:
                 k = max(1, int(round(self.colsample * n_features)))
-                feature_indices = np.sort(
-                    rng.choice(n_features, size=k, replace=False)
-                )
+                feature_indices = np.sort(rng.choice(n_features, size=k, replace=False))
             else:
                 feature_indices = None
 
@@ -175,9 +169,7 @@ class GradientBoostingModel:
                 update = tree.predict_binned(binned)
                 raw[:, p] += self.learning_rate * update
                 if raw_val is not None:
-                    raw_val[:, p] += self.learning_rate * tree.predict_binned(
-                        binned_val
-                    )
+                    raw_val[:, p] += self.learning_rate * tree.predict_binned(binned_val)
                 round_trees.append(tree)
             self.trees_.append(round_trees)
             self.train_losses_.append(obj.loss(y, raw))
@@ -239,6 +231,4 @@ class GradientBoostingModel:
         """Approximate in-memory model size (bytes)."""
         if self.trees_ is None:
             return 0
-        return int(
-            sum(t.byte_size() for round_trees in self.trees_ for t in round_trees)
-        )
+        return int(sum(t.byte_size() for round_trees in self.trees_ for t in round_trees))

@@ -21,7 +21,7 @@ one forward/backward pass handles the whole batch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
@@ -87,21 +87,15 @@ class GraphBatch:
             sys_feats.append(g.sys_features)
             offset += n
         self.node_features = np.concatenate(feats, axis=0)
-        self.src = (
-            np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64)
-        )
-        self.dst = (
-            np.concatenate(dsts) if dsts else np.zeros(0, dtype=np.int64)
-        )
+        self.src = np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64)
+        self.dst = np.concatenate(dsts) if dsts else np.zeros(0, dtype=np.int64)
         self.roots = np.asarray(roots, dtype=np.int64)
         self.sys_features = np.vstack(sys_feats)
         self.n_nodes = offset
         if self.dst.size == 0:
             self.edge_weight = np.zeros(0, dtype=np.float64)
         elif aggregation == "mean":
-            in_deg = np.bincount(self.dst, minlength=self.n_nodes).astype(
-                np.float64
-            )
+            in_deg = np.bincount(self.dst, minlength=self.n_nodes).astype(np.float64)
             in_deg[in_deg == 0] = 1.0
             self.edge_weight = 1.0 / in_deg[self.dst]
         else:
@@ -147,9 +141,7 @@ class _GraphConvLayer:
         dM = self.msg_lin.backward(dpre)
         dH = dH + d_from_self
         if batch.src.size:
-            np.add.at(
-                dH, batch.src, dM[batch.dst] * batch.edge_weight[:, None]
-            )
+            np.add.at(dH, batch.src, dM[batch.dst] * batch.edge_weight[:, None])
         return dH
 
     def parameters(self):
@@ -280,9 +272,7 @@ class DirectedGCN:
             n_batches = 0
             for start in range(0, train_idx.size, batch_size):
                 rows = train_idx[order[start : start + batch_size]]
-                batch = GraphBatch(
-                    [graphs[i] for i in rows], aggregation=self.aggregation
-                )
+                batch = GraphBatch([graphs[i] for i in rows], aggregation=self.aggregation)
                 pred = self.forward(batch, training=True)
                 loss, dpred = huber_loss(pred, targets[rows])
                 optimizer.zero_grad()

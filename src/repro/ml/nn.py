@@ -183,10 +183,6 @@ def huber_loss(pred, target, delta=1.0):
     diff = pred - target
     abs_diff = np.abs(diff)
     quadratic = abs_diff <= delta
-    loss = float(
-        np.mean(
-            np.where(quadratic, 0.5 * diff**2, delta * (abs_diff - 0.5 * delta))
-        )
-    )
+    loss = float(np.mean(np.where(quadratic, 0.5 * diff**2, delta * (abs_diff - 0.5 * delta))))
     dpred = np.where(quadratic, diff, delta * np.sign(diff)) / diff.size
     return loss, dpred

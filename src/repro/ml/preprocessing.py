@@ -40,9 +40,7 @@ class RunningMoments:
         """Fold a batch of rows into the moments (one merge per batch)."""
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[1] != self.mean.shape[0]:
-            raise ValueError(
-                f"expected (n, {self.mean.shape[0]}) rows, got {X.shape}"
-            )
+            raise ValueError(f"expected (n, {self.mean.shape[0]}) rows, got {X.shape}")
         if X.shape[0] == 0:
             return self
         batch = RunningMoments(X.shape[1])
@@ -63,11 +61,7 @@ class RunningMoments:
         total = self.count + other.count
         delta = other.mean - self.mean
         self.mean = self.mean + delta * (other.count / total)
-        self.m2 = (
-            self.m2
-            + other.m2
-            + delta**2 * (self.count * other.count / total)
-        )
+        self.m2 = self.m2 + other.m2 + delta**2 * (self.count * other.count / total)
         self.count = total
         return self
 

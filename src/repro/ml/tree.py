@@ -159,33 +159,21 @@ class RegressionTree:
         self.is_leaf_ = np.ones(max_nodes, dtype=bool)
         self.n_nodes_ = 1
 
-        root = _NodeBatch(
-            0, np.arange(n_samples), 0, float(grad.sum()), float(hess.sum())
-        )
+        root = _NodeBatch(0, np.arange(n_samples), 0, float(grad.sum()), float(hess.sum()))
         stack = [root]
         while stack:
             node = stack.pop()
-            self.value_[node.node_id] = self._leaf_value(
-                node.grad_sum, node.hess_sum
-            )
-            if (
-                node.depth >= self.max_depth
-                or node.indices.size < 2 * self.min_samples_leaf
-            ):
+            self.value_[node.node_id] = self._leaf_value(node.grad_sum, node.hess_sum)
+            if node.depth >= self.max_depth or node.indices.size < 2 * self.min_samples_leaf:
                 continue
-            split = self._best_split(
-                binned, grad, hess, node, binner, feature_indices
-            )
+            split = self._best_split(binned, grad, hess, node, binner, feature_indices)
             if split is None:
                 continue
             feat, bin_idx, gain = split
             go_left = binned[node.indices, feat] <= bin_idx
             left_idx = node.indices[go_left]
             right_idx = node.indices[~go_left]
-            if (
-                left_idx.size < self.min_samples_leaf
-                or right_idx.size < self.min_samples_leaf
-            ):
+            if left_idx.size < self.min_samples_leaf or right_idx.size < self.min_samples_leaf:
                 continue
 
             nid = node.node_id
@@ -201,9 +189,7 @@ class RegressionTree:
 
             gl = float(grad[left_idx].sum())
             hl = float(hess[left_idx].sum())
-            stack.append(
-                _NodeBatch(left_id, left_idx, node.depth + 1, gl, hl)
-            )
+            stack.append(_NodeBatch(left_id, left_idx, node.depth + 1, gl, hl))
             stack.append(
                 _NodeBatch(
                     right_id,

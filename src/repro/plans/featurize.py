@@ -82,9 +82,7 @@ def feature_names():
             ]
         )
     names.extend(f"qt_{qt}" for qt in QUERY_TYPES)
-    names.extend(
-        ["n_nodes", "depth", "n_joins", "log_total_cost", "log_max_table_rows"]
-    )
+    names.extend(["n_nodes", "depth", "n_joins", "log_total_cost", "log_max_table_rows"])
     return names
 
 

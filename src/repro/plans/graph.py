@@ -53,11 +53,7 @@ def plan_to_graph(plan: PhysicalPlan, sys_features) -> PlanGraph:
     by :mod:`repro.global_model.featurization`.
     """
     edges = plan.edges()
-    edge_arr = (
-        np.array(edges, dtype=np.int64).T
-        if edges
-        else np.zeros((2, 0), dtype=np.int64)
-    )
+    edge_arr = np.array(edges, dtype=np.int64).T if edges else np.zeros((2, 0), dtype=np.int64)
     return PlanGraph(
         node_features=node_feature_matrix(plan),
         edges=edge_arr,

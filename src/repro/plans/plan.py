@@ -50,9 +50,7 @@ class PlanNode:
             raise ValueError("cost/cardinality estimates must be >= 0")
         if not is_scan_operator(self.op_type):
             if self.s3_format != "null" or self.table_rows is not None:
-                raise ValueError(
-                    "s3_format/table_rows are only valid on scan operators"
-                )
+                raise ValueError("s3_format/table_rows are only valid on scan operators")
 
     @property
     def is_scan(self):

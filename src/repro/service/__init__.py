@@ -1,0 +1,32 @@
+"""Online serving layer: the paper's predictor as a long-lived service.
+
+The Stage predictor is not an offline artifact — in Redshift it answers
+a prediction per arriving query under strict latency budgets.  This
+package provides that deployment shape:
+
+- :class:`PredictionService` — micro-batching, many-client serving over
+  one :class:`~repro.core.stage.StagePredictor`, bit-identical to the
+  offline replay for the same op stream;
+- :class:`MicroBatchScheduler` — the sequenced batch scheduler;
+- :class:`ModelRegistry` — persistence for global models and bit-for-bit
+  warm-restart service snapshots;
+- :func:`run_service_bench` — the throughput/latency benchmark behind
+  ``python -m repro.service`` and ``results/service_bench.txt``.
+"""
+
+from repro.core.config import ServiceConfig
+
+from .bench import ServiceBenchConfig, ServiceBenchResult, run_service_bench
+from .registry import ModelRegistry
+from .scheduler import MicroBatchScheduler
+from .server import PredictionService
+
+__all__ = [
+    "ModelRegistry",
+    "MicroBatchScheduler",
+    "PredictionService",
+    "ServiceBenchConfig",
+    "ServiceBenchResult",
+    "ServiceConfig",
+    "run_service_bench",
+]

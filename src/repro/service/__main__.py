@@ -1,0 +1,80 @@
+"""Command-line entry point: ``python -m repro.service``.
+
+Modes
+-----
+``bench`` (default)
+    Drive a :class:`~repro.service.PredictionService` with a generated
+    fleet trace and report throughput and latency percentiles for the
+    request-at-a-time and micro-batched serving modes.  Writes the
+    rendered report to ``results/service_bench.txt`` (``--out`` to
+    change, ``--no-write`` to print only).
+
+Example
+-------
+::
+
+    PYTHONPATH=src python -m repro.service bench --clients 16 \\
+        --batch-size 16 --latency-ms 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from .bench import ServiceBenchConfig, run_service_bench
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="online prediction-service utilities",
+    )
+    sub = parser.add_subparsers(dest="mode")
+    bench = sub.add_parser("bench", help="serving throughput/latency benchmark")
+    defaults = ServiceBenchConfig()
+    bench.add_argument("--seed", type=int, default=defaults.seed)
+    bench.add_argument("--instance-index", type=int, default=defaults.instance_index)
+    bench.add_argument("--duration-days", type=float, default=defaults.duration_days)
+    bench.add_argument("--volume-scale", type=float, default=defaults.volume_scale)
+    bench.add_argument("--clients", type=int, default=defaults.n_clients)
+    bench.add_argument("--batch-size", type=int, default=defaults.max_batch_size)
+    bench.add_argument("--latency-ms", type=float, default=defaults.max_batch_latency_ms)
+    bench.add_argument("--out", default=os.path.join("results", "service_bench.txt"))
+    bench.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the report without writing --out",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.mode is None:
+        # bare ``python -m repro.service`` runs the benchmark defaults
+        args = parser.parse_args(["bench"])
+    # argparse rejects unknown modes, so only "bench" reaches here
+    config = ServiceBenchConfig(
+        seed=args.seed,
+        instance_index=args.instance_index,
+        duration_days=args.duration_days,
+        volume_scale=args.volume_scale,
+        n_clients=args.clients,
+        max_batch_size=args.batch_size,
+        max_batch_latency_ms=args.latency_ms,
+    )
+    result = run_service_bench(config)
+    report = result.render()
+    print(report)
+    if not args.no_write:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as f:
+            f.write(report + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,227 @@
+"""Serving-layer benchmark: micro-batched vs request-at-a-time.
+
+Drives a :class:`PredictionService` with a generated fleet trace, the
+way the paper's deployment sees traffic: a warmup segment replays
+queries with feedback (predict + observe) until the instance's cache and
+local ensemble are warm, then the measurement segment fires the
+remaining queries as concurrent prediction requests and reports
+throughput and client-observed latency percentiles.
+
+Two serving modes run over the *same* warmed predictor state:
+
+- ``request-at-a-time`` — one client, ``max_batch_size=1``: every
+  model-bound query pays a full (single-row) ensemble invocation;
+- ``micro-batched`` — many concurrent clients with the batching knobs
+  on: model-bound queries share one ensemble call per micro-batch.
+
+Predictions are bit-identical between the modes (the scheduler's
+determinism contract); the report is purely about throughput/latency.
+``results/service_bench.txt`` is written by ``python -m repro.service``
+and by ``benchmarks/test_service_bench.py``, which asserts the batched
+mode's throughput floor.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import (
+    CacheConfig,
+    LocalModelConfig,
+    ServiceConfig,
+    StageConfig,
+    TrainingPoolConfig,
+)
+from repro.core.stage import BatchRouter, StagePredictor
+from repro.global_model.model import GlobalModel
+from repro.workload.fleet import FleetConfig, FleetGenerator
+
+from .server import PredictionService
+
+__all__ = ["ServiceBenchConfig", "ServiceBenchResult", "run_service_bench"]
+
+
+#: paper-sized local ensemble at a moderate tree budget — the operating
+#: point where per-request single-row inference hurts most (same shape
+#: as the replay perf benchmark)
+_BENCH_STAGE = StageConfig(
+    cache=CacheConfig(capacity=500),
+    pool=TrainingPoolConfig(max_size=600),
+    local=LocalModelConfig(
+        n_members=10,
+        n_estimators=40,
+        max_depth=3,
+        min_train_size=30,
+        retrain_interval=300,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ServiceBenchConfig:
+    """Scale and batching knobs for one serving benchmark run."""
+
+    seed: int = 7
+    instance_index: int = 0
+    duration_days: float = 2.0
+    volume_scale: float = 0.25
+    #: fraction of the trace replayed (with feedback) before measuring
+    warmup_fraction: float = 0.5
+    #: concurrent closed-loop clients in the micro-batched mode
+    n_clients: int = 16
+    max_batch_size: int = 16
+    max_batch_latency_ms: float = 5.0
+    stage: StageConfig = field(default_factory=lambda: _BENCH_STAGE)
+
+
+@dataclass
+class ServiceBenchResult:
+    """Per-mode throughput/latency plus the headline speedup."""
+
+    instance_id: str
+    n_warmup: int
+    n_measured: int
+    cache_hit_fraction: float
+    modes: Dict[str, Dict[str, float]]
+    speedup: float
+
+    def render(self) -> str:
+        lines = [
+            f"service bench: instance {self.instance_id}, "
+            f"{self.n_warmup} warmup + {self.n_measured} measured queries, "
+            f"cache answers {self.cache_hit_fraction:.0%} of measured traffic",
+        ]
+        for name, m in self.modes.items():
+            lines.append(
+                f"{name:<18} {m['n_clients']:>3.0f} client(s), "
+                f"batch<={m['max_batch_size']:.0f}: "
+                f"{m['qps']:8.0f} q/s   "
+                f"p50={m['p50_ms']:7.2f} ms  p95={m['p95_ms']:7.2f} ms  "
+                f"p99={m['p99_ms']:7.2f} ms   "
+                f"{m['n_batches']:.0f} batches (mean {m['mean_batch']:.1f})"
+            )
+        lines.append(f"micro-batched throughput over request-at-a-time: " f"{self.speedup:.2f}x")
+        lines.append("predictions bit-identical across modes (scheduler determinism " "contract)")
+        return "\n".join(lines)
+
+
+def _drive_mode(
+    stage: StagePredictor,
+    records,
+    n_clients: int,
+    service_config: ServiceConfig,
+) -> Dict[str, float]:
+    """Fire ``records`` at a service from closed-loop client threads."""
+    service = PredictionService.from_stage(stage, service_config=service_config)
+    latencies: List[List[float]] = [[] for _ in range(n_clients)]
+    position = {"next": 0}
+    lock = threading.Lock()
+
+    def client(worker_index: int) -> None:
+        lat = latencies[worker_index]
+        while True:
+            with lock:
+                i = position["next"]
+                if i >= len(records):
+                    return
+                position["next"] = i + 1
+            t0 = time.perf_counter()
+            service.predict(records[i])
+            lat.append(time.perf_counter() - t0)
+
+    threads = [
+        threading.Thread(target=client, args=(w,)) for w in range(n_clients)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+    service.drain()
+    sched = dict(service.scheduler.stats)
+    service.close()
+
+    lat_ms = np.array([v for lat in latencies for v in lat]) * 1000.0
+    n_batches = max(sched["n_batches"], 1)
+    return {
+        "n_clients": float(n_clients),
+        "max_batch_size": float(service_config.max_batch_size),
+        "wall_s": wall,
+        "qps": len(records) / wall,
+        "p50_ms": float(np.percentile(lat_ms, 50)),
+        "p95_ms": float(np.percentile(lat_ms, 95)),
+        "p99_ms": float(np.percentile(lat_ms, 99)),
+        "n_batches": float(sched["n_batches"]),
+        "mean_batch": sched["n_deferred"] / n_batches,
+        "n_immediate": float(sched["n_immediate"]),
+    }
+
+
+def run_service_bench(
+    config: Optional[ServiceBenchConfig] = None,
+    global_model: Optional[GlobalModel] = None,
+) -> ServiceBenchResult:
+    """Run the serving benchmark; see the module docstring."""
+    config = config or ServiceBenchConfig()
+    gen = FleetGenerator(FleetConfig(seed=config.seed, volume_scale=config.volume_scale))
+    trace = gen.generate_trace(gen.sample_instance(config.instance_index), config.duration_days)
+    n_warmup = int(len(trace) * config.warmup_fraction)
+    warmup, measured = trace[:n_warmup], trace[n_warmup:]
+    if not measured:
+        raise ValueError(
+            f"bench trace has no measurement segment ({len(trace)} queries, "
+            f"{n_warmup} warmup) — raise duration_days/volume_scale or "
+            "lower warmup_fraction"
+        )
+
+    # Warm the predictor the fast (batched, bit-identical) way, then
+    # measure pure serving traffic: predictions do not mutate the cache
+    # or the models, so both modes see the exact same state and return
+    # the exact same answers.
+    stage = StagePredictor(
+        trace.instance,
+        global_model=global_model,
+        config=config.stage,
+        random_state=config.seed,
+    )
+    router = BatchRouter(stage)
+    for record in warmup:
+        router.route(record)
+        router.observe(record)
+    router.flush()
+    hits_before = stage.cache.hits
+
+    modes = {
+        "request-at-a-time": _drive_mode(
+            stage,
+            measured,
+            n_clients=1,
+            service_config=ServiceConfig(
+                max_batch_size=1, max_batch_latency_ms=0.0
+            ),
+        ),
+        "micro-batched": _drive_mode(
+            stage,
+            measured,
+            n_clients=config.n_clients,
+            service_config=ServiceConfig(
+                max_batch_size=config.max_batch_size,
+                max_batch_latency_ms=config.max_batch_latency_ms,
+            ),
+        ),
+    }
+    hit_fraction = (stage.cache.hits - hits_before) / (2.0 * len(measured))
+    return ServiceBenchResult(
+        instance_id=trace.instance.instance_id,
+        n_warmup=n_warmup,
+        n_measured=len(measured),
+        cache_hit_fraction=hit_fraction,
+        modes=modes,
+        speedup=modes["micro-batched"]["qps"] / modes["request-at-a-time"]["qps"],
+    )

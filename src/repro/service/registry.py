@@ -1,0 +1,163 @@
+"""Model registry: persistence for the online serving layer.
+
+A :class:`ModelRegistry` is a directory holding two kinds of artifacts:
+
+- **global models** — the fleet-shared GCN, stored as the ``.npz``
+  produced by :mod:`repro.global_model.serialization` (the paper ships
+  exactly one such artifact fleet-wide);
+- **service snapshots** — one directory per named snapshot, pairing that
+  ``.npz`` with a pickle of the per-instance state (exec-time cache
+  contents and counters, local ensemble + training pool, running-median
+  default, routing counters, configs).
+
+The snapshot contract is *bit-for-bit warm restart*: a service restored
+from a snapshot produces exactly the predictions the snapshotted service
+would have produced on the same subsequent op stream.  Everything that
+seeds future behavior rides along — ``random_state``, the retrain
+counter (which salts each retrain's ensemble seed), and the
+partially-filled training pool — so even retrains after the restart
+reproduce the uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from typing import List, Optional
+
+from repro.core.config import ServiceConfig
+from repro.core.stage import StagePredictor
+from repro.global_model.model import GlobalModel
+from repro.global_model.serialization import load_global_model, save_global_model
+
+__all__ = ["ModelRegistry"]
+
+_SNAPSHOT_FORMAT_VERSION = 1
+_STATE_FILE = "state.pkl"
+_GLOBAL_FILE = "global.npz"
+_MANIFEST_FILE = "manifest.json"
+
+
+class ModelRegistry:
+    """Directory-backed store for global models and service snapshots."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(self._global_dir, exist_ok=True)
+        os.makedirs(self._service_dir, exist_ok=True)
+
+    @property
+    def _global_dir(self) -> str:
+        return os.path.join(self.root, "global_models")
+
+    @property
+    def _service_dir(self) -> str:
+        return os.path.join(self.root, "services")
+
+    # ------------------------------------------------------------------
+    # fleet-shared global models
+    # ------------------------------------------------------------------
+    def global_model_path(self, name: str = "global") -> str:
+        return os.path.join(self._global_dir, f"{name}.npz")
+
+    def save_global_model(self, model: GlobalModel, name: str = "global") -> str:
+        """Persist one fleet-wide global model; returns its path."""
+        path = self.global_model_path(name)
+        save_global_model(model, path)
+        return path
+
+    def load_global_model(self, name: str = "global") -> GlobalModel:
+        return load_global_model(self.global_model_path(name))
+
+    def list_global_models(self) -> List[str]:
+        return sorted(
+            os.path.splitext(f)[0]
+            for f in os.listdir(self._global_dir)
+            if f.endswith(".npz")
+        )
+
+    # ------------------------------------------------------------------
+    # per-instance service snapshots
+    # ------------------------------------------------------------------
+    def service_snapshot_path(self, name: str) -> str:
+        return os.path.join(self._service_dir, name)
+
+    def list_service_snapshots(self) -> List[str]:
+        return sorted(
+            d
+            for d in os.listdir(self._service_dir)
+            if os.path.isdir(os.path.join(self._service_dir, d))
+        )
+
+    def save_service_state(
+        self,
+        stage: StagePredictor,
+        name: str,
+        service_config: Optional[ServiceConfig] = None,
+    ) -> str:
+        """Snapshot one quiesced Stage predictor under ``name``.
+
+        The caller must have drained any in-flight operations first
+        (:meth:`PredictionService.snapshot` does).  The global model is
+        written through :mod:`~repro.global_model.serialization`; the
+        per-instance state is pickled with the global model detached, so
+        the fleet-shared artifact is never duplicated inside it.
+        """
+        path = self.service_snapshot_path(name)
+        os.makedirs(path, exist_ok=True)
+        global_model, stage.global_model = stage.global_model, None
+        try:
+            if global_model is not None:
+                save_global_model(global_model, os.path.join(path, _GLOBAL_FILE))
+            with open(os.path.join(path, _STATE_FILE), "wb") as f:
+                pickle.dump(
+                    {
+                        "format_version": _SNAPSHOT_FORMAT_VERSION,
+                        "service_config": service_config,
+                        "stage": stage,
+                    },
+                    f,
+                )
+        finally:
+            stage.global_model = global_model
+        manifest = {
+            "format_version": _SNAPSHOT_FORMAT_VERSION,
+            "instance_id": stage.instance.instance_id,
+            "has_global_model": global_model is not None,
+            "cache_entries": len(stage.cache),
+            "n_local_retrains": stage.local.n_retrains,
+        }
+        with open(os.path.join(path, _MANIFEST_FILE), "w") as f:
+            json.dump(manifest, f, indent=2, sort_keys=True)
+            f.write("\n")
+        return path
+
+    def load_service_state(self, name: str):
+        """Load a snapshot; returns ``(stage, service_config)``."""
+        path = self.service_snapshot_path(name)
+        with open(os.path.join(path, _STATE_FILE), "rb") as f:
+            payload = pickle.load(f)
+        version = payload.get("format_version")
+        if version != _SNAPSHOT_FORMAT_VERSION:
+            raise ValueError(f"unsupported service snapshot version {version}")
+        stage: StagePredictor = payload["stage"]
+        global_path = os.path.join(path, _GLOBAL_FILE)
+        if os.path.exists(global_path):
+            stage.global_model = load_global_model(global_path)
+        return stage, payload.get("service_config")
+
+    def load_service(
+        self,
+        name: str,
+        service_config: Optional[ServiceConfig] = None,
+    ):
+        """Rebuild a live :class:`PredictionService` from a snapshot.
+
+        ``service_config`` overrides the snapshotted batching knobs when
+        given (they are serving-side only and never affect predictions).
+        """
+        from .server import PredictionService
+
+        stage, saved_config = self.load_service_state(name)
+        return PredictionService.from_stage(stage, service_config=service_config or saved_config)

@@ -1,0 +1,247 @@
+"""Micro-batching request scheduler for the online serving layer.
+
+One worker thread owns all predictor state; client threads only enqueue
+operations and wait on futures.  Operations carry *sequence numbers* and
+are executed strictly in sequence order (a reorder buffer holds early
+arrivals), which is the scheduler's determinism contract:
+
+    results depend only on the sequence-ordered op stream — never on
+    client thread interleaving, batch boundaries, or wall-clock timing.
+
+Within that order the worker batches the expensive work: a ``predict``
+whose answer needs the local ensemble is *deferred* (the underlying
+:class:`~repro.core.stage.BatchRouter` snapshots the frozen ensemble),
+and the worker flushes one batched ensemble call once either
+``max_batch_size`` predictions are pending or ``max_batch_latency_ms``
+has passed since the first one.  Cache hits and cold-start routes
+resolve immediately — they never wait for the batch window.  Observes
+(and the local retrains they trigger) also run on the worker thread, so
+client ``predict`` calls never block behind a retrain.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import ServiceConfig
+from repro.core.stage import BatchRouter, RoutedSlot
+
+__all__ = ["MicroBatchScheduler"]
+
+#: op kinds understood by the scheduler
+PREDICT = "predict"
+OBSERVE = "observe"
+
+
+class _Op:
+    __slots__ = ("kind", "record", "future")
+
+    def __init__(self, kind, record, future):
+        self.kind = kind
+        self.record = record
+        self.future = future
+
+
+class MicroBatchScheduler:
+    """Sequenced, micro-batching executor over one :class:`BatchRouter`.
+
+    Parameters
+    ----------
+    router:
+        The batch router owning the predictor state.  Only the worker
+        thread ever touches it.
+    config:
+        Batching knobs (:class:`~repro.core.config.ServiceConfig`).
+    """
+
+    def __init__(self, router: BatchRouter, config: Optional[ServiceConfig] = None):
+        self.router = router
+        self.config = config or ServiceConfig()
+        if self.config.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.config.max_batch_latency_ms < 0:
+            raise ValueError("max_batch_latency_ms must be >= 0")
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        #: reorder buffer: sequence number -> queued op
+        self._ops: Dict[int, _Op] = {}
+        self._next_submit_seq = 0
+        self._next_exec_seq = 0
+        self._busy = False
+        self._paused = False
+        self._closed = False
+        self.stats = {
+            "n_predicts": 0,
+            "n_observes": 0,
+            "n_immediate": 0,
+            "n_deferred": 0,
+            "n_batches": 0,
+            "max_batch_size": 0,
+        }
+        self._worker = threading.Thread(
+            target=self._run, name="prediction-service-worker", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, record, seq: Optional[int] = None) -> Future:
+        """Enqueue one op; returns its future.
+
+        ``seq`` defaults to the next submission slot (live mode, where
+        arrival order *is* sequence order).  Replay-style callers may
+        assign explicit sequence numbers from concurrent threads; every
+        sequence number must be submitted exactly once, with no gaps,
+        or the stream stalls behind the missing op.
+        """
+        if kind not in (PREDICT, OBSERVE):
+            raise ValueError(f"unknown op kind {kind!r}")
+        future: Future = Future()
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            if seq is None:
+                seq = self._next_submit_seq
+            elif seq < self._next_exec_seq or seq in self._ops:
+                raise ValueError(f"sequence number {seq} already used")
+            self._next_submit_seq = max(self._next_submit_seq, seq + 1)
+            self._ops[seq] = _Op(kind, record, future)
+            self._cv.notify_all()
+        return future
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted op is applied and flushed."""
+        if timeout is None:
+            timeout = self.config.drain_timeout_s
+        with self._cv:
+            drained = self._cv.wait_for(lambda: not self._ops and not self._busy, timeout=timeout)
+        if not drained:
+            raise TimeoutError("scheduler did not drain in time")
+
+    @contextmanager
+    def paused(self):
+        """Hold the worker idle (e.g. while snapshotting predictor state).
+
+        Entering waits for the in-flight micro-batch to finish; until
+        exit the worker applies no further ops, so the predictor state
+        is frozen at a consistent op-stream prefix.  Submissions are
+        still accepted — they queue and execute on resume.
+        """
+        with self._cv:
+            self._paused = True
+            self._cv.wait_for(lambda: not self._busy)
+        try:
+            yield
+        finally:
+            with self._cv:
+                self._paused = False
+                self._cv.notify_all()
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop the worker after the queued (gap-free) ops are applied."""
+        if timeout is None:
+            timeout = self.config.drain_timeout_s
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()
+        self._worker.join(timeout)
+        # ops stranded behind a sequence gap can never run
+        with self._cv:
+            stranded, self._ops = self._ops, {}
+        for op in stranded.values():
+            op.future.set_exception(RuntimeError("scheduler closed"))
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _pop_ready(self) -> Optional[_Op]:
+        """Take the next in-sequence op, if it has arrived (locked)."""
+        op = self._ops.pop(self._next_exec_seq, None)
+        if op is not None:
+            self._next_exec_seq += 1
+        return op
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                # wait while paused (even when closing: resume must land
+                # first) or while the next in-sequence op is missing
+                while (not self._closed or self._paused) and (
+                    self._paused or self._next_exec_seq not in self._ops
+                ):
+                    self._cv.wait()
+                if self._next_exec_seq not in self._ops:
+                    return  # closed, nothing runnable
+                self._busy = True
+            try:
+                self._run_batch()
+            finally:
+                with self._cv:
+                    self._busy = False
+                    self._cv.notify_all()
+
+    def _run_batch(self) -> None:
+        """Collect and execute one micro-batch of in-sequence ops."""
+        cfg = self.config
+        stats = self.stats
+        deadline: Optional[float] = None
+        pending: List[Tuple[RoutedSlot, Future]] = []
+        while True:
+            with self._cv:
+                # a pause request ends the batch at the next op boundary
+                op = None if self._paused else self._pop_ready()
+                if op is None:
+                    if not pending:
+                        break  # idle: return to the blocking outer wait
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cv.wait(timeout=remaining)
+                    continue
+            if op.kind == OBSERVE:
+                stats["n_observes"] += 1
+                try:
+                    self.router.observe(op.record)
+                except Exception as exc:  # surface, don't kill worker
+                    op.future.set_exception(exc)
+                else:
+                    op.future.set_result(None)
+                continue
+            stats["n_predicts"] += 1
+            try:
+                slot = self.router.route(op.record)
+            except Exception as exc:
+                op.future.set_exception(exc)
+                continue
+            if slot.ready:
+                # cache hit or cold-start route: answer immediately
+                stats["n_immediate"] += 1
+                op.future.set_result(slot.components)
+            else:
+                stats["n_deferred"] += 1
+                pending.append((slot, op.future))
+                if len(pending) >= cfg.max_batch_size:
+                    break
+                if deadline is None:
+                    deadline = time.monotonic() + cfg.max_batch_latency_ms / 1000.0
+        # Serve the batch: one ensemble call for every deferred route
+        # (plus any component-collection deferrals riding the window).
+        if self.router.has_pending:
+            try:
+                self.router.flush()
+            except Exception as exc:
+                for _, future in pending:
+                    future.set_exception(exc)
+                return
+        if pending:
+            stats["n_batches"] += 1
+            stats["max_batch_size"] = max(stats["max_batch_size"], len(pending))
+            for slot, future in pending:
+                future.set_result(slot.components)

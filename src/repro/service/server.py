@@ -1,0 +1,181 @@
+"""The long-lived, many-client prediction service.
+
+:class:`PredictionService` is the online face of one instance's
+:class:`~repro.core.stage.StagePredictor` — the deployment shape the
+paper describes (the predictor runs *inside* the cluster, answering a
+prediction per arriving query under tight latency budgets).  It wires
+the predictor into the micro-batch scheduler and exposes:
+
+- :meth:`predict` / :meth:`predict_async` — route one query; cache hits
+  answer immediately, model-bound queries ride the current micro-batch;
+- :meth:`observe` — the feedback path: applies the paper's dedup rule
+  (cache hits never enter the training pool) and triggers local retrains
+  on the worker thread, never on a client thread;
+- :meth:`snapshot` / :meth:`restore` — warm restart through a
+  :class:`~repro.service.registry.ModelRegistry`: a restarted service
+  reproduces the pre-restart service's predictions bit-for-bit;
+- :meth:`stats` — cache/routing accounting plus scheduler batching
+  counters.
+
+Determinism contract (inherited from the scheduler + batch router):
+results depend only on the sequence-ordered op stream, never on batch
+sizes, latency budgets, client threading or flush timing.  The replay
+harness's ``via_service`` mode and ``tests/test_service.py`` hold the
+service to bit-identical parity with the offline replay.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Optional
+
+from repro.core.config import ServiceConfig, StageConfig
+from repro.core.interfaces import Prediction
+from repro.core.stage import BatchRouter, StagePredictor
+from repro.global_model.model import GlobalModel
+from repro.workload.instance import InstanceProfile
+from repro.workload.query import QueryRecord
+
+from .registry import ModelRegistry
+from .scheduler import OBSERVE, PREDICT, MicroBatchScheduler
+
+__all__ = ["PredictionService"]
+
+
+class PredictionService:
+    """Online, batch-scheduling serving layer over one Stage predictor.
+
+    Parameters
+    ----------
+    instance:
+        The cluster this service serves.
+    global_model:
+        The fleet-shared model (or ``None`` for cache+local only).
+    stage_config / random_state:
+        Forwarded to :class:`StagePredictor`.
+    service_config:
+        Micro-batching knobs (:class:`~repro.core.config.ServiceConfig`).
+    """
+
+    def __init__(
+        self,
+        instance: InstanceProfile,
+        global_model: Optional[GlobalModel] = None,
+        stage_config: Optional[StageConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
+        random_state: int = 0,
+    ):
+        stage = StagePredictor(
+            instance,
+            global_model=global_model,
+            config=stage_config,
+            random_state=random_state,
+        )
+        self._init_from_stage(stage, service_config)
+
+    def _init_from_stage(
+        self, stage: StagePredictor, service_config: Optional[ServiceConfig]
+    ) -> None:
+        self.config = service_config or ServiceConfig()
+        self.stage = stage
+        self.router = BatchRouter(stage, collect_cache_hit_local=self.config.collect_components)
+        self.scheduler = MicroBatchScheduler(self.router, self.config)
+
+    @classmethod
+    def from_stage(
+        cls,
+        stage: StagePredictor,
+        service_config: Optional[ServiceConfig] = None,
+    ) -> "PredictionService":
+        """Serve an existing (e.g. snapshot-restored) Stage predictor."""
+        service = cls.__new__(cls)
+        service._init_from_stage(stage, service_config)
+        return service
+
+    # ------------------------------------------------------------------
+    # the online protocol
+    # ------------------------------------------------------------------
+    def predict_async(
+        self, record: QueryRecord, seq: Optional[int] = None
+    ) -> Future:
+        """Submit one prediction; the future resolves to its
+        :class:`~repro.core.stage.RoutedComponents`."""
+        return self.scheduler.submit(PREDICT, record, seq=seq)
+
+    def predict(
+        self,
+        record: QueryRecord,
+        seq: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Prediction:
+        """Blocking :meth:`predict_async`; returns the routed prediction."""
+        if timeout is None:
+            timeout = self.config.drain_timeout_s
+        return self.predict_async(record, seq=seq).result(timeout).prediction
+
+    def observe(self, record: QueryRecord, seq: Optional[int] = None) -> Future:
+        """Feed back one executed query (dedup rule, cache update,
+        possibly a local retrain — all on the worker thread)."""
+        return self.scheduler.submit(OBSERVE, record, seq=seq)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted op is applied and flushed."""
+        self.scheduler.drain(timeout)
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        self.scheduler.close(timeout)
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # persistence (warm restart)
+    # ------------------------------------------------------------------
+    def snapshot(self, registry: ModelRegistry, name: str) -> str:
+        """Drain, then persist this service's full state under ``name``.
+
+        The scheduler is paused for the duration of the write, so the
+        snapshot is a consistent op-stream prefix even with concurrent
+        clients: late submissions queue and execute after the snapshot.
+        """
+        self.drain()
+        with self.scheduler.paused():
+            return registry.save_service_state(self.stage, name, service_config=self.config)
+
+    @classmethod
+    def restore(
+        cls,
+        registry: ModelRegistry,
+        name: str,
+        service_config: Optional[ServiceConfig] = None,
+    ) -> "PredictionService":
+        """Rebuild a service from a snapshot (bit-for-bit warm restart)."""
+        return registry.load_service(name, service_config=service_config)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Routing/cache accounting plus scheduler batching counters.
+
+        The ``stage`` sub-dict matches the ``stage_stats`` the replay
+        harness reports, so serving and replay accounting line up
+        key-for-key.
+        """
+        stage = self.stage
+        return {
+            "stage": {
+                "cache_hit_rate": stage.cache.hit_rate,
+                "cache_hits": stage.cache.hits,
+                "cache_misses": stage.cache.misses,
+                "source_counts": dict(stage.source_counts),
+                "global_use_fraction": stage.global_use_fraction,
+                "n_local_retrains": stage.local.n_retrains,
+                "byte_size": stage.byte_size(),
+            },
+            "scheduler": dict(self.scheduler.stats),
+        }

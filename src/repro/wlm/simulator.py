@@ -192,9 +192,7 @@ def simulate_wlm(
             startup = config.burst_startup_s if queue == "burst" else 0.0
             out.finish = now + startup + out.exec_time
             out.queue = queue
-            heapq.heappush(
-                events, (out.finish, _COMPLETION, seq, (qid, queue))
-            )
+            heapq.heappush(events, (out.finish, _COMPLETION, seq, (qid, queue)))
         seq += 1
 
     while events:

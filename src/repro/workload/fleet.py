@@ -45,21 +45,36 @@ _ARCHETYPES = (
     (
         "dashboard_heavy",
         0.35,
-        {QueryKind.DASHBOARD: 0.76, QueryKind.REPORT: 0.15, QueryKind.ADHOC: 0.08, QueryKind.ETL: 0.01},
+        {
+            QueryKind.DASHBOARD: 0.76,
+            QueryKind.REPORT: 0.15,
+            QueryKind.ADHOC: 0.08,
+            QueryKind.ETL: 0.01,
+        },
         1200.0,
         0.25,
     ),
     (
         "mixed",
         0.27,
-        {QueryKind.DASHBOARD: 0.47, QueryKind.REPORT: 0.20, QueryKind.ADHOC: 0.30, QueryKind.ETL: 0.03},
+        {
+            QueryKind.DASHBOARD: 0.47,
+            QueryKind.REPORT: 0.20,
+            QueryKind.ADHOC: 0.30,
+            QueryKind.ETL: 0.03,
+        },
         700.0,
         0.2,
     ),
     (
         "adhoc_heavy",
         0.25,
-        {QueryKind.DASHBOARD: 0.04, QueryKind.REPORT: 0.08, QueryKind.ADHOC: 0.86, QueryKind.ETL: 0.02},
+        {
+            QueryKind.DASHBOARD: 0.04,
+            QueryKind.REPORT: 0.08,
+            QueryKind.ADHOC: 0.86,
+            QueryKind.ETL: 0.02,
+        },
         350.0,
         0.1,
     ),
@@ -137,9 +152,7 @@ class TemplateRuntime:
     def variant_spec(self, variant_id: int) -> TemplateSpec:
         spec = self._variants.get(variant_id)
         if spec is None:
-            rng = np.random.default_rng(
-                derive_seed(self.seed, self.template_id, variant_id)
-            )
+            rng = np.random.default_rng(derive_seed(self.seed, self.template_id, variant_id))
             spec = self.generator.perturb_variant(rng, self.base_spec)
             self._variants[variant_id] = spec
         return spec
@@ -150,9 +163,7 @@ class TemplateRuntime:
         entry = self._materialized.get(key)
         if entry is None:
             spec = self.variant_spec(variant_id)
-            mat = self.generator.materialize(
-                spec, self.tables, stat_rows, growth_factor=1.0
-            )
+            mat = self.generator.materialize(spec, self.tables, stat_rows, growth_factor=1.0)
             features = featurize_plan(mat.plan)
             entry = (mat.plan, features, mat.base_work)
             self._materialized[key] = entry
@@ -174,9 +185,7 @@ class FleetGenerator:
         rng = np.random.default_rng(derive_seed(cfg.seed, "instance", index))
 
         probs = np.array([a[1] for a in _ARCHETYPES])
-        archetype = _ARCHETYPES[
-            int(rng.choice(len(_ARCHETYPES), p=probs / probs.sum()))
-        ]
+        archetype = _ARCHETYPES[int(rng.choice(len(_ARCHETYPES), p=probs / probs.sum()))]
         _, __, kind_weights, base_qpd, rerun_prob = archetype
 
         hw_name = str(
@@ -186,7 +195,8 @@ class FleetGenerator:
             )
         )
         hardware = HARDWARE_CLASSES[hw_name]
-        n_nodes = int(rng.integers(2, {"dc2.large": 9, "ra3.xlplus": 9, "ra3.4xlarge": 17, "ra3.16xlarge": 33}[hw_name]))
+        node_caps = {"dc2.large": 9, "ra3.xlplus": 9, "ra3.4xlarge": 17, "ra3.16xlarge": 33}
+        n_nodes = int(rng.integers(2, node_caps[hw_name]))
 
         n_tables = int(rng.integers(cfg.n_tables_min, cfg.n_tables_max + 1))
         # Customers size clusters to their data: table volumes scale with
@@ -214,9 +224,7 @@ class FleetGenerator:
                 )
             )
 
-        qpd = float(
-            base_qpd * rng.lognormal(0.0, 0.4) * cfg.volume_scale
-        )
+        qpd = float(base_qpd * rng.lognormal(0.0, 0.4) * cfg.volume_scale)
         return InstanceProfile(
             instance_id=f"inst-{index:04d}",
             hardware=hardware,
@@ -238,7 +246,9 @@ class FleetGenerator:
     # ------------------------------------------------------------------
     # template construction
     # ------------------------------------------------------------------
-    def _build_templates(self, instance: InstanceProfile, duration_days: float, rng) -> List[TemplateRuntime]:
+    def _build_templates(
+        self, instance: InstanceProfile, duration_days: float, rng
+    ) -> List[TemplateRuntime]:
         """Create the instance's templates with their arrival parameters.
 
         Template counts per archetype are derived from the target volume:
@@ -269,9 +279,7 @@ class FleetGenerator:
         for kind, n in counts.items():
             if n <= 0:
                 continue
-            starts = sample_template_start_days(
-                rng, n, duration_days, cfg.late_template_fraction
-            )
+            starts = sample_template_start_days(rng, n, duration_days, cfg.late_template_fraction)
             for k in range(n):
                 spec = self.plan_generator.build_template(rng, kind, instance.tables)
                 template = TemplateRuntime(
@@ -291,9 +299,7 @@ class FleetGenerator:
                         "n_variants": int(rng.choice([1, 1, 1, 2, 3, 4])),
                     }
                 elif kind == QueryKind.REPORT:
-                    template.arrival_params = {
-                        "runs_per_day": float(rng.uniform(1.0, 4.0))
-                    }
+                    template.arrival_params = {"runs_per_day": float(rng.uniform(1.0, 4.0))}
                 elif kind == QueryKind.ADHOC:
                     template.arrival_params = {
                         "mean_per_day": qpd
@@ -302,27 +308,23 @@ class FleetGenerator:
                         "rerun_probability": instance.adhoc_rerun_probability,
                     }
                 else:
-                    template.arrival_params = {
-                        "runs_per_day": float(rng.uniform(1.0, 3.0))
-                    }
+                    template.arrival_params = {"runs_per_day": float(rng.uniform(1.0, 3.0))}
                 templates.append(template)
                 tid += 1
         return templates
 
-    def _template_arrivals(self, template: TemplateRuntime, instance: InstanceProfile, duration_days: float, rng):
+    def _template_arrivals(
+        self, template: TemplateRuntime, instance: InstanceProfile, duration_days: float, rng
+    ):
         t_start = template.start_day * SECONDS_PER_DAY
         t_end = duration_days * SECONDS_PER_DAY
         if t_start >= t_end:
             return []
         params = template.arrival_params
         if template.kind == QueryKind.DASHBOARD:
-            return dashboard_arrivals(
-                rng, t_start, t_end, params["period_s"], params["n_variants"]
-            )
+            return dashboard_arrivals(rng, t_start, t_end, params["period_s"], params["n_variants"])
         if template.kind == QueryKind.REPORT:
-            return report_arrivals(
-                rng, t_start, t_end, runs_per_day=params["runs_per_day"]
-            )
+            return report_arrivals(rng, t_start, t_end, runs_per_day=params["runs_per_day"])
         if template.kind == QueryKind.ADHOC:
             return adhoc_arrivals(
                 rng,
@@ -331,9 +333,7 @@ class FleetGenerator:
                 params["mean_per_day"],
                 rerun_probability=params["rerun_probability"],
             )
-        return etl_arrivals(
-            rng, t_start, t_end, runs_per_day=params["runs_per_day"]
-        )
+        return etl_arrivals(rng, t_start, t_end, runs_per_day=params["runs_per_day"])
 
     # ------------------------------------------------------------------
     # trace generation
@@ -346,15 +346,11 @@ class FleetGenerator:
 
         arrivals = []  # (time, template, variant)
         for template in templates:
-            for t, variant in self._template_arrivals(
-                template, instance, duration_days, rng
-            ):
+            for t, variant in self._template_arrivals(template, instance, duration_days, rng):
                 arrivals.append((t, template, variant))
         arrivals.sort(key=lambda x: x[0])
 
-        schedule = AnalyzeSchedule(
-            duration_days, instance.analyze_interval_days, rng
-        )
+        schedule = AnalyzeSchedule(duration_days, instance.analyze_interval_days, rng)
         cost_model = cfg.cost_model
 
         records: List[QueryRecord] = []
@@ -364,13 +360,12 @@ class FleetGenerator:
             stat_rows = stat_rows_by_epoch.get(epoch)
             if stat_rows is None:
                 stat_rows = {
-                    i: tab.base_rows * ((1.0 + tab.growth_per_day) ** schedule.epoch_start_day(epoch))
+                    i: tab.base_rows
+                    * ((1.0 + tab.growth_per_day) ** schedule.epoch_start_day(epoch))
                     for i, tab in enumerate(instance.tables)
                 }
                 stat_rows_by_epoch[epoch] = stat_rows
-            plan, features, base_work = template.materialize(
-                variant, epoch, stat_rows
-            )
+            plan, features, base_work = template.materialize(variant, epoch, stat_rows)
             day = t / SECONDS_PER_DAY
             work = base_work * instance.growth_factor(day)
             concurrency = int(rng.poisson(instance.mean_concurrency))
@@ -395,9 +390,7 @@ class FleetGenerator:
                     kind=template.kind,
                 ).with_features(features)
             )
-        return Trace(
-            instance=instance, records=records, duration_days=duration_days
-        )
+        return Trace(instance=instance, records=records, duration_days=duration_days)
 
     def generate_fleet_traces(
         self,

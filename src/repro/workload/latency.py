@@ -80,7 +80,9 @@ class TrueCostModel:
         self.params = params or CostModelParams()
 
     # ------------------------------------------------------------------
-    def node_work(self, op_class: OperatorClass, true_card: float, width: float, s3_format: str = "null") -> float:
+    def node_work(
+        self, op_class: OperatorClass, true_card: float, width: float, s3_format: str = "null"
+    ) -> float:
         """Latent work (seconds at speed 1.0) of one operator."""
         p = self.params
         width_factor = max(width, 4.0) / 32.0
@@ -129,9 +131,7 @@ class TrueCostModel:
         # mechanism behind the paper's observation that the same query can
         # take "tens of seconds to several hundred seconds" (Section 5.3).
         spill = 1.0
-        spill_threshold = max(
-            5.0, p.spill_threshold_s_per_50gb * memory_gb / 50.0
-        )
+        spill_threshold = max(5.0, p.spill_threshold_s_per_50gb * memory_gb / 50.0)
         if base > spill_threshold and rng.random() < p.spill_probability:
             spill = rng.uniform(p.spill_slowdown_min, p.spill_slowdown_max)
 

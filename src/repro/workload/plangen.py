@@ -18,12 +18,12 @@ Two parallel worlds are maintained on purpose:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.plans import OperatorClass, PhysicalPlan, PlanNode, operator_class
+from repro.plans import OperatorClass, PhysicalPlan, PlanNode
 
 from .latency import TrueCostModel
 from .query import QueryKind
@@ -310,9 +310,7 @@ class PlanGenerator:
                 table_rows=est_rows,
                 table_name=table.name,
             )
-            total_work += cm.node_work(
-                OperatorClass.SCAN, true_card, s.width, table.s3_format
-            )
+            total_work += cm.node_work(OperatorClass.SCAN, true_card, s.width, table.s3_format)
             return node, est_card, true_card
 
         def wrap_network(op, child, est_card, true_card, width):
@@ -332,17 +330,13 @@ class PlanGenerator:
         for join_spec, scan_spec in zip(spec.joins, spec.scans[1:]):
             right, r_est, r_true = scan_node(scan_spec)
             if join_spec.network_op is not None:
-                right = wrap_network(
-                    join_spec.network_op, right, r_est, r_true, scan_spec.width
-                )
+                right = wrap_network(join_spec.network_op, right, r_est, r_true, scan_spec.width)
             out_est = max(join_spec.fan * max(est_card, r_est), 1.0)
             out_true = max(
                 join_spec.fan * max(true_card, r_true) * join_spec.card_error,
                 1.0,
             )
-            join_cost = _OPT_COST[OperatorClass.JOIN] * (
-                est_card + r_est + out_est
-            )
+            join_cost = _OPT_COST[OperatorClass.JOIN] * (est_card + r_est + out_est)
             current = PlanNode(
                 join_spec.join_op,
                 estimated_cost=join_cost,
@@ -360,9 +354,7 @@ class PlanGenerator:
 
         if spec.agg_op is not None:
             out_est = max(est_card * spec.agg_reduction, 1.0)
-            out_true = max(
-                true_card * spec.agg_reduction * spec.agg_card_error, 1.0
-            )
+            out_true = max(true_card * spec.agg_reduction * spec.agg_card_error, 1.0)
             current = PlanNode(
                 spec.agg_op,
                 estimated_cost=_OPT_COST[OperatorClass.AGGREGATE] * est_card,
@@ -404,6 +396,4 @@ class PlanGenerator:
             )
 
         plan = PhysicalPlan(root=current, query_type=spec.query_type)
-        return MaterializedPlan(
-            plan=plan, base_work=total_work, true_root_card=true_card
-        )
+        return MaterializedPlan(plan=plan, base_work=total_work, true_root_card=true_card)

@@ -23,9 +23,7 @@ class TestRunningStats:
             stats.update(v)
         assert stats.count == len(values)
         assert stats.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
-        assert stats.variance == pytest.approx(
-            np.var(values), rel=1e-9, abs=1e-6
-        )
+        assert stats.variance == pytest.approx(np.var(values), rel=1e-9, abs=1e-6)
         assert stats.last == values[-1]
 
     def test_single_value_zero_variance(self):

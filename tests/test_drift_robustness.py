@@ -12,8 +12,6 @@ import pytest
 
 from repro import FleetConfig, FleetGenerator, StagePredictor, fast_profile
 from repro.cache import ExecTimeCache
-from repro.workload import Table
-from repro.workload.fleet import FleetGenerator as FG
 
 
 @pytest.fixture(scope="module")
@@ -39,10 +37,7 @@ class TestDataGrowth:
             key = (r.template_id, r.variant_id)
             if key in by_identity:
                 first_t, first_exec, first_arrival = by_identity[key]
-                if (
-                    r.arrival_time - first_arrival > 3 * 86400
-                    and first_exec > 1.0
-                ):
+                if r.arrival_time - first_arrival > 3 * 86400 and first_exec > 1.0:
                     ratios.append(r.exec_time / first_exec)
             else:
                 by_identity[key] = (r, r.exec_time, r.arrival_time)

@@ -108,9 +108,7 @@ class TestConcurrencyScaling:
     def test_disabled_by_default(self):
         arrivals = [0.0, 0.0, 0.0]
         execs = [10.0, 10.0, 10.0]
-        result = simulate_wlm(
-            arrivals, execs, execs, WLMConfig(long_slots=1)
-        )
+        result = simulate_wlm(arrivals, execs, execs, WLMConfig(long_slots=1))
         assert all(o.queue != "burst" for o in result.outcomes)
 
     def test_burst_reduces_latency_under_contention(self):
@@ -119,9 +117,7 @@ class TestConcurrencyScaling:
         arrivals = np.sort(rng.uniform(0, 50, n))
         execs = rng.exponential(20.0, n) + 6.0  # all long-ish
         preds = execs
-        base = simulate_wlm(
-            arrivals, execs, preds, WLMConfig(long_slots=2)
-        )
+        base = simulate_wlm(arrivals, execs, preds, WLMConfig(long_slots=2))
         burst = simulate_wlm(
             arrivals,
             execs,

@@ -28,9 +28,7 @@ def fleet():
 @pytest.fixture(scope="module")
 def trained_model(fleet):
     _, train, __ = fleet
-    cfg = GlobalModelConfig(
-        hidden_dim=40, n_conv_layers=3, epochs=25, max_queries_per_instance=300
-    )
+    cfg = GlobalModelConfig(hidden_dim=40, n_conv_layers=3, epochs=25, max_queries_per_instance=300)
     return GlobalModelTrainer(cfg).train(train)
 
 
@@ -74,9 +72,7 @@ class TestTrainer:
         _, train, __ = fleet
         cfg = GlobalModelConfig(max_queries_per_instance=10_000)
         graphs, _ = GlobalModelTrainer(cfg).build_dataset(train)
-        n_identities = sum(
-            len({r.identity for r in trace}) for trace in train
-        )
+        n_identities = sum(len({r.identity for r in trace}) for trace in train)
         assert len(graphs) == n_identities
 
     def test_empty_traces_raise(self):
@@ -91,16 +87,12 @@ class TestTrainedModel:
         assert pred.source == PredictionSource.GLOBAL
         assert pred.exec_time > 0
 
-    def test_transfer_beats_constant_on_unseen_instance(
-        self, trained_model, fleet
-    ):
+    def test_transfer_beats_constant_on_unseen_instance(self, trained_model, fleet):
         """Zero-shot transfer: on a *held-out* instance the global model
         should rank queries far better than a constant predictor."""
         _, __, held_out = fleet
         records = list(held_out)[:300]
-        graphs = [
-            record_to_graph(r.plan, held_out.instance) for r in records
-        ]
+        graphs = [record_to_graph(r.plan, held_out.instance) for r in records]
         preds = trained_model.predict_graphs(graphs)
         true = np.array([r.exec_time for r in records])
         corr = np.corrcoef(np.log1p(preds), np.log1p(true))[0, 1]
@@ -112,14 +104,9 @@ class TestTrainedModel:
     def test_batch_and_single_predictions_match(self, trained_model, fleet):
         _, __, held_out = fleet
         records = list(held_out)[:5]
-        graphs = [
-            record_to_graph(r.plan, held_out.instance) for r in records
-        ]
+        graphs = [record_to_graph(r.plan, held_out.instance) for r in records]
         batch = trained_model.predict_graphs(graphs)
-        singles = [
-            trained_model.predict(r.plan, held_out.instance).exec_time
-            for r in records
-        ]
+        singles = [trained_model.predict(r.plan, held_out.instance).exec_time for r in records]
         np.testing.assert_allclose(batch, singles, rtol=1e-9)
 
     def test_byte_size(self, trained_model):
@@ -131,12 +118,8 @@ class TestTrainedModel:
         batch = records_to_graphs(records, held_out.instance)
         for graph, record in zip(batch, records):
             single = record_to_graph(record.plan, held_out.instance)
-            np.testing.assert_array_equal(
-                graph.node_features, single.node_features
-            )
-            np.testing.assert_array_equal(
-                graph.sys_features, single.sys_features
-            )
+            np.testing.assert_array_equal(graph.node_features, single.node_features)
+            np.testing.assert_array_equal(graph.sys_features, single.sys_features)
 
 
 class TestSerialization:
@@ -144,9 +127,7 @@ class TestSerialization:
     initializer and any fleet-wide deployment depend on this artifact
     being faithful."""
 
-    def test_round_trip_predictions_identical(
-        self, trained_model, fleet, tmp_path
-    ):
+    def test_round_trip_predictions_identical(self, trained_model, fleet, tmp_path):
         _, __, held_out = fleet
         graphs = records_to_graphs(list(held_out)[:50], held_out.instance)
         path = str(tmp_path / "global_model.npz")
@@ -157,30 +138,17 @@ class TestSerialization:
             loaded.predict_graphs(graphs),
         )
 
-    def test_round_trip_preserves_scalers_and_architecture(
-        self, trained_model, tmp_path
-    ):
+    def test_round_trip_preserves_scalers_and_architecture(self, trained_model, tmp_path):
         path = str(tmp_path / "global_model.npz")
         save_global_model(trained_model, path)
         loaded = load_global_model(path)
-        np.testing.assert_array_equal(
-            trained_model.node_scaler.mean_, loaded.node_scaler.mean_
-        )
-        np.testing.assert_array_equal(
-            trained_model.node_scaler.scale_, loaded.node_scaler.scale_
-        )
-        np.testing.assert_array_equal(
-            trained_model.sys_scaler.mean_, loaded.sys_scaler.mean_
-        )
-        np.testing.assert_array_equal(
-            trained_model.sys_scaler.scale_, loaded.sys_scaler.scale_
-        )
+        np.testing.assert_array_equal(trained_model.node_scaler.mean_, loaded.node_scaler.mean_)
+        np.testing.assert_array_equal(trained_model.node_scaler.scale_, loaded.node_scaler.scale_)
+        np.testing.assert_array_equal(trained_model.sys_scaler.mean_, loaded.sys_scaler.mean_)
+        np.testing.assert_array_equal(trained_model.sys_scaler.scale_, loaded.sys_scaler.scale_)
         assert loaded.gcn.hidden_dim == trained_model.gcn.hidden_dim
         assert len(loaded.gcn.convs) == len(trained_model.gcn.convs)
-        assert (
-            loaded.transform.max_seconds
-            == trained_model.transform.max_seconds
-        )
+        assert loaded.transform.max_seconds == trained_model.transform.max_seconds
 
     def test_round_trip_survives_pickle(self, trained_model, fleet, tmp_path):
         """The loaded artifact must also pickle cleanly — that is how

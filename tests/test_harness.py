@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.config import GlobalModelConfig, StageConfig, fast_profile
+from repro.core.config import GlobalModelConfig, fast_profile
 from repro.core.metrics import ErrorSummary
 from repro.harness import (
     SweepConfig,
@@ -47,15 +47,11 @@ class TestReporting:
 
     def test_render_comparison_table(self):
         summary = {"Overall": ErrorSummary(n=10, mean=1.5, p50=1.0, p90=3.0)}
-        text = render_comparison_table(
-            "T", "A", summary, "B", summary
-        )
+        text = render_comparison_table("T", "A", summary, "B", summary)
         assert "Overall" in text and "A MAE" in text and "B MAE" in text
 
     def test_render_simple_table(self):
-        text = render_simple_table(
-            "title", ["x", "y"], [["a", 1.0], ["b", 2000.0]]
-        )
+        text = render_simple_table("title", ["x", "y"], [["a", 1.0], ["b", 2000.0]])
         assert "title" in text and "2000" in text
 
     def test_nan_rendered_as_dash(self):
@@ -91,9 +87,7 @@ class TestReplay:
 
     def test_true_matches_trace(self, replay):
         trace, result = replay
-        np.testing.assert_array_equal(
-            result.true, [r.exec_time for r in trace]
-        )
+        np.testing.assert_array_equal(result.true, [r.exec_time for r in trace])
 
     def test_first_query_is_never_cache_hit(self, replay):
         _, result = replay
@@ -200,7 +194,5 @@ class TestFleetStatistics:
         stats = fleet_statistics(n_instances=10, duration_days=1.5, volume_scale=0.15)
         assert 0 <= stats["clusters_over_50pct_unique"] <= 1
         assert 0 <= stats["fleet_repeat_fraction"] <= 1
-        assert stats["exec_times"].shape[0] == sum(
-            stats["bucket_counts"].values()
-        )
+        assert stats["exec_times"].shape[0] == sum(stats["bucket_counts"].values())
         assert stats["latency_percentiles_ms"][99.9] >= stats["latency_percentiles_ms"][50]

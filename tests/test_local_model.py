@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.config import LocalModelConfig, TrainingPoolConfig
+from repro.core.config import LocalModelConfig
 from repro.core.interfaces import PredictionSource
 from repro.local_model import LocalModel
 
@@ -77,9 +77,7 @@ class TestPrediction:
         assert pred.source == PredictionSource.LOCAL
         assert pred.exec_time >= 0
         assert pred.variance >= 0
-        assert pred.variance == pytest.approx(
-            pred.model_uncertainty + pred.data_uncertainty
-        )
+        assert pred.variance == pytest.approx(pred.model_uncertainty + pred.data_uncertainty)
 
     def test_tracks_target(self, trained):
         model, X, y = trained
@@ -132,14 +130,7 @@ class TestPrediction:
         """Novel feature regions should carry higher total uncertainty on
         average than the densest training region."""
         model, X, _ = trained
-        in_dist = np.mean(
-            [model.predict(X[i]).variance for i in range(60)]
-        )
+        in_dist = np.mean([model.predict(X[i]).variance for i in range(60)])
         rng = np.random.default_rng(5)
-        off = np.mean(
-            [
-                model.predict(rng.normal(loc=8.0, size=6)).variance
-                for _ in range(60)
-            ]
-        )
+        off = np.mean([model.predict(rng.normal(loc=8.0, size=6)).variance for _ in range(60)])
         assert off > in_dist * 0.5  # at minimum, not dramatically lower

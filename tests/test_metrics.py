@@ -18,9 +18,7 @@ from repro.core.metrics import (
 
 class TestAbsoluteErrors:
     def test_basic(self):
-        np.testing.assert_allclose(
-            absolute_errors([1.0, 5.0], [2.0, 3.0]), [1.0, 2.0]
-        )
+        np.testing.assert_allclose(absolute_errors([1.0, 5.0], [2.0, 3.0]), [1.0, 2.0])
 
     def test_shape_mismatch(self):
         with pytest.raises(ValueError):

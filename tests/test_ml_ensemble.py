@@ -11,9 +11,7 @@ def fitted_ensemble():
     rng = np.random.default_rng(11)
     X = rng.normal(size=(500, 5))
     y = X[:, 0] * 3 + np.abs(X[:, 1]) + 0.2 * rng.normal(size=500)
-    ens = BayesianGBMEnsemble(
-        n_members=5, n_estimators=30, max_depth=3, random_state=0
-    )
+    ens = BayesianGBMEnsemble(n_members=5, n_estimators=30, max_depth=3, random_state=0)
     ens.fit(X, y)
     return ens, X, y
 
@@ -36,9 +34,7 @@ class TestUncertaintyDecomposition:
     def test_total_is_sum_of_parts(self, fitted_ensemble):
         ens, X, _ = fitted_ensemble
         p = ens.predict(X[:50])
-        np.testing.assert_allclose(
-            p.total_uncertainty, p.model_uncertainty + p.data_uncertainty
-        )
+        np.testing.assert_allclose(p.total_uncertainty, p.model_uncertainty + p.data_uncertainty)
 
     def test_uncertainties_non_negative(self, fitted_ensemble):
         ens, X, _ = fitted_ensemble
@@ -55,9 +51,7 @@ class TestUncertaintyDecomposition:
         rng = np.random.default_rng(0)
         X = rng.normal(size=(200, 3))
         y = X[:, 0] + 0.1 * rng.normal(size=200)
-        ens = BayesianGBMEnsemble(
-            n_members=1, n_estimators=20, random_state=0
-        )
+        ens = BayesianGBMEnsemble(n_members=1, n_estimators=20, random_state=0)
         ens.fit(X, y)
         p = ens.predict(X[:30])
         np.testing.assert_allclose(p.model_uncertainty, 0.0, atol=1e-12)
@@ -65,9 +59,7 @@ class TestUncertaintyDecomposition:
     def test_mean_is_average_of_members(self, fitted_ensemble):
         ens, X, _ = fitted_ensemble
         p = ens.predict(X[:10])
-        member_means = np.array(
-            [m.predict_dist(X[:10])[0] for m in ens.members_]
-        )
+        member_means = np.array([m.predict_dist(X[:10])[0] for m in ens.members_])
         np.testing.assert_allclose(p.mean, member_means.mean(axis=0))
 
     def test_less_data_means_more_model_uncertainty(self):
@@ -92,9 +84,7 @@ class TestUncertaintyDecomposition:
 class TestAccuracy:
     def test_predict_mean_matches_predict(self, fitted_ensemble):
         ens, X, _ = fitted_ensemble
-        np.testing.assert_allclose(
-            ens.predict_mean(X[:20]), ens.predict(X[:20]).mean
-        )
+        np.testing.assert_allclose(ens.predict_mean(X[:20]), ens.predict(X[:20]).mean)
 
     def test_tracks_target(self, fitted_ensemble):
         ens, X, y = fitted_ensemble

@@ -17,9 +17,7 @@ def regression_data():
 class TestFitBasics:
     def test_improves_over_constant(self, regression_data):
         X, y = regression_data
-        model = GradientBoostingModel(
-            n_estimators=50, max_depth=3, random_state=0
-        )
+        model = GradientBoostingModel(n_estimators=50, max_depth=3, random_state=0)
         model.fit(X, y)
         mse = np.mean((model.predict(X) - y) ** 2)
         assert mse < 0.5 * np.var(y)
@@ -80,9 +78,7 @@ class TestEarlyStopping:
 
     def test_explicit_eval_set(self, regression_data):
         X, y = regression_data
-        model = GradientBoostingModel(
-            n_estimators=40, early_stopping_rounds=5, random_state=0
-        )
+        model = GradientBoostingModel(n_estimators=40, early_stopping_rounds=5, random_state=0)
         model.fit(X[:400], y[:400], eval_set=(X[400:], y[400:]))
         assert len(model.val_losses_) >= model.best_iteration_
 
@@ -90,9 +86,7 @@ class TestEarlyStopping:
         rng = np.random.default_rng(2)
         X = rng.normal(size=(100, 2))
         y = rng.normal(size=100)
-        model = GradientBoostingModel(
-            n_estimators=15, early_stopping_rounds=None, random_state=0
-        )
+        model = GradientBoostingModel(n_estimators=15, early_stopping_rounds=None, random_state=0)
         model.fit(X, y)
         assert len(model.trees_) == 15
 
@@ -162,9 +156,7 @@ class TestSampling:
         X, y = regression_data
         preds = []
         for _ in range(2):
-            model = GradientBoostingModel(
-                n_estimators=20, subsample=0.8, random_state=42
-            )
+            model = GradientBoostingModel(n_estimators=20, subsample=0.8, random_state=42)
             model.fit(X, y)
             preds.append(model.predict(X[:20]))
         np.testing.assert_allclose(preds[0], preds[1])
@@ -177,9 +169,7 @@ class TestSampling:
             ).fit(X, y)
             for s in (0, 1)
         ]
-        assert not np.allclose(
-            models[0].predict(X[:50]), models[1].predict(X[:50])
-        )
+        assert not np.allclose(models[0].predict(X[:50]), models[1].predict(X[:50]))
 
 
 class TestIntrospection:

@@ -27,11 +27,7 @@ def _random_tree(n, seed, n_features=4, sys_dim=2):
     rng = np.random.default_rng(seed)
     feats = np.abs(rng.normal(size=(n, n_features)))
     parents = [int(rng.integers(0, k)) for k in range(1, n)]
-    edges = (
-        np.array([list(range(1, n)), parents])
-        if n > 1
-        else np.zeros((2, 0), dtype=int)
-    )
+    edges = np.array([list(range(1, n)), parents]) if n > 1 else np.zeros((2, 0), dtype=int)
     return PlanGraph(
         node_features=feats,
         edges=edges,
@@ -100,9 +96,7 @@ class TestDirectedGCN:
         assert np.isfinite(preds).all()
 
     def test_gradient_check_tiny_graph(self):
-        gcn = DirectedGCN(
-            3, 1, hidden_dim=4, n_conv_layers=1, dropout=0.0, random_state=0
-        )
+        gcn = DirectedGCN(3, 1, hidden_dim=4, n_conv_layers=1, dropout=0.0, random_state=0)
         g = PlanGraph(
             node_features=np.array([[0.5, -1.0, 2.0], [1.0, 0.3, -0.2]]),
             edges=np.array([[1], [0]]),
@@ -138,15 +132,9 @@ class TestDirectedGCN:
     def test_learns_additive_target(self):
         """Sum-aggregation GCN learns a target that is a sum over nodes."""
         rng = np.random.default_rng(5)
-        graphs = [
-            _random_tree(int(rng.integers(2, 9)), seed=i) for i in range(250)
-        ]
-        targets = np.array(
-            [g.node_features[:, 0].sum() for g in graphs]
-        )
-        gcn = DirectedGCN(
-            4, 2, hidden_dim=16, n_conv_layers=3, dropout=0.0, random_state=0
-        )
+        graphs = [_random_tree(int(rng.integers(2, 9)), seed=i) for i in range(250)]
+        targets = np.array([g.node_features[:, 0].sum() for g in graphs])
+        gcn = DirectedGCN(4, 2, hidden_dim=16, n_conv_layers=3, dropout=0.0, random_state=0)
         gcn.fit(graphs, targets, epochs=50, batch_size=32, lr=3e-3)
         pred = gcn.predict_graphs(graphs)
         assert np.corrcoef(pred, targets)[0, 1] > 0.9

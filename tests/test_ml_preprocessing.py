@@ -25,9 +25,7 @@ class TestStandardScaler:
         rng = np.random.default_rng(1)
         X = rng.normal(size=(50, 3))
         scaler = StandardScaler().fit(X)
-        np.testing.assert_allclose(
-            scaler.inverse_transform(scaler.transform(X)), X, atol=1e-9
-        )
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-9)
 
     def test_transform_before_fit_raises(self):
         with pytest.raises(RuntimeError):

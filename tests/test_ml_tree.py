@@ -96,9 +96,7 @@ class TestRegressionTree:
         binned = binner.transform(X)
         tree = RegressionTree(max_depth=4, min_samples_leaf=2)
         tree.fit(binned, -y, np.ones_like(y), binner)
-        np.testing.assert_allclose(
-            tree.predict(X), tree.predict_binned(binned), atol=1e-12
-        )
+        np.testing.assert_allclose(tree.predict(X), tree.predict_binned(binned), atol=1e-12)
 
     def test_reduces_squared_loss_vs_constant(self):
         rng = np.random.default_rng(3)

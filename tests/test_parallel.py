@@ -77,9 +77,7 @@ class TestComponentModes:
     def test_batched_matches_per_query(self, small_trace):
         cfg = fast_profile()
         batched = replay_instance(small_trace, config=cfg)
-        per_query = replay_instance(
-            small_trace, config=cfg, component_inference="per_query"
-        )
+        per_query = replay_instance(small_trace, config=cfg, component_inference="per_query")
         assert_replays_identical(batched, per_query)
 
     def test_unknown_mode_rejected(self, small_trace):
@@ -114,21 +112,15 @@ class TestComponentModes:
     def test_routed_arrays_unaffected_by_collection(self, small_trace):
         cfg = fast_profile()
         with_components = replay_instance(small_trace, config=cfg)
-        without = replay_instance(
-            small_trace, config=cfg, collect_components=False
-        )
+        without = replay_instance(small_trace, config=cfg, collect_components=False)
         for attr in ("stage_pred", "stage_source", "autowlm_pred"):
-            assert np.array_equal(
-                getattr(with_components, attr), getattr(without, attr)
-            )
+            assert np.array_equal(getattr(with_components, attr), getattr(without, attr))
 
 
 class TestFleetSweeper:
     def test_indices_and_traces_agree(self, small_trace):
         fleet_cfg = FleetConfig(seed=9, volume_scale=0.12)
-        sweeper = FleetSweeper(
-            fleet_config=fleet_cfg, stage_config=fast_profile()
-        )
+        sweeper = FleetSweeper(fleet_config=fleet_cfg, stage_config=fast_profile())
         by_index = sweeper.replay_indices([0], 1.0)
         by_trace = sweeper.replay_traces([small_trace])
         assert_replays_identical(by_index[0], by_trace[0])
@@ -217,14 +209,10 @@ class TestParallelFleetGeneration:
         gen = FleetGenerator(FleetConfig(seed=4, volume_scale=0.1))
         seq = gen.generate_fleet_traces(3, 1.0, n_jobs=1)
         par = gen.generate_fleet_traces(3, 1.0, n_jobs=2)
-        assert [t.instance.instance_id for t in seq] == [
-            t.instance.instance_id for t in par
-        ]
+        assert [t.instance.instance_id for t in seq] == [t.instance.instance_id for t in par]
         for a, b in zip(seq, par):
             assert len(a) == len(b)
-            np.testing.assert_array_equal(
-                [r.exec_time for r in a], [r.exec_time for r in b]
-            )
+            np.testing.assert_array_equal([r.exec_time for r in a], [r.exec_time for r in b])
             np.testing.assert_array_equal(
                 np.vstack([r.features for r in a]),
                 np.vstack([r.features for r in b]),

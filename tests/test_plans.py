@@ -156,15 +156,11 @@ class TestFeaturize:
         names = feature_names()
         assert vec[names.index("n_nodes")] == 4.0
         assert vec[names.index("depth")] == 3.0
-        assert vec[names.index("log_total_cost")] == pytest.approx(
-            np.log1p(1350.0)
-        )
+        assert vec[names.index("log_total_cost")] == pytest.approx(np.log1p(1350.0))
 
     def test_different_plans_different_vectors(self):
         plan = make_plan()
-        other = PhysicalPlan(
-            root=PlanNode("seq_scan", estimated_cost=10.0), query_type="select"
-        )
+        other = PhysicalPlan(root=PlanNode("seq_scan", estimated_cost=10.0), query_type="select")
         assert not np.array_equal(featurize_plan(plan), featurize_plan(other))
 
 

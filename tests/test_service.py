@@ -1,0 +1,425 @@
+"""Tests for the online serving layer (scheduler, service, registry).
+
+The headline contract is serving/replay parity: replaying an instance
+``via_service`` — any ``max_batch_size``, any client concurrency —
+yields bit-identical predictions and cache/counter accounting to the
+direct :func:`~repro.harness.replay.replay_instance` path.  On top of
+that, the scheduler's sequencing semantics, the batch router's flush
+invariance and the registry's bit-for-bit warm restart are covered
+individually.
+"""
+
+import multiprocessing
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.config import GlobalModelConfig, ServiceConfig, fast_profile
+from repro.core.stage import BatchRouter, StagePredictor
+from repro.global_model import GlobalModelTrainer
+from repro.harness import replay_instance
+from repro.service import ModelRegistry, PredictionService
+from repro.workload import FleetConfig, FleetGenerator
+
+ARRAY_ATTRS = (
+    "true",
+    "arrival",
+    "kind",
+    "stage_pred",
+    "stage_source",
+    "autowlm_pred",
+    "cache_pred",
+    "local_pred",
+    "local_std",
+    "global_pred",
+    "uncertain",
+)
+
+
+def assert_replays_identical(a, b):
+    assert a.instance_id == b.instance_id
+    for attr in ARRAY_ATTRS:
+        x, y = getattr(a, attr), getattr(b, attr)
+        assert np.array_equal(x, y, equal_nan=x.dtype.kind == "f"), attr
+    assert a.stage_stats == b.stage_stats
+
+
+@pytest.fixture(scope="module")
+def trace():
+    """A trace that exercises every route: cache, local, global, default."""
+    gen = FleetGenerator(FleetConfig(seed=3, volume_scale=0.2))
+    return gen.generate_trace(gen.sample_instance(0), 1.5)
+
+
+@pytest.fixture(scope="module")
+def global_model():
+    gen = FleetGenerator(FleetConfig(seed=3, volume_scale=0.2))
+    train = gen.generate_fleet_traces(2, 1.0, start_index=10_000)
+    return GlobalModelTrainer(
+        GlobalModelConfig(
+            hidden_dim=24, n_conv_layers=2, epochs=4, max_queries_per_instance=100
+        )
+    ).train(train)
+
+
+@pytest.fixture(scope="module")
+def reference_replay(trace, global_model):
+    return replay_instance(trace, global_model=global_model, config=fast_profile())
+
+
+# ---------------------------------------------------------------------------
+# serving/replay parity
+# ---------------------------------------------------------------------------
+class TestViaServiceParity:
+    @pytest.mark.parametrize(
+        "max_batch_size,service_clients",
+        [(1, 1), (7, 3), (64, 2), (16, 5)],
+    )
+    def test_bit_identical_to_direct_replay(
+        self, trace, global_model, reference_replay, max_batch_size, service_clients
+    ):
+        via = replay_instance(
+            trace,
+            global_model=global_model,
+            config=fast_profile(),
+            via_service=True,
+            service_config=ServiceConfig(max_batch_size=max_batch_size),
+            service_clients=service_clients,
+        )
+        assert_replays_identical(reference_replay, via)
+
+    def test_parity_without_global_model(self, trace):
+        direct = replay_instance(trace, config=fast_profile())
+        via = replay_instance(
+            trace,
+            config=fast_profile(),
+            via_service=True,
+            service_config=ServiceConfig(max_batch_size=9),
+            service_clients=2,
+        )
+        assert_replays_identical(direct, via)
+
+    def test_parity_without_component_collection(self, trace, global_model):
+        direct = replay_instance(
+            trace,
+            global_model=global_model,
+            config=fast_profile(),
+            collect_components=False,
+        )
+        via = replay_instance(
+            trace,
+            global_model=global_model,
+            config=fast_profile(),
+            collect_components=False,
+            via_service=True,
+            service_config=ServiceConfig(max_batch_size=12),
+            service_clients=3,
+        )
+        assert_replays_identical(direct, via)
+
+    def test_every_route_exercised(self, reference_replay):
+        counts = reference_replay.stage_stats["source_counts"]
+        assert counts["cache"] > 0
+        assert counts["local"] > 0
+        assert counts["global"] > 0
+        assert reference_replay.stage_stats["n_local_retrains"] >= 1
+
+    def test_via_service_rejects_per_query_mode(self, trace):
+        with pytest.raises(ValueError, match="batched"):
+            replay_instance(
+                trace,
+                config=fast_profile(),
+                via_service=True,
+                component_inference="per_query",
+            )
+
+
+# ---------------------------------------------------------------------------
+# the batch router: flush points never change results
+# ---------------------------------------------------------------------------
+class TestBatchRouter:
+    @pytest.mark.parametrize("flush_every", [1, 3, 17])
+    def test_flush_cadence_invariance(self, trace, flush_every):
+        cfg = fast_profile()
+        sequential = StagePredictor(trace.instance, config=cfg, random_state=0)
+        seq_preds = []
+        for record in trace:
+            seq_preds.append(sequential.predict_with_components(record))
+            sequential.observe(record)
+
+        batched = StagePredictor(trace.instance, config=cfg, random_state=0)
+        router = BatchRouter(batched)
+        slots = []
+        for i, record in enumerate(trace):
+            slots.append(router.route(record))
+            router.observe(record)
+            if (i + 1) % flush_every == 0:
+                router.flush()
+        router.flush()
+
+        for want, slot in zip(seq_preds, slots):
+            got = slot.components
+            assert got.prediction == want.prediction
+            assert got.cache_value == want.cache_value
+            assert got.local == want.local
+        assert sequential.source_counts == batched.source_counts
+        assert sequential.cache.hits == batched.cache.hits
+        assert sequential.cache.misses == batched.cache.misses
+
+
+# ---------------------------------------------------------------------------
+# the scheduler
+# ---------------------------------------------------------------------------
+def _scheduler_service(trace, **kwargs):
+    service = PredictionService(
+        trace.instance,
+        stage_config=fast_profile(),
+        service_config=ServiceConfig(**kwargs),
+    )
+    return service
+
+
+class TestScheduler:
+    def test_out_of_order_submission_executes_in_sequence(self, trace):
+        with _scheduler_service(trace, max_batch_size=4) as service:
+            records = [trace[i] for i in range(20)]
+            # submit the fused stream from the back: the sequencer must
+            # hold early arrivals until the gap fills
+            futures = {}
+            for i in reversed(range(len(records))):
+                futures[i] = service.predict_async(records[i], seq=2 * i)
+                service.observe(records[i], seq=2 * i + 1)
+            got = [futures[i].result(timeout=60).prediction for i in range(len(records))]
+            service.drain()
+
+        stage = StagePredictor(trace.instance, config=fast_profile())
+        want = []
+        for record in records:
+            want.append(stage.predict(record))
+            stage.observe(record)
+        assert got == want
+
+    def test_duplicate_sequence_number_rejected(self, trace):
+        with _scheduler_service(trace) as service:
+            service.predict_async(trace[0], seq=5)
+            with pytest.raises(ValueError, match="already used"):
+                service.predict_async(trace[1], seq=5)
+
+    def test_unknown_op_kind_rejected(self, trace):
+        with _scheduler_service(trace) as service:
+            with pytest.raises(ValueError, match="unknown op kind"):
+                service.scheduler.submit("retrain", trace[0])
+
+    def test_submit_after_close_rejected(self, trace):
+        service = _scheduler_service(trace)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.predict_async(trace[0])
+
+    def test_close_fails_ops_stranded_behind_gap(self, trace):
+        service = _scheduler_service(trace)
+        service.predict_async(trace[0], seq=0).result(timeout=60)
+        stranded = service.predict_async(trace[1], seq=7)  # gap at 1..6
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            stranded.result(timeout=60)
+
+    def test_batching_counters(self, trace):
+        with _scheduler_service(trace, max_batch_size=8) as service:
+            for record in trace:
+                service.predict_async(record)
+                service.observe(record)
+            service.drain()
+            stats = service.stats()
+        sched = stats["scheduler"]
+        assert sched["n_predicts"] == len(trace)
+        assert sched["n_observes"] == len(trace)
+        assert sched["n_immediate"] + sched["n_deferred"] == sched["n_predicts"]
+        assert sched["max_batch_size"] <= 8
+        # accounting matches the stage predictor exactly
+        counts = stats["stage"]["source_counts"]
+        assert sum(counts.values()) == len(trace)
+
+    def test_concurrent_live_clients_make_progress(self, trace):
+        # live mode: auto-assigned sequence numbers, blocking clients
+        with _scheduler_service(
+            trace, max_batch_size=4, max_batch_latency_ms=1.0
+        ) as service:
+            records = [trace[i] for i in range(40)]
+            results = [None] * len(records)
+            position = {"next": 0}
+            lock = threading.Lock()
+
+            def client():
+                while True:
+                    with lock:
+                        i = position["next"]
+                        if i >= len(records):
+                            return
+                        position["next"] = i + 1
+                    results[i] = service.predict(records[i], timeout=60)
+
+            threads = [threading.Thread(target=client) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert all(r is not None for r in results)
+            assert service.stats()["scheduler"]["n_predicts"] == len(records)
+
+
+# ---------------------------------------------------------------------------
+# the registry
+# ---------------------------------------------------------------------------
+def _warm_service(trace, global_model, n_warm, **service_kwargs):
+    service = PredictionService(
+        trace.instance,
+        global_model=global_model,
+        stage_config=fast_profile(),
+        service_config=ServiceConfig(**service_kwargs),
+        random_state=0,
+    )
+    for i in range(n_warm):
+        service.predict_async(trace[i])
+        service.observe(trace[i])
+    service.drain()
+    return service
+
+
+def _held_out_predictions(service, records):
+    """Fused predict+observe over ``records``; returns the predictions."""
+    futures = [None] * len(records)
+    for i, record in enumerate(records):
+        futures[i] = service.predict_async(record)
+        service.observe(record)
+    service.drain()
+    return [f.result(timeout=60).prediction for f in futures]
+
+
+def _restore_and_predict(args):
+    """Spawn-able worker: restore a snapshot cold and serve a stream."""
+    registry_root, name, records = args
+    registry = ModelRegistry(registry_root)
+    service = PredictionService.restore(
+        registry, name, service_config=ServiceConfig(max_batch_size=5)
+    )
+    predictions = _held_out_predictions(service, records)
+    stats = service.stats()["stage"]
+    service.close()
+    return pickle.dumps((predictions, stats))
+
+
+class TestModelRegistry:
+    def test_global_model_round_trip(self, global_model, trace, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        registry.save_global_model(global_model, "fleet")
+        assert registry.list_global_models() == ["fleet"]
+        loaded = registry.load_global_model("fleet")
+        record = trace[0]
+        want = global_model.predict(record.plan, trace.instance)
+        got = loaded.predict(record.plan, trace.instance)
+        assert got.exec_time == want.exec_time
+
+    def test_snapshot_round_trip_same_process(self, trace, global_model, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        n_warm = len(trace) // 2
+        held = [trace[i] for i in range(n_warm, len(trace))]
+
+        service = _warm_service(trace, global_model, n_warm, max_batch_size=8)
+        service.snapshot(registry, "warm")
+        assert registry.list_service_snapshots() == ["warm"]
+        want = _held_out_predictions(service, held)
+        want_stats = service.stats()["stage"]
+        service.close()
+
+        restored = PredictionService.restore(
+            registry, "warm", service_config=ServiceConfig(max_batch_size=3)
+        )
+        got = _held_out_predictions(restored, held)
+        got_stats = restored.stats()["stage"]
+        restored.close()
+
+        assert got == want
+        assert got_stats == want_stats
+
+    def test_snapshot_round_trip_fresh_process(self, trace, global_model, tmp_path):
+        """Warm restart in a brand-new interpreter is bit-for-bit."""
+        registry = ModelRegistry(str(tmp_path))
+        n_warm = len(trace) // 2
+        held = [trace[i] for i in range(n_warm, len(trace))]
+
+        service = _warm_service(trace, global_model, n_warm, max_batch_size=8)
+        service.snapshot(registry, "warm")
+        want = _held_out_predictions(service, held)
+        want_stats = service.stats()["stage"]
+        service.close()
+
+        with ProcessPoolExecutor(
+            max_workers=1, mp_context=multiprocessing.get_context("spawn")
+        ) as pool:
+            payload = pool.submit(
+                _restore_and_predict, (str(tmp_path), "warm", held)
+            ).result(timeout=300)
+        got, got_stats = pickle.loads(payload)
+
+        assert got == want
+        assert got_stats == want_stats
+
+    def test_snapshot_under_concurrent_traffic(self, trace, tmp_path):
+        """snapshot() pauses the scheduler: live clients never corrupt it."""
+        registry = ModelRegistry(str(tmp_path))
+        service = _warm_service(trace, None, len(trace) // 2, max_batch_size=4)
+        stop = threading.Event()
+
+        def hammer():
+            i = 0
+            while not stop.is_set():
+                record = trace[i % len(trace)]
+                service.predict(record, timeout=60)
+                service.observe(record)
+                i += 1
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            for round_index in range(3):
+                name = f"live-{round_index}"
+                service.snapshot(registry, name)
+                restored = registry.load_service(name)
+                # the restored copy serves immediately
+                assert restored.predict(trace[0], timeout=60).exec_time >= 0.0
+                restored.close()
+        finally:
+            stop.set()
+            thread.join()
+        service.drain()
+        service.close()
+
+    def test_snapshot_without_global_model(self, trace, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        service = _warm_service(trace, None, len(trace) // 2, max_batch_size=4)
+        path = service.snapshot(registry, "local-only")
+        service.close()
+        import os
+
+        assert not os.path.exists(os.path.join(path, "global.npz"))
+        restored = registry.load_service("local-only")
+        assert restored.stage.global_model is None
+        restored.close()
+
+    def test_unsupported_snapshot_version_rejected(self, trace, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        service = _warm_service(trace, None, 10, max_batch_size=4)
+        path = service.snapshot(registry, "v-test")
+        service.close()
+        import os
+
+        state_path = os.path.join(path, "state.pkl")
+        payload = pickle.load(open(state_path, "rb"))
+        payload["format_version"] = 999
+        pickle.dump(payload, open(state_path, "wb"))
+        with pytest.raises(ValueError, match="version"):
+            registry.load_service("v-test")

@@ -10,7 +10,7 @@ from repro.core import (
     StagePredictor,
     fast_profile,
 )
-from repro.core.config import LocalModelConfig, StageConfig, paper_profile
+from repro.core.config import LocalModelConfig, paper_profile
 from repro.workload import FleetConfig, FleetGenerator
 
 
@@ -156,9 +156,7 @@ class _FixedGlobal:
         from repro.core.interfaces import Prediction, PredictionSource
 
         self.calls += 1
-        return Prediction(
-            exec_time=self.value, source=PredictionSource.GLOBAL
-        )
+        return Prediction(exec_time=self.value, source=PredictionSource.GLOBAL)
 
     def byte_size(self):
         return 123
@@ -172,9 +170,7 @@ class TestGlobalRouting:
         cfg = fast_profile()
         import dataclasses
 
-        cfg = dataclasses.replace(
-            cfg, uncertainty_threshold=0.0, short_circuit_seconds=0.0
-        )
+        cfg = dataclasses.replace(cfg, uncertainty_threshold=0.0, short_circuit_seconds=0.0)
         stage = StagePredictor(trace.instance, global_model=gm, config=cfg)
         for record in list(trace)[:120]:
             stage.predict(record)
@@ -210,9 +206,7 @@ class TestGlobalRouting:
         cfg = fast_profile()
         import dataclasses
 
-        cfg = dataclasses.replace(
-            cfg, uncertainty_threshold=0.0, short_circuit_seconds=0.0
-        )
+        cfg = dataclasses.replace(cfg, uncertainty_threshold=0.0, short_circuit_seconds=0.0)
         stage = StagePredictor(trace.instance, global_model=gm, config=cfg)
         records = list(trace)
         for record in records[:200]:
@@ -230,26 +224,20 @@ class TestGlobalRouting:
 
     def test_global_used_before_local_ready(self, trace):
         gm = _FixedGlobal()
-        stage = StagePredictor(
-            trace.instance, global_model=gm, config=fast_profile()
-        )
+        stage = StagePredictor(trace.instance, global_model=gm, config=fast_profile())
         pred = stage.predict(trace[0])
         assert pred.source == PredictionSource.GLOBAL
         assert pred.exec_time == 42.0
 
     def test_global_use_fraction(self, trace):
         gm = _FixedGlobal()
-        stage = StagePredictor(
-            trace.instance, global_model=gm, config=fast_profile()
-        )
+        stage = StagePredictor(trace.instance, global_model=gm, config=fast_profile())
         stage.predict(trace[0])
         assert stage.global_use_fraction == 1.0
 
     def test_byte_size_excludes_global(self, trace):
         gm = _FixedGlobal()
-        stage = StagePredictor(
-            trace.instance, global_model=gm, config=fast_profile()
-        )
+        stage = StagePredictor(trace.instance, global_model=gm, config=fast_profile())
         for record in list(trace)[:100]:
             stage.observe(record)
         assert stage.byte_size() > 0
@@ -285,9 +273,7 @@ class TestBaselines:
         assert auto.byte_size() > 0
 
     def test_autowlm_no_uncertainty(self, trace):
-        auto = AutoWLMPredictor(
-            config=LocalModelConfig(n_estimators=10, min_train_size=20)
-        )
+        auto = AutoWLMPredictor(config=LocalModelConfig(n_estimators=10, min_train_size=20))
         for record in list(trace)[:60]:
             auto.observe(record)
         assert auto.predict(trace[0]).variance == 0.0

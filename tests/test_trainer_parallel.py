@@ -74,9 +74,7 @@ class TestRunningMoments:
     def test_merge_matches_concatenation(self):
         rng = np.random.default_rng(1)
         X, Y = rng.normal(size=(30, 4)), rng.normal(size=(17, 4))
-        merged = RunningMoments(4).update(X).merge(
-            RunningMoments(4).update(Y)
-        )
+        merged = RunningMoments(4).update(X).merge(RunningMoments(4).update(Y))
         both = np.vstack([X, Y])
         assert merged.count == 47
         np.testing.assert_allclose(merged.mean, both.mean(axis=0))
@@ -117,11 +115,7 @@ class TestRunningMoments:
         def moments_via(splits):
             per_trace = []
             for lo, hi in splits:
-                per_trace.extend(
-                    _featurize_shard_worker(
-                        (traces[lo:hi], trainer.config, True)
-                    )
-                )
+                per_trace.extend(_featurize_shard_worker((traces[lo:hi], trainer.config, True)))
             merged = RunningMoments(NODE_FEATURE_DIM)
             for _, __, node_m, ___ in per_trace:
                 merged.merge(node_m)
@@ -146,21 +140,14 @@ class TestSubsampleSeeding:
     def test_sample_independent_of_trace_position(self, trainer, traces):
         """The regression: each trace must draw the same subsample no
         matter what precedes it in the input ordering."""
-        per_trace = {
-            t.instance.instance_id: subsample_trace(t, trainer.config)
-            for t in traces
-        }
+        per_trace = {t.instance.instance_id: subsample_trace(t, trainer.config) for t in traces}
         for order in ([4, 1, 3, 0, 2], [2, 3, 0, 4, 1]):
             for trace in (traces[i] for i in order):
                 again = subsample_trace(trace, trainer.config)
                 expected = per_trace[trace.instance.instance_id]
-                assert [r.query_id for r in again] == [
-                    r.query_id for r in expected
-                ]
+                assert [r.query_id for r in again] == [r.query_id for r in expected]
 
-    def test_permuted_traces_build_same_dataset(
-        self, trainer, traces, sequential_dataset
-    ):
+    def test_permuted_traces_build_same_dataset(self, trainer, traces, sequential_dataset):
         """Trace-order permutation permutes whole per-trace blocks but
         changes nothing inside them: the permuted dataset equals the
         concatenation of each trace's individually built dataset."""
@@ -176,12 +163,8 @@ class TestSubsampleSeeding:
 
         # and the original order concatenates the same blocks
         graphs_s, targets_s = sequential_dataset
-        assert_graphs_identical(
-            graphs_s, [g for b in blocks for g in b[0]]
-        )
-        assert np.array_equal(
-            targets_s, np.concatenate([b[1] for b in blocks])
-        )
+        assert_graphs_identical(graphs_s, [g for b in blocks for g in b[0]])
+        assert np.array_equal(targets_s, np.concatenate([b[1] for b in blocks]))
 
     def test_cap_still_enforced(self, trainer, traces):
         cfg = GlobalModelConfig(max_queries_per_instance=15)
@@ -191,17 +174,13 @@ class TestSubsampleSeeding:
 
 @pytest.mark.parametrize("n_jobs", [2, 3])
 class TestShardedParity:
-    def test_build_dataset_bit_identical(
-        self, trainer, traces, sequential_dataset, n_jobs
-    ):
+    def test_build_dataset_bit_identical(self, trainer, traces, sequential_dataset, n_jobs):
         graphs_s, targets_s = sequential_dataset
         graphs_p, targets_p = trainer.build_dataset(traces, n_jobs=n_jobs)
         assert_graphs_identical(graphs_s, graphs_p)
         assert np.array_equal(targets_s, targets_p)
 
-    def test_scaler_moments_bit_identical(
-        self, trainer, traces, sequential_model, n_jobs
-    ):
+    def test_scaler_moments_bit_identical(self, trainer, traces, sequential_model, n_jobs):
         parallel = trainer.train(traces, n_jobs=n_jobs)
         for attr in ("node_scaler", "sys_scaler"):
             seq_scaler = getattr(sequential_model, attr)
@@ -234,9 +213,7 @@ class TestTrainKnobs:
     def test_single_trace_runs_inline(self, trainer, traces):
         """One task never pays for a pool, whatever n_jobs says."""
         graphs, targets = trainer.build_dataset([traces[0]], n_jobs=4)
-        block_graphs, block_targets = trainer.build_dataset(
-            [traces[0]], n_jobs=1
-        )
+        block_graphs, block_targets = trainer.build_dataset([traces[0]], n_jobs=1)
         assert_graphs_identical(graphs, block_graphs)
         assert np.array_equal(targets, block_targets)
 

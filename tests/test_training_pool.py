@@ -30,9 +30,7 @@ class TestBasics:
         with pytest.raises(ValueError):
             TrainingPool(TrainingPoolConfig(max_size=0))
         with pytest.raises(ValueError, match="sum to 1"):
-            TrainingPool(
-                TrainingPoolConfig(bucket_shares=((10.0, 0.5), (float("inf"), 0.2)))
-            )
+            TrainingPool(TrainingPoolConfig(bucket_shares=((10.0, 0.5), (float("inf"), 0.2))))
 
     def test_negative_exec_time_rejected(self):
         with pytest.raises(ValueError):

@@ -31,12 +31,8 @@ class TestWhatIfScaling:
         instance = trace.instance
         small = dataclasses.replace(instance, n_nodes=2)
         large = dataclasses.replace(instance, n_nodes=max(8, instance.n_nodes * 2))
-        pred_small = model.predict_graphs(
-            [record_to_graph(r.plan, small) for r in heavy]
-        )
-        pred_large = model.predict_graphs(
-            [record_to_graph(r.plan, large) for r in heavy]
-        )
+        pred_small = model.predict_graphs([record_to_graph(r.plan, small) for r in heavy])
+        pred_large = model.predict_graphs([record_to_graph(r.plan, large) for r in heavy])
         # direction on the geometric mean (individual queries may wiggle)
         assert np.exp(np.mean(np.log1p(pred_large))) <= np.exp(
             np.mean(np.log1p(pred_small))

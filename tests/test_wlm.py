@@ -127,9 +127,7 @@ class TestHeadOfLineBlocking:
         good = _simulate(
             arrivals, execs, good_preds, short_slots=1, long_slots=1, sqa_timeout_s=None
         )
-        bad = _simulate(
-            arrivals, execs, bad_preds, short_slots=1, long_slots=1, sqa_timeout_s=None
-        )
+        bad = _simulate(arrivals, execs, bad_preds, short_slots=1, long_slots=1, sqa_timeout_s=None)
         assert bad.mean_latency > good.mean_latency
 
     def test_sqa_timeout_bounds_blocking(self):

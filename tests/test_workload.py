@@ -72,17 +72,13 @@ class TestArrivals:
 
     def test_adhoc_rerun_produces_repeats(self):
         rng = np.random.default_rng(3)
-        events = adhoc_arrivals(
-            rng, 0.0, 86400.0, mean_per_day=200, rerun_probability=0.5
-        )
+        events = adhoc_arrivals(rng, 0.0, 86400.0, mean_per_day=200, rerun_probability=0.5)
         variants = [v for _, v in events]
         assert len(set(variants)) < len(variants)
 
     def test_adhoc_zero_rerun_all_unique(self):
         rng = np.random.default_rng(4)
-        events = adhoc_arrivals(
-            rng, 0.0, 86400.0, mean_per_day=100, rerun_probability=0.0
-        )
+        events = adhoc_arrivals(rng, 0.0, 86400.0, mean_per_day=100, rerun_probability=0.0)
         variants = [v for _, v in events]
         assert len(set(variants)) == len(variants)
 
@@ -123,9 +119,7 @@ class TestDrift:
         assert 0.15 < late < 0.45
 
     def test_zero_late_fraction(self):
-        starts = sample_template_start_days(
-            np.random.default_rng(3), 50, 10.0, late_fraction=0.0
-        )
+        starts = sample_template_start_days(np.random.default_rng(3), 50, 10.0, late_fraction=0.0)
         assert (starts == 0).all()
 
 
@@ -143,7 +137,8 @@ class TestPlanGenerator:
         rng = np.random.default_rng(0)
         for kind in QueryKind.ALL:
             spec = gen.build_template(rng, kind, self._tables())
-            mat = gen.materialize(spec, self._tables(), {i: t.base_rows for i, t in enumerate(self._tables())})
+            stat_rows = {i: t.base_rows for i, t in enumerate(self._tables())}
+            mat = gen.materialize(spec, self._tables(), stat_rows)
             assert mat.plan.n_nodes >= 1
             assert mat.base_work > 0
             vec = featurize_plan(mat.plan)
