@@ -1,0 +1,52 @@
+"""Scenario stress matrix: Stage vs AutoWLM under workload mutations.
+
+Replays the registered scenario suite (burst storms, onboarding waves,
+template churn, seasonal cycles, instance resizes, ANALYZE outages)
+over a shared evaluation fleet and writes the deterministic matrix to
+``results/scenario_matrix.txt`` — the committed report sits behind CI's
+results-drift gate, and ``python -m repro.scenarios`` (defaults) must
+regenerate it bit-for-bit.
+
+The assertions pin the qualitative stress signatures: a burst storm
+adds surge volume and *raises* the cache hit rate (flash crowds re-run
+known queries), template churn and onboarding *lower* it (never-seen
+queries), thinning scenarios shrink the trace, and Stage stays at least
+competitive with AutoWLM on every row.
+"""
+
+from conftest import write_result
+
+from repro.scenarios import ScenarioRunner, ScenarioSweepConfig, render_matrix
+
+
+def test_scenario_matrix(results_dir):
+    config = ScenarioSweepConfig()  # the committed scale — also the CLI default
+    runner = ScenarioRunner(config)
+    results = runner.run_matrix()
+    report = render_matrix(results, config)
+    write_result(results_dir, "scenario_matrix", report)
+    print("\n" + report)
+
+    metrics = {r.scenario.name: r.metrics for r in results}
+    baseline = metrics["baseline"]
+    assert baseline["n_queries"] > 0 and baseline["n_retrains"] > 0
+
+    # burst storms: surge volume, repeat-heavy -> hit rate up
+    assert metrics["burst_storm"]["n_queries"] > 1.3 * baseline["n_queries"]
+    assert metrics["burst_storm"]["cache_hit_rate"] > baseline["cache_hit_rate"]
+
+    # onboarding + seasonal thin the trace (cold joins / trough thinning)
+    assert metrics["onboarding_wave"]["n_queries"] < baseline["n_queries"]
+    assert metrics["seasonal_cycle"]["n_queries"] < baseline["n_queries"]
+
+    # churn replaces known templates with never-seen ones -> hit rate down
+    assert metrics["template_churn"]["cache_hit_rate"] < baseline["cache_hit_rate"]
+
+    # resize shifts the latency model but not the workload structure
+    assert metrics["instance_resize"]["n_queries"] == baseline["n_queries"]
+    assert metrics["instance_resize"]["stage_mae"] != baseline["stage_mae"]
+
+    # every scenario keeps Stage no worse than the AutoWLM baseline
+    for name, m in metrics.items():
+        assert m["improvement"] > -0.05, f"{name}: Stage regressed vs AutoWLM"
+        assert 0 <= m["cache_hit_rate"] <= 1

@@ -13,7 +13,9 @@ Public API quick map:
 - :mod:`repro.wlm` — the workload-manager simulator (end-to-end eval);
 - :mod:`repro.harness` — replay evaluation and the paper's experiments;
 - :mod:`repro.service` — the online serving layer (micro-batching
-  ``PredictionService``, model registry, serving benchmark).
+  ``PredictionService``, model registry, serving benchmark);
+- :mod:`repro.scenarios` — the declarative stress-scenario suite
+  (``python -m repro.scenarios`` replays the registered matrix).
 """
 
 from .core import (

@@ -13,11 +13,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+# ScenarioConfig lives with the workload layer it mutates (the fleet
+# generator consumes it), but it is part of the configuration surface:
+# re-exported here next to every other component config.
+from repro.workload.scenario import ScenarioConfig
+
 __all__ = [
     "CacheConfig",
     "TrainingPoolConfig",
     "LocalModelConfig",
     "GlobalModelConfig",
+    "ScenarioConfig",
     "ServiceConfig",
     "StageConfig",
     "fast_profile",

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
-from repro.core.config import StageConfig
+from repro.core.config import ServiceConfig, StageConfig
 from repro.global_model.model import GlobalModel
 from repro.parallelism import pool_map, resolve_n_jobs, runs_inline
 from repro.workload.fleet import FleetConfig, FleetGenerator
@@ -67,6 +67,11 @@ class _ReplaySettings:
     use_global_model: bool = False
     #: inline path only; always ``None`` in pool-bound settings
     global_model: Optional[GlobalModel] = None
+    #: route every replay through a live PredictionService (scenario
+    #: engine / serving-parity sweeps); bit-identical to the direct path
+    via_service: bool = False
+    service_config: Optional[ServiceConfig] = None
+    service_clients: int = 1
 
 
 def _resolve_global_model(settings: _ReplaySettings) -> Optional[GlobalModel]:
@@ -90,6 +95,9 @@ def _replay_trace(trace: Trace, settings: _ReplaySettings) -> InstanceReplay:
         random_state=settings.random_state,
         collect_components=settings.collect_components,
         component_inference=settings.component_inference,
+        via_service=settings.via_service,
+        service_config=settings.service_config,
+        service_clients=settings.service_clients,
     )
 
 
@@ -128,6 +136,12 @@ class FleetSweeper:
     random_state: int = 0
     collect_components: bool = True
     component_inference: str = "batched"
+    #: replay every instance through a live PredictionService instead of
+    #: calling the predictor directly (bit-identical; the scenario
+    #: engine's serving-path sweeps run this way)
+    via_service: bool = False
+    service_config: Optional[ServiceConfig] = None
+    service_clients: int = 1
     #: worker processes; 1 = inline (no pool), ``<=0`` = all cores
     n_jobs: int = 1
 
@@ -141,6 +155,9 @@ class FleetSweeper:
             component_inference=self.component_inference,
             use_global_model=self.global_model is not None,
             global_model=self.global_model if inline else None,
+            via_service=self.via_service,
+            service_config=self.service_config,
+            service_clients=self.service_clients,
         )
 
     def _map(self, worker, payloads: Sequence[tuple]) -> List[InstanceReplay]:

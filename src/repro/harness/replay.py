@@ -119,20 +119,17 @@ def _routed_components_via_service(
 ):
     """Replay the trace through a live :class:`PredictionService`.
 
-    ``service_clients`` threads submit the fused predict/observe op
-    stream concurrently; explicit sequence numbers (predict of query
-    ``i`` is op ``2i``, its observe op ``2i+1``) make the service's
-    sequencer reconstruct arrival order, so any client count and any
-    ``max_batch_size`` reproduce the direct replay bit-for-bit.
+    Thin wrapper over :meth:`PredictionService.replay_components` — the
+    service-side hook holds the concurrency/sequencing discipline that
+    makes any client count and any ``max_batch_size`` reproduce the
+    direct replay bit-for-bit.
 
     Returns ``(components, stage)`` where ``stage`` is the service's
     (now quiesced) predictor, for accounting.
     """
-    import threading
+    from dataclasses import replace
 
     from repro.service import PredictionService
-
-    from dataclasses import replace
 
     service_config = replace(
         service_config or ServiceConfig(),
@@ -145,32 +142,13 @@ def _routed_components_via_service(
         service_config=service_config,
         random_state=random_state,
     )
-    futures = [None] * len(trace)
-    observe_futures = [None] * len(trace)
-    n_clients = max(1, int(service_clients))
-
-    def client(worker_index: int) -> None:
-        # replay discipline: outcomes are known, so each client submits
-        # its queries' predict and observe ops without waiting — the
-        # service's sequencer enforces arrival order across clients
-        for i in range(worker_index, len(trace), n_clients):
-            record = trace[i]
-            futures[i] = service.predict_async(record, seq=2 * i)
-            observe_futures[i] = service.observe(record, seq=2 * i + 1)
-    threads = [
-        threading.Thread(target=client, args=(w,)) for w in range(n_clients)
-    ]
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    components = [future.result(timeout=service_config.drain_timeout_s) for future in futures]
-    # surface worker-side observe failures: a swallowed observe would
-    # silently diverge the predictor state from the direct replay
-    for future in observe_futures:
-        future.result(timeout=service_config.drain_timeout_s)
-    service.drain()
-    service.close()
+    try:
+        components = service.replay_components(trace, n_clients=service_clients)
+        service.drain()
+    finally:
+        # always stop the worker thread: a failed replay must not leak a
+        # live scheduler (close also fails any ops stranded behind a gap)
+        service.close()
     return components, service.stage
 
 

@@ -1,0 +1,38 @@
+"""Declarative stress-scenario suite over the workload/harness/service stack.
+
+``python -m repro.scenarios`` replays the registered scenario matrix —
+burst storms, onboarding waves, template churn, seasonal cycles,
+instance resizes, ANALYZE outages — through the fleet-sweep engine
+(optionally through the online :class:`~repro.service.PredictionService`)
+and writes ``results/scenario_matrix.txt``.
+
+Adding a scenario is one :func:`register_scenario` call; the parity
+suites (``tests/test_scenarios.py``) then hold it to the repo's
+sequential/parallel and direct/service bit-parity contracts
+automatically.
+"""
+
+from repro.workload.scenario import ScenarioConfig
+
+from .engine import (
+    Scenario,
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSweepConfig,
+    get_scenario,
+    register_scenario,
+    registered_scenarios,
+    render_matrix,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSweepConfig",
+    "get_scenario",
+    "register_scenario",
+    "registered_scenarios",
+    "render_matrix",
+]

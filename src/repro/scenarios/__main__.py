@@ -1,0 +1,142 @@
+"""Command-line entry point: ``python -m repro.scenarios``.
+
+Replays the registered scenario matrix through the fleet-sweep engine
+and writes the deterministic report to ``results/scenario_matrix.txt``
+(``--out`` to change, ``--no-write`` to print only).  Defaults match
+the committed report exactly, so a bare run must reproduce it
+bit-for-bit — that is what CI's results-drift gate checks.
+
+Examples
+--------
+::
+
+    PYTHONPATH=src python -m repro.scenarios
+    PYTHONPATH=src python -m repro.scenarios --list
+    PYTHONPATH=src python -m repro.scenarios --scenarios baseline burst_storm \\
+        --jobs 2 --via-service --clients 3 --no-write
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from dataclasses import replace
+
+from repro.core.config import ServiceConfig
+
+from .engine import (
+    ScenarioRunner,
+    ScenarioSweepConfig,
+    get_scenario,
+    registered_scenarios,
+    render_matrix,
+)
+
+#: the committed, CI-drift-gated reference report
+DEFAULT_OUT = os.path.join("results", "scenario_matrix.txt")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="declarative stress-scenario matrix over the Stage predictor",
+    )
+    defaults = ScenarioSweepConfig()
+    parser.add_argument("--list", action="store_true", help="list registered scenarios and exit")
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        metavar="NAME",
+        help="subset of registered scenarios (default: the full matrix)",
+    )
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument("--instances", type=int, default=defaults.n_instances)
+    parser.add_argument("--duration-days", type=float, default=defaults.duration_days)
+    parser.add_argument("--volume-scale", type=float, default=defaults.volume_scale)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=defaults.n_jobs,
+        help="worker processes per scenario (any value is bit-identical)",
+    )
+    parser.add_argument(
+        "--via-service",
+        action="store_true",
+        help="replay through a live PredictionService (bit-identical to direct)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=defaults.service_clients,
+        help="concurrent service clients (with --via-service)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=ServiceConfig().max_batch_size,
+        help="service micro-batch size (with --via-service)",
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the report without writing --out",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for scenario in registered_scenarios():
+            print(f"{scenario.name:<18} {scenario.description}")
+        return 0
+
+    defaults = ScenarioSweepConfig()
+    if not args.via_service and (
+        args.clients != defaults.service_clients
+        or args.batch_size != ServiceConfig().max_batch_size
+    ):
+        parser.error("--clients/--batch-size only apply with --via-service")
+    scenarios = None
+    if args.scenarios:
+        scenarios = [get_scenario(name) for name in args.scenarios]
+    service_config = ServiceConfig(max_batch_size=args.batch_size) if args.via_service else None
+    config = ScenarioSweepConfig(
+        seed=args.seed,
+        n_instances=args.instances,
+        duration_days=args.duration_days,
+        volume_scale=args.volume_scale,
+        via_service=args.via_service,
+        service_config=service_config,
+        service_clients=args.clients,
+        n_jobs=args.jobs,
+    )
+    # The default --out is the committed, CI-drift-gated reference file;
+    # only a full-matrix run at the default scale may overwrite it
+    # (n_jobs excluded: any value is bit-identical).
+    deviates = scenarios is not None or replace(config, n_jobs=defaults.n_jobs) != defaults
+    if (
+        deviates
+        and not args.no_write
+        and os.path.abspath(args.out) == os.path.abspath(DEFAULT_OUT)
+    ):
+        parser.error(
+            "non-default runs would clobber the drift-gated "
+            f"{DEFAULT_OUT}; pass --out <path> or --no-write"
+        )
+
+    runner = ScenarioRunner(config, scenarios=scenarios)
+    report = render_matrix(runner.run_matrix(), config)
+    print(report)
+    if not args.no_write:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as f:
+            f.write(report + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

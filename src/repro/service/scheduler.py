@@ -114,6 +114,13 @@ class MicroBatchScheduler:
             self._cv.notify_all()
         return future
 
+    @property
+    def next_submit_seq(self) -> int:
+        """The next unclaimed sequence number (explicit-seq submitters
+        must base their stream here so it lands after every prior op)."""
+        with self._lock:
+            return self._next_submit_seq
+
     def drain(self, timeout: Optional[float] = None) -> None:
         """Block until every submitted op is applied and flushed."""
         if timeout is None:

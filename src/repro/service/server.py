@@ -119,6 +119,66 @@ class PredictionService:
         return self.scheduler.submit(OBSERVE, record, seq=seq)
 
     # ------------------------------------------------------------------
+    # replay hook (offline harness + scenario engine)
+    # ------------------------------------------------------------------
+    def replay_components(self, trace, n_clients: int = 1, timeout: Optional[float] = None):
+        """Replay a trace's fused predict/observe op stream, concurrently.
+
+        ``n_clients`` threads submit the stream with explicit sequence
+        numbers (query ``i``'s predict is op ``base + 2i``, its observe
+        op ``base + 2i + 1``, with ``base`` the scheduler's next free
+        slot — a warm service replays as well as a fresh one), so the
+        sequencer reconstructs arrival order regardless of client
+        interleaving — any client count and any batch knobs reproduce
+        the direct replay bit-for-bit.  This is the hook behind
+        ``replay_instance(via_service=True)`` and the scenario engine's
+        ``via_service`` matrix; replay discipline (outcomes already
+        known, so clients never wait between ops) is what distinguishes
+        it from the live :meth:`predict` path.  The service must be the
+        replay's for the duration: concurrent live submissions would
+        race the explicit sequence numbers.
+
+        Returns the per-query :class:`~repro.core.stage.RoutedComponents`
+        list, in trace order.  Submit failures on any client thread and
+        worker-side observe failures are both re-raised: a swallowed
+        observe would silently diverge the predictor state from the
+        direct replay.
+        """
+        import threading
+
+        if timeout is None:
+            timeout = self.config.drain_timeout_s
+        base = self.scheduler.next_submit_seq
+        futures = [None] * len(trace)
+        observe_futures = [None] * len(trace)
+        n_clients = max(1, int(n_clients))
+        errors: list = [None] * n_clients
+
+        def client(worker_index: int) -> None:
+            try:
+                for i in range(worker_index, len(trace), n_clients):
+                    record = trace[i]
+                    futures[i] = self.predict_async(record, seq=base + 2 * i)
+                    observe_futures[i] = self.observe(record, seq=base + 2 * i + 1)
+            except Exception as exc:
+                errors[worker_index] = exc
+
+        threads = [
+            threading.Thread(target=client, args=(w,)) for w in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for error in errors:
+            if error is not None:
+                raise error
+        components = [future.result(timeout=timeout) for future in futures]
+        for future in observe_futures:
+            future.result(timeout=timeout)
+        return components
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def drain(self, timeout: Optional[float] = None) -> None:

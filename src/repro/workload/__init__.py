@@ -13,11 +13,22 @@ from .plangen import KIND_PROFILES, MaterializedPlan, PlanGenerator, TemplateSpe
 from .arrival import (
     SECONDS_PER_DAY,
     adhoc_arrivals,
+    burst_arrivals,
+    burst_windows,
     dashboard_arrivals,
     etl_arrivals,
     report_arrivals,
+    seasonal_keep_probability,
+    seasonal_thin,
 )
-from .drift import AnalyzeSchedule, sample_template_start_days
+from .drift import (
+    AnalyzeSchedule,
+    ResizeSchedule,
+    sample_outage_windows,
+    sample_template_retirements,
+    sample_template_start_days,
+)
+from .scenario import InstanceScenario, ScenarioConfig
 from .trace import (
     EXEC_TIME_BUCKETS,
     Trace,
@@ -47,8 +58,17 @@ __all__ = [
     "report_arrivals",
     "adhoc_arrivals",
     "etl_arrivals",
+    "burst_windows",
+    "burst_arrivals",
+    "seasonal_keep_probability",
+    "seasonal_thin",
     "AnalyzeSchedule",
+    "ResizeSchedule",
+    "sample_outage_windows",
+    "sample_template_retirements",
     "sample_template_start_days",
+    "ScenarioConfig",
+    "InstanceScenario",
     "Trace",
     "EXEC_TIME_BUCKETS",
     "bucket_of",

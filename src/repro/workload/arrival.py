@@ -16,7 +16,7 @@ much repetition (paper Figure 1a):
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -25,10 +25,24 @@ __all__ = [
     "report_arrivals",
     "adhoc_arrivals",
     "etl_arrivals",
+    "burst_windows",
+    "burst_arrivals",
+    "seasonal_keep_probability",
+    "seasonal_thin",
     "SECONDS_PER_DAY",
 ]
 
 SECONDS_PER_DAY = 86_400.0
+
+
+def _check_window(t_start: float, t_end: float) -> None:
+    if not t_end > t_start:
+        raise ValueError(f"t_end must be > t_start, got [{t_start}, {t_end})")
+
+
+def _check_nonnegative_rate(name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
 
 
 def _clip_window(events, t_start, t_end):
@@ -44,8 +58,13 @@ def dashboard_arrivals(
     jitter_frac: float = 0.05,
 ) -> List[Tuple[float, int]]:
     """Periodic refreshes with jitter, cycling a small variant pool."""
+    _check_window(t_start, t_end)
     if period_s <= 0:
         raise ValueError("period_s must be positive")
+    if n_variants < 1:
+        raise ValueError("n_variants must be >= 1")
+    if jitter_frac < 0:
+        raise ValueError("jitter_frac must be >= 0")
     events = []
     t = t_start + rng.uniform(0, period_s)
     while t < t_end:
@@ -66,6 +85,8 @@ def report_arrivals(
     Repeated runs within a day share a variant (same date parameter), so
     the second run of the day is an exact repeat - the cache catches it.
     """
+    _check_window(t_start, t_end)
+    _check_nonnegative_rate("runs_per_day", runs_per_day)
     events = []
     first_day = int(t_start // SECONDS_PER_DAY)
     last_day = int(np.ceil(t_end / SECONDS_PER_DAY))
@@ -93,6 +114,8 @@ def adhoc_arrivals(
     last few queries (e.g. after a tweak elsewhere); re-runs produce exact
     repeats, everything else is a new variant id.
     """
+    _check_window(t_start, t_end)
+    _check_nonnegative_rate("mean_per_day", mean_per_day)
     if not 0 <= rerun_probability <= 1:
         raise ValueError("rerun_probability must be in [0, 1]")
     duration_days = (t_end - t_start) / SECONDS_PER_DAY
@@ -128,6 +151,8 @@ def etl_arrivals(
     runs_per_day: float = 2.0,
 ) -> List[Tuple[float, int]]:
     """Nightly batch jobs; the variant id is the day (new data partition)."""
+    _check_window(t_start, t_end)
+    _check_nonnegative_rate("runs_per_day", runs_per_day)
     events = []
     first_day = int(t_start // SECONDS_PER_DAY)
     last_day = int(np.ceil(t_end / SECONDS_PER_DAY))
@@ -137,3 +162,117 @@ def etl_arrivals(
             hour = float(rng.uniform(0.0, 6.0))  # night window
             events.append((day * SECONDS_PER_DAY + hour * 3600.0, day))
     return _clip_window(sorted(events), t_start, t_end)
+
+
+# ---------------------------------------------------------------------------
+# scenario-engine generators: burst storms and seasonal load cycles
+# ---------------------------------------------------------------------------
+def burst_windows(
+    rng: np.random.Generator,
+    t_start: float,
+    t_end: float,
+    storms_per_week: float,
+    duration_hours: float,
+) -> List[Tuple[float, float]]:
+    """Flash-crowd windows: Poisson storm count, uniform starts.
+
+    Each window is ``[start, start + duration_hours)`` clipped to the
+    trace, sorted by start time.  A storm models the paper's headline
+    failure mode for naive predictors: a sudden surge of arrivals (an
+    incident dashboard, a viral report) far above the steady-state rate.
+    """
+    _check_window(t_start, t_end)
+    _check_nonnegative_rate("storms_per_week", storms_per_week)
+    if duration_hours <= 0:
+        raise ValueError("duration_hours must be positive")
+    weeks = (t_end - t_start) / (7.0 * SECONDS_PER_DAY)
+    n = int(rng.poisson(storms_per_week * weeks))
+    starts = np.sort(rng.uniform(t_start, t_end, size=n))
+    length = duration_hours * 3600.0
+    return [(float(s), float(min(s + length, t_end))) for s in starts]
+
+
+def burst_arrivals(
+    rng: np.random.Generator,
+    windows: Sequence[Tuple[float, float]],
+    rate_per_day: float,
+    variant_mode: str = "fresh",
+    n_variants: int = 1,
+    next_variant_start: int = 0,
+) -> List[Tuple[float, int]]:
+    """Extra arrivals superimposed inside flash-crowd ``windows``.
+
+    ``variant_mode`` sets what the crowd runs:
+
+    - ``"pool"`` — re-runs of an existing variant pool (a flash crowd
+      hammering the same dashboards: heavy exact repetition, cache
+      pressure at surge volume);
+    - ``"day"`` — the date-parameterized variant of the window's day
+      (reports/ETL re-fired during the surge);
+    - ``"fresh"`` — brand-new variant ids from ``next_variant_start``
+      (a crowd of analysts issuing never-seen queries: cold-start storm).
+    """
+    if variant_mode not in ("pool", "day", "fresh"):
+        raise ValueError(f"unknown variant_mode {variant_mode!r}")
+    _check_nonnegative_rate("rate_per_day", rate_per_day)
+    if variant_mode == "pool" and n_variants < 1:
+        raise ValueError("n_variants must be >= 1 in pool mode")
+    events: List[Tuple[float, int]] = []
+    variant = next_variant_start
+    for w_start, w_end in windows:
+        _check_window(w_start, w_end)
+        n = int(rng.poisson(rate_per_day * (w_end - w_start) / SECONDS_PER_DAY))
+        times = np.sort(rng.uniform(w_start, w_end, size=n))
+        for t in times:
+            if variant_mode == "pool":
+                v = int(rng.integers(0, n_variants))
+            elif variant_mode == "day":
+                v = int(t // SECONDS_PER_DAY)
+            else:
+                v = variant
+                variant += 1
+            events.append((float(t), v))
+    return events
+
+
+def seasonal_keep_probability(time_s: float, amplitude: float, period_days: float) -> float:
+    """Retention probability of an arrival at ``time_s`` under a cycle.
+
+    A cosine load cycle peaking at the period start, normalized so the
+    peak keeps everything: ``(1 + A*cos(2*pi*t/period)) / (1 + A)``.
+    """
+    if not 0 <= amplitude <= 1:
+        raise ValueError("amplitude must be in [0, 1]")
+    if period_days <= 0:
+        raise ValueError("period_days must be positive")
+    phase = 2.0 * np.pi * time_s / (period_days * SECONDS_PER_DAY)
+    return float((1.0 + amplitude * np.cos(phase)) / (1.0 + amplitude))
+
+
+def seasonal_thin(
+    rng: np.random.Generator,
+    events: Sequence[tuple],
+    amplitude: float,
+    period_days: float,
+) -> List[tuple]:
+    """Thin time-keyed ``events`` to a seasonal (e.g. weekly) load cycle.
+
+    Works on any tuples whose first element is the arrival time in
+    seconds; events must be iterated in a fixed order for the thinning
+    to be reproducible, so pass them time-sorted.
+    """
+    if not 0 <= amplitude <= 1:
+        raise ValueError("amplitude must be in [0, 1]")
+    if period_days <= 0:
+        raise ValueError("period_days must be positive")
+    if amplitude == 0:
+        return list(events)
+    # validated above; inline the keep rule so the per-event loop pays
+    # no redundant range checks at fleet scale
+    omega = 2.0 * np.pi / (period_days * SECONDS_PER_DAY)
+    kept = []
+    for event in events:
+        p = (1.0 + amplitude * np.cos(omega * event[0])) / (1.0 + amplitude)
+        if rng.random() < p:
+            kept.append(event)
+    return kept

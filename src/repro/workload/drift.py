@@ -11,17 +11,44 @@ Two mechanisms from the paper:
   only appear mid-trace (new dashboards, new pipelines).  Those are the
   queries the local model is uncertain about, routing to the global
   model (Section 4.4).
+
+The scenario engine (:mod:`repro.workload.scenario`) layers three more
+drift mechanisms on top: ANALYZE *outages* that suppress refreshes and
+stretch statistics epochs (:func:`sample_outage_windows` +
+``AnalyzeSchedule(outages=...)``), template *churn* that retires and
+replaces recurring queries (:func:`sample_template_retirements`), and
+cluster *resizes* that shift the latent latency model mid-trace
+(:class:`ResizeSchedule`).
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .arrival import SECONDS_PER_DAY
 
-__all__ = ["AnalyzeSchedule", "sample_template_start_days"]
+__all__ = [
+    "AnalyzeSchedule",
+    "ResizeSchedule",
+    "sample_outage_windows",
+    "sample_template_retirements",
+    "sample_template_start_days",
+]
+
+
+def _validate_day_windows(windows: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Check ``(start_day, end_day)`` windows and return them sorted."""
+    checked = []
+    for window in windows:
+        start, end = float(window[0]), float(window[1])
+        if start < 0:
+            raise ValueError(f"window start must be >= 0, got {start}")
+        if not end > start:
+            raise ValueError(f"window end must be > start, got ({start}, {end})")
+        checked.append((start, end))
+    return sorted(checked)
 
 
 class AnalyzeSchedule:
@@ -30,15 +57,35 @@ class AnalyzeSchedule:
     Epoch ``e`` covers arrivals in ``[boundary[e-1], boundary[e])``; the
     optimizer's believed row counts within epoch ``e`` are the true row
     counts frozen at the epoch's opening ANALYZE.
+
+    ``outages`` is an optional list of ``(start_day, end_day)`` windows
+    during which ANALYZE does not run (maintenance freezes, vacuum
+    backlogs): boundaries falling inside an outage are suppressed, so
+    the preceding epoch stretches across the outage and its statistics
+    go *staler* than the interval alone would allow — the scenario
+    engine's ``analyze_outage`` stress.  The boundary stream is drawn
+    exactly as without outages and filtered afterwards, so the same
+    ``rng`` yields a schedule whose surviving boundaries are a subset
+    of the outage-free schedule's.
     """
 
-    def __init__(self, duration_days: float, interval_days: float, rng: np.random.Generator):
+    def __init__(
+        self,
+        duration_days: float,
+        interval_days: float,
+        rng: np.random.Generator,
+        outages: Optional[Sequence[Tuple[float, float]]] = None,
+    ):
+        if duration_days <= 0:
+            raise ValueError("duration_days must be positive")
         if interval_days <= 0:
             raise ValueError("interval_days must be positive")
+        outages = _validate_day_windows(outages or ())
         boundaries = []
         t = rng.uniform(0.2, 1.0) * interval_days
         while t < duration_days:
-            boundaries.append(t * SECONDS_PER_DAY)
+            if not any(start <= t < end for start, end in outages):
+                boundaries.append(t * SECONDS_PER_DAY)
             # jittered interval so epochs don't align across instances
             t += interval_days * rng.uniform(0.7, 1.3)
         self.boundaries: List[float] = boundaries
@@ -69,9 +116,123 @@ def sample_template_start_days(
     Late templates model workload change: brand-new queries the instance
     has never seen, which stress the cold-start path of the predictors.
     """
+    if n_templates < 0:
+        raise ValueError("n_templates must be >= 0")
+    if duration_days <= 0:
+        raise ValueError("duration_days must be positive")
     if not 0 <= late_fraction <= 1:
         raise ValueError("late_fraction must be in [0, 1]")
     starts = np.zeros(n_templates)
     late = rng.random(n_templates) < late_fraction
     starts[late] = rng.uniform(0, duration_days * 0.8, size=int(late.sum()))
     return starts
+
+
+# ---------------------------------------------------------------------------
+# scenario-engine drift generators
+# ---------------------------------------------------------------------------
+def sample_outage_windows(
+    rng: np.random.Generator,
+    duration_days: float,
+    outages_per_week: float,
+    outage_days: float,
+) -> List[Tuple[float, float]]:
+    """ANALYZE-outage windows: Poisson count, uniform starts, fixed length.
+
+    Returns sorted ``(start_day, end_day)`` windows clipped to the trace,
+    for :class:`AnalyzeSchedule`'s ``outages`` parameter.
+    """
+    if duration_days <= 0:
+        raise ValueError("duration_days must be positive")
+    if outages_per_week < 0:
+        raise ValueError("outages_per_week must be >= 0")
+    if outage_days <= 0:
+        raise ValueError("outage_days must be positive")
+    n = int(rng.poisson(outages_per_week * duration_days / 7.0))
+    starts = np.sort(rng.uniform(0.0, duration_days, size=n))
+    return [(float(s), float(min(s + outage_days, duration_days))) for s in starts]
+
+
+def sample_template_retirements(
+    rng: np.random.Generator,
+    start_days: Sequence[float],
+    duration_days: float,
+    churn_rate_per_week: float,
+) -> np.ndarray:
+    """Retirement day per template (``inf`` = survives the trace).
+
+    Template churn: dashboards and reports get replaced as teams iterate.
+    Lifetimes are exponential with mean ``7 / churn_rate_per_week`` days,
+    so ``churn_rate_per_week`` is the expected number of retirements per
+    template-week.  Retirements past the trace end are reported as
+    ``inf`` — the template never disappears within the window.
+    """
+    if duration_days <= 0:
+        raise ValueError("duration_days must be positive")
+    if churn_rate_per_week < 0:
+        raise ValueError("churn_rate_per_week must be >= 0")
+    starts = np.asarray(start_days, dtype=np.float64)
+    if churn_rate_per_week == 0 or starts.size == 0:
+        return np.full(starts.shape, np.inf)
+    lifetimes = rng.exponential(7.0 / churn_rate_per_week, size=starts.shape)
+    ends = starts + lifetimes
+    ends[ends >= duration_days] = np.inf
+    return ends
+
+
+class ResizeSchedule:
+    """Cluster resize events: step changes to the latent latency model.
+
+    Each event ``(day, factor)`` multiplies the instance's effective
+    speed and memory from ``day`` onward (factors compound).  The paper's
+    predictors never see the resize directly — plan features and system
+    features are unchanged — so cached exec-times and learned history
+    stop transferring, exactly the stress *Pre-Execution Query Slot-Time
+    Prediction* motivates for warehouse resizes.
+    """
+
+    def __init__(self, events: Sequence[Tuple[float, float]] = ()):
+        checked = []
+        for event in events:
+            day, factor = float(event[0]), float(event[1])
+            if day < 0:
+                raise ValueError(f"resize day must be >= 0, got {day}")
+            if factor <= 0:
+                raise ValueError(f"resize factor must be positive, got {factor}")
+            checked.append((day, factor))
+        self.events: List[Tuple[float, float]] = sorted(checked)
+
+    @classmethod
+    def sample(
+        cls,
+        rng: np.random.Generator,
+        duration_days: float,
+        events_per_week: float,
+        factor_low: float,
+        factor_high: float,
+    ) -> "ResizeSchedule":
+        """Poisson event count, uniform days, log-uniform factors."""
+        if duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+        if events_per_week < 0:
+            raise ValueError("events_per_week must be >= 0")
+        if not 0 < factor_low <= factor_high:
+            raise ValueError(
+                f"need 0 < factor_low <= factor_high, got ({factor_low}, {factor_high})"
+            )
+        n = int(rng.poisson(events_per_week * duration_days / 7.0))
+        days = np.sort(rng.uniform(0.0, duration_days, size=n))
+        factors = np.exp(rng.uniform(np.log(factor_low), np.log(factor_high), size=n))
+        return cls(list(zip(days.tolist(), factors.tolist())))
+
+    def factor_at(self, day: float) -> float:
+        """Compounded speed/memory multiplier in effect at ``day``."""
+        factor = 1.0
+        for event_day, event_factor in self.events:
+            if event_day > day:
+                break
+            factor *= event_factor
+        return factor
+
+    def __len__(self) -> int:
+        return len(self.events)

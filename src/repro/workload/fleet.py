@@ -21,15 +21,17 @@ from repro.plans import featurize_plan
 from .arrival import (
     SECONDS_PER_DAY,
     adhoc_arrivals,
+    burst_arrivals,
     dashboard_arrivals,
     etl_arrivals,
     report_arrivals,
 )
-from .drift import AnalyzeSchedule, sample_template_start_days
+from .drift import AnalyzeSchedule, sample_template_retirements, sample_template_start_days
 from .instance import HARDWARE_CLASSES, InstanceProfile, Table
 from .latency import TrueCostModel
 from .plangen import PlanGenerator, TemplateSpec
 from .query import QueryKind, QueryRecord
+from .scenario import InstanceScenario, ScenarioConfig
 from .seeding import derive_seed
 from .trace import Trace
 
@@ -117,6 +119,9 @@ class FleetConfig:
     #: lognormal sigma of the hidden per-instance speed factor
     latent_speed_sigma: float = 0.35
     cost_model: TrueCostModel = field(default_factory=TrueCostModel)
+    #: optional stress-scenario mutations (see :mod:`repro.workload.scenario`);
+    #: ``None`` (or an all-off config) generates the baseline workload
+    scenario: Optional[ScenarioConfig] = None
 
 
 class TemplateRuntime:
@@ -136,6 +141,7 @@ class TemplateRuntime:
         tables: List[Table],
         seed: int,
         start_day: float = 0.0,
+        end_day: float = float("inf"),
     ):
         self.template_id = template_id
         self.kind = kind
@@ -144,6 +150,8 @@ class TemplateRuntime:
         self.tables = tables
         self.seed = seed
         self.start_day = start_day
+        #: retirement day (template churn); ``inf`` = never retired
+        self.end_day = end_day
         #: arrival-process parameters, set by the fleet generator
         self.arrival_params: Dict[str, float] = {}
         self._variants: Dict[int, TemplateSpec] = {0: base_spec}
@@ -317,7 +325,7 @@ class FleetGenerator:
         self, template: TemplateRuntime, instance: InstanceProfile, duration_days: float, rng
     ):
         t_start = template.start_day * SECONDS_PER_DAY
-        t_end = duration_days * SECONDS_PER_DAY
+        t_end = min(duration_days, template.end_day) * SECONDS_PER_DAY
         if t_start >= t_end:
             return []
         params = template.arrival_params
@@ -336,21 +344,132 @@ class FleetGenerator:
         return etl_arrivals(rng, t_start, t_end, runs_per_day=params["runs_per_day"])
 
     # ------------------------------------------------------------------
+    # scenario mutations (see repro.workload.scenario for the contract)
+    # ------------------------------------------------------------------
+    def _apply_template_churn(
+        self,
+        templates: List[TemplateRuntime],
+        scenario: InstanceScenario,
+        instance: InstanceProfile,
+        duration_days: float,
+    ) -> List[TemplateRuntime]:
+        """Retire churnable templates and append their replacements.
+
+        Dashboards and reports have stable identities that teams iterate
+        on; ad-hoc families and ETL pipelines don't churn.  A replacement
+        keeps the retiree's cadence (arrival params) but is a brand-new
+        spec with a fresh template id, so its queries cold-miss every
+        predictor stage.  Replacements don't churn again — one
+        generation per trace keeps the transform simple and pure.
+        """
+        rng = scenario.rng("churn")
+        churnable = [t for t in templates if t.kind in (QueryKind.DASHBOARD, QueryKind.REPORT)]
+        retire_days = sample_template_retirements(
+            rng,
+            [t.start_day for t in churnable],
+            duration_days,
+            scenario.config.churn_rate_per_week,
+        )
+        out = list(templates)
+        next_tid = max((t.template_id for t in templates), default=-1) + 1
+        for template, retire_day in zip(churnable, retire_days):
+            if not np.isfinite(retire_day):
+                continue
+            template.end_day = float(retire_day)
+            replacement = TemplateRuntime(
+                template_id=next_tid,
+                kind=template.kind,
+                base_spec=self.plan_generator.build_template(rng, template.kind, instance.tables),
+                generator=self.plan_generator,
+                tables=instance.tables,
+                seed=instance.seed,
+                start_day=float(retire_day),
+            )
+            replacement.arrival_params = dict(template.arrival_params)
+            out.append(replacement)
+            next_tid += 1
+        return out
+
+    #: burst ad-hoc variants start here so they never collide with the
+    #: template's own monotonically increasing variant ids
+    _BURST_ADHOC_VARIANT_BASE = 1_000_000
+
+    def _template_burst_arrivals(
+        self,
+        template: TemplateRuntime,
+        scenario: InstanceScenario,
+        duration_days: float,
+    ):
+        """Extra flash-crowd arrivals for one template.
+
+        Each template draws from its own ``(instance, "burst", template
+        id)`` stream; storm windows are instance-wide and intersected
+        with the template's active span.  The surge multiplies the
+        template's steady-state rate: dashboards re-fire their variant
+        pool (repeat storm), ad-hoc families spray fresh variants
+        (cold-start storm), date-parameterized kinds re-run the day's
+        variant.
+        """
+        t_lo = template.start_day * SECONDS_PER_DAY
+        t_hi = min(duration_days, template.end_day) * SECONDS_PER_DAY
+        windows = [
+            (max(w_start, t_lo), min(w_end, t_hi))
+            for w_start, w_end in scenario.burst_windows
+            if max(w_start, t_lo) < min(w_end, t_hi)
+        ]
+        if not windows:
+            return []
+        params = template.arrival_params
+        extra = scenario.config.burst_multiplier - 1.0
+        if template.kind == QueryKind.DASHBOARD:
+            rate = extra * SECONDS_PER_DAY / params["period_s"]
+            mode, n_variants = "pool", int(params["n_variants"])
+        elif template.kind == QueryKind.ADHOC:
+            rate = extra * params["mean_per_day"]
+            mode, n_variants = "fresh", 1
+        else:  # REPORT / ETL: date-parameterized re-runs
+            rate = extra * params["runs_per_day"]
+            mode, n_variants = "day", 1
+        return burst_arrivals(
+            scenario.rng("burst", template.template_id),
+            windows,
+            rate,
+            variant_mode=mode,
+            n_variants=n_variants,
+            next_variant_start=self._BURST_ADHOC_VARIANT_BASE,
+        )
+
+    # ------------------------------------------------------------------
     # trace generation
     # ------------------------------------------------------------------
     def generate_trace(self, instance: InstanceProfile, duration_days: float) -> Trace:
         """Unroll one instance into a time-ordered list of executed queries."""
+        if duration_days <= 0:
+            raise ValueError("duration_days must be positive")
         cfg = self.config
         rng = np.random.default_rng(derive_seed(cfg.seed, "trace", instance.seed))
         templates = self._build_templates(instance, duration_days, rng)
+        scenario = InstanceScenario.realize(cfg.scenario, instance.seed, duration_days)
+        if scenario is not None and scenario.config.churn_rate_per_week > 0:
+            templates = self._apply_template_churn(templates, scenario, instance, duration_days)
 
         arrivals = []  # (time, template, variant)
         for template in templates:
             for t, variant in self._template_arrivals(template, instance, duration_days, rng):
                 arrivals.append((t, template, variant))
+            if scenario is not None and scenario.burst_windows:
+                for t, variant in self._template_burst_arrivals(template, scenario, duration_days):
+                    arrivals.append((t, template, variant))
         arrivals.sort(key=lambda x: x[0])
+        if scenario is not None:
+            arrivals = scenario.filter_arrivals(arrivals)
 
-        schedule = AnalyzeSchedule(duration_days, instance.analyze_interval_days, rng)
+        schedule = AnalyzeSchedule(
+            duration_days,
+            instance.analyze_interval_days,
+            rng,
+            outages=scenario.analyze_outages if scenario is not None else None,
+        )
         cost_model = cfg.cost_model
 
         records: List[QueryRecord] = []
@@ -369,10 +488,11 @@ class FleetGenerator:
             day = t / SECONDS_PER_DAY
             work = base_work * instance.growth_factor(day)
             concurrency = int(rng.poisson(instance.mean_concurrency))
+            resize_factor = scenario.speed_factor(day) if scenario is not None else 1.0
             exec_time = cost_model.exec_time(
                 work,
-                instance.effective_speed,
-                instance.memory_gb,
+                instance.effective_speed * resize_factor,
+                instance.memory_gb * resize_factor,
                 rng,
                 instance.load_sigma,
                 concurrency,

@@ -1,0 +1,216 @@
+"""Declarative stress scenarios layered on top of :class:`FleetConfig`.
+
+A :class:`ScenarioConfig` composes the workload mutations the paper's
+robustness story is about — flash-crowd burst storms, tenant onboarding
+waves, template churn, seasonal load cycles, instance resizes that shift
+the latent latency model, and ANALYZE outages that stretch statistics
+epochs — as *knobs*, with all defaults off.  Embedding one in
+``FleetConfig.scenario`` turns it on for every trace that config
+generates.
+
+The parity contract every mutation must uphold: scenarios are pure,
+per-instance-seeded transforms.  :class:`InstanceScenario` realizes a
+config for one instance by drawing every random element from
+``derive_seed(instance seed, "scenario", <mutation label>)`` — separate
+streams per mutation, never the trace's main RNG — so
+
+- a null scenario (or ``scenario=None``) leaves the baseline trace
+  byte-identical (no extra draws on the shared stream);
+- any ``n_jobs`` regenerates bit-identical traces (workers rebuild from
+  ``(FleetConfig, instance index)`` alone, and the scenario rides inside
+  the config);
+- mutations compose without perturbing each other's randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .arrival import SECONDS_PER_DAY, burst_windows, seasonal_thin
+from .drift import ResizeSchedule, sample_outage_windows
+from .seeding import derive_seed
+
+__all__ = ["ScenarioConfig", "InstanceScenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Workload-mutation knobs; every default is "off".
+
+    Rates are per week so a knob reads the same at any trace duration.
+    """
+
+    # --- burst storms: flash-crowd arrival surges -----------------------
+    #: expected flash-crowd storms per instance-week (0 = off)
+    burst_storms_per_week: float = 0.0
+    #: length of each storm window, hours
+    burst_duration_hours: float = 2.0
+    #: arrival-rate multiplier inside a storm window (>= 1)
+    burst_multiplier: float = 5.0
+
+    # --- tenant onboarding waves: cold instances joining mid-sweep ------
+    #: fraction of instances that onboard mid-trace instead of at day 0
+    onboard_fraction: float = 0.0
+    #: onboarding day is uniform in ``[0, window_fraction * duration]``
+    onboard_window_fraction: float = 0.6
+
+    # --- template churn: dashboards/reports retired and replaced --------
+    #: expected retirements per template-week (dashboards + reports)
+    churn_rate_per_week: float = 0.0
+
+    # --- seasonal/weekly load cycles ------------------------------------
+    #: peak-to-trough depth of the load cycle, in [0, 1] (0 = off)
+    seasonal_amplitude: float = 0.0
+    #: cycle length in days (7 = weekly)
+    seasonal_period_days: float = 7.0
+
+    # --- instance resizes: the latent latency model shifts ---------------
+    #: expected resize events per instance-week (0 = off)
+    resize_events_per_week: float = 0.0
+    #: log-uniform resize factor range (speed and memory multiply)
+    resize_factor_low: float = 0.5
+    resize_factor_high: float = 2.0
+
+    # --- ANALYZE outages: statistics epochs stretch ----------------------
+    #: expected outage windows per instance-week (0 = off)
+    analyze_outages_per_week: float = 0.0
+    #: length of each outage window, days
+    analyze_outage_days: float = 2.0
+
+    def __post_init__(self):
+        for name in (
+            "burst_storms_per_week",
+            "churn_rate_per_week",
+            "resize_events_per_week",
+            "analyze_outages_per_week",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.burst_duration_hours <= 0:
+            raise ValueError("burst_duration_hours must be positive")
+        if self.burst_multiplier < 1:
+            raise ValueError("burst_multiplier must be >= 1")
+        if not 0 <= self.onboard_fraction <= 1:
+            raise ValueError("onboard_fraction must be in [0, 1]")
+        if not 0 < self.onboard_window_fraction <= 1:
+            raise ValueError("onboard_window_fraction must be in (0, 1]")
+        if not 0 <= self.seasonal_amplitude <= 1:
+            raise ValueError("seasonal_amplitude must be in [0, 1]")
+        if self.seasonal_period_days <= 0:
+            raise ValueError("seasonal_period_days must be positive")
+        if not 0 < self.resize_factor_low <= self.resize_factor_high:
+            raise ValueError("need 0 < resize_factor_low <= resize_factor_high")
+        if self.analyze_outage_days <= 0:
+            raise ValueError("analyze_outage_days must be positive")
+
+    @property
+    def is_null(self) -> bool:
+        """Whether every mutation is off (the baseline workload)."""
+        return (
+            self.burst_storms_per_week == 0
+            and self.onboard_fraction == 0
+            and self.churn_rate_per_week == 0
+            and self.seasonal_amplitude == 0
+            and self.resize_events_per_week == 0
+            and self.analyze_outages_per_week == 0
+        )
+
+
+class InstanceScenario:
+    """One instance's realization of a :class:`ScenarioConfig`.
+
+    Draws every window/event/day from streams derived from
+    ``(instance seed, "scenario", label)``, then exposes the pieces the
+    fleet generator applies: burst windows, the onboarding cut, the
+    seasonal filter, the resize schedule and the ANALYZE outages.
+    """
+
+    def __init__(self, config: ScenarioConfig, instance_seed: int, duration_days: float):
+        if duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+        self.config = config
+        self.instance_seed = instance_seed
+        self.duration_days = duration_days
+
+        self.burst_windows: List[Tuple[float, float]] = []
+        if config.burst_storms_per_week > 0:
+            self.burst_windows = burst_windows(
+                self.rng("burst"),
+                0.0,
+                duration_days * SECONDS_PER_DAY,
+                config.burst_storms_per_week,
+                config.burst_duration_hours,
+            )
+
+        self.onboard_day = 0.0
+        if config.onboard_fraction > 0:
+            rng = self.rng("onboard")
+            if rng.random() < config.onboard_fraction:
+                self.onboard_day = float(
+                    rng.uniform(0.0, config.onboard_window_fraction * duration_days)
+                )
+
+        self.resize: Optional[ResizeSchedule] = None
+        if config.resize_events_per_week > 0:
+            self.resize = ResizeSchedule.sample(
+                self.rng("resize"),
+                duration_days,
+                config.resize_events_per_week,
+                config.resize_factor_low,
+                config.resize_factor_high,
+            )
+
+        self.analyze_outages: List[Tuple[float, float]] = []
+        if config.analyze_outages_per_week > 0:
+            self.analyze_outages = sample_outage_windows(
+                self.rng("analyze"),
+                duration_days,
+                config.analyze_outages_per_week,
+                config.analyze_outage_days,
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def realize(
+        cls,
+        config: Optional[ScenarioConfig],
+        instance_seed: int,
+        duration_days: float,
+    ) -> Optional["InstanceScenario"]:
+        """The instance's scenario, or ``None`` when there is nothing on."""
+        if config is None or config.is_null:
+            return None
+        return cls(config, instance_seed, duration_days)
+
+    def rng(self, *labels) -> np.random.Generator:
+        """An independent stream for one mutation of this instance."""
+        return np.random.default_rng(derive_seed(self.instance_seed, "scenario", *labels))
+
+    # ------------------------------------------------------------------
+    def filter_arrivals(self, arrivals: list) -> list:
+        """Apply the onboarding cut and the seasonal cycle.
+
+        ``arrivals`` are time-sorted tuples keyed by arrival seconds
+        (any trailing payload).  Run *after* sorting so the thinning
+        stream is independent of template iteration order.
+        """
+        if self.onboard_day > 0:
+            cut = self.onboard_day * SECONDS_PER_DAY
+            arrivals = [a for a in arrivals if a[0] >= cut]
+        if self.config.seasonal_amplitude > 0:
+            arrivals = seasonal_thin(
+                self.rng("seasonal"),
+                arrivals,
+                self.config.seasonal_amplitude,
+                self.config.seasonal_period_days,
+            )
+        return arrivals
+
+    def speed_factor(self, day: float) -> float:
+        """Resize multiplier on effective speed/memory at ``day``."""
+        if self.resize is None:
+            return 1.0
+        return self.resize.factor_at(day)

@@ -1,0 +1,17 @@
+"""Shared test configuration: deterministic hypothesis profiles.
+
+The property suite (``tests/test_properties.py``) runs under a
+fixed-seed profile by default so CI and local runs explore the same
+examples — shrink-churn or flaky example discovery can never make the
+suite green on one machine and red on another.  Set
+``REPRO_HYPOTHESIS_PROFILE=dev`` for randomized exploration (more
+examples, fresh seeds every run) when hunting for new counterexamples.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True, max_examples=30, deadline=None)
+settings.register_profile("dev", max_examples=75, deadline=None)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci"))

@@ -1,0 +1,232 @@
+"""Property-based invariants over the repo's mergeable/streaming state.
+
+The parity contracts (sequential/parallel, direct/service) rest on a
+small set of algebraic properties: Welford statistics agree with their
+batch definitions, moment merging is associative and
+permutation-stable (to float tolerance — the *bit*-level contracts fix
+an order precisely because exact associativity does not hold), cache
+peeks are pure reads, and statistics epochs are monotone for any
+boundary structure.  Hypothesis searches for counterexamples instead of
+trusting a handful of hand-picked cases; the fixed-seed CI profile
+(``tests/conftest.py``) keeps the search deterministic.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.exec_time_cache import ExecTimeCache
+from repro.cache.welford import RunningStats
+from repro.ml.preprocessing import RunningMoments
+from repro.workload.drift import AnalyzeSchedule
+
+# bounded, finite floats: exec-times and feature values both live well
+# inside this range, and it keeps float tolerances meaningful
+finite_floats = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+float_lists = st.lists(finite_floats, min_size=1, max_size=60)
+
+
+def _close(a, b, rtol=1e-9, atol=1e-9):
+    return np.allclose(a, b, rtol=rtol, atol=atol)
+
+
+# ---------------------------------------------------------------------------
+# cache/welford.py :: RunningStats
+# ---------------------------------------------------------------------------
+class TestRunningStats:
+    @given(float_lists)
+    def test_matches_batch_mean_and_variance(self, values):
+        stats = RunningStats()
+        for v in values:
+            stats.update(v)
+        assert stats.count == len(values)
+        assert stats.last == values[-1]
+        assert _close(stats.mean, np.mean(values), atol=1e-6)
+        assert _close(stats.variance, np.var(values), rtol=1e-6, atol=1e-6)
+
+    @given(float_lists, st.randoms(use_true_random=False))
+    def test_permutation_stability(self, values, rnd):
+        """Mean/variance are order-free up to float tolerance."""
+        a = RunningStats()
+        for v in values:
+            a.update(v)
+        shuffled = list(values)
+        rnd.shuffle(shuffled)
+        b = RunningStats()
+        for v in shuffled:
+            b.update(v)
+        assert _close(a.mean, b.mean, rtol=1e-7, atol=1e-6)
+        assert _close(a.variance, b.variance, rtol=1e-6, atol=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# ml/preprocessing.py :: RunningMoments
+# ---------------------------------------------------------------------------
+def _batches(draw_lists, n_features):
+    return [np.array(rows, dtype=np.float64).reshape(-1, n_features) for rows in draw_lists]
+
+
+def _moments_of(X_parts, n_features):
+    m = RunningMoments(n_features)
+    for X in X_parts:
+        m.update(X)
+    return m
+
+
+row_batches = st.integers(min_value=1, max_value=3).flatmap(
+    lambda n_features: st.tuples(
+        st.just(n_features),
+        st.lists(
+            st.lists(
+                st.lists(finite_floats, min_size=n_features, max_size=n_features),
+                min_size=1,
+                max_size=12,
+            ),
+            min_size=3,
+            max_size=3,
+        ),
+    )
+)
+
+
+class TestRunningMoments:
+    @given(row_batches)
+    def test_merge_associativity(self, data):
+        n_features, parts = data
+        a, b, c = _batches(parts, n_features)
+
+        left = _moments_of([a], n_features).merge(
+            _moments_of([b], n_features).merge(_moments_of([c], n_features))
+        )
+        ab = _moments_of([a], n_features).merge(_moments_of([b], n_features))
+        right = ab.merge(_moments_of([c], n_features))
+        direct = _moments_of([np.concatenate([a, b, c])], n_features)
+
+        for m in (left, right):
+            assert m.count == direct.count
+            assert _close(m.mean, direct.mean, rtol=1e-7, atol=1e-6)
+            assert _close(m.variance, direct.variance, rtol=1e-6, atol=1e-4)
+
+    @given(row_batches)
+    def test_merge_permutation_stability(self, data):
+        n_features, parts = data
+        a, b, c = _batches(parts, n_features)
+        orders = [(a, b, c), (c, a, b), (b, c, a)]
+        merged = [_moments_of(order, n_features) for order in orders]
+        for m in merged[1:]:
+            assert m.count == merged[0].count
+            assert _close(m.mean, merged[0].mean, rtol=1e-7, atol=1e-6)
+            assert _close(m.variance, merged[0].variance, rtol=1e-6, atol=1e-4)
+
+    @given(row_batches)
+    def test_update_is_merge_of_batch_moments(self, data):
+        n_features, parts = data
+        X = np.concatenate(_batches(parts, n_features))
+        updated = _moments_of([X], n_features)
+        assert _close(updated.mean, X.mean(axis=0), rtol=1e-7, atol=1e-6)
+        assert _close(updated.variance, X.var(axis=0), rtol=1e-6, atol=1e-4)
+
+
+# ---------------------------------------------------------------------------
+# cache/exec_time_cache.py :: peek is a pure read
+# ---------------------------------------------------------------------------
+cache_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),  # key id
+        finite_floats,  # exec time
+        st.booleans(),  # lookup before observing?
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+class TestExecTimeCachePeek:
+    @given(cache_ops, st.integers(min_value=1, max_value=6))
+    def test_peek_never_changes_state_or_accounting(self, ops, capacity):
+        """Driving two caches identically — one saturated with peeks —
+        must end in identical entries, order, values and counters."""
+        plain = ExecTimeCache(capacity=capacity)
+        peeked = ExecTimeCache(capacity=capacity)
+        n_lookups = 0
+        for key_id, exec_time, do_lookup in ops:
+            key = f"k{key_id}"
+            for _ in range(3):
+                peeked.peek(key)
+            if do_lookup:
+                assert plain.lookup(key) == peeked.lookup(key)
+                n_lookups += 1
+            plain.observe(key, exec_time)
+            peeked.observe(key, exec_time)
+            for _ in range(2):
+                peeked.peek(key)
+        assert plain.hits == peeked.hits
+        assert plain.misses == peeked.misses
+        assert plain.hits + plain.misses == n_lookups
+        assert plain.evictions == peeked.evictions
+        assert list(plain._entries) == list(peeked._entries)
+        for key in plain._entries:
+            assert plain.peek(key) == peeked.peek(key)
+
+    @given(cache_ops)
+    def test_peek_is_idempotent_and_matches_lookup(self, ops):
+        cache = ExecTimeCache(capacity=4)
+        for key_id, exec_time, _ in ops:
+            cache.observe(f"k{key_id}", exec_time)
+        for key_id, _, __ in ops:
+            key = f"k{key_id}"
+            first = cache.peek(key)
+            assert cache.peek(key) == first
+            hits, misses = cache.hits, cache.misses
+            assert cache.lookup(key) == first
+            # exactly one counter moved, and by exactly one
+            assert (cache.hits - hits) + (cache.misses - misses) == 1
+
+
+# ---------------------------------------------------------------------------
+# workload/drift.py :: AnalyzeSchedule epochs
+# ---------------------------------------------------------------------------
+schedule_args = st.tuples(
+    st.floats(min_value=0.5, max_value=30.0, allow_nan=False),  # duration_days
+    st.floats(min_value=0.2, max_value=10.0, allow_nan=False),  # interval_days
+    st.integers(min_value=0, max_value=2**31 - 1),  # rng seed
+)
+
+outage_windows = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=25.0, allow_nan=False),
+        st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+    ).map(lambda w: (w[0], w[0] + w[1])),
+    max_size=4,
+)
+
+
+class TestAnalyzeScheduleEpochs:
+    @given(
+        schedule_args,
+        st.lists(st.floats(min_value=0.0, max_value=40.0), min_size=2, max_size=40),
+    )
+    def test_epoch_at_is_monotone(self, args, days):
+        duration, interval, seed = args
+        schedule = AnalyzeSchedule(duration, interval, np.random.default_rng(seed))
+        times = sorted(d * 86_400.0 for d in days)
+        epochs = [schedule.epoch_at(t) for t in times]
+        assert all(a <= b for a, b in zip(epochs, epochs[1:]))
+        assert epochs[0] >= 0
+        assert max(epochs) < schedule.n_epochs
+        for t, e in zip(times, epochs):
+            assert schedule.epoch_start_day(e) * 86_400.0 <= t or e == 0
+
+    @given(schedule_args, outage_windows)
+    def test_outages_only_remove_boundaries(self, args, outages):
+        duration, interval, seed = args
+        plain = AnalyzeSchedule(duration, interval, np.random.default_rng(seed))
+        stretched = AnalyzeSchedule(
+            duration, interval, np.random.default_rng(seed), outages=outages
+        )
+        assert set(stretched.boundaries) <= set(plain.boundaries)
+        assert stretched.n_epochs <= plain.n_epochs
+        # surviving boundaries sit outside every outage window
+        for boundary in stretched.boundaries:
+            day = boundary / 86_400.0
+            assert not any(start <= day < end for start, end in outages)

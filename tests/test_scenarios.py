@@ -1,0 +1,350 @@
+"""Tests for the declarative stress-scenario engine.
+
+The headline contracts: every registered scenario (1) generates
+bit-identical traces and replays for any ``n_jobs``, and (2) replays
+bit-identically through the online ``PredictionService``
+(``via_service=True``) — mutations are pure, per-instance-seeded
+transforms, so neither process fan-out nor the serving path can change
+a single bit.  On top of that, each mutation's observable effect on the
+trace is pinned down individually, as are the registry semantics and
+the CLI.
+"""
+
+import numpy as np
+import pytest
+
+# the parity helpers are owned by the service suite (one definition, so
+# a new InstanceReplay array can never be covered in one file and
+# silently skipped in the other); pytest puts tests/ on sys.path
+from test_service import assert_replays_identical
+
+from repro.harness import FleetSweeper, replay_instance
+from repro.scenarios import (
+    Scenario,
+    ScenarioConfig,
+    ScenarioRunner,
+    ScenarioSweepConfig,
+    get_scenario,
+    register_scenario,
+    registered_scenarios,
+    render_matrix,
+)
+from repro.scenarios.engine import _REGISTRY
+from repro.core.config import ServiceConfig, fast_profile
+from repro.workload import FleetConfig, FleetGenerator, QueryKind
+from repro.workload.scenario import InstanceScenario
+from repro.workload.seeding import derive_seed
+
+SEED = 11
+VOLUME = 0.15
+DURATION = 1.0
+
+
+def make_trace(scenario_config=None, seed=SEED, index=0, duration=DURATION):
+    gen = FleetGenerator(FleetConfig(seed=seed, volume_scale=VOLUME, scenario=scenario_config))
+    return gen.generate_trace(gen.sample_instance(index), duration)
+
+
+@pytest.fixture(scope="module")
+def baseline_trace():
+    return make_trace(None)
+
+
+# ---------------------------------------------------------------------------
+# the mutations, one by one (trace-level effects)
+# ---------------------------------------------------------------------------
+class TestMutations:
+    def test_null_scenario_is_byte_identical_to_none(self, baseline_trace):
+        """An all-off ScenarioConfig must not perturb the baseline workload."""
+        trace = make_trace(ScenarioConfig())
+        assert len(trace) == len(baseline_trace)
+        for a, b in zip(baseline_trace, trace):
+            assert a.arrival_time == b.arrival_time
+            assert a.exec_time == b.exec_time
+            assert (a.template_id, a.variant_id, a.plan_epoch) == (
+                b.template_id,
+                b.variant_id,
+                b.plan_epoch,
+            )
+
+    def test_burst_storm_adds_surge_arrivals(self, baseline_trace):
+        trace = make_trace(ScenarioConfig(burst_storms_per_week=30.0, burst_multiplier=8.0))
+        assert len(trace) > len(baseline_trace)
+        # the surge is concentrated: some 2h window holds far more than
+        # its share of arrivals
+        times = np.array([r.arrival_time for r in trace])
+        windows = np.histogram(times, bins=int(DURATION * 12))[0]
+        assert windows.max() > 3 * max(np.median(windows), 1)
+
+    def test_onboarding_wave_starts_cold_mid_trace(self, baseline_trace):
+        config = ScenarioConfig(onboard_fraction=1.0, onboard_window_fraction=0.6)
+        trace = make_trace(config)
+        scenario = InstanceScenario.realize(config, trace.instance.seed, DURATION)
+        assert scenario.onboard_day > 0
+        assert len(trace) < len(baseline_trace)
+        first_day = trace[0].arrival_time / 86_400.0
+        assert first_day >= scenario.onboard_day
+
+    def test_template_churn_retires_and_replaces(self, baseline_trace):
+        config = ScenarioConfig(churn_rate_per_week=3.0)
+        trace = make_trace(config)
+        base_ids = {r.template_id for r in baseline_trace}
+        new_ids = {r.template_id for r in trace} - base_ids
+        assert new_ids, "churn must introduce replacement templates"
+
+        # white-box pairing: rebuild the same templates and apply churn —
+        # each replacement keeps its retiree's kind/cadence and starts
+        # exactly at the retirement day
+        fleet_config = FleetConfig(seed=SEED, volume_scale=VOLUME, scenario=config)
+        gen = FleetGenerator(fleet_config)
+        instance = gen.sample_instance(0)
+        rng = np.random.default_rng(derive_seed(fleet_config.seed, "trace", instance.seed))
+        templates = gen._build_templates(instance, DURATION, rng)
+        scenario = InstanceScenario.realize(config, instance.seed, DURATION)
+        churned = gen._apply_template_churn(templates, scenario, instance, DURATION)
+        churnable = [t for t in templates if t.kind in (QueryKind.DASHBOARD, QueryKind.REPORT)]
+        retired = [t for t in churnable if np.isfinite(t.end_day)]
+        replacements = churned[len(templates) :]
+        assert len(replacements) == len(retired) > 0
+        for retiree, replacement in zip(retired, replacements):
+            assert replacement.start_day == retiree.end_day
+            assert replacement.kind == retiree.kind
+            assert replacement.arrival_params == retiree.arrival_params
+            assert replacement.template_id not in {t.template_id for t in templates}
+
+        # and in the generated trace, no replacement arrives before the
+        # earliest retirement
+        first_new = min(r.arrival_time for r in trace if r.template_id in new_ids)
+        assert first_new >= min(t.end_day for t in retired) * 86_400.0
+
+    def test_seasonal_cycle_thins_toward_trough(self, baseline_trace):
+        trace = make_trace(ScenarioConfig(seasonal_amplitude=0.8, seasonal_period_days=1.0))
+        assert 0 < len(trace) < len(baseline_trace)
+        # thinning only removes arrivals, never invents or moves them
+        base_times = {r.arrival_time for r in baseline_trace}
+        assert all(r.arrival_time in base_times for r in trace)
+
+    def test_resize_shifts_latency_model_not_arrivals(self, baseline_trace):
+        trace = make_trace(
+            ScenarioConfig(
+                resize_events_per_week=14.0,
+                resize_factor_low=0.2,
+                resize_factor_high=0.4,
+            )
+        )
+        assert len(trace) == len(baseline_trace)
+        for a, b in zip(baseline_trace, trace):
+            assert a.arrival_time == b.arrival_time
+            assert a.template_id == b.template_id
+        assert any(a.exec_time != b.exec_time for a, b in zip(baseline_trace, trace))
+
+    def test_analyze_outage_stretches_epochs(self, baseline_trace):
+        trace = make_trace(ScenarioConfig(analyze_outages_per_week=21.0, analyze_outage_days=3.0))
+        base_epochs = {r.plan_epoch for r in baseline_trace}
+        outage_epochs = {r.plan_epoch for r in trace}
+        assert len(outage_epochs) < len(base_epochs)
+
+    def test_mutations_compose(self, baseline_trace):
+        trace = make_trace(
+            ScenarioConfig(
+                burst_storms_per_week=30.0,
+                churn_rate_per_week=3.0,
+                analyze_outages_per_week=21.0,
+                analyze_outage_days=3.0,
+            )
+        )
+        assert len(trace) > 0
+        assert {r.template_id for r in trace} - {r.template_id for r in baseline_trace}
+
+    def test_scenario_trace_is_deterministic(self):
+        config = ScenarioConfig(burst_storms_per_week=30.0, churn_rate_per_week=2.0)
+        a, b = make_trace(config), make_trace(config)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert x.arrival_time == y.arrival_time
+            assert x.exec_time == y.exec_time
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+class TestScenarioConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"burst_storms_per_week": -1.0},
+            {"burst_duration_hours": 0.0},
+            {"burst_multiplier": 0.5},
+            {"onboard_fraction": 1.5},
+            {"onboard_window_fraction": 0.0},
+            {"churn_rate_per_week": -0.1},
+            {"seasonal_amplitude": 2.0},
+            {"seasonal_period_days": 0.0},
+            {"resize_events_per_week": -2.0},
+            {"resize_factor_low": 0.0},
+            {"resize_factor_low": 3.0, "resize_factor_high": 2.0},
+            {"analyze_outages_per_week": -1.0},
+            {"analyze_outage_days": 0.0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioConfig(**kwargs)
+
+    def test_is_null(self):
+        assert ScenarioConfig().is_null
+        assert not ScenarioConfig(burst_storms_per_week=1.0).is_null
+
+    def test_invalid_duration_rejected(self):
+        gen = FleetGenerator(FleetConfig(seed=SEED))
+        with pytest.raises(ValueError, match="duration_days"):
+            gen.generate_trace(gen.sample_instance(0), 0.0)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_builtin_matrix_is_at_least_six_scenarios(self):
+        scenarios = registered_scenarios()
+        assert len(scenarios) >= 6
+        assert scenarios[0].name == "baseline"
+        assert scenarios[0].config.is_null
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(Scenario("baseline", "dup"))
+
+    def test_replace_registration(self):
+        custom = Scenario("tmp_custom", "x", ScenarioConfig(seasonal_amplitude=0.5))
+        try:
+            register_scenario(custom)
+            replacement = Scenario("tmp_custom", "y")
+            assert register_scenario(replacement, replace=True) is replacement
+            assert get_scenario("tmp_custom").description == "y"
+        finally:
+            _REGISTRY.pop("tmp_custom", None)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("no-such-scenario")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            Scenario("has space", "x")
+
+
+# ---------------------------------------------------------------------------
+# the two hard contracts, per scenario
+# ---------------------------------------------------------------------------
+def _scenario_params():
+    return pytest.mark.parametrize("scenario", registered_scenarios(), ids=lambda s: s.name)
+
+
+SWEEP = ScenarioSweepConfig(seed=SEED, n_instances=2, duration_days=DURATION, volume_scale=VOLUME)
+
+
+@pytest.fixture(scope="module")
+def direct_replays():
+    """Reference replays (n_jobs=1, direct path), one run per scenario."""
+    runner = ScenarioRunner(SWEEP)
+    return {s.name: runner.run(s).replays for s in registered_scenarios()}
+
+
+class TestScenarioParity:
+    @_scenario_params()
+    def test_bit_identical_across_n_jobs(self, scenario, direct_replays):
+        from dataclasses import replace
+
+        parallel = ScenarioRunner(replace(SWEEP, n_jobs=2)).run(scenario).replays
+        for want, got in zip(direct_replays[scenario.name], parallel):
+            assert_replays_identical(want, got)
+
+    @_scenario_params()
+    def test_bit_identical_via_service(self, scenario, direct_replays):
+        from dataclasses import replace
+
+        runner = ScenarioRunner(
+            replace(
+                SWEEP,
+                via_service=True,
+                service_config=ServiceConfig(max_batch_size=7),
+                service_clients=3,
+            )
+        )
+        via = runner.run(scenario).replays
+        for want, got in zip(direct_replays[scenario.name], via):
+            assert_replays_identical(want, got)
+
+    def test_fleet_sweeper_via_service_matches_replay_instance(self, baseline_trace):
+        """The sweeper's service hook is the same path replay_instance takes."""
+        sweeper = FleetSweeper(
+            fleet_config=FleetConfig(seed=SEED, volume_scale=VOLUME),
+            stage_config=fast_profile(),
+            via_service=True,
+            service_config=ServiceConfig(max_batch_size=5),
+            service_clients=2,
+        )
+        (got,) = sweeper.replay_traces([baseline_trace])
+        want = replay_instance(
+            baseline_trace,
+            config=fast_profile(),
+            via_service=True,
+            service_config=ServiceConfig(max_batch_size=5),
+            service_clients=2,
+        )
+        assert_replays_identical(want, got)
+
+
+# ---------------------------------------------------------------------------
+# runner + reporting + CLI
+# ---------------------------------------------------------------------------
+class TestRunnerAndReport:
+    def test_metrics_are_finite_and_consistent(self, direct_replays):
+        runner = ScenarioRunner(SWEEP)
+        result = runner.run(get_scenario("baseline"))
+        m = result.metrics
+        assert m["n_queries"] == sum(len(r) for r in result.replays)
+        assert 0 <= m["cache_hit_rate"] <= 1
+        assert np.isfinite(m["stage_mae"]) and np.isfinite(m["autowlm_mae"])
+
+    def test_render_matrix_has_one_row_per_scenario(self, direct_replays):
+        from repro.scenarios.engine import ScenarioResult
+
+        results = [
+            ScenarioResult(get_scenario(name), replays)
+            for name, replays in direct_replays.items()
+        ]
+        report = render_matrix(results, SWEEP)
+        for name in direct_replays:
+            assert name in report
+
+    def test_runner_rejects_empty_matrix(self):
+        with pytest.raises(ValueError, match="no scenarios"):
+            ScenarioRunner(SWEEP, scenarios=())
+
+    def test_cli_list_and_subset(self, capsys, tmp_path):
+        from repro.scenarios.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for scenario in registered_scenarios():
+            assert scenario.name in out
+
+        out_path = tmp_path / "matrix.txt"
+        rc = main(
+            [
+                "--scenarios",
+                "baseline",
+                "--instances",
+                "1",
+                "--duration-days",
+                "1.0",
+                "--volume-scale",
+                "0.1",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        assert "baseline" in out_path.read_text()

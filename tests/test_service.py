@@ -21,6 +21,7 @@ from repro.core.config import GlobalModelConfig, ServiceConfig, fast_profile
 from repro.core.stage import BatchRouter, StagePredictor
 from repro.global_model import GlobalModelTrainer
 from repro.harness import replay_instance
+from repro.scenarios import registered_scenarios
 from repro.service import ModelRegistry, PredictionService
 from repro.workload import FleetConfig, FleetGenerator
 
@@ -138,6 +139,34 @@ class TestViaServiceParity:
 
 
 # ---------------------------------------------------------------------------
+# serving/replay parity under every registered stress scenario
+# ---------------------------------------------------------------------------
+class TestScenarioServingParity:
+    """A scenario can never ship that drifts serving from replay.
+
+    Every registered scenario's mutated workload must replay through a
+    live service bit-identically — arrays *and* cache/counter
+    accounting (``assert_replays_identical`` compares ``stage_stats``
+    key-for-key).  New scenarios are covered automatically: the
+    parametrization reads the registry.
+    """
+
+    @pytest.mark.parametrize("scenario", registered_scenarios(), ids=lambda s: s.name)
+    def test_scenario_bit_identical_via_service(self, scenario):
+        gen = FleetGenerator(FleetConfig(seed=5, volume_scale=0.12, scenario=scenario.config))
+        scenario_trace = gen.generate_trace(gen.sample_instance(0), 1.0)
+        direct = replay_instance(scenario_trace, config=fast_profile())
+        via = replay_instance(
+            scenario_trace,
+            config=fast_profile(),
+            via_service=True,
+            service_config=ServiceConfig(max_batch_size=6),
+            service_clients=2,
+        )
+        assert_replays_identical(direct, via)
+
+
+# ---------------------------------------------------------------------------
 # the batch router: flush points never change results
 # ---------------------------------------------------------------------------
 class TestBatchRouter:
@@ -226,6 +255,20 @@ class TestScheduler:
         service.close()
         with pytest.raises(RuntimeError, match="closed"):
             stranded.result(timeout=60)
+
+    def test_replay_components_on_warm_service(self, trace):
+        """The replay hook bases its sequence numbers at the scheduler's
+        next slot, so it works after live traffic (and back-to-back)."""
+        with _scheduler_service(trace, max_batch_size=4) as service:
+            for i in range(10):
+                service.predict_async(trace[i])
+                service.observe(trace[i])
+            service.drain()
+            first = service.replay_components(trace, n_clients=2)
+            second = service.replay_components(trace, n_clients=3)
+            assert len(first) == len(second) == len(trace)
+            n_ops = service.stats()["scheduler"]["n_predicts"]
+        assert n_ops == 10 + 2 * len(trace)
 
     def test_batching_counters(self, trace):
         with _scheduler_service(trace, max_batch_size=8) as service:

@@ -19,11 +19,20 @@ from repro.workload import (
 )
 from repro.workload.arrival import (
     adhoc_arrivals,
+    burst_arrivals,
+    burst_windows,
     dashboard_arrivals,
     etl_arrivals,
     report_arrivals,
+    seasonal_thin,
 )
-from repro.workload.drift import AnalyzeSchedule, sample_template_start_days
+from repro.workload.drift import (
+    AnalyzeSchedule,
+    ResizeSchedule,
+    sample_outage_windows,
+    sample_template_retirements,
+    sample_template_start_days,
+)
 from repro.workload.instance import HARDWARE_CLASSES
 from repro.workload.plangen import PlanGenerator
 from repro.workload.seeding import derive_seed
@@ -121,6 +130,114 @@ class TestDrift:
     def test_zero_late_fraction(self):
         starts = sample_template_start_days(np.random.default_rng(3), 50, 10.0, late_fraction=0.0)
         assert (starts == 0).all()
+
+
+class TestInputValidation:
+    """Bad windows, durations and rates fail loudly, never silently."""
+
+    def test_inverted_window_rejected_by_every_arrival_process(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="t_end"):
+            dashboard_arrivals(rng, 100.0, 100.0, period_s=60.0)
+        with pytest.raises(ValueError, match="t_end"):
+            report_arrivals(rng, 200.0, 100.0, runs_per_day=2.0)
+        with pytest.raises(ValueError, match="t_end"):
+            adhoc_arrivals(rng, 200.0, 100.0, mean_per_day=10.0)
+        with pytest.raises(ValueError, match="t_end"):
+            etl_arrivals(rng, 200.0, 100.0)
+        with pytest.raises(ValueError, match="t_end"):
+            burst_windows(rng, 200.0, 100.0, storms_per_week=1.0, duration_hours=1.0)
+
+    def test_negative_rates_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="runs_per_day"):
+            report_arrivals(rng, 0.0, 86400.0, runs_per_day=-1.0)
+        with pytest.raises(ValueError, match="mean_per_day"):
+            adhoc_arrivals(rng, 0.0, 86400.0, mean_per_day=-5.0)
+        with pytest.raises(ValueError, match="runs_per_day"):
+            etl_arrivals(rng, 0.0, 86400.0, runs_per_day=-0.5)
+        with pytest.raises(ValueError, match="storms_per_week"):
+            burst_windows(rng, 0.0, 86400.0, storms_per_week=-1.0, duration_hours=1.0)
+        with pytest.raises(ValueError, match="rate_per_day"):
+            burst_arrivals(rng, [(0.0, 3600.0)], rate_per_day=-1.0)
+
+    def test_dashboard_shape_knobs_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="n_variants"):
+            dashboard_arrivals(rng, 0.0, 86400.0, period_s=60.0, n_variants=0)
+        with pytest.raises(ValueError, match="jitter_frac"):
+            dashboard_arrivals(rng, 0.0, 86400.0, period_s=60.0, jitter_frac=-0.1)
+
+    def test_burst_arrivals_mode_and_pool_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="variant_mode"):
+            burst_arrivals(rng, [(0.0, 3600.0)], 10.0, variant_mode="surge")
+        with pytest.raises(ValueError, match="n_variants"):
+            burst_arrivals(rng, [(0.0, 3600.0)], 10.0, variant_mode="pool", n_variants=0)
+
+    def test_seasonal_thin_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="amplitude"):
+            seasonal_thin(rng, [], amplitude=1.5, period_days=7.0)
+        with pytest.raises(ValueError, match="period_days"):
+            seasonal_thin(rng, [], amplitude=0.5, period_days=0.0)
+
+    def test_analyze_schedule_durations_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="duration_days"):
+            AnalyzeSchedule(0.0, 3.0, rng)
+        with pytest.raises(ValueError, match="duration_days"):
+            AnalyzeSchedule(-1.0, 3.0, rng)
+
+    def test_analyze_schedule_outage_windows_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="start"):
+            AnalyzeSchedule(10.0, 3.0, rng, outages=[(-1.0, 2.0)])
+        with pytest.raises(ValueError, match="end"):
+            AnalyzeSchedule(10.0, 3.0, rng, outages=[(3.0, 3.0)])
+
+    def test_template_start_days_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="n_templates"):
+            sample_template_start_days(rng, -1, 10.0)
+        with pytest.raises(ValueError, match="duration_days"):
+            sample_template_start_days(rng, 5, 0.0)
+
+    def test_outage_sampler_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="duration_days"):
+            sample_outage_windows(rng, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="outages_per_week"):
+            sample_outage_windows(rng, 10.0, -1.0, 1.0)
+        with pytest.raises(ValueError, match="outage_days"):
+            sample_outage_windows(rng, 10.0, 1.0, 0.0)
+
+    def test_retirement_sampler_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="duration_days"):
+            sample_template_retirements(rng, [0.0], 0.0, 1.0)
+        with pytest.raises(ValueError, match="churn_rate_per_week"):
+            sample_template_retirements(rng, [0.0], 10.0, -1.0)
+        # rate 0 = nothing ever retires
+        ends = sample_template_retirements(rng, [0.0, 2.0], 10.0, 0.0)
+        assert np.isinf(ends).all()
+
+    def test_resize_schedule_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="day"):
+            ResizeSchedule([(-1.0, 2.0)])
+        with pytest.raises(ValueError, match="factor"):
+            ResizeSchedule([(1.0, 0.0)])
+        with pytest.raises(ValueError, match="events_per_week"):
+            ResizeSchedule.sample(rng, 10.0, -1.0, 0.5, 2.0)
+        with pytest.raises(ValueError, match="factor_low"):
+            ResizeSchedule.sample(rng, 10.0, 1.0, 2.0, 0.5)
+
+    def test_resize_factors_compound_in_day_order(self):
+        schedule = ResizeSchedule([(5.0, 2.0), (1.0, 0.5)])
+        assert schedule.factor_at(0.0) == 1.0
+        assert schedule.factor_at(2.0) == 0.5
+        assert schedule.factor_at(6.0) == 1.0  # 0.5 * 2.0
 
 
 class TestPlanGenerator:
