@@ -1,0 +1,46 @@
+"""Perf: fleet-gateway serving, swept over a shards x clients grid.
+
+Stands a small fleet of instances up behind one
+:class:`~repro.service.FleetGateway` and measures interleaved fleet
+traffic at every (shards, clients) grid point, writing
+``results/gateway_bench.txt``.  The numbers are machine-dependent
+timing context (the file is exempt from CI's results-drift gate, like
+``service_bench.txt``); what is *asserted* is the part that must hold
+anywhere:
+
+- the gateway determinism contract — every grid point serves
+  bit-identical predictions for the measured traffic (checked inside
+  :func:`run_gateway_bench` itself);
+- the sweep ran the full grid end-to-end.
+
+The grid here is scaled down for the 1-core CI budget; the CLI
+(``python -m repro.service bench --gateway``) runs the full default
+grid.
+"""
+
+from conftest import write_result
+
+from repro.core.config import fast_profile
+from repro.service import GatewayBenchConfig, run_gateway_bench
+
+BENCH = GatewayBenchConfig(
+    n_instances=4,
+    duration_days=1.0,
+    volume_scale=0.15,
+    shard_counts=(1, 2),
+    client_counts=(2, 8),
+    stage=fast_profile(),
+)
+
+
+def test_gateway_grid_serves_bit_identically(results_dir):
+    result = run_gateway_bench(BENCH)
+    report = result.render()
+    write_result(results_dir, "gateway_bench", report)
+    print("\n" + report)
+
+    assert len(result.rows) == len(BENCH.shard_counts) * len(BENCH.client_counts)
+    assert result.n_measured > 0
+    assert all(row["qps"] > 0 for row in result.rows)
+    # the fleet determinism contract, verified while benchmarking
+    assert result.predictions_identical

@@ -22,6 +22,7 @@ __all__ = [
     "CacheConfig",
     "TrainingPoolConfig",
     "LocalModelConfig",
+    "GatewayConfig",
     "GlobalModelConfig",
     "ScenarioConfig",
     "ServiceConfig",
@@ -133,6 +134,31 @@ class ServiceConfig:
     collect_components: bool = False
     #: default timeout for :meth:`PredictionService.drain` (seconds)
     drain_timeout_s: float = 120.0
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Fleet-gateway (:class:`~repro.service.FleetGateway`) settings.
+
+    The gateway shards many per-instance services across ``n_shards``
+    worker processes.  Shard assignment is a pure function of the
+    instance id, and the determinism contract makes every knob here a
+    pure capacity/latency dial: results depend only on each instance's
+    sequenced op stream — never on shard count, queue bounds, client
+    threading or enqueue timing.
+    """
+
+    #: shard worker processes; each owns its instances' predictor state
+    n_shards: int = 2
+    #: bound of each shard's request queue — the backpressure budget
+    queue_size: int = 256
+    #: how long an enqueue may wait on a full shard queue before raising
+    enqueue_timeout_s: float = 30.0
+    #: default timeout for whole-fleet drain/close/snapshot barriers
+    drain_timeout_s: float = 120.0
+    #: per-instance micro-batching knobs, forwarded to every shard's
+    #: :class:`~repro.service.PredictionService` instances
+    service: ServiceConfig = field(default_factory=ServiceConfig)
 
 
 def fast_profile() -> StageConfig:

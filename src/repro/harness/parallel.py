@@ -25,13 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
-from repro.core.config import ServiceConfig, StageConfig
+from repro.core.config import GatewayConfig, ServiceConfig, StageConfig
 from repro.global_model.model import GlobalModel
 from repro.parallelism import pool_map, resolve_n_jobs, runs_inline
 from repro.workload.fleet import FleetConfig, FleetGenerator
 from repro.workload.trace import Trace
 
-from .replay import InstanceReplay, replay_instance
+from .replay import InstanceReplay, assemble_replay, replay_instance
 
 __all__ = ["FleetSweeper", "resolve_n_jobs"]
 
@@ -142,6 +142,11 @@ class FleetSweeper:
     via_service: bool = False
     service_config: Optional[ServiceConfig] = None
     service_clients: int = 1
+    #: replay the whole fleet through one sharded multi-process
+    #: FleetGateway (bit-identical for any shard count — the fleet
+    #: determinism contract's strongest exercise)
+    via_gateway: bool = False
+    gateway_config: Optional[GatewayConfig] = None
     #: worker processes; 1 = inline (no pool), ``<=0`` = all cores
     n_jobs: int = 1
 
@@ -172,18 +177,105 @@ class FleetSweeper:
         )
 
     # ------------------------------------------------------------------
+    def _check_modes(self) -> None:
+        if self.via_gateway and self.via_service:
+            raise ValueError("via_gateway and via_service are mutually exclusive")
+        if self.via_gateway and self.component_inference != "batched":
+            raise ValueError(
+                'via_gateway replays route through the batched path; '
+                'use component_inference="batched"'
+            )
+
+    def _replay_via_gateway(self, traces: Sequence[Trace]) -> List[InstanceReplay]:
+        """Replay every trace through one sharded, multi-process gateway.
+
+        All instances live behind the same front door: each is
+        registered on its hash-assigned shard, its op stream replays with
+        explicit per-instance sequence numbers, and the per-instance
+        accounting is read back from the shard that owns it.  ``n_jobs``
+        controls how many instances' streams are in flight at once (the
+        submitter threads; the shard processes do the predictor work) —
+        per-instance streams are independent, so the determinism
+        contract makes any value bit-identical to the direct (and
+        ``via_service``) replays, for any shard count, client count or
+        queue bound.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+        from dataclasses import replace
+
+        from repro.service.gateway import FleetGateway
+
+        config = self.gateway_config or GatewayConfig()
+        config = replace(
+            config,
+            service=replace(
+                self.service_config or config.service,
+                collect_components=self.collect_components,
+            ),
+        )
+        gateway = FleetGateway(
+            config,
+            stage_config=self.stage_config,
+            global_model=self.global_model,
+            random_state=self.random_state,
+        )
+        try:
+            for trace in traces:
+                gateway.register_instance(trace.instance)
+
+            def replay(trace: Trace):
+                return gateway.replay_components(trace, n_clients=self.service_clients)
+
+            n_submitters = resolve_n_jobs(self.n_jobs, max(len(traces), 1))
+            if n_submitters == 1:
+                components_per_trace = [replay(trace) for trace in traces]
+            else:
+                with ThreadPoolExecutor(max_workers=n_submitters) as pool:
+                    components_per_trace = list(pool.map(replay, traces))
+            gateway.drain()
+            instance_stats = gateway.stats()["instances"]
+        finally:
+            gateway.close()
+        return [
+            assemble_replay(
+                trace,
+                components,
+                instance_stats[trace.instance.instance_id]["stage"],
+                config=self.stage_config,
+                global_model=self.global_model,
+                random_state=self.random_state,
+                collect_components=self.collect_components,
+            )
+            for trace, components in zip(traces, components_per_trace)
+        ]
+
+    # ------------------------------------------------------------------
     def replay_indices(
         self, indices: Iterable[int], duration_days: float
     ) -> List[InstanceReplay]:
         """Generate and replay instances ``indices``, in index order.
 
         Each worker samples its instance and unrolls its trace itself,
-        so results are independent of how work is distributed.
+        so results are independent of how work is distributed.  In
+        ``via_gateway`` mode the traces are generated up front (they are
+        pure functions of ``(fleet_config, index)``) and fed through the
+        shared gateway instead.
         """
+        self._check_modes()
+        if self.via_gateway:
+            gen = FleetGenerator(self.fleet_config)
+            traces = [
+                gen.generate_trace(gen.sample_instance(int(index)), duration_days)
+                for index in indices
+            ]
+            return self._replay_via_gateway(traces)
         payloads = [(self.fleet_config, duration_days, int(index)) for index in indices]
         return self._map(_replay_index_worker, payloads)
 
     def replay_traces(self, traces: Sequence[Trace]) -> List[InstanceReplay]:
         """Replay pre-built traces, preserving their order."""
+        self._check_modes()
+        if self.via_gateway:
+            return self._replay_via_gateway(traces)
         payloads = [(trace,) for trace in traces]
         return self._map(_replay_trace_worker, payloads)

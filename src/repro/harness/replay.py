@@ -44,7 +44,13 @@ from repro.core.stage import BatchRouter, RoutedComponents, StagePredictor
 from repro.global_model.model import GlobalModel
 from repro.workload.trace import Trace
 
-__all__ = ["COMPONENT_INFERENCE_MODES", "InstanceReplay", "replay_instance"]
+__all__ = [
+    "COMPONENT_INFERENCE_MODES",
+    "InstanceReplay",
+    "assemble_replay",
+    "replay_instance",
+    "stage_stats_of",
+]
 
 
 @dataclass
@@ -91,6 +97,113 @@ class InstanceReplay:
 
 #: valid ``component_inference`` modes for :func:`replay_instance`
 COMPONENT_INFERENCE_MODES = ("batched", "per_query")
+
+
+def assemble_replay(
+    trace: Trace,
+    components: List[RoutedComponents],
+    stage_stats: dict,
+    config: StageConfig | None = None,
+    global_model: Optional[GlobalModel] = None,
+    random_state: int = 0,
+    collect_components: bool = True,
+) -> InstanceReplay:
+    """Build an :class:`InstanceReplay` from per-query routed components.
+
+    The one assembly path behind every replay mode — direct,
+    ``via_service`` and the fleet gateway's ``via_gateway`` sweeps all
+    produce a :class:`RoutedComponents` list plus the predictor's final
+    accounting, and everything downstream (arrays, the independent
+    AutoWLM baseline, the batched global-model column) is derived here,
+    so the modes cannot drift in how results are reported.
+    """
+    config = config or StageConfig()
+    n = len(trace)
+    if len(components) != n:
+        raise ValueError(f"expected {n} routed components, got {len(components)}")
+    true = np.empty(n)
+    arrival = np.empty(n)
+    kind = np.empty(n, dtype=object)
+    stage_pred = np.empty(n)
+    stage_source = np.empty(n, dtype=object)
+    autowlm_pred = np.empty(n)
+    cache_pred = np.full(n, np.nan)
+    local_pred = np.full(n, np.nan)
+    local_std = np.full(n, np.nan)
+    global_pred = np.full(n, np.nan)
+    uncertain = np.zeros(n, dtype=bool)
+
+    for i, record in enumerate(trace):
+        true[i] = record.exec_time
+        arrival[i] = record.arrival_time
+        kind[i] = record.kind
+
+    # The AutoWLM baseline shares no state with Stage, so its replay is
+    # an independent loop regardless of how Stage predictions are routed.
+    autowlm = AutoWLMPredictor(config=config.local, random_state=random_state)
+    for i, record in enumerate(trace):
+        autowlm_pred[i] = autowlm.predict(record).exec_time
+        autowlm.observe(record)
+
+    for i, routed in enumerate(components):
+        sp = routed.prediction
+        stage_pred[i] = sp.exec_time
+        stage_source[i] = sp.source
+        if collect_components:
+            if routed.cache_value is not None:
+                cache_pred[i] = routed.cache_value
+            if routed.local is not None:
+                lp = routed.local
+                local_pred[i] = lp.exec_time
+                local_std[i] = lp.std
+                uncertain[i] = (
+                    lp.exec_time >= config.short_circuit_seconds
+                    and lp.std >= config.uncertainty_threshold
+                )
+        elif sp.source == PredictionSource.CACHE:
+            cache_pred[i] = sp.exec_time
+
+    if collect_components and global_model is not None:
+        # The global model is trained offline and frozen during replay, so
+        # its per-query answers can be computed in one batch.
+        from repro.global_model.featurization import record_to_graph
+
+        graphs = [record_to_graph(r.plan, trace.instance) for r in trace]
+        global_pred[:] = global_model.predict_graphs(graphs)
+
+    return InstanceReplay(
+        instance_id=trace.instance.instance_id,
+        true=true,
+        arrival=arrival,
+        kind=kind,
+        stage_pred=stage_pred,
+        stage_source=stage_source,
+        autowlm_pred=autowlm_pred,
+        cache_pred=cache_pred,
+        local_pred=local_pred,
+        local_std=local_std,
+        global_pred=global_pred,
+        uncertain=uncertain,
+        stage_stats=stage_stats,
+    )
+
+
+def stage_stats_of(stage: StagePredictor) -> dict:
+    """The replay/serving accounting summary for one predictor.
+
+    One definition shared by the replay harness and (shape-wise) the
+    serving layer, so the parity suites can compare the dicts
+    key-for-key.
+    """
+    return {
+        "cache_hit_rate": stage.cache.hit_rate,
+        "cache_hits": stage.cache.hits,
+        "cache_misses": stage.cache.misses,
+        "source_counts": dict(stage.source_counts),
+        "global_use_fraction": stage.global_use_fraction,
+        "n_local_retrains": stage.local.n_retrains,
+        "byte_size": stage.byte_size(),
+    }
 
 
 def _routed_components_direct(
@@ -191,37 +304,6 @@ def replay_instance(
         )
     config = config or StageConfig()
 
-    n = len(trace)
-    true = np.empty(n)
-    arrival = np.empty(n)
-    kind = np.empty(n, dtype=object)
-    stage_pred = np.empty(n)
-    stage_source = np.empty(n, dtype=object)
-    autowlm_pred = np.empty(n)
-    cache_pred = np.full(n, np.nan)
-    local_pred = np.full(n, np.nan)
-    local_std = np.full(n, np.nan)
-    global_pred = np.full(n, np.nan)
-    uncertain = np.zeros(n, dtype=bool)
-
-    def _is_uncertain(lp) -> bool:
-        return (
-            lp.exec_time >= config.short_circuit_seconds
-            and lp.std >= config.uncertainty_threshold
-        )
-
-    for i, record in enumerate(trace):
-        true[i] = record.exec_time
-        arrival[i] = record.arrival_time
-        kind[i] = record.kind
-
-    # The AutoWLM baseline shares no state with Stage, so its replay is
-    # an independent loop regardless of how Stage predictions are routed.
-    autowlm = AutoWLMPredictor(config=config.local, random_state=random_state)
-    for i, record in enumerate(trace):
-        autowlm_pred[i] = autowlm.predict(record).exec_time
-        autowlm.observe(record)
-
     if component_inference == "per_query":
         stage = StagePredictor(
             trace.instance,
@@ -233,84 +315,46 @@ def replay_instance(
         # via the non-mutating peek, so the router's lookup stays the
         # only counted one — and re-running the ensemble on every
         # local-ready query.
-        for i, record in enumerate(trace):
-            sp = stage.predict_with_components(record).prediction
-            stage_pred[i] = sp.exec_time
-            stage_source[i] = sp.source
+        components = []
+        for record in trace:
+            routed = stage.predict_with_components(record)
             if collect_components:
-                cached = stage.cache.peek(stage.cache.key_for(record.features))
-                if cached is not None:
-                    cache_pred[i] = cached
-                if stage.local.is_ready:
-                    lp = stage.local.predict(record.features)
-                    local_pred[i] = lp.exec_time
-                    local_std[i] = lp.std
-                    uncertain[i] = _is_uncertain(lp)
-            elif sp.source == PredictionSource.CACHE:
-                cache_pred[i] = sp.exec_time
+                routed = RoutedComponents(
+                    prediction=routed.prediction,
+                    cache_value=stage.cache.peek(stage.cache.key_for(record.features)),
+                    local=(
+                        stage.local.predict(record.features) if stage.local.is_ready else None
+                    ),
+                    local_ready=stage.local.is_ready,
+                    local_generation=stage.local.n_retrains,
+                )
             stage.observe(record)
+            components.append(routed)
+    elif via_service:
+        components, stage = _routed_components_via_service(
+            trace,
+            config,
+            global_model,
+            random_state,
+            collect_components,
+            service_config,
+            service_clients,
+        )
     else:
-        if via_service:
-            components, stage = _routed_components_via_service(
-                trace,
-                config,
-                global_model,
-                random_state,
-                collect_components,
-                service_config,
-                service_clients,
-            )
-        else:
-            stage = StagePredictor(
-                trace.instance,
-                global_model=global_model,
-                config=config,
-                random_state=random_state,
-            )
-            components = _routed_components_direct(trace, stage, collect_components)
-        for i, routed in enumerate(components):
-            sp = routed.prediction
-            stage_pred[i] = sp.exec_time
-            stage_source[i] = sp.source
-            if collect_components:
-                if routed.cache_value is not None:
-                    cache_pred[i] = routed.cache_value
-                if routed.local is not None:
-                    lp = routed.local
-                    local_pred[i] = lp.exec_time
-                    local_std[i] = lp.std
-                    uncertain[i] = _is_uncertain(lp)
-            elif sp.source == PredictionSource.CACHE:
-                cache_pred[i] = sp.exec_time
+        stage = StagePredictor(
+            trace.instance,
+            global_model=global_model,
+            config=config,
+            random_state=random_state,
+        )
+        components = _routed_components_direct(trace, stage, collect_components)
 
-    if collect_components and global_model is not None:
-        # The global model is trained offline and frozen during replay, so
-        # its per-query answers can be computed in one batch.
-        from repro.global_model.featurization import record_to_graph
-
-        graphs = [record_to_graph(r.plan, trace.instance) for r in trace]
-        global_pred[:] = global_model.predict_graphs(graphs)
-
-    return InstanceReplay(
-        instance_id=trace.instance.instance_id,
-        true=true,
-        arrival=arrival,
-        kind=kind,
-        stage_pred=stage_pred,
-        stage_source=stage_source,
-        autowlm_pred=autowlm_pred,
-        cache_pred=cache_pred,
-        local_pred=local_pred,
-        local_std=local_std,
-        global_pred=global_pred,
-        uncertain=uncertain,
-        stage_stats={
-            "cache_hit_rate": stage.cache.hit_rate,
-            "cache_hits": stage.cache.hits,
-            "cache_misses": stage.cache.misses,
-            "source_counts": dict(stage.source_counts),
-            "global_use_fraction": stage.global_use_fraction,
-            "n_local_retrains": stage.local.n_retrains,
-            "byte_size": stage.byte_size(),
-        },
+    return assemble_replay(
+        trace,
+        components,
+        stage_stats_of(stage),
+        config=config,
+        global_model=global_model,
+        random_state=random_state,
+        collect_components=collect_components,
     )

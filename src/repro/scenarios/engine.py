@@ -7,7 +7,9 @@ holds the built-in suite plus anything callers
 :func:`register_scenario`; :class:`ScenarioRunner` fans the registered
 matrix over the existing :class:`~repro.harness.parallel.FleetSweeper`
 and can replay every scenario *through* the online
-:class:`~repro.service.PredictionService` (``via_service=True``).
+:class:`~repro.service.PredictionService` (``via_service=True``) or the
+sharded multi-process :class:`~repro.service.FleetGateway`
+(``via_gateway=True``).
 
 Both of the repo's hard contracts extend to every scenario:
 
@@ -30,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.config import ServiceConfig, StageConfig, fast_profile
+from repro.core.config import GatewayConfig, ServiceConfig, StageConfig, fast_profile
 from repro.core.metrics import absolute_errors, q_errors
 from repro.harness.parallel import FleetSweeper
 from repro.harness.replay import InstanceReplay
@@ -161,6 +163,10 @@ class ScenarioSweepConfig:
     via_service: bool = False
     service_config: Optional[ServiceConfig] = None
     service_clients: int = 1
+    #: replay the whole matrix through a sharded multi-process
+    #: FleetGateway (bit-identical for any shard count)
+    via_gateway: bool = False
+    gateway_config: Optional[GatewayConfig] = None
     #: worker processes per scenario sweep; any value is bit-identical
     n_jobs: int = 1
 
@@ -248,6 +254,8 @@ class ScenarioRunner:
             via_service=cfg.via_service,
             service_config=cfg.service_config,
             service_clients=cfg.service_clients,
+            via_gateway=cfg.via_gateway,
+            gateway_config=cfg.gateway_config,
             n_jobs=cfg.n_jobs,
         )
 

@@ -8,25 +8,45 @@ package provides that deployment shape:
   one :class:`~repro.core.stage.StagePredictor`, bit-identical to the
   offline replay for the same op stream;
 - :class:`MicroBatchScheduler` — the sequenced batch scheduler;
-- :class:`ModelRegistry` — persistence for global models and bit-for-bit
-  warm-restart service snapshots;
-- :func:`run_service_bench` — the throughput/latency benchmark behind
-  ``python -m repro.service`` and ``results/service_bench.txt``.
+- :class:`FleetGateway` — the sharded multi-process fleet tier: many
+  per-instance services behind one thread-safe front door, with crash
+  containment, backpressure and whole-fleet warm restart;
+- :class:`ModelRegistry` — persistence for global models, bit-for-bit
+  warm-restart service snapshots and whole-fleet gateway snapshots;
+- :func:`run_service_bench` / :func:`run_gateway_bench` — the
+  throughput/latency benchmarks behind ``python -m repro.service``
+  (``results/service_bench.txt`` and ``results/gateway_bench.txt``).
 """
 
-from repro.core.config import ServiceConfig
+from repro.core.config import GatewayConfig, ServiceConfig
 
-from .bench import ServiceBenchConfig, ServiceBenchResult, run_service_bench
+from .bench import (
+    GatewayBenchConfig,
+    GatewayBenchResult,
+    ServiceBenchConfig,
+    ServiceBenchResult,
+    run_gateway_bench,
+    run_service_bench,
+)
+from .gateway import FleetGateway, GatewayBackpressureError, ShardCrashedError, shard_for
 from .registry import ModelRegistry
 from .scheduler import MicroBatchScheduler
 from .server import PredictionService
 
 __all__ = [
+    "FleetGateway",
+    "GatewayBackpressureError",
+    "GatewayBenchConfig",
+    "GatewayBenchResult",
+    "GatewayConfig",
     "ModelRegistry",
     "MicroBatchScheduler",
     "PredictionService",
     "ServiceBenchConfig",
     "ServiceBenchResult",
     "ServiceConfig",
+    "ShardCrashedError",
+    "run_gateway_bench",
     "run_service_bench",
+    "shard_for",
 ]

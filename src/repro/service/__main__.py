@@ -9,12 +9,20 @@ Modes
     rendered report to ``results/service_bench.txt`` (``--out`` to
     change, ``--no-write`` to print only).
 
-Example
--------
+``bench --gateway``
+    Fleet mode: stand a whole fleet of instances up behind one sharded
+    :class:`~repro.service.FleetGateway` and sweep a shards × clients
+    grid, verifying bit-identical predictions across the grid while
+    measuring throughput.  Writes ``results/gateway_bench.txt``.
+
+Examples
+--------
 ::
 
     PYTHONPATH=src python -m repro.service bench --clients 16 \\
         --batch-size 16 --latency-ms 5
+    PYTHONPATH=src python -m repro.service bench --gateway \\
+        --shards 1 2 4 --gateway-clients 4 16
 """
 
 from __future__ import annotations
@@ -22,7 +30,12 @@ from __future__ import annotations
 import argparse
 import os
 
-from .bench import ServiceBenchConfig, run_service_bench
+from .bench import (
+    GatewayBenchConfig,
+    ServiceBenchConfig,
+    run_gateway_bench,
+    run_service_bench,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -35,12 +48,43 @@ def _build_parser() -> argparse.ArgumentParser:
     defaults = ServiceBenchConfig()
     bench.add_argument("--seed", type=int, default=defaults.seed)
     bench.add_argument("--instance-index", type=int, default=defaults.instance_index)
-    bench.add_argument("--duration-days", type=float, default=defaults.duration_days)
-    bench.add_argument("--volume-scale", type=float, default=defaults.volume_scale)
+    bench.add_argument("--duration-days", type=float, default=None)
+    bench.add_argument("--volume-scale", type=float, default=None)
     bench.add_argument("--clients", type=int, default=defaults.n_clients)
     bench.add_argument("--batch-size", type=int, default=defaults.max_batch_size)
     bench.add_argument("--latency-ms", type=float, default=defaults.max_batch_latency_ms)
-    bench.add_argument("--out", default=os.path.join("results", "service_bench.txt"))
+    gateway_defaults = GatewayBenchConfig()
+    bench.add_argument(
+        "--gateway",
+        action="store_true",
+        help="fleet mode: sweep a FleetGateway over a shards x clients grid",
+    )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=list(gateway_defaults.shard_counts),
+        help="shard counts for the gateway sweep",
+    )
+    bench.add_argument(
+        "--gateway-clients",
+        type=int,
+        nargs="+",
+        default=list(gateway_defaults.client_counts),
+        help="client counts for the gateway sweep",
+    )
+    bench.add_argument(
+        "--instances",
+        type=int,
+        default=gateway_defaults.n_instances,
+        help="fleet size for the gateway sweep",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="report path (defaults to results/service_bench.txt, or "
+        "results/gateway_bench.txt with --gateway)",
+    )
     bench.add_argument(
         "--no-write",
         action="store_true",
@@ -56,23 +100,48 @@ def main(argv=None) -> int:
         # bare ``python -m repro.service`` runs the benchmark defaults
         args = parser.parse_args(["bench"])
     # argparse rejects unknown modes, so only "bench" reaches here
-    config = ServiceBenchConfig(
-        seed=args.seed,
-        instance_index=args.instance_index,
-        duration_days=args.duration_days,
-        volume_scale=args.volume_scale,
-        n_clients=args.clients,
-        max_batch_size=args.batch_size,
-        max_batch_latency_ms=args.latency_ms,
-    )
-    result = run_service_bench(config)
+    if args.gateway:
+        gateway_defaults = GatewayBenchConfig()
+        if args.duration_days is None:
+            args.duration_days = gateway_defaults.duration_days
+        if args.volume_scale is None:
+            args.volume_scale = gateway_defaults.volume_scale
+        config = GatewayBenchConfig(
+            seed=args.seed,
+            n_instances=args.instances,
+            duration_days=args.duration_days,
+            volume_scale=args.volume_scale,
+            shard_counts=tuple(args.shards),
+            client_counts=tuple(args.gateway_clients),
+            max_batch_size=args.batch_size,
+            max_batch_latency_ms=args.latency_ms,
+        )
+        result = run_gateway_bench(config)
+        out = args.out or os.path.join("results", "gateway_bench.txt")
+    else:
+        defaults = ServiceBenchConfig()
+        if args.duration_days is None:
+            args.duration_days = defaults.duration_days
+        if args.volume_scale is None:
+            args.volume_scale = defaults.volume_scale
+        config = ServiceBenchConfig(
+            seed=args.seed,
+            instance_index=args.instance_index,
+            duration_days=args.duration_days,
+            volume_scale=args.volume_scale,
+            n_clients=args.clients,
+            max_batch_size=args.batch_size,
+            max_batch_latency_ms=args.latency_ms,
+        )
+        result = run_service_bench(config)
+        out = args.out or os.path.join("results", "service_bench.txt")
     report = result.render()
     print(report)
     if not args.no_write:
-        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
-        with open(args.out, "w") as f:
+        os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+        with open(out, "w") as f:
             f.write(report + "\n")
-        print(f"\nwrote {args.out}")
+        print(f"\nwrote {out}")
     return 0
 
 

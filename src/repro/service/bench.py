@@ -1,4 +1,4 @@
-"""Serving-layer benchmark: micro-batched vs request-at-a-time.
+"""Serving-layer benchmarks: micro-batching and fleet-gateway scaling.
 
 Drives a :class:`PredictionService` with a generated fleet trace, the
 way the paper's deployment sees traffic: a warmup segment replays
@@ -19,6 +19,13 @@ determinism contract); the report is purely about throughput/latency.
 ``results/service_bench.txt`` is written by ``python -m repro.service``
 and by ``benchmarks/test_service_bench.py``, which asserts the batched
 mode's throughput floor.
+
+:func:`run_gateway_bench` is the fleet-tier sibling: a whole fleet of
+instances behind one :class:`~repro.service.FleetGateway`, swept over a
+shards × clients grid (``python -m repro.service bench --gateway``,
+``results/gateway_bench.txt``).  The gateway determinism contract is
+*verified* while benchmarking: every combination must produce
+bit-identical predictions for the measured traffic.
 """
 
 from __future__ import annotations
@@ -26,12 +33,13 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import (
     CacheConfig,
+    GatewayConfig,
     LocalModelConfig,
     ServiceConfig,
     StageConfig,
@@ -41,9 +49,17 @@ from repro.core.stage import BatchRouter, StagePredictor
 from repro.global_model.model import GlobalModel
 from repro.workload.fleet import FleetConfig, FleetGenerator
 
+from .gateway import FleetGateway
 from .server import PredictionService
 
-__all__ = ["ServiceBenchConfig", "ServiceBenchResult", "run_service_bench"]
+__all__ = [
+    "GatewayBenchConfig",
+    "GatewayBenchResult",
+    "ServiceBenchConfig",
+    "ServiceBenchResult",
+    "run_gateway_bench",
+    "run_service_bench",
+]
 
 
 #: paper-sized local ensemble at a moderate tree budget — the operating
@@ -224,4 +240,197 @@ def run_service_bench(
         cache_hit_fraction=hit_fraction,
         modes=modes,
         speedup=modes["micro-batched"]["qps"] / modes["request-at-a-time"]["qps"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# fleet-gateway benchmark: shards x clients throughput
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class GatewayBenchConfig:
+    """Scale and sweep knobs for one fleet-gateway benchmark run."""
+
+    seed: int = 7
+    n_instances: int = 6
+    duration_days: float = 1.0
+    volume_scale: float = 0.15
+    #: fraction of each instance's trace replayed (with feedback) first
+    warmup_fraction: float = 0.5
+    #: the sweep grid: every (shards, clients) combination is measured
+    shard_counts: tuple = (1, 2, 4)
+    client_counts: tuple = (4, 16)
+    max_batch_size: int = 16
+    max_batch_latency_ms: float = 5.0
+    queue_size: int = 512
+    stage: StageConfig = field(default_factory=lambda: _BENCH_STAGE)
+
+
+@dataclass
+class GatewayBenchResult:
+    """Throughput/latency per (shards, clients) grid point."""
+
+    n_instances: int
+    n_warmup: int
+    n_measured: int
+    rows: List[Dict[str, float]]
+    #: every grid point produced bit-identical measured predictions
+    predictions_identical: bool
+
+    def render(self) -> str:
+        lines = [
+            f"gateway fleet bench: {self.n_instances} instances, "
+            f"{self.n_warmup} warmup + {self.n_measured} measured queries "
+            "(interleaved fleet traffic through one FleetGateway)",
+        ]
+        base_qps = self.rows[0]["qps"] if self.rows else 1.0
+        for row in self.rows:
+            lines.append(
+                f"shards={row['shards']:<2.0f} clients={row['clients']:<3.0f} "
+                f"{row['qps']:8.0f} q/s   "
+                f"p50={row['p50_ms']:7.2f} ms  p95={row['p95_ms']:7.2f} ms  "
+                f"p99={row['p99_ms']:7.2f} ms   "
+                f"{row['qps'] / base_qps:5.2f}x vs first row"
+            )
+        verdict = "bit-identical" if self.predictions_identical else "DIVERGED (bug!)"
+        lines.append(
+            f"measured predictions across all shard/client combinations: {verdict}"
+        )
+        return "\n".join(lines)
+
+
+def _drive_gateway_combo(
+    traces,
+    warmups,
+    measured,
+    n_shards: int,
+    n_clients: int,
+    config: GatewayBenchConfig,
+) -> Tuple[Dict[str, float], List[float]]:
+    """Warm a fresh fleet, then fire the measured stream; returns the
+    grid row plus the predicted exec-times (for the parity check)."""
+    gateway = FleetGateway(
+        GatewayConfig(
+            n_shards=n_shards,
+            queue_size=config.queue_size,
+            service=ServiceConfig(
+                max_batch_size=config.max_batch_size,
+                max_batch_latency_ms=config.max_batch_latency_ms,
+            ),
+        ),
+        stage_config=config.stage,
+        random_state=config.seed,
+    )
+    try:
+        for trace in traces:
+            gateway.register_instance(trace.instance)
+        # warm with feedback: each instance's fused, sequenced op stream
+        for trace, warmup in zip(traces, warmups):
+            instance_id = trace.instance.instance_id
+            for record in warmup:
+                gateway.predict_async(instance_id, record)
+                gateway.observe(instance_id, record)
+        gateway.drain()
+
+        n_clients = max(1, int(n_clients))
+        predictions: List[Optional[float]] = [None] * len(measured)
+        latencies: List[List[float]] = [[] for _ in range(n_clients)]
+        errors: List[Optional[BaseException]] = [None] * n_clients
+        position = {"next": 0}
+        lock = threading.Lock()
+
+        def client(worker_index: int) -> None:
+            lat = latencies[worker_index]
+            try:
+                while True:
+                    with lock:
+                        i = position["next"]
+                        if i >= len(measured):
+                            return
+                        position["next"] = i + 1
+                    instance_id, record = measured[i]
+                    t0 = time.perf_counter()
+                    predictions[i] = gateway.predict(instance_id, record).exec_time
+                    lat.append(time.perf_counter() - t0)
+            except BaseException as exc:
+                errors[worker_index] = exc
+                with lock:  # stop the other clients too
+                    position["next"] = len(measured)
+
+        threads = [
+            threading.Thread(target=client, args=(w,)) for w in range(n_clients)
+        ]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - t0
+        for error in errors:
+            if error is not None:
+                raise error
+        gateway.drain()
+    finally:
+        gateway.close()
+
+    lat_ms = np.array([v for lat in latencies for v in lat]) * 1000.0
+    row = {
+        "shards": float(n_shards),
+        "clients": float(n_clients),
+        "wall_s": wall,
+        "qps": len(measured) / wall,
+        "p50_ms": float(np.percentile(lat_ms, 50)),
+        "p95_ms": float(np.percentile(lat_ms, 95)),
+        "p99_ms": float(np.percentile(lat_ms, 99)),
+    }
+    return row, [float(p) for p in predictions]
+
+
+def run_gateway_bench(config: Optional[GatewayBenchConfig] = None) -> GatewayBenchResult:
+    """Sweep a fleet over the shards × clients grid; see module docs.
+
+    Every grid point rebuilds and re-warms the same fleet from scratch
+    (same seeds, same sequenced warmup streams), so the gateway
+    determinism contract makes the measured predictions bit-identical
+    across the whole grid — asserted, not assumed.
+    """
+    config = config or GatewayBenchConfig()
+    gen = FleetGenerator(FleetConfig(seed=config.seed, volume_scale=config.volume_scale))
+    traces = [
+        gen.generate_trace(gen.sample_instance(index), config.duration_days)
+        for index in range(config.n_instances)
+    ]
+    warmups, measured = [], []
+    for trace in traces:
+        n_warmup = int(len(trace) * config.warmup_fraction)
+        warmups.append([trace[i] for i in range(n_warmup)])
+        measured.extend(
+            (trace.instance.instance_id, trace[i]) for i in range(n_warmup, len(trace))
+        )
+    if not measured:
+        raise ValueError(
+            "gateway bench has no measurement segment — raise duration_days/"
+            "volume_scale or lower warmup_fraction"
+        )
+    # interleave the fleet's measured traffic in global arrival order
+    measured.sort(key=lambda pair: pair[1].arrival_time)
+
+    rows: List[Dict[str, float]] = []
+    reference: Optional[List[float]] = None
+    identical = True
+    for n_shards in config.shard_counts:
+        for n_clients in config.client_counts:
+            row, predictions = _drive_gateway_combo(
+                traces, warmups, measured, n_shards, n_clients, config
+            )
+            rows.append(row)
+            if reference is None:
+                reference = predictions
+            elif predictions != reference:
+                identical = False
+    return GatewayBenchResult(
+        n_instances=config.n_instances,
+        n_warmup=sum(len(w) for w in warmups),
+        n_measured=len(measured),
+        rows=rows,
+        predictions_identical=identical,
     )

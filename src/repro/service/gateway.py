@@ -1,0 +1,803 @@
+"""Fleet gateway: a sharded, multi-process serving tier.
+
+Stage runs *inside* every Redshift instance in a fleet, so the
+production shape of this reproduction is not one
+:class:`~repro.service.PredictionService` but thousands of them behind a
+single front door.  :class:`FleetGateway` is that front door: it shards
+per-instance services across ``n_shards`` OS worker processes (built
+from the same :func:`repro.parallelism.pool_context` every pool in the
+repo uses, so ``REPRO_MP_START_METHOD`` governs it too) and exposes a
+thread-safe client API — ``predict(instance_id, record)`` /
+``observe(instance_id, record)`` returning futures.
+
+Architecture
+------------
+- **Routing.** :func:`shard_for` maps an instance id to its shard — a
+  pure function of ``(instance_id, n_shards)`` built on the workload
+  layer's :func:`~repro.workload.seeding.derive_seed`, so the map is
+  stable across runs, processes and machines (never Python's salted
+  ``hash``).  Each shard process owns one ``PredictionService`` per
+  instance assigned to it; ops travel over a **bounded** per-shard
+  request queue (backpressure: a full queue fails the enqueue with
+  :class:`GatewayBackpressureError` after ``enqueue_timeout_s``).
+- **Determinism contract** (the PR 3/4 contract, lifted to the fleet):
+  results depend only on each instance's sequenced op stream — never on
+  shard count, shard assignment, client threading, queue bounds or
+  batch knobs.  Every instance op carries an explicit per-instance
+  sequence number assigned at the gateway, and the shard-side scheduler
+  executes in sequence order, so ``FleetSweeper`` direct, ``via_service``
+  and ``via_gateway`` replays are bit-identical (arrays *and*
+  cache/counter accounting) for any shard/client count.
+- **Crash containment.** A shard process dying fails exactly that
+  shard's in-flight futures with :class:`ShardCrashedError` (carrying
+  the instance id); other shards keep serving, and :meth:`close` still
+  drains and joins cleanly.
+- **Snapshot/restore.** :meth:`snapshot` quiesces the fleet and writes
+  one :class:`~repro.service.ModelRegistry` fleet snapshot: each shard
+  saves its members' states, the parent writes the fleet-shared global
+  model once plus a single manifest spanning all shards.  Because shard
+  assignment never affects results, :meth:`restore` rebuilds the fleet
+  bit-for-bit under *any* shard count.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from functools import partial
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import GatewayConfig, ServiceConfig, StageConfig
+from repro.global_model.model import GlobalModel
+from repro.parallelism import pool_context
+from repro.workload.instance import InstanceProfile
+from repro.workload.seeding import derive_seed
+
+from .registry import ModelRegistry
+from .scheduler import OBSERVE, PREDICT
+from .server import PredictionService
+
+__all__ = [
+    "FleetGateway",
+    "GatewayBackpressureError",
+    "ShardCrashedError",
+    "shard_for",
+]
+
+
+def shard_for(instance_id: str, n_shards: int) -> int:
+    """The shard owning ``instance_id`` — a pure, stable function.
+
+    Built on :func:`~repro.workload.seeding.derive_seed` (keyed blake2b),
+    so the same ``(instance_id, n_shards)`` maps to the same shard in
+    every process and on every run — a restored fleet re-routes
+    identically, and the routing property tests can rely on it.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return derive_seed("gateway-shard", instance_id) % n_shards
+
+
+class ShardCrashedError(RuntimeError):
+    """A shard worker process died with this op in flight (or routed to
+    it afterwards).  Carries enough context to re-route or report."""
+
+    def __init__(self, shard_index: int, instance_id: Optional[str] = None):
+        self.shard_index = shard_index
+        self.instance_id = instance_id
+        detail = f" (instance {instance_id!r})" if instance_id is not None else ""
+        super().__init__(f"gateway shard {shard_index} crashed{detail}")
+
+
+class GatewayBackpressureError(TimeoutError):
+    """A shard's bounded request queue stayed full past the enqueue
+    timeout — the fleet is over capacity, shed load or add shards."""
+
+    def __init__(self, shard_index: int, timeout_s: float):
+        self.shard_index = shard_index
+        super().__init__(
+            f"gateway shard {shard_index} request queue full for {timeout_s:.1f}s"
+        )
+
+
+# ---------------------------------------------------------------------------
+# shard worker process
+# ---------------------------------------------------------------------------
+#: control op kinds (instance ops reuse the scheduler's PREDICT/OBSERVE)
+_REGISTER = "register"
+_DRAIN = "drain"
+_STATS = "stats"
+_SNAPSHOT = "snapshot"
+_RESTORE = "restore"
+_SLEEP = "sleep"  # fault-injection/backpressure test hook: hold the shard busy
+_SHUTDOWN = "shutdown"
+
+_OK = "ok"
+_ERR = "err"
+
+
+@dataclass(frozen=True)
+class _ShardInit:
+    """Everything a shard worker needs, shipped once at process start
+    (the fleet-shared global model rides here, never per-op)."""
+
+    stage_config: Optional[StageConfig]
+    service_config: ServiceConfig
+    random_state: int
+    global_model: Optional[GlobalModel]
+
+
+def _relay_response(response_q, op_id: int, future: Future) -> None:
+    """Done-callback bridging a service future back to the parent."""
+    exc = future.exception()
+    if exc is not None:
+        response_q.put((op_id, _ERR, exc))
+    else:
+        response_q.put((op_id, _OK, future.result()))
+
+
+def _shard_main(shard_index: int, request_q, response_q, init: _ShardInit) -> None:
+    """One shard worker: owns its instances' services, applies ops.
+
+    Instance ops (predict/observe) are submitted to the owning service's
+    sequenced scheduler and answered asynchronously via done-callbacks,
+    so the shard loop never blocks behind a micro-batch; control ops are
+    answered synchronously in queue order.
+    """
+    services: Dict[str, PredictionService] = {}
+    while True:
+        try:
+            op_id, kind, payload = request_q.get()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        try:
+            if kind in (PREDICT, OBSERVE):
+                instance_id, record, seq = payload
+                service = services[instance_id]
+                future = service.scheduler.submit(kind, record, seq=seq)
+                future.add_done_callback(partial(_relay_response, response_q, op_id))
+                continue
+            if kind == _REGISTER:
+                (instance,) = payload
+                if instance.instance_id in services:
+                    raise ValueError(f"instance {instance.instance_id!r} already registered")
+                services[instance.instance_id] = PredictionService(
+                    instance,
+                    global_model=init.global_model,
+                    stage_config=init.stage_config,
+                    service_config=init.service_config,
+                    random_state=init.random_state,
+                )
+                result = instance.instance_id
+            elif kind == _DRAIN:
+                for service in services.values():
+                    service.drain()
+                result = len(services)
+            elif kind == _STATS:
+                result = {iid: service.stats() for iid, service in services.items()}
+            elif kind == _SNAPSHOT:
+                registry_root, name = payload
+                registry = ModelRegistry(registry_root)
+                result = []
+                for instance_id in sorted(services):
+                    service = services[instance_id]
+                    service.drain()
+                    with service.scheduler.paused():
+                        registry.save_fleet_member(service.stage, name)
+                    result.append(instance_id)
+            elif kind == _RESTORE:
+                registry_root, name, instance_ids = payload
+                registry = ModelRegistry(registry_root)
+                for instance_id in instance_ids:
+                    if instance_id in services:
+                        raise ValueError(f"instance {instance_id!r} already registered")
+                    stage = registry.load_fleet_member(
+                        name, instance_id, global_model=init.global_model
+                    )
+                    services[instance_id] = PredictionService.from_stage(
+                        stage, service_config=init.service_config
+                    )
+                result = list(instance_ids)
+            elif kind == _SLEEP:
+                (seconds,) = payload
+                time.sleep(seconds)
+                result = None
+            elif kind == _SHUTDOWN:
+                for service in services.values():
+                    service.close()
+                response_q.put((op_id, _OK, None))
+                return
+            else:
+                raise ValueError(f"unknown gateway op kind {kind!r}")
+        except Exception as exc:  # surface to the caller, keep the shard alive
+            response_q.put((op_id, _ERR, exc))
+        else:
+            response_q.put((op_id, _OK, result))
+
+
+# ---------------------------------------------------------------------------
+# parent-side shard handle
+# ---------------------------------------------------------------------------
+class _Shard:
+    """Parent-side state for one shard worker process."""
+
+    __slots__ = (
+        "index",
+        "process",
+        "request_q",
+        "response_q",
+        "listener",
+        "pending",
+        "pending_lock",
+        "submit_lock",
+        "crashed",
+        "shutdown_op_id",
+        "shutdown_acked",
+    )
+
+    def __init__(self, index: int, process, request_q, response_q):
+        self.index = index
+        self.process = process
+        self.request_q = request_q
+        self.response_q = response_q
+        self.listener: Optional[threading.Thread] = None
+        #: op id -> (future, instance id or None) awaiting a response
+        self.pending: Dict[int, Tuple[Future, Optional[str]]] = {}
+        self.pending_lock = threading.Lock()
+        #: serializes sequence-number assignment with the enqueue itself,
+        #: so a backpressure failure can roll the counter back safely
+        self.submit_lock = threading.Lock()
+        self.crashed = False
+        self.shutdown_op_id: Optional[int] = None
+        self.shutdown_acked = False
+
+
+# ---------------------------------------------------------------------------
+# the gateway
+# ---------------------------------------------------------------------------
+class FleetGateway:
+    """Sharded multi-process serving tier over per-instance services.
+
+    Parameters
+    ----------
+    config:
+        Shard/queue knobs (:class:`~repro.core.config.GatewayConfig`);
+        its ``service`` field carries the per-instance micro-batching
+        knobs.  All capacity dials — never affect a prediction bit.
+    stage_config / random_state:
+        Forwarded to every instance's :class:`StagePredictor`.
+    global_model:
+        The fleet-shared model, shipped to each shard **once** at
+        process start (the pool-initializer idiom), or ``None``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GatewayConfig] = None,
+        stage_config: Optional[StageConfig] = None,
+        global_model: Optional[GlobalModel] = None,
+        random_state: int = 0,
+    ):
+        self.config = config or GatewayConfig()
+        if self.config.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.config.queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.stage_config = stage_config
+        self.global_model = global_model
+        self.random_state = random_state
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
+        self._op_ids = itertools.count()
+        self._op_id_lock = threading.Lock()
+        #: instance id -> shard index (registration map)
+        self._instances: Dict[str, int] = {}
+        #: instance id -> next unclaimed per-instance sequence number
+        self._instance_seq: Dict[str, int] = {}
+        self._registry_lock = threading.Lock()
+
+        ctx = pool_context()
+        init = _ShardInit(
+            stage_config=stage_config,
+            service_config=self.config.service,
+            random_state=random_state,
+            global_model=global_model,
+        )
+        self._shards: List[_Shard] = []
+        for index in range(self.config.n_shards):
+            request_q = ctx.Queue(maxsize=self.config.queue_size)
+            response_q = ctx.Queue()
+            process = ctx.Process(
+                target=_shard_main,
+                args=(index, request_q, response_q, init),
+                name=f"fleet-gateway-shard-{index}",
+                daemon=True,
+            )
+            shard = _Shard(index, process, request_q, response_q)
+            self._shards.append(shard)
+        # start everything only after construction can no longer fail
+        for shard in self._shards:
+            shard.process.start()
+            shard.listener = threading.Thread(
+                target=self._listen,
+                args=(shard,),
+                name=f"fleet-gateway-listener-{shard.index}",
+                daemon=True,
+            )
+            shard.listener.start()
+
+    # ------------------------------------------------------------------
+    # response listeners (one thread per shard)
+    # ------------------------------------------------------------------
+    def _listen(self, shard: _Shard) -> None:
+        while True:
+            try:
+                op_id, status, value = shard.response_q.get(timeout=0.2)
+            except queue.Empty:
+                if not shard.process.is_alive():
+                    # late responses may still sit in the pipe buffer
+                    self._drain_responses_nowait(shard)
+                    if not shard.shutdown_acked:
+                        self._mark_crashed(shard)
+                    return
+                continue
+            except (EOFError, OSError):
+                self._mark_crashed(shard)
+                return
+            self._dispatch_response(shard, op_id, status, value)
+            if shard.shutdown_acked:
+                return
+
+    def _drain_responses_nowait(self, shard: _Shard) -> None:
+        while True:
+            try:
+                op_id, status, value = shard.response_q.get_nowait()
+            except (queue.Empty, EOFError, OSError):
+                return
+            self._dispatch_response(shard, op_id, status, value)
+
+    def _dispatch_response(self, shard: _Shard, op_id: int, status: str, value) -> None:
+        with shard.pending_lock:
+            entry = shard.pending.pop(op_id, None)
+        if op_id == shard.shutdown_op_id:
+            shard.shutdown_acked = True
+        if entry is None:
+            return
+        future, _ = entry
+        if status == _OK:
+            future.set_result(value)
+        else:
+            future.set_exception(value)
+
+    def _mark_crashed(self, shard: _Shard) -> None:
+        """Fail everything in flight on a dead shard; contain the blast."""
+        shard.crashed = True
+        with shard.pending_lock:
+            pending, shard.pending = shard.pending, {}
+        for future, instance_id in pending.values():
+            if not future.done():
+                future.set_exception(ShardCrashedError(shard.index, instance_id))
+
+    # ------------------------------------------------------------------
+    # submission plumbing
+    # ------------------------------------------------------------------
+    def _next_op_id(self) -> int:
+        with self._op_id_lock:
+            return next(self._op_ids)
+
+    def _register_pending(self, shard: _Shard, instance_id: Optional[str]) -> Tuple[int, Future]:
+        op_id = self._next_op_id()
+        future: Future = Future()
+        with shard.pending_lock:
+            shard.pending[op_id] = (future, instance_id)
+        return op_id, future
+
+    def _pop_pending(self, shard: _Shard, op_id: int):
+        with shard.pending_lock:
+            return shard.pending.pop(op_id, None)
+
+    def _check_open(self, shard: _Shard, instance_id: Optional[str]) -> None:
+        if self._closed:
+            raise RuntimeError("gateway is closed")
+        if shard.crashed:
+            raise ShardCrashedError(shard.index, instance_id)
+
+    def _enqueue(self, shard: _Shard, op_id: int, message: tuple) -> None:
+        try:
+            shard.request_q.put(message, timeout=self.config.enqueue_timeout_s)
+        except queue.Full:
+            self._pop_pending(shard, op_id)
+            raise GatewayBackpressureError(shard.index, self.config.enqueue_timeout_s) from None
+
+    def _submit_control(self, shard: _Shard, kind: str, payload: tuple = ()) -> Future:
+        self._check_open(shard, None)
+        op_id, future = self._register_pending(shard, None)
+        self._enqueue(shard, op_id, (op_id, kind, payload))
+        if shard.crashed:  # raced the listener's failure sweep
+            if self._pop_pending(shard, op_id) is not None:
+                raise ShardCrashedError(shard.index)
+        return future
+
+    def _submit_instance_op(
+        self, kind: str, instance_id: str, record, seq: Optional[int]
+    ) -> Future:
+        shard = self._shard_of(instance_id)
+        self._check_open(shard, instance_id)
+        op_id, future = self._register_pending(shard, instance_id)
+        if seq is None:
+            # live mode: claim the instance's next slot.  Assignment and
+            # enqueue share the shard's submit lock so a backpressure
+            # failure can roll the counter back without leaving a gap
+            # for the ops behind it to stall on.
+            with shard.submit_lock:
+                seq = self._instance_seq[instance_id]
+                self._instance_seq[instance_id] = seq + 1
+                try:
+                    self._enqueue(shard, op_id, (op_id, kind, (instance_id, record, seq)))
+                except GatewayBackpressureError:
+                    self._instance_seq[instance_id] = seq
+                    raise
+        else:
+            # replay mode: the caller reserved its range upfront
+            self._enqueue(shard, op_id, (op_id, kind, (instance_id, record, seq)))
+        if shard.crashed:  # raced the listener's failure sweep
+            if self._pop_pending(shard, op_id) is not None:
+                raise ShardCrashedError(shard.index, instance_id)
+        return future
+
+    def _shard_of(self, instance_id: str) -> _Shard:
+        try:
+            index = self._instances[instance_id]
+        except KeyError:
+            raise KeyError(
+                f"instance {instance_id!r} is not registered with this gateway"
+            ) from None
+        return self._shards[index]
+
+    def _live_shards(self) -> List[_Shard]:
+        return [shard for shard in self._shards if not shard.crashed]
+
+    def _reserve_sequence(self, instance_id: str, count: int) -> int:
+        shard = self._shard_of(instance_id)
+        with shard.submit_lock:
+            base = self._instance_seq[instance_id]
+            self._instance_seq[instance_id] = base + count
+        return base
+
+    # ------------------------------------------------------------------
+    # fleet management
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.config.n_shards
+
+    @property
+    def instance_ids(self) -> Tuple[str, ...]:
+        with self._registry_lock:
+            return tuple(sorted(self._instances))
+
+    def register_instance(
+        self, instance: InstanceProfile, timeout: Optional[float] = None
+    ) -> int:
+        """Create ``instance``'s service on its shard; returns the shard
+        index.  Every instance must be registered before its first op."""
+        instance_id = instance.instance_id
+        if self._closed:
+            raise RuntimeError("gateway is closed")
+        with self._registry_lock:
+            if instance_id in self._instances:
+                raise ValueError(f"instance {instance_id!r} already registered")
+        shard = self._shards[shard_for(instance_id, self.n_shards)]
+        future = self._submit_control(shard, _REGISTER, (instance,))
+        future.result(timeout if timeout is not None else self.config.drain_timeout_s)
+        with self._registry_lock:
+            self._instances[instance_id] = shard.index
+            self._instance_seq.setdefault(instance_id, 0)
+        return shard.index
+
+    # ------------------------------------------------------------------
+    # the online protocol
+    # ------------------------------------------------------------------
+    def predict_async(self, instance_id: str, record, seq: Optional[int] = None) -> Future:
+        """Submit one prediction for ``instance_id``; resolves to its
+        :class:`~repro.core.stage.RoutedComponents`."""
+        return self._submit_instance_op(PREDICT, instance_id, record, seq)
+
+    def predict(
+        self,
+        instance_id: str,
+        record,
+        seq: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Blocking :meth:`predict_async`; returns the routed prediction."""
+        if timeout is None:
+            timeout = self.config.drain_timeout_s
+        return self.predict_async(instance_id, record, seq=seq).result(timeout).prediction
+
+    def observe(self, instance_id: str, record, seq: Optional[int] = None) -> Future:
+        """Feed back one executed query to its instance's service."""
+        return self._submit_instance_op(OBSERVE, instance_id, record, seq)
+
+    # ------------------------------------------------------------------
+    # replay hook (harness / scenario engine)
+    # ------------------------------------------------------------------
+    def replay_components(self, trace, n_clients: int = 1, timeout: Optional[float] = None):
+        """Replay one instance's fused predict/observe stream, concurrently.
+
+        The gateway analogue of
+        :meth:`PredictionService.replay_components`: ``n_clients``
+        threads submit with explicit per-instance sequence numbers
+        reserved up front, so any client interleaving — and any shard
+        count — reproduces the direct replay bit-for-bit.  Returns the
+        per-query components in trace order.
+        """
+        import threading as _threading
+
+        if timeout is None:
+            timeout = self.config.drain_timeout_s
+        instance_id = trace.instance.instance_id
+        if self._closed:
+            raise RuntimeError("gateway is closed")
+        base = self._reserve_sequence(instance_id, 2 * len(trace))
+        futures: List[Optional[Future]] = [None] * len(trace)
+        observe_futures: List[Optional[Future]] = [None] * len(trace)
+        n_clients = max(1, int(n_clients))
+        errors: List[Optional[BaseException]] = [None] * n_clients
+        abort = _threading.Event()
+
+        def client(worker_index: int) -> None:
+            try:
+                for i in range(worker_index, len(trace), n_clients):
+                    if abort.is_set():
+                        return
+                    record = trace[i]
+                    futures[i] = self.predict_async(instance_id, record, seq=base + 2 * i)
+                    observe_futures[i] = self.observe(instance_id, record, seq=base + 2 * i + 1)
+            except BaseException as exc:
+                errors[worker_index] = exc
+                abort.set()  # siblings stop instead of waiting out timeouts
+
+        threads = [
+            _threading.Thread(target=client, args=(w,)) for w in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for error in errors:
+            if error is not None:
+                # the reserved sequence slots that were never submitted
+                # leave a gap the shard scheduler will wait behind, so
+                # this instance cannot serve again — close() (which
+                # fails gap-stranded ops explicitly) is the only exit
+                raise RuntimeError(
+                    f"replay submission failed; instance {instance_id!r}'s "
+                    "sequence stream now has a gap — close the gateway"
+                ) from error
+        components = [future.result(timeout=timeout) for future in futures]
+        for future in observe_futures:
+            future.result(timeout=timeout)
+        return components
+
+    # ------------------------------------------------------------------
+    # fleet-wide barriers and accounting
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every live shard has applied its queued ops."""
+        if self._closed:
+            raise RuntimeError("gateway is closed")
+        if timeout is None:
+            timeout = self.config.drain_timeout_s
+        futures = [self._submit_control(shard, _DRAIN) for shard in self._live_shards()]
+        for future in futures:
+            future.result(timeout)
+
+    def stats(self) -> dict:
+        """Aggregated fleet metrics plus per-shard and per-instance views.
+
+        Per-instance ``stage`` sub-dicts match the replay harness's
+        ``stage_stats`` key-for-key (the parity suites compare them
+        directly); the ``fleet`` roll-up sums them across shards.
+        """
+        shard_futures = [
+            (shard, self._submit_control(shard, _STATS)) for shard in self._live_shards()
+        ]
+        instances: Dict[str, dict] = {}
+        shards = []
+        for shard, future in shard_futures:
+            per_instance = future.result(self.config.drain_timeout_s)
+            instances.update(per_instance)
+            shards.append(
+                {
+                    "shard": shard.index,
+                    "alive": shard.process.is_alive(),
+                    "n_instances": len(per_instance),
+                }
+            )
+        for shard in self._shards:
+            if shard.crashed:
+                shards.append({"shard": shard.index, "alive": False, "n_instances": 0})
+        shards.sort(key=lambda row: row["shard"])
+        fleet = {
+            "n_predicts": 0,
+            "n_observes": 0,
+            "n_immediate": 0,
+            "n_deferred": 0,
+            "n_batches": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "n_local_retrains": 0,
+            "byte_size": 0,
+        }
+        for stats in instances.values():
+            scheduler, stage = stats["scheduler"], stats["stage"]
+            for key in ("n_predicts", "n_observes", "n_immediate", "n_deferred", "n_batches"):
+                fleet[key] += scheduler[key]
+            fleet["cache_hits"] += stage["cache_hits"]
+            fleet["cache_misses"] += stage["cache_misses"]
+            fleet["n_local_retrains"] += stage["n_local_retrains"]
+            fleet["byte_size"] += stage["byte_size"]
+        lookups = fleet["cache_hits"] + fleet["cache_misses"]
+        fleet["cache_hit_rate"] = fleet["cache_hits"] / lookups if lookups else 0.0
+        return {
+            "n_shards": self.n_shards,
+            "n_instances": len(instances),
+            "fleet": fleet,
+            "shards": shards,
+            "instances": instances,
+        }
+
+    # ------------------------------------------------------------------
+    # persistence (whole-fleet warm restart)
+    # ------------------------------------------------------------------
+    def snapshot(self, registry: ModelRegistry, name: str) -> str:
+        """Drain, then persist the whole fleet under ``name``.
+
+        Each shard saves the member states it owns; the parent writes
+        the fleet-shared global model once and the single manifest
+        spanning all shards.  A crashed shard makes the snapshot fail
+        explicitly (its members' states cannot be captured).
+        """
+        stranded = sorted(
+            instance_id
+            for instance_id, index in self._instances.items()
+            if self._shards[index].crashed
+        )
+        if stranded:
+            # fail before any member write: a partial save under an
+            # existing name would mix snapshot epochs on disk
+            raise RuntimeError(
+                f"cannot snapshot fleet {name!r}: instances {stranded} "
+                "live on crashed shards (their state is unrecoverable)"
+            )
+        self.drain()
+        futures = [
+            self._submit_control(shard, _SNAPSHOT, (registry.root, name))
+            for shard in self._live_shards()
+        ]
+        saved: List[str] = []
+        for future in futures:
+            saved.extend(future.result(self.config.drain_timeout_s))
+        missing = sorted(set(self._instances) - set(saved))
+        if missing:
+            # the manifest is what makes a snapshot restorable — never
+            # write it over stale member state from an earlier snapshot
+            raise RuntimeError(f"fleet snapshot {name!r} missed instances {missing}")
+        registry.save_fleet_manifest(
+            name, sorted(self._instances), self.n_shards, global_model=self.global_model
+        )
+        return registry.fleet_snapshot_path(name)
+
+    @classmethod
+    def restore(
+        cls,
+        registry: ModelRegistry,
+        name: str,
+        config: Optional[GatewayConfig] = None,
+        stage_config: Optional[StageConfig] = None,
+        random_state: int = 0,
+    ) -> "FleetGateway":
+        """Rebuild a fleet from a snapshot — under any shard count.
+
+        The manifest's recorded shard count is provenance only; the new
+        gateway re-routes every instance with :func:`shard_for` under its
+        own ``config.n_shards`` and each shard loads the member states it
+        now owns.  Warm restart is bit-for-bit, retrains included.
+        """
+        manifest = registry.load_fleet_manifest(name)
+        global_model = registry.load_fleet_global(name) if manifest["has_global_model"] else None
+        gateway = cls(
+            config,
+            stage_config=stage_config,
+            global_model=global_model,
+            random_state=random_state,
+        )
+        try:
+            by_shard: Dict[int, List[str]] = {}
+            for instance_id in manifest["instances"]:
+                by_shard.setdefault(shard_for(instance_id, gateway.n_shards), []).append(
+                    instance_id
+                )
+            futures = [
+                (
+                    index,
+                    ids,
+                    gateway._submit_control(
+                        gateway._shards[index], _RESTORE, (registry.root, name, ids)
+                    ),
+                )
+                for index, ids in sorted(by_shard.items())
+            ]
+            for index, ids, future in futures:
+                future.result(gateway.config.drain_timeout_s)
+                with gateway._registry_lock:
+                    for instance_id in ids:
+                        gateway._instances[instance_id] = index
+                        gateway._instance_seq[instance_id] = 0
+        except BaseException:
+            gateway.close()
+            raise
+        return gateway
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Shut the fleet down: drain live shards, join every process.
+
+        Safe after crashes (dead shards are terminated and their pending
+        futures have already failed) and idempotent.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if timeout is None:
+            timeout = self.config.drain_timeout_s
+        deadline = time.monotonic() + timeout
+        for shard in self._shards:
+            if shard.crashed:
+                continue
+            op_id, _ = self._register_pending(shard, None)
+            shard.shutdown_op_id = op_id
+            try:
+                shard.request_q.put((op_id, _SHUTDOWN, ()), timeout=1.0)
+            except queue.Full:
+                # wedged shard: give up on a clean drain, terminate below
+                self._pop_pending(shard, op_id)
+        for shard in self._shards:
+            remaining = max(deadline - time.monotonic(), 0.1)
+            if shard.listener is not None:
+                shard.listener.join(remaining)
+            shard.process.join(max(deadline - time.monotonic(), 0.1))
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(5.0)
+            self._mark_crashed(shard)  # fail anything still pending
+            # never let queue feeder threads hold interpreter shutdown
+            for q in (shard.request_q, shard.response_q):
+                q.close()
+                q.cancel_join_thread()
+
+    def __enter__(self) -> "FleetGateway":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # fault-injection instrumentation (tests only)
+    # ------------------------------------------------------------------
+    def _stall(self, shard_index: int, seconds: float) -> Future:
+        """Hold one shard's loop busy for ``seconds`` — the hook the
+        fault/backpressure suites use to fill queues deterministically."""
+        return self._submit_control(self._shards[shard_index], _SLEEP, (float(seconds),))

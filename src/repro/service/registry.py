@@ -8,7 +8,13 @@ A :class:`ModelRegistry` is a directory holding two kinds of artifacts:
 - **service snapshots** — one directory per named snapshot, pairing that
   ``.npz`` with a pickle of the per-instance state (exec-time cache
   contents and counters, local ensemble + training pool, running-median
-  default, routing counters, configs).
+  default, routing counters, configs);
+- **fleet snapshots** — one directory per named
+  :class:`~repro.service.FleetGateway` snapshot: a single manifest
+  spanning every shard (``fleet.json``), the fleet-shared global model
+  stored **once**, and one per-instance member state each shard wrote
+  for the instances it owns.  Because shard assignment never affects
+  results, a fleet snapshot can be restored under any shard count.
 
 The snapshot contract is *bit-for-bit warm restart*: a service restored
 from a snapshot produces exactly the predictions the snapshotted service
@@ -24,7 +30,7 @@ from __future__ import annotations
 import json
 import os
 import pickle
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.core.config import ServiceConfig
 from repro.core.stage import StagePredictor
@@ -34,9 +40,12 @@ from repro.global_model.serialization import load_global_model, save_global_mode
 __all__ = ["ModelRegistry"]
 
 _SNAPSHOT_FORMAT_VERSION = 1
+_FLEET_FORMAT_VERSION = 1
 _STATE_FILE = "state.pkl"
 _GLOBAL_FILE = "global.npz"
 _MANIFEST_FILE = "manifest.json"
+_FLEET_MANIFEST_FILE = "fleet.json"
+_FLEET_INSTANCES_DIR = "instances"
 
 
 class ModelRegistry:
@@ -46,6 +55,7 @@ class ModelRegistry:
         self.root = root
         os.makedirs(self._global_dir, exist_ok=True)
         os.makedirs(self._service_dir, exist_ok=True)
+        os.makedirs(self._fleet_dir, exist_ok=True)
 
     @property
     def _global_dir(self) -> str:
@@ -54,6 +64,10 @@ class ModelRegistry:
     @property
     def _service_dir(self) -> str:
         return os.path.join(self.root, "services")
+
+    @property
+    def _fleet_dir(self) -> str:
+        return os.path.join(self.root, "fleets")
 
     # ------------------------------------------------------------------
     # fleet-shared global models
@@ -161,3 +175,104 @@ class ModelRegistry:
 
         stage, saved_config = self.load_service_state(name)
         return PredictionService.from_stage(stage, service_config=service_config or saved_config)
+
+    # ------------------------------------------------------------------
+    # whole-fleet gateway snapshots
+    # ------------------------------------------------------------------
+    def fleet_snapshot_path(self, name: str) -> str:
+        return os.path.join(self._fleet_dir, name)
+
+    def fleet_member_path(self, name: str, instance_id: str) -> str:
+        return os.path.join(self.fleet_snapshot_path(name), _FLEET_INSTANCES_DIR, instance_id)
+
+    def list_fleet_snapshots(self) -> List[str]:
+        return sorted(
+            d
+            for d in os.listdir(self._fleet_dir)
+            if os.path.isdir(os.path.join(self._fleet_dir, d))
+        )
+
+    def save_fleet_member(self, stage: StagePredictor, name: str) -> str:
+        """Snapshot one quiesced per-instance predictor into fleet ``name``.
+
+        Called from *inside* each shard worker process for the instances
+        it owns.  The fleet-shared global model is always detached first
+        — it is written exactly once, by :meth:`save_fleet_manifest`'s
+        caller — so a thousand-instance fleet never stores a thousand
+        copies of the same ``.npz``.
+        """
+        path = self.fleet_member_path(name, stage.instance.instance_id)
+        os.makedirs(path, exist_ok=True)
+        global_model, stage.global_model = stage.global_model, None
+        try:
+            with open(os.path.join(path, _STATE_FILE), "wb") as f:
+                pickle.dump({"format_version": _FLEET_FORMAT_VERSION, "stage": stage}, f)
+        finally:
+            stage.global_model = global_model
+        return path
+
+    def load_fleet_member(
+        self,
+        name: str,
+        instance_id: str,
+        global_model: Optional[GlobalModel] = None,
+    ) -> StagePredictor:
+        """Load one member predictor, re-attaching the shared model."""
+        path = self.fleet_member_path(name, instance_id)
+        with open(os.path.join(path, _STATE_FILE), "rb") as f:
+            payload = pickle.load(f)
+        version = payload.get("format_version")
+        if version != _FLEET_FORMAT_VERSION:
+            raise ValueError(f"unsupported fleet snapshot version {version}")
+        stage: StagePredictor = payload["stage"]
+        stage.global_model = global_model
+        return stage
+
+    def save_fleet_manifest(
+        self,
+        name: str,
+        instance_ids: Sequence[str],
+        n_shards: int,
+        global_model: Optional[GlobalModel] = None,
+    ) -> str:
+        """Write the one manifest spanning every shard (plus the shared
+        model, once).  ``n_shards`` is recorded as provenance only — the
+        determinism contract lets a snapshot restore under any shard
+        count — and the member states must already be on disk (the
+        gateway sequences per-shard member saves before this call).
+        """
+        path = self.fleet_snapshot_path(name)
+        os.makedirs(path, exist_ok=True)
+        if global_model is not None:
+            save_global_model(global_model, os.path.join(path, _GLOBAL_FILE))
+        missing = [
+            instance_id
+            for instance_id in instance_ids
+            if not os.path.exists(
+                os.path.join(self.fleet_member_path(name, instance_id), _STATE_FILE)
+            )
+        ]
+        if missing:
+            raise ValueError(f"fleet snapshot {name!r} is missing member state for {missing}")
+        manifest = {
+            "format_version": _FLEET_FORMAT_VERSION,
+            "n_shards": int(n_shards),
+            "has_global_model": global_model is not None,
+            "instances": sorted(instance_ids),
+        }
+        with open(os.path.join(path, _FLEET_MANIFEST_FILE), "w") as f:
+            json.dump(manifest, f, indent=2, sort_keys=True)
+            f.write("\n")
+        return path
+
+    def load_fleet_manifest(self, name: str) -> dict:
+        path = os.path.join(self.fleet_snapshot_path(name), _FLEET_MANIFEST_FILE)
+        with open(path) as f:
+            manifest = json.load(f)
+        version = manifest.get("format_version")
+        if version != _FLEET_FORMAT_VERSION:
+            raise ValueError(f"unsupported fleet snapshot version {version}")
+        return manifest
+
+    def load_fleet_global(self, name: str) -> GlobalModel:
+        return load_global_model(os.path.join(self.fleet_snapshot_path(name), _GLOBAL_FILE))

@@ -82,14 +82,43 @@ class MicroBatchScheduler:
             "n_batches": 0,
             "max_batch_size": 0,
         }
-        self._worker = threading.Thread(
-            target=self._run, name="prediction-service-worker", daemon=True
-        )
-        self._worker.start()
+        #: lazily started on the first submit: a scheduler that never
+        #: sees an op never owns a thread, and its cold lifecycle paths
+        #: (drain/close/snapshot on a never-started service) stay trivial
+        self._worker: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------
     # client side
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def _ensure_worker(self) -> None:
+        """Start the worker thread on first use (locked)."""
+        if self._worker is None:
+            self._worker = threading.Thread(
+                target=self._run, name="prediction-service-worker", daemon=True
+            )
+            self._worker.start()
+
+    def _raise_if_undrainable(self) -> None:
+        """Turn a would-be hang into an explicit error (locked).
+
+        Queued ops can only ever be applied by a live worker thread; if
+        it is gone (or was never started, which ``submit`` prevents but a
+        crashed thread cannot), waiting on them would stall until the
+        drain timeout for no reason.
+        """
+        if not self._ops:
+            return
+        if self._worker is None or not self._worker.is_alive():
+            raise RuntimeError(
+                f"scheduler worker is not running; {len(self._ops)} "
+                "queued op(s) can never drain"
+            )
+
     def submit(self, kind: str, record, seq: Optional[int] = None) -> Future:
         """Enqueue one op; returns its future.
 
@@ -105,6 +134,7 @@ class MicroBatchScheduler:
         with self._cv:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
+            self._ensure_worker()
             if seq is None:
                 seq = self._next_submit_seq
             elif seq < self._next_exec_seq or seq in self._ops:
@@ -122,11 +152,19 @@ class MicroBatchScheduler:
             return self._next_submit_seq
 
     def drain(self, timeout: Optional[float] = None) -> None:
-        """Block until every submitted op is applied and flushed."""
+        """Block until every submitted op is applied and flushed.
+
+        A never-started scheduler drains immediately (there is nothing
+        to wait for); queued ops with no live worker raise an explicit
+        :class:`RuntimeError` instead of stalling out the timeout.
+        """
         if timeout is None:
             timeout = self.config.drain_timeout_s
         with self._cv:
+            self._raise_if_undrainable()
             drained = self._cv.wait_for(lambda: not self._ops and not self._busy, timeout=timeout)
+            if not drained:
+                self._raise_if_undrainable()
         if not drained:
             raise TimeoutError("scheduler did not drain in time")
 
@@ -150,15 +188,21 @@ class MicroBatchScheduler:
                 self._cv.notify_all()
 
     def close(self, timeout: Optional[float] = None) -> None:
-        """Stop the worker after the queued (gap-free) ops are applied."""
+        """Stop the worker after the queued (gap-free) ops are applied.
+
+        Idempotent: a second (or later) close is a no-op, and closing a
+        never-started scheduler only marks it closed.
+        """
         if timeout is None:
             timeout = self.config.drain_timeout_s
         with self._cv:
             if self._closed:
                 return
             self._closed = True
+            worker = self._worker
             self._cv.notify_all()
-        self._worker.join(timeout)
+        if worker is not None:
+            worker.join(timeout)
         # ops stranded behind a sequence gap can never run
         with self._cv:
             stranded, self._ops = self._ops, {}
@@ -227,11 +271,21 @@ class MicroBatchScheduler:
             except Exception as exc:
                 op.future.set_exception(exc)
                 continue
-            if slot.ready:
+            if slot.ready and not (
+                self.router.collect_cache_hit_local
+                and slot.components.local_ready
+                and slot.components.local is None
+            ):
                 # cache hit or cold-start route: answer immediately
                 stats["n_immediate"] += 1
                 op.future.set_result(slot.components)
             else:
+                # Not ready, or a cache hit whose collected local answer
+                # the router will fill in (by mutation) at the flush:
+                # resolving early would hand callers — and the gateway's
+                # pickling response path — an incomplete components
+                # object.  Component collection is a replay/diagnostic
+                # mode, so the added latency is irrelevant.
                 stats["n_deferred"] += 1
                 pending.append((slot, op.future))
                 if len(pending) >= cfg.max_batch_size:

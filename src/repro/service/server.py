@@ -148,6 +148,11 @@ class PredictionService:
 
         if timeout is None:
             timeout = self.config.drain_timeout_s
+        if self.scheduler.closed:
+            # without this guard the client threads all die on submit and
+            # the failure surfaces as a generic scheduler error; say what
+            # the caller actually did wrong
+            raise RuntimeError("cannot replay through a closed service")
         base = self.scheduler.next_submit_seq
         futures = [None] * len(trace)
         observe_futures = [None] * len(trace)
@@ -181,6 +186,11 @@ class PredictionService:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (new ops are rejected)."""
+        return self.scheduler.closed
+
     def drain(self, timeout: Optional[float] = None) -> None:
         """Block until every submitted op is applied and flushed."""
         self.scheduler.drain(timeout)
@@ -222,20 +232,14 @@ class PredictionService:
     def stats(self) -> dict:
         """Routing/cache accounting plus scheduler batching counters.
 
-        The ``stage`` sub-dict matches the ``stage_stats`` the replay
-        harness reports, so serving and replay accounting line up
-        key-for-key.
+        The ``stage`` sub-dict *is* the ``stage_stats`` the replay
+        harness reports (one shared definition), so serving and replay
+        accounting line up key-for-key.
         """
-        stage = self.stage
+        # lazy: repro.harness imports repro.service for its serving modes
+        from repro.harness.replay import stage_stats_of
+
         return {
-            "stage": {
-                "cache_hit_rate": stage.cache.hit_rate,
-                "cache_hits": stage.cache.hits,
-                "cache_misses": stage.cache.misses,
-                "source_counts": dict(stage.source_counts),
-                "global_use_fraction": stage.global_use_fraction,
-                "n_local_retrains": stage.local.n_retrains,
-                "byte_size": stage.byte_size(),
-            },
+            "stage": stage_stats_of(self.stage),
             "scheduler": dict(self.scheduler.stats),
         }

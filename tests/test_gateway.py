@@ -1,0 +1,392 @@
+"""Tests for the sharded multi-process fleet gateway.
+
+The headline contract is fleet-level bit-parity: for every registered
+scenario, ``FleetSweeper`` direct, ``via_service`` and ``via_gateway``
+replays produce identical arrays and cache/counter accounting for any
+shard count and client count — shard assignment, process boundaries,
+queue bounds and client interleaving are all invisible.  On top of that,
+shard routing (golden values + cross-process stability), permutation
+invariance of whole-fleet replays, fleet metrics aggregation and the
+whole-fleet snapshot/restore path (same-process, re-sharded and
+fresh-spawn-process) are covered individually.  Crash/backpressure
+semantics live in ``tests/test_gateway_faults.py``.
+"""
+
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+# shared parity helpers live with the service suite (one definition)
+from test_service import assert_replays_identical
+
+from repro.core.config import GatewayConfig, ServiceConfig, fast_profile
+from repro.harness import FleetSweeper
+from repro.parallelism import pool_map
+from repro.scenarios import registered_scenarios
+from repro.service import FleetGateway, ModelRegistry, shard_for
+from repro.workload import FleetConfig, FleetGenerator
+
+SEED = 3
+VOLUME = 0.1
+DURATION = 0.7
+N_INSTANCES = 3
+
+FLEET = FleetConfig(seed=SEED, volume_scale=VOLUME)
+
+
+def make_sweeper(**kwargs):
+    return FleetSweeper(
+        fleet_config=kwargs.pop("fleet_config", FLEET),
+        stage_config=fast_profile(),
+        random_state=0,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def traces():
+    gen = FleetGenerator(FLEET)
+    return [gen.generate_trace(gen.sample_instance(i), DURATION) for i in range(N_INSTANCES)]
+
+
+@pytest.fixture(scope="module")
+def direct_replays(traces):
+    return make_sweeper().replay_traces(traces)
+
+
+@pytest.fixture(scope="module")
+def via_service_replays(traces):
+    return make_sweeper(via_service=True, service_clients=2).replay_traces(traces)
+
+
+# ---------------------------------------------------------------------------
+# shard routing: pure, stable, cross-process
+# ---------------------------------------------------------------------------
+def _shard_worker(args):
+    """Module-level so it pickles by reference under any start method."""
+    instance_id, n_shards = args
+    return shard_for(instance_id, n_shards)
+
+
+class TestShardRouting:
+    def test_golden_values(self):
+        """The map is part of the snapshot format: restoring a fleet
+        relies on every process computing the same assignment, so pin
+        concrete values (a salted/processwise hash would break these)."""
+        golden = {
+            ("inst-0000", 2): 1,
+            ("inst-0001", 2): 0,
+            ("inst-0002", 2): 1,
+            ("inst-0000", 3): 2,
+            ("inst-0001", 3): 0,
+            ("inst-0003", 3): 1,
+            ("prod-eu-7781", 4): 2,
+            ("prod-eu-7781", 8): 6,
+        }
+        for (instance_id, n_shards), want in golden.items():
+            assert shard_for(instance_id, n_shards) == want
+
+    def test_stable_across_processes(self):
+        tasks = [
+            (f"inst-{i:04d}", n_shards) for i in range(12) for n_shards in (1, 2, 3, 5)
+        ]
+        want = [_shard_worker(task) for task in tasks]
+        got = pool_map(_shard_worker, tasks, n_jobs=2)
+        assert got == want
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            shard_for("inst-0000", 0)
+
+
+# ---------------------------------------------------------------------------
+# fleet bit-parity: direct vs via_service vs via_gateway
+# ---------------------------------------------------------------------------
+class TestGatewayParity:
+    @pytest.mark.parametrize(
+        "n_shards,service_clients", [(1, 1), (2, 2), (3, 3), (2, 4)]
+    )
+    def test_bit_identical_for_any_shards_and_clients(
+        self, traces, direct_replays, via_service_replays, n_shards, service_clients
+    ):
+        via_gateway = make_sweeper(
+            via_gateway=True,
+            gateway_config=GatewayConfig(n_shards=n_shards),
+            service_config=ServiceConfig(max_batch_size=7),
+            service_clients=service_clients,
+        ).replay_traces(traces)
+        for direct, via_svc, via_gw in zip(direct_replays, via_service_replays, via_gateway):
+            assert_replays_identical(direct, via_gw)
+            assert_replays_identical(via_svc, via_gw)
+
+    def test_concurrent_instance_submitters_bit_identical(self, traces, direct_replays):
+        """n_jobs > 1 replays several instances' streams through the
+        gateway at once (thread submitters over the shard processes);
+        per-instance sequencing keeps it bit-identical."""
+        via = make_sweeper(
+            via_gateway=True,
+            gateway_config=GatewayConfig(n_shards=2),
+            service_clients=2,
+            n_jobs=3,
+        ).replay_traces(traces)
+        for direct, replay in zip(direct_replays, via):
+            assert_replays_identical(direct, replay)
+
+    def test_replay_indices_matches_replay_traces(self, traces, direct_replays):
+        via = make_sweeper(
+            via_gateway=True, gateway_config=GatewayConfig(n_shards=2)
+        ).replay_indices(range(N_INSTANCES), DURATION)
+        for direct, replay in zip(direct_replays, via):
+            assert_replays_identical(direct, replay)
+
+    def test_permutation_of_instances_is_invisible(self, traces, direct_replays):
+        """Feeding the fleet through the gateway in any instance order
+        yields the same per-instance arrays (per-instance op streams are
+        independent; shard assignment ignores arrival order)."""
+        order = [2, 0, 1]
+        permuted = make_sweeper(
+            via_gateway=True, gateway_config=GatewayConfig(n_shards=2)
+        ).replay_traces([traces[i] for i in order])
+        for position, replay in zip(order, permuted):
+            assert_replays_identical(direct_replays[position], replay)
+
+    def test_via_gateway_excludes_via_service(self, traces):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            make_sweeper(via_gateway=True, via_service=True).replay_traces(traces)
+
+    def test_via_gateway_rejects_per_query_mode(self, traces):
+        with pytest.raises(ValueError, match="batched"):
+            make_sweeper(
+                via_gateway=True, component_inference="per_query"
+            ).replay_traces(traces)
+
+
+# every registered scenario must replay through the gateway
+# bit-identically; shard and client counts rotate through {1,2,3} so the
+# whole grid is exercised across the matrix without re-running every
+# scenario at every point
+_SCENARIO_GRID = [
+    pytest.param(scenario, (i % 3) + 1, (i % 2) + 1, id=scenario.name)
+    for i, scenario in enumerate(registered_scenarios())
+]
+
+
+class TestScenarioGatewayParity:
+    @pytest.mark.parametrize("scenario,n_shards,service_clients", _SCENARIO_GRID)
+    def test_scenario_bit_identical_via_gateway(self, scenario, n_shards, service_clients):
+        fleet = FleetConfig(seed=5, volume_scale=VOLUME, scenario=scenario.config)
+        direct = make_sweeper(fleet_config=fleet).replay_indices(range(2), 1.0)
+        via = make_sweeper(
+            fleet_config=fleet,
+            via_gateway=True,
+            gateway_config=GatewayConfig(n_shards=n_shards),
+            service_clients=service_clients,
+        ).replay_indices(range(2), 1.0)
+        for a, b in zip(direct, via):
+            assert_replays_identical(a, b)
+
+
+# ---------------------------------------------------------------------------
+# the live client API and fleet metrics
+# ---------------------------------------------------------------------------
+class TestGatewayService:
+    def test_register_and_predict_roundtrip(self, traces):
+        with FleetGateway(GatewayConfig(n_shards=2), stage_config=fast_profile()) as gateway:
+            trace = traces[0]
+            shard = gateway.register_instance(trace.instance)
+            assert shard == shard_for(trace.instance.instance_id, 2)
+            assert gateway.instance_ids == (trace.instance.instance_id,)
+            prediction = gateway.predict(trace.instance.instance_id, trace[0], timeout=60)
+            assert prediction.exec_time >= 0.0
+
+    def test_duplicate_registration_rejected(self, traces):
+        with FleetGateway(GatewayConfig(n_shards=2), stage_config=fast_profile()) as gateway:
+            gateway.register_instance(traces[0].instance)
+            with pytest.raises(ValueError, match="already registered"):
+                gateway.register_instance(traces[0].instance)
+
+    def test_unknown_instance_rejected(self, traces):
+        with FleetGateway(GatewayConfig(n_shards=2), stage_config=fast_profile()) as gateway:
+            with pytest.raises(KeyError, match="not registered"):
+                gateway.predict_async("no-such-instance", traces[0][0])
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            FleetGateway(GatewayConfig(n_shards=0))
+        with pytest.raises(ValueError, match="queue_size"):
+            FleetGateway(GatewayConfig(queue_size=0))
+
+    def test_fleet_metrics_aggregate_across_shards(self, traces):
+        with FleetGateway(GatewayConfig(n_shards=2), stage_config=fast_profile()) as gateway:
+            n_ops = 0
+            for trace in traces:
+                gateway.register_instance(trace.instance)
+            for trace in traces:
+                instance_id = trace.instance.instance_id
+                for i in range(min(len(trace), 15)):
+                    gateway.predict_async(instance_id, trace[i])
+                    gateway.observe(instance_id, trace[i])
+                    n_ops += 1
+            gateway.drain()
+            stats = gateway.stats()
+        assert stats["n_shards"] == 2
+        assert stats["n_instances"] == N_INSTANCES
+        assert stats["fleet"]["n_predicts"] == n_ops
+        assert stats["fleet"]["n_observes"] == n_ops
+        assert stats["fleet"]["cache_hits"] + stats["fleet"]["cache_misses"] == n_ops
+        assert len(stats["instances"]) == N_INSTANCES
+        # the per-shard rows cover every shard and agree on instance count
+        assert [row["shard"] for row in stats["shards"]] == [0, 1]
+        assert sum(row["n_instances"] for row in stats["shards"]) == N_INSTANCES
+        # per-instance accounting sums to the fleet roll-up
+        per_instance = stats["instances"].values()
+        assert stats["fleet"]["n_predicts"] == sum(
+            s["scheduler"]["n_predicts"] for s in per_instance
+        )
+        assert stats["fleet"]["byte_size"] == sum(s["stage"]["byte_size"] for s in per_instance)
+
+
+# ---------------------------------------------------------------------------
+# whole-fleet snapshot/restore
+# ---------------------------------------------------------------------------
+def _warm_gateway(traces, n_shards, n_warm_fraction=0.5):
+    gateway = FleetGateway(
+        GatewayConfig(n_shards=n_shards, service=ServiceConfig(max_batch_size=8)),
+        stage_config=fast_profile(),
+        random_state=0,
+    )
+    for trace in traces:
+        gateway.register_instance(trace.instance)
+    for trace in traces:
+        instance_id = trace.instance.instance_id
+        for i in range(int(len(trace) * n_warm_fraction)):
+            gateway.predict_async(instance_id, trace[i])
+            gateway.observe(instance_id, trace[i])
+    gateway.drain()
+    return gateway
+
+
+def _held_out_fleet_predictions(gateway, traces, n_warm_fraction=0.5):
+    """Fused predict+observe over every instance's held-out segment
+    (observes included so post-restore retrains are exercised too)."""
+    futures = {}
+    for trace in traces:
+        instance_id = trace.instance.instance_id
+        futures[instance_id] = []
+        for i in range(int(len(trace) * n_warm_fraction), len(trace)):
+            futures[instance_id].append(gateway.predict_async(instance_id, trace[i]))
+            gateway.observe(instance_id, trace[i])
+    gateway.drain()
+    return {
+        instance_id: [f.result(timeout=60).prediction for f in fs]
+        for instance_id, fs in futures.items()
+    }
+
+
+def _restore_fleet_and_predict(args):
+    """Spawn-able worker: restore a whole fleet cold and serve it."""
+    registry_root, name, n_shards, fleet_config, duration = args
+    gen = FleetGenerator(fleet_config)
+    traces = [gen.generate_trace(gen.sample_instance(i), duration) for i in range(N_INSTANCES)]
+    registry = ModelRegistry(registry_root)
+    gateway = FleetGateway.restore(registry, name, config=GatewayConfig(n_shards=n_shards))
+    try:
+        predictions = _held_out_fleet_predictions(gateway, traces)
+        stats = {
+            instance_id: s["stage"] for instance_id, s in gateway.stats()["instances"].items()
+        }
+    finally:
+        gateway.close()
+    return pickle.dumps((predictions, stats))
+
+
+class TestFleetSnapshot:
+    def test_snapshot_restore_resharded_same_process(self, traces, tmp_path):
+        """Warm restart is bit-for-bit even under a different shard
+        count — shard assignment is not part of the fleet's state."""
+        registry = ModelRegistry(str(tmp_path))
+        gateway = _warm_gateway(traces, n_shards=2)
+        gateway.snapshot(registry, "warm")
+        want = _held_out_fleet_predictions(gateway, traces)
+        want_stats = {i: s["stage"] for i, s in gateway.stats()["instances"].items()}
+        gateway.close()
+
+        manifest = registry.load_fleet_manifest("warm")
+        assert manifest["instances"] == sorted(t.instance.instance_id for t in traces)
+        assert manifest["n_shards"] == 2
+        assert not manifest["has_global_model"]
+        assert registry.list_fleet_snapshots() == ["warm"]
+
+        restored = FleetGateway.restore(registry, "warm", config=GatewayConfig(n_shards=3))
+        got = _held_out_fleet_predictions(restored, traces)
+        got_stats = {i: s["stage"] for i, s in restored.stats()["instances"].items()}
+        restored.close()
+        assert got == want
+        assert got_stats == want_stats
+
+    def test_snapshot_restore_fresh_spawn_process(self, traces, tmp_path):
+        """The PR 3 fresh-process pattern, extended to the multi-shard
+        manifest: a brand-new interpreter restores the whole fleet and
+        reproduces predictions and retrain behavior bit-for-bit."""
+        registry = ModelRegistry(str(tmp_path))
+        gateway = _warm_gateway(traces, n_shards=2)
+        gateway.snapshot(registry, "warm")
+        want = _held_out_fleet_predictions(gateway, traces)
+        want_stats = {i: s["stage"] for i, s in gateway.stats()["instances"].items()}
+        gateway.close()
+
+        with ProcessPoolExecutor(
+            max_workers=1, mp_context=multiprocessing.get_context("spawn")
+        ) as pool:
+            payload = pool.submit(
+                _restore_fleet_and_predict, (str(tmp_path), "warm", 3, FLEET, DURATION)
+            ).result(timeout=600)
+        got, got_stats = pickle.loads(payload)
+        assert got == want
+        assert got_stats == want_stats
+
+    def test_manifest_missing_member_rejected(self, traces, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        with pytest.raises(ValueError, match="missing member state"):
+            registry.save_fleet_manifest("broken", ["inst-9999"], n_shards=1)
+
+    def test_unsupported_fleet_version_rejected(self, traces, tmp_path):
+        import json
+        import os
+
+        registry = ModelRegistry(str(tmp_path))
+        gateway = _warm_gateway(traces[:1], n_shards=1)
+        gateway.snapshot(registry, "v-test")
+        gateway.close()
+        manifest_path = os.path.join(registry.fleet_snapshot_path("v-test"), "fleet.json")
+        manifest = json.load(open(manifest_path))
+        manifest["format_version"] = 999
+        json.dump(manifest, open(manifest_path, "w"))
+        with pytest.raises(ValueError, match="version"):
+            registry.load_fleet_manifest("v-test")
+
+
+# ---------------------------------------------------------------------------
+# gateway bench plumbing (scaled down; the real run is the CLI's)
+# ---------------------------------------------------------------------------
+class TestGatewayBenchSmoke:
+    def test_bench_reports_grid_and_parity(self):
+        from repro.service import GatewayBenchConfig, run_gateway_bench
+
+        result = run_gateway_bench(
+            GatewayBenchConfig(
+                n_instances=2,
+                duration_days=0.5,
+                volume_scale=VOLUME,
+                shard_counts=(1, 2),
+                client_counts=(2,),
+                stage=fast_profile(),
+            )
+        )
+        assert len(result.rows) == 2
+        assert result.predictions_identical
+        report = result.render()
+        assert "shards=1" in report and "shards=2" in report
+        assert "bit-identical" in report

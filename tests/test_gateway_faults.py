@@ -1,0 +1,197 @@
+"""Fault-injection tests for the fleet gateway.
+
+A production fleet tier is judged on what happens when things go wrong:
+a shard process dying must fail exactly that shard's in-flight work —
+with a precise error naming the instance — while every other shard keeps
+serving and ``close()`` still drains and joins cleanly.  These tests
+kill real worker processes (SIGKILL, mid-stream) and fill real bounded
+queues; they run under both fork and spawn start methods in CI's
+``parallel-parity`` job.
+
+The ``FleetGateway._stall`` hook (a sleep op processed in shard queue
+order) is the instrumentation that makes queue states deterministic:
+while a shard sleeps, its queue holds whatever the test enqueued.
+"""
+
+import time
+
+import pytest
+
+from repro.core.config import GatewayConfig, fast_profile
+from repro.service import (
+    FleetGateway,
+    GatewayBackpressureError,
+    ShardCrashedError,
+    shard_for,
+)
+from repro.workload import FleetConfig, FleetGenerator
+
+
+@pytest.fixture(scope="module")
+def traces():
+    gen = FleetGenerator(FleetConfig(seed=3, volume_scale=0.1))
+    return [gen.generate_trace(gen.sample_instance(i), 0.7) for i in range(3)]
+
+
+def two_shard_gateway(traces, **config_kwargs):
+    """A 2-shard gateway with every instance registered; returns the
+    gateway plus one (instance_id, trace) per populated shard."""
+    gateway = FleetGateway(
+        GatewayConfig(n_shards=2, **config_kwargs), stage_config=fast_profile()
+    )
+    per_shard = {}
+    for trace in traces:
+        shard = gateway.register_instance(trace.instance)
+        per_shard.setdefault(shard, trace)
+    assert len(per_shard) == 2, "fixture fleet must populate both shards"
+    return gateway, per_shard
+
+
+class TestShardCrash:
+    def test_crash_fails_pending_with_instance_id_and_contains(self, traces):
+        gateway, per_shard = two_shard_gateway(traces)
+        victim_shard = min(per_shard)
+        victim = per_shard[victim_shard]
+        survivor_shard = max(per_shard)
+        survivor = per_shard[survivor_shard]
+        try:
+            # hold the victim shard busy so the next ops are genuinely
+            # in flight (queued, unanswered) when the process dies
+            gateway._stall(victim_shard, 30.0)
+            pending = [
+                gateway.predict_async(victim.instance.instance_id, victim[i])
+                for i in range(3)
+            ]
+            gateway._shards[victim_shard].process.kill()
+
+            for future in pending:
+                with pytest.raises(ShardCrashedError) as err:
+                    future.result(timeout=30)
+                assert err.value.shard_index == victim_shard
+                assert err.value.instance_id == victim.instance.instance_id
+
+            # new ops to the dead shard fail fast, with the instance id
+            with pytest.raises(ShardCrashedError):
+                gateway.predict_async(victim.instance.instance_id, victim[0])
+
+            # the other shard keeps serving live traffic and replays
+            prediction = gateway.predict(
+                survivor.instance.instance_id, survivor[0], timeout=60
+            )
+            assert prediction.exec_time >= 0.0
+            components = gateway.replay_components(survivor, n_clients=2)
+            assert len(components) == len(survivor)
+
+            # fleet drain/metrics still work, reporting only live shards
+            gateway.drain()
+            stats = gateway.stats()
+            rows = {row["shard"]: row for row in stats["shards"]}
+            assert rows[victim_shard]["alive"] is False
+            assert rows[survivor_shard]["alive"] is True
+        finally:
+            gateway.close()
+
+    def test_close_after_crash_drains_and_joins(self, traces):
+        gateway, per_shard = two_shard_gateway(traces)
+        victim_shard = min(per_shard)
+        gateway._stall(victim_shard, 30.0)
+        stranded = gateway.predict_async(
+            per_shard[victim_shard].instance.instance_id, per_shard[victim_shard][0]
+        )
+        gateway._shards[victim_shard].process.kill()
+        t0 = time.monotonic()
+        gateway.close()
+        assert time.monotonic() - t0 < 30.0, "close must not wait out the stall"
+        with pytest.raises(ShardCrashedError):
+            stranded.result(timeout=1)
+        for shard in gateway._shards:
+            assert not shard.process.is_alive()
+        # idempotent after a crash too
+        gateway.close()
+
+    def test_snapshot_with_crashed_shard_fails_before_writing(self, traces, tmp_path):
+        """A crash must fail the snapshot up front — partially saving
+        under an existing name would mix snapshot epochs on disk."""
+        from repro.service import FleetGateway, ModelRegistry
+
+        registry = ModelRegistry(str(tmp_path))
+        gateway, per_shard = two_shard_gateway(traces)
+        try:
+            gateway.snapshot(registry, "fleet")  # healthy first epoch
+            victim_shard = min(per_shard)
+            gateway._shards[victim_shard].process.kill()
+            deadline = time.monotonic() + 10
+            while not gateway._shards[victim_shard].crashed:
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            with pytest.raises(RuntimeError, match="crashed shards"):
+                gateway.snapshot(registry, "fleet")
+        finally:
+            gateway.close()
+        # the first epoch survived untouched and still restores whole
+        restored = FleetGateway.restore(registry, "fleet")
+        try:
+            assert restored.instance_ids == tuple(
+                sorted(t.instance.instance_id for t in traces)
+            )
+        finally:
+            restored.close()
+
+
+class TestShutdownAndBackpressure:
+    def test_enqueue_after_shutdown_rejected(self, traces):
+        gateway, per_shard = two_shard_gateway(traces)
+        trace = next(iter(per_shard.values()))
+        instance_id = trace.instance.instance_id
+        gateway.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            gateway.predict_async(instance_id, trace[0])
+        with pytest.raises(RuntimeError, match="closed"):
+            gateway.observe(instance_id, trace[0])
+        with pytest.raises(RuntimeError, match="closed"):
+            gateway.register_instance(traces[0].instance)
+        with pytest.raises(RuntimeError, match="closed"):
+            gateway.replay_components(trace)
+        with pytest.raises(RuntimeError, match="closed"):
+            gateway.drain()
+
+    def test_full_queue_backpressure_times_out_then_recovers(self, traces):
+        gateway, per_shard = two_shard_gateway(
+            traces, queue_size=1, enqueue_timeout_s=0.2
+        )
+        try:
+            shard = min(per_shard)
+            trace = per_shard[shard]
+            instance_id = trace.instance.instance_id
+            gateway._stall(shard, 1.5)
+            time.sleep(0.3)  # let the shard pick the sleep op up
+            first = gateway.predict_async(instance_id, trace[0])  # fills the queue
+            with pytest.raises(GatewayBackpressureError) as err:
+                gateway.predict_async(instance_id, trace[1])
+            assert err.value.shard_index == shard
+            # the failed enqueue rolled its sequence slot back: once the
+            # stall clears, the stream continues with no gap to stall on
+            assert first.result(timeout=30).prediction.exec_time >= 0.0
+            follow_up = gateway.predict(instance_id, trace[1], timeout=30)
+            assert follow_up.exec_time >= 0.0
+            gateway.drain()
+        finally:
+            gateway.close()
+
+    def test_double_close_is_noop(self, traces):
+        gateway, _ = two_shard_gateway(traces)
+        gateway.close()
+        gateway.close()
+        assert gateway.closed
+
+
+class TestRoutingConsistency:
+    def test_registration_uses_shard_for(self, traces):
+        gateway, _ = two_shard_gateway(traces)
+        try:
+            with gateway._registry_lock:
+                assignment = dict(gateway._instances)
+            for instance_id, shard in assignment.items():
+                assert shard == shard_for(instance_id, 2)
+        finally:
+            gateway.close()

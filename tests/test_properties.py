@@ -18,7 +18,9 @@ from hypothesis import strategies as st
 from repro.cache.exec_time_cache import ExecTimeCache
 from repro.cache.welford import RunningStats
 from repro.ml.preprocessing import RunningMoments
+from repro.service.gateway import shard_for
 from repro.workload.drift import AnalyzeSchedule
+from repro.workload.seeding import derive_seed
 
 # bounded, finite floats: exec-times and feature values both live well
 # inside this range, and it keeps float tolerances meaningful
@@ -181,6 +183,63 @@ class TestExecTimeCachePeek:
             assert cache.lookup(key) == first
             # exactly one counter moved, and by exactly one
             assert (cache.hits - hits) + (cache.misses - misses) == 1
+
+
+# ---------------------------------------------------------------------------
+# service/gateway.py :: shard_for — the fleet routing map
+# ---------------------------------------------------------------------------
+# ids are arbitrary non-empty strings; the map must behave for anything
+# a deployment could name an instance
+instance_ids = st.text(min_size=1, max_size=24)
+shard_counts = st.integers(min_value=1, max_value=16)
+
+
+class TestShardRoutingMap:
+    """The gateway parity contracts rest on the instance→shard map
+    being a *pure function* of ``(instance_id, n_shards)``: stable
+    across runs and processes (it feeds the snapshot restore path), and
+    a complete partition of any fleet.  The cross-process half and the
+    replayed-array consequences live in ``tests/test_gateway.py``; the
+    algebra is pinned here.
+    """
+
+    @given(instance_ids, shard_counts)
+    def test_pure_in_range_and_hash_stable(self, instance_id, n_shards):
+        shard = shard_for(instance_id, n_shards)
+        assert 0 <= shard < n_shards
+        # pure: recomputation never disagrees
+        assert shard_for(instance_id, n_shards) == shard
+        # stable: defined by the repo's keyed blake2b seed derivation,
+        # never by Python's per-process salted hash()
+        assert shard == derive_seed("gateway-shard", instance_id) % n_shards
+
+    @given(st.lists(instance_ids, min_size=1, max_size=40), shard_counts)
+    def test_partitions_any_fleet_completely(self, ids, n_shards):
+        groups = {}
+        for instance_id in ids:
+            groups.setdefault(shard_for(instance_id, n_shards), []).append(instance_id)
+        # exhaustive: every instance lands on exactly one valid shard
+        assert sorted(sum(groups.values(), [])) == sorted(ids)
+        assert all(0 <= shard < n_shards for shard in groups)
+
+    @given(
+        st.lists(instance_ids, min_size=2, max_size=30, unique=True),
+        shard_counts,
+        st.randoms(use_true_random=False),
+    )
+    def test_assignment_ignores_arrival_order(self, ids, n_shards, rnd):
+        """Registering a fleet in any permutation yields the identical
+        instance→shard assignment — the map has no positional state, so
+        permuted replays hit the same per-instance services."""
+        want = {instance_id: shard_for(instance_id, n_shards) for instance_id in ids}
+        shuffled = list(ids)
+        rnd.shuffle(shuffled)
+        got = {instance_id: shard_for(instance_id, n_shards) for instance_id in shuffled}
+        assert got == want
+
+    @given(instance_ids)
+    def test_single_shard_fleet_degenerates(self, instance_id):
+        assert shard_for(instance_id, 1) == 0
 
 
 # ---------------------------------------------------------------------------

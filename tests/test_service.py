@@ -12,6 +12,7 @@ individually.
 import multiprocessing
 import pickle
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -285,6 +286,64 @@ class TestScheduler:
         # accounting matches the stage predictor exactly
         counts = stats["stage"]["source_counts"]
         assert sum(counts.values()) == len(trace)
+
+    def test_cold_service_lifecycle_never_hangs(self, trace, tmp_path):
+        """A never-started service (no op ever submitted, so no worker
+        thread exists) must drain, snapshot, close and re-close without
+        blocking or raising anything implicit."""
+        service = _scheduler_service(trace)
+        assert service.scheduler._worker is None  # genuinely cold
+        service.drain()  # nothing to wait for
+        registry = ModelRegistry(str(tmp_path))
+        service.snapshot(registry, "cold")  # pause/quiesce with no worker
+        assert registry.list_service_snapshots() == ["cold"]
+        service.close()
+        assert service.closed
+        service.close()  # double-close is a no-op
+        assert service.scheduler._worker is None
+
+    def test_replay_components_on_closed_service_raises(self, trace):
+        service = _scheduler_service(trace)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed service"):
+            service.replay_components(trace)
+
+    def test_submit_after_close_on_cold_service_rejected(self, trace):
+        service = _scheduler_service(trace)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.predict_async(trace[0])
+
+    def test_drain_after_close_returns_immediately(self, trace):
+        service = _scheduler_service(trace)
+        service.predict_async(trace[0]).result(timeout=60)
+        service.close()
+        t0 = time.monotonic()
+        service.drain(timeout=60)  # closed + empty: nothing to wait for
+        assert time.monotonic() - t0 < 5.0
+
+    def test_drain_with_dead_worker_raises_instead_of_hanging(self, trace):
+        """Queued ops with no live worker are undrainable; drain must say
+        so immediately rather than waiting out the full timeout."""
+        service = _scheduler_service(trace)
+        service.predict_async(trace[0]).result(timeout=60)
+        scheduler = service.scheduler
+        scheduler.close()
+        # simulate a worker that died with work still queued (the close
+        # above cleanly stopped the thread; re-arm the queue behind it)
+        scheduler._closed = False
+        scheduler._ops[scheduler._next_exec_seq] = object()
+        with pytest.raises(RuntimeError, match="can never drain"):
+            scheduler.drain(timeout=60)
+        scheduler._ops.clear()
+        scheduler._closed = True
+
+    def test_double_close_after_traffic_is_noop(self, trace):
+        service = _scheduler_service(trace)
+        service.predict_async(trace[0]).result(timeout=60)
+        service.close()
+        service.close()
+        assert service.closed
 
     def test_concurrent_live_clients_make_progress(self, trace):
         # live mode: auto-assigned sequence numbers, blocking clients
