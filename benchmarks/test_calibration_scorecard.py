@@ -1,0 +1,47 @@
+"""Calibration scorecard: empirical interval coverage per source.
+
+Runs the committed-scale calibration sweep (the same one
+``python -m repro.scenarios calibration`` renders) and writes the
+deterministic scorecard to ``results/calibration_scorecard.txt`` — the
+committed file sits behind CI's results-drift gate, so a bare run must
+reproduce it bit-for-bit.
+
+The assertions pin the qualitative calibration claims: every source
+populates, empirical coverage lands in a sane band around the nominal
+confidence, the spread-based sources (ensemble, global) are never
+degenerate, and the cache's Welford intervals admit some degenerate
+(single-observation) entries without collapsing wholesale.
+"""
+
+from conftest import write_result
+
+from repro.ml.intervals import NOMINAL_CONFIDENCE
+from repro.scenarios import run_calibration
+
+
+def test_calibration_scorecard(results_dir):
+    rows, report = run_calibration()
+    write_result(results_dir, "calibration_scorecard", report)
+    print("\n" + report)
+
+    by_source = {row.source: row for row in rows}
+    assert set(by_source) == {"routed", "cache", "ensemble", "global"}
+    for row in rows:
+        assert row.n > 0, f"{row.source}: no scored rows"
+        assert 0.0 <= row.coverage <= 1.0
+        assert row.median_width >= 0.0
+
+    # spread-based sources must be near (or above) nominal coverage
+    assert by_source["ensemble"].coverage > NOMINAL_CONFIDENCE - 0.1
+    assert by_source["global"].coverage > NOMINAL_CONFIDENCE - 0.1
+    assert by_source["ensemble"].degenerate_fraction == 0.0
+    assert by_source["global"].degenerate_fraction == 0.0
+
+    # cache intervals come from repeat observations: some entries have a
+    # single observation (degenerate), but the bulk must carry real width
+    assert 0.0 < by_source["cache"].degenerate_fraction < 0.5
+    assert by_source["cache"].coverage > 0.5
+
+    # the routed mix can't be better-calibrated than its best component
+    best = max(by_source["ensemble"].coverage, by_source["global"].coverage)
+    assert by_source["routed"].coverage <= best + 1e-9

@@ -1,0 +1,72 @@
+"""Calibrated intervals through the live serving layer.
+
+Every prediction in the pipeline now carries a calibrated interval at
+the nominal confidence — Welford-derived for exec-time-cache hits,
+member-spread quantile bounds for the local ensemble, residual-variance
+for the global model.  This example drives a live
+:class:`~repro.service.PredictionService` with the online
+predict/observe protocol and shows (a) the interval riding on each
+served prediction, (b) the service's interval-width percentiles, (c)
+the empirical coverage of the served intervals, and (d) the fleet-level
+calibration scorecard (the committed, drift-gated artifact).
+
+Run:  python examples/uncertainty_serving.py
+"""
+
+import numpy as np
+
+from repro.core.config import fast_profile
+from repro.ml.intervals import NOMINAL_CONFIDENCE, empirical_coverage
+from repro.scenarios import run_calibration
+from repro.service import PredictionService
+from repro.workload import FleetConfig, FleetGenerator
+
+
+def main() -> None:
+    gen = FleetGenerator(FleetConfig(seed=23, volume_scale=0.2))
+    trace = gen.generate_trace(gen.sample_instance(0), 1.5)
+    print(f"serving {len(trace)} queries from {trace.instance.instance_id}...")
+
+    served = []
+    with PredictionService(trace.instance, stage_config=fast_profile()) as service:
+        for record in trace:
+            prediction = service.predict(record)
+            served.append((record.exec_time, prediction))
+            service.observe(record)
+        service.drain()
+        stats = service.stats()["stage"]
+
+    # --- (a) intervals ride on every served prediction -----------------
+    print("\nlast served predictions (point [low, high] source):")
+    for true, p in served[-5:]:
+        print(
+            f"  true {true:8.2f}s   pred {p.exec_time:8.2f}s "
+            f"[{p.interval_low:8.2f}, {p.interval_high:8.2f}]  {p.source}"
+        )
+
+    # --- (b) width percentiles from the serving stats -------------------
+    print(
+        f"\ninterval width percentiles (serving stats): "
+        f"p50 <= {stats['interval_width_p50']:g}s, "
+        f"p90 <= {stats['interval_width_p90']:g}s"
+    )
+
+    # --- (c) empirical coverage of what was actually served --------------
+    true = np.array([t for t, _ in served])
+    low = np.array([p.interval_low for _, p in served])
+    high = np.array([p.interval_high for _, p in served])
+    coverage = empirical_coverage(true, low, high)
+    print(
+        f"served-interval coverage: {coverage:.3f} "
+        f"(nominal {NOMINAL_CONFIDENCE:.2f}; degenerate cold-start and "
+        "single-observation intervals drag it down)"
+    )
+
+    # --- (d) the fleet-level calibration scorecard ----------------------
+    print("\nrunning the committed-scale calibration sweep...")
+    _, report = run_calibration()
+    print("\n" + report)
+
+
+if __name__ == "__main__":
+    main()

@@ -16,11 +16,15 @@ dict (move-to-end on update), which is O(1) per operation.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
+from repro.ml.intervals import NOMINAL_CONFIDENCE, welford_interval
 from repro.plans.featurize import hash_feature_vector
 
 from .welford import RunningStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.interfaces import Prediction
 
 __all__ = ["ExecTimeCache"]
 
@@ -102,9 +106,52 @@ class ExecTimeCache:
         stats = self._entries.get(key)
         if stats is None:
             return None
+        return self._point_of(stats)
+
+    def _point_of(self, stats: RunningStats) -> float:
         if self.mode == "ewma":
             return stats.ewma
         return self.alpha * stats.mean + (1.0 - self.alpha) * stats.last
+
+    def peek_prediction(self, key) -> Optional["Prediction"]:
+        """Full cache answer for ``key`` (no accounting), or ``None``.
+
+        The point estimate is exactly :meth:`peek`; the interval is the
+        Welford prediction interval of the entry's observations
+        (:func:`~repro.ml.intervals.welford_interval` at the nominal
+        confidence) — single-observation entries collapse to the point.
+        """
+        # lazy: repro.core.stage imports repro.cache, so a module-level
+        # import here would cycle through repro.core's package init
+        from repro.core.interfaces import Prediction, PredictionSource
+
+        stats = self._entries.get(key)
+        if stats is None:
+            return None
+        point = self._point_of(stats)
+        low, high = welford_interval(
+            point, stats.count, stats.sample_variance, NOMINAL_CONFIDENCE
+        )
+        return Prediction(
+            exec_time=point,
+            source=PredictionSource.CACHE,
+            interval_low=low,
+            interval_high=high,
+        )
+
+    def lookup_prediction(self, key) -> Optional["Prediction"]:
+        """Counted :meth:`peek_prediction` — the router's cache probe.
+
+        Moves exactly the counter :meth:`lookup` would (one hit or one
+        miss), so swapping a ``lookup`` call for ``lookup_prediction``
+        never changes the accounting the parity suites compare.
+        """
+        prediction = self.peek_prediction(key)
+        if prediction is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return prediction
 
     def predict(self, feature_vector) -> Optional[float]:
         """Convenience: hash the vector and :meth:`lookup` it."""

@@ -110,6 +110,15 @@ class StageConfig:
     #: at 1.5 the global model serves a few percent of queries, matching
     #: the paper's "rarely used (3% of the time)" operating point
     uncertainty_threshold: float = 1.5
+    #: when True, the "certain" half of the short-or-certain rule uses
+    #: the local prediction's calibrated interval instead of its raw
+    #: std: a query is certain iff ``interval_width / (1 + exec_time)``
+    #: is below ``interval_width_threshold``.  Default-off so committed
+    #: results cannot drift; flip it to route on calibrated uncertainty.
+    route_on_interval_width: bool = False
+    #: relative-interval-width certainty threshold (only consulted when
+    #: ``route_on_interval_width`` is set)
+    interval_width_threshold: float = 2.0
 
 
 @dataclass(frozen=True)
@@ -135,6 +144,14 @@ class ServiceConfig:
     #: default timeout for :meth:`PredictionService.drain` (seconds)
     drain_timeout_s: float = 120.0
 
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_batch_latency_ms < 0:
+            raise ValueError("max_batch_latency_ms must be >= 0")
+        if self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be > 0")
+
 
 @dataclass(frozen=True)
 class GatewayConfig:
@@ -159,6 +176,16 @@ class GatewayConfig:
     #: per-instance micro-batching knobs, forwarded to every shard's
     #: :class:`~repro.service.PredictionService` instances
     service: ServiceConfig = field(default_factory=ServiceConfig)
+
+    def __post_init__(self):
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        if self.enqueue_timeout_s <= 0:
+            raise ValueError("enqueue_timeout_s must be > 0")
+        if self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be > 0")
 
 
 def fast_profile() -> StageConfig:

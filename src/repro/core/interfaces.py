@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.workload.query import QueryRecord
 
@@ -45,6 +46,15 @@ class Prediction:
         Which model produced the estimate (:class:`PredictionSource`).
     model_uncertainty / data_uncertainty:
         The decomposition of ``variance`` for ensemble predictions.
+    interval_low / interval_high:
+        The source's calibrated interval at the pipeline-wide nominal
+        confidence (:data:`repro.ml.intervals.NOMINAL_CONFIDENCE`), in
+        seconds: Welford-derived for cache hits, member-spread quantile
+        bounds for the local ensemble, residual-variance for the global
+        model.  Sources without spread information collapse to the point
+        estimate (unset bounds default to ``exec_time``).  Carried
+        end-to-end — replay arrays, service futures and gateway
+        responses all preserve the pair bit-for-bit.
     """
 
     exec_time: float
@@ -52,10 +62,23 @@ class Prediction:
     source: str = PredictionSource.DEFAULT
     model_uncertainty: float = 0.0
     data_uncertainty: float = 0.0
+    interval_low: Optional[float] = None
+    interval_high: Optional[float] = None
+
+    def __post_init__(self):
+        if self.interval_low is None:
+            self.interval_low = self.exec_time
+        if self.interval_high is None:
+            self.interval_high = self.exec_time
 
     @property
     def std(self) -> float:
         return self.variance**0.5
+
+    @property
+    def interval_width(self) -> float:
+        """Width of the nominal-confidence interval, in seconds."""
+        return self.interval_high - self.interval_low
 
     def interval(self, confidence: float = 0.9) -> tuple:
         """Confidence interval for the exec-time, in seconds.

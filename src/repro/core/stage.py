@@ -24,6 +24,7 @@ import numpy as np
 from repro.cache import ExecTimeCache
 from repro.global_model.model import GlobalModel
 from repro.local_model.model import LocalModel
+from repro.ml.intervals import new_width_bins, width_bin_index
 from repro.workload.instance import InstanceProfile
 from repro.workload.query import QueryRecord
 
@@ -47,8 +48,10 @@ class RoutedComponents:
 
     #: the answer Stage actually routed to
     prediction: Prediction
-    #: the cache's blended value, or ``None`` on a cache miss
-    cache_value: Optional[float]
+    #: the cache's full answer (blended point + Welford interval), or
+    #: ``None`` on a cache miss; on a hit this is the very object routed
+    #: as ``prediction``
+    cache: Optional[Prediction]
     #: the local ensemble's answer where the router consulted it
     #: (i.e. on every cache miss with a ready local model); ``None``
     #: on cache hits and before the first local retrain
@@ -106,6 +109,19 @@ class StagePredictor(Predictor):
             PredictionSource.GLOBAL: 0,
             PredictionSource.DEFAULT: 0,
         }
+        #: fixed-bin histogram of routed interval widths (seconds); the
+        #: integer counts merge across shards by elementwise addition,
+        #: so fleet-level width percentiles are reduction-order-free
+        self.interval_width_bins = new_width_bins()
+
+    def _count_routed(self, prediction: Prediction) -> None:
+        """Account one routed answer: source counter + width histogram.
+
+        The single accounting choke point — every route (inline, batched,
+        served) lands here exactly once per routed prediction.
+        """
+        self.source_counts[prediction.source] += 1
+        self.interval_width_bins[width_bin_index(prediction.interval_width)] += 1
 
     # ------------------------------------------------------------------
     def predict(self, record: QueryRecord) -> Prediction:
@@ -249,15 +265,15 @@ class BatchRouter:
         local_generation = stage.local.n_retrains
 
         # stage 1: exec-time cache
-        cached = stage.cache.lookup(stage.cache.key_for(record.features))
+        cached = stage.cache.lookup_prediction(
+            stage.cache.key_for(record.features)
+        )
         if cached is not None:
-            stage.source_counts[PredictionSource.CACHE] += 1
+            stage._count_routed(cached)
             slot = RoutedSlot(
                 RoutedComponents(
-                    prediction=Prediction(
-                        exec_time=cached, source=PredictionSource.CACHE
-                    ),
-                    cache_value=cached,
+                    prediction=cached,
+                    cache=cached,
                     local=None,
                     local_ready=local_ready,
                     local_generation=local_generation,
@@ -275,13 +291,14 @@ class BatchRouter:
 
         # stage 3 directly: local not ready yet
         if stage.global_model is not None:
-            stage.source_counts[PredictionSource.GLOBAL] += 1
+            prediction = stage.global_model.predict(
+                record.plan, stage.instance, n_concurrent=0.0
+            )
+            stage._count_routed(prediction)
             return RoutedSlot(
                 RoutedComponents(
-                    prediction=stage.global_model.predict(
-                        record.plan, stage.instance, n_concurrent=0.0
-                    ),
-                    cache_value=None,
+                    prediction=prediction,
+                    cache=None,
                     local=None,
                     local_ready=local_ready,
                     local_generation=local_generation,
@@ -289,14 +306,15 @@ class BatchRouter:
             )
 
         # cold start with no global model: running-median default
-        stage.source_counts[PredictionSource.DEFAULT] += 1
+        prediction = Prediction(
+            exec_time=stage._default.value,
+            source=PredictionSource.DEFAULT,
+        )
+        stage._count_routed(prediction)
         return RoutedSlot(
             RoutedComponents(
-                prediction=Prediction(
-                    exec_time=stage._default.value,
-                    source=PredictionSource.DEFAULT,
-                ),
-                cache_value=None,
+                prediction=prediction,
+                cache=None,
                 local=None,
                 local_ready=local_ready,
                 local_generation=local_generation,
@@ -343,18 +361,25 @@ class BatchRouter:
                 entry.slot.components.local = local_pred
                 continue
             is_short = local_pred.exec_time < cfg.short_circuit_seconds
-            is_certain = local_pred.std < cfg.uncertainty_threshold
+            if cfg.route_on_interval_width:
+                # calibrated-uncertainty variant of the "certain" half:
+                # relative width of the nominal-confidence interval
+                rel_width = local_pred.interval_width / (
+                    1.0 + local_pred.exec_time
+                )
+                is_certain = rel_width < cfg.interval_width_threshold
+            else:
+                is_certain = local_pred.std < cfg.uncertainty_threshold
             if is_short or is_certain or stage.global_model is None:
-                stage.source_counts[PredictionSource.LOCAL] += 1
                 prediction = local_pred
             else:
-                stage.source_counts[PredictionSource.GLOBAL] += 1
                 prediction = stage.global_model.predict(
                     entry.record.plan, stage.instance, n_concurrent=0.0
                 )
+            stage._count_routed(prediction)
             entry.slot.components = RoutedComponents(
                 prediction=prediction,
-                cache_value=None,
+                cache=None,
                 local=local_pred,
                 local_ready=True,
                 local_generation=frozen.generation,

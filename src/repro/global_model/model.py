@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.interfaces import Prediction, PredictionSource
 from repro.ml.gcn import DirectedGCN, PlanGraph
+from repro.ml.intervals import NOMINAL_CONFIDENCE, z_for
 from repro.ml.preprocessing import LogTargetTransform, StandardScaler
 from repro.plans import PhysicalPlan
 from repro.workload.instance import InstanceProfile
@@ -32,11 +33,17 @@ class GlobalModel:
         node_scaler: StandardScaler,
         sys_scaler: StandardScaler,
         transform: LogTargetTransform | None = None,
+        residual_variance: float = 0.0,
     ):
         self.gcn = gcn
         self.node_scaler = node_scaler
         self.sys_scaler = sys_scaler
         self.transform = transform or LogTargetTransform()
+        #: log-space variance of the training residuals (the model's
+        #: residual-variance head, fit by ``GlobalModelTrainer``); 0 for
+        #: models trained before the head existed — intervals then
+        #: collapse to the point estimate
+        self.residual_variance = float(residual_variance)
 
     # ------------------------------------------------------------------
     def _scale_graph(self, graph: PlanGraph) -> PlanGraph:
@@ -55,6 +62,25 @@ class GlobalModel:
         log_pred = self.gcn.predict_graphs(scaled)
         return self.transform.inverse(log_pred)
 
+    def predict_graphs_with_interval(self, graphs: List[PlanGraph]):
+        """``(seconds, interval_low, interval_high)`` per graph.
+
+        The interval comes from the residual-variance head: a constant
+        log-space half-width ``z * sqrt(residual_variance)`` around each
+        prediction, mapped through the (monotone) inverse transform with
+        the lower bound clamped at zero.  The point column is arithmetic-
+        identical to :meth:`predict_graphs`.
+        """
+        scaled = [self._scale_graph(g) for g in graphs]
+        log_pred = self.gcn.predict_graphs(scaled)
+        seconds = self.transform.inverse(log_pred)
+        if self.residual_variance <= 0.0:
+            return seconds, seconds.copy(), seconds.copy()
+        half = z_for(NOMINAL_CONFIDENCE) * float(np.sqrt(self.residual_variance))
+        low = np.maximum(self.transform.inverse(log_pred - half), 0.0)
+        high = self.transform.inverse(log_pred + half)
+        return seconds, low, high
+
     def predict(
         self,
         plan: PhysicalPlan,
@@ -63,11 +89,13 @@ class GlobalModel:
     ) -> Prediction:
         """Predict one query's exec-time on ``instance``."""
         graph = record_to_graph(plan, instance, n_concurrent)
-        exec_time = float(self.predict_graphs([graph])[0])
+        seconds, low, high = self.predict_graphs_with_interval([graph])
         return Prediction(
-            exec_time=exec_time,
-            variance=0.0,
+            exec_time=float(seconds[0]),
+            variance=self.residual_variance,
             source=PredictionSource.GLOBAL,
+            interval_low=float(low[0]),
+            interval_high=float(high[0]),
         )
 
     def byte_size(self) -> int:

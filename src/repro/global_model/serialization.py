@@ -18,7 +18,10 @@ from .model import GlobalModel
 
 __all__ = ["save_global_model", "load_global_model"]
 
-_FORMAT_VERSION = 1
+#: version 2 added ``residual_variance`` (the interval head); version-1
+#: files are still readable and load with a zero head.
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def save_global_model(model: GlobalModel, path: str) -> None:
@@ -42,6 +45,7 @@ def save_global_model(model: GlobalModel, path: str) -> None:
     arrays["sys_scaler_mean"] = model.sys_scaler.mean_
     arrays["sys_scaler_scale"] = model.sys_scaler.scale_
     arrays["max_seconds"] = np.array([model.transform.max_seconds])
+    arrays["residual_variance"] = np.array([model.residual_variance])
     np.savez_compressed(path, **arrays)
 
 
@@ -50,7 +54,7 @@ def load_global_model(path: str) -> GlobalModel:
     with np.load(path, allow_pickle=False) as data:
         meta = data["meta"]
         version = int(meta[0])
-        if version != _FORMAT_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ValueError(f"unsupported global-model format version {version}")
         n_node_features = int(meta[1])
         n_sys_features = int(meta[2])
@@ -86,4 +90,9 @@ def load_global_model(path: str) -> GlobalModel:
         sys_scaler.mean_ = data["sys_scaler_mean"].copy()
         sys_scaler.scale_ = data["sys_scaler_scale"].copy()
         transform = LogTargetTransform(max_seconds=float(data["max_seconds"][0]))
-    return GlobalModel(gcn, node_scaler, sys_scaler, transform)
+        residual_variance = (
+            float(data["residual_variance"][0]) if version >= 2 else 0.0
+        )
+    return GlobalModel(
+        gcn, node_scaler, sys_scaler, transform, residual_variance=residual_variance
+    )

@@ -193,13 +193,19 @@ class GlobalModelTrainer:
         )
         model = GlobalModel(gcn, node_scaler, sys_scaler, transform)
         scaled = [model._scale_graph(g) for g in graphs]
+        log_targets = transform.transform(targets)
         gcn.fit(
             scaled,
-            transform.transform(targets),
+            log_targets,
             epochs=cfg.epochs,
             batch_size=cfg.batch_size,
             lr=cfg.learning_rate,
             weight_decay=cfg.weight_decay,
             verbose=verbose,
         )
+        # residual-variance head: fit post hoc on the training residuals
+        # in log space.  This never touches the GCN weights, so point
+        # predictions are unchanged by its existence.
+        residuals = log_targets - gcn.predict_graphs(scaled)
+        model.residual_variance = float(np.mean(residuals**2))
         return model

@@ -15,6 +15,16 @@ model to each worker once via the pool initializer) all fan out over
 process pools when ``n_jobs > 1``; results are bit-identical to the
 sequential path for any ``n_jobs``.
 
+Every replay is uncertainty-aware: alongside the point arrays,
+:class:`InstanceReplay` carries calibrated interval bounds per source
+(``stage_interval_low/high`` plus per-component cache/local/global
+columns — Welford intervals for cache hits, member-spread quantile
+bounds for the ensemble, a residual-variance head for the global
+model), all under the same bit-parity contract as the points.  The
+empirical coverage of those intervals is scored by
+``python -m repro.scenarios calibration``
+(``results/calibration_scorecard.txt``).
+
 The serving-side twin of this offline harness is ``repro.service``:
 ``replay_instance(via_service=True)`` replays an instance *through* the
 online :class:`~repro.service.PredictionService` (micro-batch scheduler

@@ -42,6 +42,7 @@ from repro.core.config import ServiceConfig, StageConfig
 from repro.core.interfaces import PredictionSource
 from repro.core.stage import BatchRouter, RoutedComponents, StagePredictor
 from repro.global_model.model import GlobalModel
+from repro.ml.intervals import width_percentile_from_bins
 from repro.workload.trace import Trace
 
 __all__ = [
@@ -71,6 +72,17 @@ class InstanceReplay:
     #: True where the routing rule would escalate to the global model
     #: (local ready, prediction long, uncertainty above threshold)
     uncertain: np.ndarray
+    #: calibrated interval bounds (seconds) for the routed prediction
+    #: and each component column, NaN exactly where the corresponding
+    #: point column is NaN; same parity contract as the point arrays
+    stage_interval_low: np.ndarray = None
+    stage_interval_high: np.ndarray = None
+    cache_interval_low: np.ndarray = None
+    cache_interval_high: np.ndarray = None
+    local_interval_low: np.ndarray = None
+    local_interval_high: np.ndarray = None
+    global_interval_low: np.ndarray = None
+    global_interval_high: np.ndarray = None
     #: summary from the Stage predictor after the replay
     stage_stats: dict = field(default_factory=dict)
 
@@ -132,6 +144,14 @@ def assemble_replay(
     local_std = np.full(n, np.nan)
     global_pred = np.full(n, np.nan)
     uncertain = np.zeros(n, dtype=bool)
+    stage_interval_low = np.empty(n)
+    stage_interval_high = np.empty(n)
+    cache_interval_low = np.full(n, np.nan)
+    cache_interval_high = np.full(n, np.nan)
+    local_interval_low = np.full(n, np.nan)
+    local_interval_high = np.full(n, np.nan)
+    global_interval_low = np.full(n, np.nan)
+    global_interval_high = np.full(n, np.nan)
 
     for i, record in enumerate(trace):
         true[i] = record.exec_time
@@ -149,19 +169,27 @@ def assemble_replay(
         sp = routed.prediction
         stage_pred[i] = sp.exec_time
         stage_source[i] = sp.source
+        stage_interval_low[i] = sp.interval_low
+        stage_interval_high[i] = sp.interval_high
         if collect_components:
-            if routed.cache_value is not None:
-                cache_pred[i] = routed.cache_value
+            if routed.cache is not None:
+                cache_pred[i] = routed.cache.exec_time
+                cache_interval_low[i] = routed.cache.interval_low
+                cache_interval_high[i] = routed.cache.interval_high
             if routed.local is not None:
                 lp = routed.local
                 local_pred[i] = lp.exec_time
                 local_std[i] = lp.std
+                local_interval_low[i] = lp.interval_low
+                local_interval_high[i] = lp.interval_high
                 uncertain[i] = (
                     lp.exec_time >= config.short_circuit_seconds
                     and lp.std >= config.uncertainty_threshold
                 )
         elif sp.source == PredictionSource.CACHE:
             cache_pred[i] = sp.exec_time
+            cache_interval_low[i] = sp.interval_low
+            cache_interval_high[i] = sp.interval_high
 
     if collect_components and global_model is not None:
         # The global model is trained offline and frozen during replay, so
@@ -169,7 +197,10 @@ def assemble_replay(
         from repro.global_model.featurization import record_to_graph
 
         graphs = [record_to_graph(r.plan, trace.instance) for r in trace]
-        global_pred[:] = global_model.predict_graphs(graphs)
+        seconds, g_low, g_high = global_model.predict_graphs_with_interval(graphs)
+        global_pred[:] = seconds
+        global_interval_low[:] = g_low
+        global_interval_high[:] = g_high
 
     return InstanceReplay(
         instance_id=trace.instance.instance_id,
@@ -184,6 +215,14 @@ def assemble_replay(
         local_std=local_std,
         global_pred=global_pred,
         uncertain=uncertain,
+        stage_interval_low=stage_interval_low,
+        stage_interval_high=stage_interval_high,
+        cache_interval_low=cache_interval_low,
+        cache_interval_high=cache_interval_high,
+        local_interval_low=local_interval_low,
+        local_interval_high=local_interval_high,
+        global_interval_low=global_interval_low,
+        global_interval_high=global_interval_high,
         stage_stats=stage_stats,
     )
 
@@ -203,6 +242,15 @@ def stage_stats_of(stage: StagePredictor) -> dict:
         "global_use_fraction": stage.global_use_fraction,
         "n_local_retrains": stage.local.n_retrains,
         "byte_size": stage.byte_size(),
+        # integer width-histogram counts (mergeable across shards by
+        # elementwise addition) plus the derived width percentiles
+        "interval_width_bins": tuple(stage.interval_width_bins),
+        "interval_width_p50": width_percentile_from_bins(
+            stage.interval_width_bins, 0.5
+        ),
+        "interval_width_p90": width_percentile_from_bins(
+            stage.interval_width_bins, 0.9
+        ),
     }
 
 
@@ -321,7 +369,9 @@ def replay_instance(
             if collect_components:
                 routed = RoutedComponents(
                     prediction=routed.prediction,
-                    cache_value=stage.cache.peek(stage.cache.key_for(record.features)),
+                    cache=stage.cache.peek_prediction(
+                        stage.cache.key_for(record.features)
+                    ),
                     local=(
                         stage.local.predict(record.features) if stage.local.is_ready else None
                     ),

@@ -56,6 +56,11 @@ class FrozenLocalModel:
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
         out = self.ensemble.predict(X)
         exec_times = self.transform.inverse(out.mean)
+        # the member-spread quantile bounds ride through the same
+        # (monotone) inverse transform as the mean; exec-times are
+        # non-negative, so the lower bound is clamped at zero
+        interval_low = np.maximum(self.transform.inverse(out.interval_low), 0.0)
+        interval_high = self.transform.inverse(out.interval_high)
         return [
             Prediction(
                 exec_time=float(exec_times[i]),
@@ -63,6 +68,8 @@ class FrozenLocalModel:
                 source=PredictionSource.LOCAL,
                 model_uncertainty=float(out.model_uncertainty[i]),
                 data_uncertainty=float(out.data_uncertainty[i]),
+                interval_low=float(interval_low[i]),
+                interval_high=float(interval_high[i]),
             )
             for i in range(X.shape[0])
         ]
@@ -125,22 +132,17 @@ class LocalModel:
 
     # ------------------------------------------------------------------
     def predict(self, features: np.ndarray) -> Prediction:
-        """Predict exec-time with decomposed uncertainty.
+        """Predict exec-time with decomposed uncertainty and interval.
 
-        Raises ``RuntimeError`` if called before the first retrain; use
-        :attr:`is_ready` to guard.
+        The batch-size-1 case of :meth:`FrozenLocalModel.predict_batch`
+        — one construction path, so the per-query and batched answers
+        (point, variance decomposition *and* interval bounds) cannot
+        drift.  Raises ``RuntimeError`` if called before the first
+        retrain; use :attr:`is_ready` to guard.
         """
         if self._ensemble is None:
             raise RuntimeError("local model has no trained ensemble yet")
-        out = self._ensemble.predict(np.asarray(features)[None, :])
-        exec_time = float(self.transform.inverse(out.mean)[0])
-        return Prediction(
-            exec_time=exec_time,
-            variance=float(out.total_uncertainty[0]),
-            source=PredictionSource.LOCAL,
-            model_uncertainty=float(out.model_uncertainty[0]),
-            data_uncertainty=float(out.data_uncertainty[0]),
-        )
+        return self.frozen().predict_batch(np.asarray(features)[None, :])[0]
 
     def predict_batch(self, X: np.ndarray) -> List[Prediction]:
         """Batched :meth:`predict`: one ensemble call for many rows.

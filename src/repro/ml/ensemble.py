@@ -19,17 +19,27 @@ from dataclasses import dataclass
 import numpy as np
 
 from .gbm import GradientBoostingModel
+from .intervals import member_quantile_bounds
 
 __all__ = ["EnsemblePrediction", "BayesianGBMEnsemble"]
 
 
 @dataclass
 class EnsemblePrediction:
-    """Decomposed ensemble output for a batch of queries."""
+    """Decomposed ensemble output for a batch of queries.
+
+    ``interval_low``/``interval_high`` are the member-spread quantile
+    bounds (:func:`~repro.ml.intervals.member_quantile_bounds`) at the
+    pipeline-wide nominal confidence, in the same (log) space as
+    ``mean`` — callers map them through the target transform alongside
+    the mean.
+    """
 
     mean: np.ndarray
     model_uncertainty: np.ndarray
     data_uncertainty: np.ndarray
+    interval_low: np.ndarray = None
+    interval_high: np.ndarray = None
 
     @property
     def total_uncertainty(self):
@@ -117,10 +127,16 @@ class BayesianGBMEnsemble:
         for k in range(self.n_members):
             model_unc += (mean - mus[k]) ** 2
         model_unc /= self.n_members
+        # member-spread quantile bounds: np.quantile sorts per column, so
+        # the bounds share both invariants — permutation-stable across
+        # member order and batch-size-invariant per row
+        interval_low, interval_high = member_quantile_bounds(mus, sigma2s, mean=mean)
         return EnsemblePrediction(
             mean=mean,
             model_uncertainty=model_unc,
             data_uncertainty=data_unc,
+            interval_low=interval_low,
+            interval_high=interval_high,
         )
 
     def predict_mean(self, X):

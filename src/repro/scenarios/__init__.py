@@ -14,6 +14,13 @@ automatically.
 
 from repro.workload.scenario import ScenarioConfig
 
+from .calibration import (
+    CalibrationRow,
+    calibration_rows,
+    calibration_sweep_config,
+    render_scorecard,
+    run_calibration,
+)
 from .engine import (
     Scenario,
     ScenarioResult,
@@ -26,13 +33,18 @@ from .engine import (
 )
 
 __all__ = [
+    "CalibrationRow",
     "Scenario",
     "ScenarioConfig",
     "ScenarioResult",
     "ScenarioRunner",
     "ScenarioSweepConfig",
+    "calibration_rows",
+    "calibration_sweep_config",
     "get_scenario",
     "register_scenario",
     "registered_scenarios",
     "render_matrix",
+    "render_scorecard",
+    "run_calibration",
 ]

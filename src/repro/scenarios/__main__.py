@@ -6,6 +6,11 @@ and writes the deterministic report to ``results/scenario_matrix.txt``
 the committed report exactly, so a bare run must reproduce it
 bit-for-bit — that is what CI's results-drift gate checks.
 
+The ``calibration`` subcommand renders the interval-coverage scorecard
+(``results/calibration_scorecard.txt``, also drift-gated): empirical
+coverage of the calibrated prediction intervals versus the nominal
+confidence, per source.
+
 Examples
 --------
 ::
@@ -14,6 +19,8 @@ Examples
     PYTHONPATH=src python -m repro.scenarios --list
     PYTHONPATH=src python -m repro.scenarios --scenarios baseline burst_storm \\
         --jobs 2 --via-service --clients 3 --no-write
+    PYTHONPATH=src python -m repro.scenarios calibration
+    PYTHONPATH=src python -m repro.scenarios calibration --jobs 2 --no-write
 """
 
 from __future__ import annotations
@@ -34,6 +41,39 @@ from .engine import (
 
 #: the committed, CI-drift-gated reference report
 DEFAULT_OUT = os.path.join("results", "scenario_matrix.txt")
+
+#: the committed, CI-drift-gated calibration scorecard
+CALIBRATION_OUT = os.path.join("results", "calibration_scorecard.txt")
+
+
+def _calibration_main(argv) -> int:
+    """The ``calibration`` subcommand: render the coverage scorecard.
+
+    ``--jobs`` is bit-identical at any value (the sweep engine's parity
+    contract), so it never taints the drift-gated default output.
+    """
+    from .calibration import run_calibration
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios calibration",
+        description="interval-coverage scorecard for the uncertainty pipeline",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (any value is bit-identical)"
+    )
+    parser.add_argument("--out", default=CALIBRATION_OUT)
+    parser.add_argument(
+        "--no-write", action="store_true", help="print the scorecard without writing --out"
+    )
+    args = parser.parse_args(argv)
+    _, report = run_calibration(n_jobs=args.jobs)
+    print(report)
+    if not args.no_write:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w") as f:
+            f.write(report + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -86,6 +126,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        import sys
+
+        argv = sys.argv[1:]
+    if argv and argv[0] == "calibration":
+        return _calibration_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.list:

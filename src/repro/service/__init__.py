@@ -16,6 +16,16 @@ package provides that deployment shape:
 - :func:`run_service_bench` / :func:`run_gateway_bench` — the
   throughput/latency benchmarks behind ``python -m repro.service``
   (``results/service_bench.txt`` and ``results/gateway_bench.txt``).
+
+Predictions served by every tier carry calibrated intervals
+(``Prediction.interval_low/interval_high``) derived per source —
+Welford variance for cache hits, ensemble member spread for the local
+model, a residual-variance head for the global model — and both
+``PredictionService.stats()`` and the gateway's fleet roll-up report
+interval-width percentiles from mergeable fixed-bin histograms.  The
+interval arrays obey the same bit-parity contracts as the points
+(direct vs ``via_service`` vs ``via_gateway``, any shard/batch/client
+count); see ``examples/uncertainty_serving.py``.
 """
 
 from repro.core.config import GatewayConfig, ServiceConfig

@@ -53,6 +53,11 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import GatewayConfig, ServiceConfig, StageConfig
 from repro.global_model.model import GlobalModel
+from repro.ml.intervals import (
+    merge_width_bins,
+    new_width_bins,
+    width_percentile_from_bins,
+)
 from repro.parallelism import pool_context
 from repro.workload.instance import InstanceProfile
 from repro.workload.seeding import derive_seed
@@ -282,11 +287,9 @@ class FleetGateway:
         global_model: Optional[GlobalModel] = None,
         random_state: int = 0,
     ):
+        # GatewayConfig.__post_init__ validates the knobs, so any config
+        # that reaches here is structurally sound
         self.config = config or GatewayConfig()
-        if self.config.n_shards < 1:
-            raise ValueError("n_shards must be >= 1")
-        if self.config.queue_size < 1:
-            raise ValueError("queue_size must be >= 1")
         self.stage_config = stage_config
         self.global_model = global_model
         self.random_state = random_state
@@ -634,6 +637,7 @@ class FleetGateway:
             "n_local_retrains": 0,
             "byte_size": 0,
         }
+        width_bins = new_width_bins()
         for stats in instances.values():
             scheduler, stage = stats["scheduler"], stats["stage"]
             for key in ("n_predicts", "n_observes", "n_immediate", "n_deferred", "n_batches"):
@@ -642,8 +646,15 @@ class FleetGateway:
             fleet["cache_misses"] += stage["cache_misses"]
             fleet["n_local_retrains"] += stage["n_local_retrains"]
             fleet["byte_size"] += stage["byte_size"]
+            # integer histograms merge exactly (elementwise addition),
+            # so the fleet percentiles are independent of shard count
+            # and of the order instances report in
+            width_bins = merge_width_bins(width_bins, stage["interval_width_bins"])
         lookups = fleet["cache_hits"] + fleet["cache_misses"]
         fleet["cache_hit_rate"] = fleet["cache_hits"] / lookups if lookups else 0.0
+        fleet["interval_width_bins"] = tuple(width_bins)
+        fleet["interval_width_p50"] = width_percentile_from_bins(width_bins, 0.5)
+        fleet["interval_width_p90"] = width_percentile_from_bins(width_bins, 0.9)
         return {
             "n_shards": self.n_shards,
             "n_instances": len(instances),

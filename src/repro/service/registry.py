@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import zipfile
 from typing import List, Optional, Sequence
 
 from repro.core.config import ServiceConfig
@@ -70,6 +71,39 @@ class ModelRegistry:
         return os.path.join(self.root, "fleets")
 
     # ------------------------------------------------------------------
+    # error-path helpers: every load failure names the artifact and, for
+    # missing ones, lists what the registry actually holds — never a bare
+    # FileNotFoundError on an internal path or a raw pickle traceback
+    # ------------------------------------------------------------------
+    def _require(self, path: str, kind: str, name: str, available: List[str]) -> None:
+        if not os.path.exists(path):
+            listing = ", ".join(repr(a) for a in available) if available else "none"
+            raise FileNotFoundError(
+                f"no {kind} named {name!r} in registry {self.root!r} "
+                f"(available: {listing})"
+            )
+
+    @staticmethod
+    def _read_pickle(path: str, kind: str, name: str) -> dict:
+        try:
+            with open(path, "rb") as f:
+                return pickle.load(f)
+        except (pickle.UnpicklingError, EOFError, AttributeError, IndexError) as exc:
+            raise ValueError(
+                f"{kind} {name!r} is corrupt or truncated ({path}): {exc}"
+            ) from exc
+
+    @staticmethod
+    def _read_global(path: str, kind: str, name: str) -> GlobalModel:
+        try:
+            return load_global_model(path)
+        except (zipfile.BadZipFile, OSError, KeyError) as exc:
+            raise ValueError(
+                f"{kind} {name!r} has a corrupt or truncated global model "
+                f"({path}): {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
     # fleet-shared global models
     # ------------------------------------------------------------------
     def global_model_path(self, name: str = "global") -> str:
@@ -82,7 +116,9 @@ class ModelRegistry:
         return path
 
     def load_global_model(self, name: str = "global") -> GlobalModel:
-        return load_global_model(self.global_model_path(name))
+        path = self.global_model_path(name)
+        self._require(path, "global model", name, self.list_global_models())
+        return self._read_global(path, "global model", name)
 
     def list_global_models(self) -> List[str]:
         return sorted(
@@ -148,17 +184,23 @@ class ModelRegistry:
         return path
 
     def load_service_state(self, name: str):
-        """Load a snapshot; returns ``(stage, service_config)``."""
+        """Load a snapshot; returns ``(stage, service_config)``.
+
+        Raises a self-describing ``FileNotFoundError`` (naming the
+        snapshot and listing what exists) when ``name`` is unknown, and
+        ``ValueError`` when the on-disk state is corrupt or truncated.
+        """
         path = self.service_snapshot_path(name)
-        with open(os.path.join(path, _STATE_FILE), "rb") as f:
-            payload = pickle.load(f)
+        state_path = os.path.join(path, _STATE_FILE)
+        self._require(state_path, "service snapshot", name, self.list_service_snapshots())
+        payload = self._read_pickle(state_path, "service snapshot", name)
         version = payload.get("format_version")
         if version != _SNAPSHOT_FORMAT_VERSION:
             raise ValueError(f"unsupported service snapshot version {version}")
         stage: StagePredictor = payload["stage"]
         global_path = os.path.join(path, _GLOBAL_FILE)
         if os.path.exists(global_path):
-            stage.global_model = load_global_model(global_path)
+            stage.global_model = self._read_global(global_path, "service snapshot", name)
         return stage, payload.get("service_config")
 
     def load_service(
@@ -219,8 +261,12 @@ class ModelRegistry:
     ) -> StagePredictor:
         """Load one member predictor, re-attaching the shared model."""
         path = self.fleet_member_path(name, instance_id)
-        with open(os.path.join(path, _STATE_FILE), "rb") as f:
-            payload = pickle.load(f)
+        state_path = os.path.join(path, _STATE_FILE)
+        member = f"{name}/{instance_id}"
+        instances_dir = os.path.join(self.fleet_snapshot_path(name), _FLEET_INSTANCES_DIR)
+        available = sorted(os.listdir(instances_dir)) if os.path.isdir(instances_dir) else []
+        self._require(state_path, "fleet member", member, available)
+        payload = self._read_pickle(state_path, "fleet member", member)
         version = payload.get("format_version")
         if version != _FLEET_FORMAT_VERSION:
             raise ValueError(f"unsupported fleet snapshot version {version}")
@@ -267,12 +313,20 @@ class ModelRegistry:
 
     def load_fleet_manifest(self, name: str) -> dict:
         path = os.path.join(self.fleet_snapshot_path(name), _FLEET_MANIFEST_FILE)
-        with open(path) as f:
-            manifest = json.load(f)
+        self._require(path, "fleet snapshot", name, self.list_fleet_snapshots())
+        try:
+            with open(path) as f:
+                manifest = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"fleet snapshot {name!r} has a corrupt manifest ({path}): {exc}"
+            ) from exc
         version = manifest.get("format_version")
         if version != _FLEET_FORMAT_VERSION:
             raise ValueError(f"unsupported fleet snapshot version {version}")
         return manifest
 
     def load_fleet_global(self, name: str) -> GlobalModel:
-        return load_global_model(os.path.join(self.fleet_snapshot_path(name), _GLOBAL_FILE))
+        path = os.path.join(self.fleet_snapshot_path(name), _GLOBAL_FILE)
+        self._require(path, "fleet snapshot global model", name, self.list_fleet_snapshots())
+        return self._read_global(path, "fleet snapshot", name)

@@ -213,10 +213,18 @@ class TestGatewayService:
                 gateway.predict_async("no-such-instance", traces[0][0])
 
     def test_bad_config_rejected(self):
+        # validation lives on GatewayConfig itself, so a bad config dies
+        # at construction — before any shard process could be spawned
         with pytest.raises(ValueError, match="n_shards"):
-            FleetGateway(GatewayConfig(n_shards=0))
+            GatewayConfig(n_shards=0)
+        with pytest.raises(ValueError, match="n_shards"):
+            GatewayConfig(n_shards=-2)
         with pytest.raises(ValueError, match="queue_size"):
-            FleetGateway(GatewayConfig(queue_size=0))
+            GatewayConfig(queue_size=0)
+        with pytest.raises(ValueError, match="enqueue_timeout_s"):
+            GatewayConfig(enqueue_timeout_s=0.0)
+        with pytest.raises(ValueError, match="drain_timeout_s"):
+            GatewayConfig(drain_timeout_s=-1.0)
 
     def test_fleet_metrics_aggregate_across_shards(self, traces):
         with FleetGateway(GatewayConfig(n_shards=2), stage_config=fast_profile()) as gateway:

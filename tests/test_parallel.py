@@ -35,6 +35,14 @@ ARRAY_ATTRS = (
     "local_std",
     "global_pred",
     "uncertain",
+    "stage_interval_low",
+    "stage_interval_high",
+    "cache_interval_low",
+    "cache_interval_high",
+    "local_interval_low",
+    "local_interval_high",
+    "global_interval_low",
+    "global_interval_high",
 )
 
 

@@ -11,12 +11,23 @@ trusting a handful of hand-picked cases; the fixed-seed CI profile
 (``tests/conftest.py``) keeps the search deterministic.
 """
 
+import math
+
 import numpy as np
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.cache.exec_time_cache import ExecTimeCache
 from repro.cache.welford import RunningStats
+from repro.ml.intervals import (
+    empirical_coverage,
+    member_quantile_bounds,
+    merge_width_bins,
+    new_width_bins,
+    welford_interval,
+    width_bin_index,
+    width_percentile_from_bins,
+)
 from repro.ml.preprocessing import RunningMoments
 from repro.service.gateway import shard_for
 from repro.workload.drift import AnalyzeSchedule
@@ -289,3 +300,178 @@ class TestAnalyzeScheduleEpochs:
         for boundary in stretched.boundaries:
             day = boundary / 86_400.0
             assert not any(start <= day < end for start, end in outages)
+
+
+# ---------------------------------------------------------------------------
+# ml/intervals.py :: the shared interval algebra
+# ---------------------------------------------------------------------------
+class TestWelfordInterval:
+    @given(
+        finite_floats,
+        st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+        st.integers(min_value=2, max_value=10_000),
+    )
+    def test_width_shrinks_monotonically_with_n(self, point, variance, count):
+        """For fixed variance, more observations -> strictly tighter
+        (never wider) prediction intervals; the upper bound is exact."""
+        low_n, high_n = welford_interval(point, count, variance)
+        low_n1, high_n1 = welford_interval(point, count + 1, variance)
+        width_n = high_n - low_n
+        width_n1 = high_n1 - low_n1
+        assert width_n1 <= width_n
+        # the upper half-width is unclamped, so it is *strictly* monotone
+        assert high_n1 < high_n
+
+    @given(finite_floats, st.integers(min_value=0, max_value=1), finite_floats)
+    def test_degenerate_entries_collapse_to_point(self, point, count, variance):
+        assert welford_interval(point, count, variance) == (point, point)
+
+    @given(
+        finite_floats,
+        st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+        st.integers(min_value=2, max_value=10_000),
+    )
+    def test_interval_contains_point_and_is_nonnegative(self, point, variance, count):
+        low, high = welford_interval(point, count, variance)
+        assert low <= point <= high
+        assert low >= 0.0
+
+
+member_matrix = st.integers(min_value=2, max_value=8).flatmap(
+    lambda k: st.integers(min_value=1, max_value=12).flatmap(
+        lambda n: st.tuples(
+            st.lists(
+                st.lists(
+                    st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+                    min_size=n,
+                    max_size=n,
+                ),
+                min_size=k,
+                max_size=k,
+            ),
+            st.lists(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                    min_size=n,
+                    max_size=n,
+                ),
+                min_size=k,
+                max_size=k,
+            ),
+        )
+    )
+)
+
+
+class TestMemberQuantileBounds:
+    @given(member_matrix, st.randoms(use_true_random=False))
+    def test_permutation_stable(self, matrices, rnd):
+        """Shuffling the member axis changes nothing — bit-for-bit.
+
+        np.quantile sorts each column, so member order cannot leak into
+        the bounds; this is what makes ensemble intervals stable across
+        any member evaluation order.
+        """
+        mus = np.array(matrices[0], dtype=np.float64)
+        sigma2s = np.array(matrices[1], dtype=np.float64)
+        order = list(range(mus.shape[0]))
+        rnd.shuffle(order)
+        low_a, high_a = member_quantile_bounds(mus, sigma2s)
+        low_b, high_b = member_quantile_bounds(mus[order], sigma2s[order])
+        assert np.array_equal(low_a, low_b)
+        assert np.array_equal(high_a, high_b)
+
+    @given(member_matrix)
+    def test_bounds_contain_member_order_stable_mean(self, matrices):
+        mus = np.array(matrices[0], dtype=np.float64)
+        sigma2s = np.array(matrices[1], dtype=np.float64)
+        low, high = member_quantile_bounds(mus, sigma2s)
+        mean = np.zeros(mus.shape[1])
+        for k in range(mus.shape[0]):
+            mean += mus[k]
+        mean /= mus.shape[0]
+        assert np.all(low <= mean)
+        assert np.all(high >= mean)
+
+    @given(member_matrix)
+    def test_batch_column_independence(self, matrices):
+        """Each column's bounds never depend on which columns share the
+        batch — the array-level analogue of batch-size invariance."""
+        mus = np.array(matrices[0], dtype=np.float64)
+        sigma2s = np.array(matrices[1], dtype=np.float64)
+        low, high = member_quantile_bounds(mus, sigma2s)
+        for j in range(mus.shape[1]):
+            low_j, high_j = member_quantile_bounds(mus[:, [j]], sigma2s[:, [j]])
+            assert low_j[0] == low[j]
+            assert high_j[0] == high[j]
+
+
+#: a bounded float or NaN (NaN marks "this source never answered")
+_maybe_nan = st.one_of(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False),
+    st.just(float("nan")),
+)
+
+coverage_arrays = st.integers(min_value=1, max_value=40).flatmap(
+    lambda n: st.tuples(
+        st.lists(_maybe_nan, min_size=n, max_size=n),
+        st.lists(_maybe_nan, min_size=n, max_size=n),
+        st.lists(_maybe_nan, min_size=n, max_size=n),
+    )
+)
+
+
+class TestEmpiricalCoverage:
+    @given(coverage_arrays)
+    def test_matches_brute_force(self, arrays):
+        true, low, high = (np.array(a) for a in arrays)
+        got = empirical_coverage(true, low, high)
+        inside = 0
+        valid = 0
+        for t, lo, hi in zip(true, low, high):
+            if math.isnan(t) or math.isnan(lo) or math.isnan(hi):
+                continue
+            valid += 1
+            if lo <= t <= hi:
+                inside += 1
+        if valid == 0:
+            assert math.isnan(got)
+        else:
+            assert got == inside / valid
+
+    @given(coverage_arrays)
+    def test_bounded_in_unit_interval(self, arrays):
+        true, low, high = (np.array(a) for a in arrays)
+        got = empirical_coverage(true, low, high)
+        assert math.isnan(got) or 0.0 <= got <= 1.0
+
+
+class TestWidthHistogram:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5, allow_nan=False), max_size=80))
+    def test_merge_equals_single_stream(self, widths):
+        """Splitting a width stream across two histograms and merging is
+        identical to binning the whole stream into one — the property
+        the gateway's cross-shard roll-up rests on."""
+        merged_a = new_width_bins()
+        merged_b = new_width_bins()
+        single = new_width_bins()
+        for i, w in enumerate(widths):
+            single[width_bin_index(w)] += 1
+            target = merged_a if i % 2 == 0 else merged_b
+            target[width_bin_index(w)] += 1
+        assert merge_width_bins(merged_a, merged_b) == single
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e5, allow_nan=False), min_size=1, max_size=80),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_percentile_brackets_the_rank_width(self, widths, q):
+        bins = new_width_bins()
+        for w in widths:
+            bins[width_bin_index(w)] += 1
+        readout = width_percentile_from_bins(bins, q)
+        rank = max(1, math.ceil(q * len(widths)))
+        exact = sorted(widths)[rank - 1]
+        # the histogram readout reports the bin's upper edge, so it can
+        # only round *up* relative to the exact rank statistic
+        assert readout >= exact or readout == float("inf")

@@ -1,0 +1,148 @@
+"""Error-path coverage for :class:`repro.service.ModelRegistry`.
+
+Every load failure must be self-describing: a missing artifact raises
+``FileNotFoundError`` naming the snapshot and listing what the registry
+actually holds, and corrupt/truncated on-disk state raises ``ValueError``
+— never a bare internal-path ``FileNotFoundError`` or a raw pickle
+traceback.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import fast_profile
+from repro.core.stage import StagePredictor
+from repro.global_model.featurization import SYS_FEATURE_DIM
+from repro.global_model.model import GlobalModel
+from repro.ml.gcn import DirectedGCN
+from repro.ml.preprocessing import StandardScaler
+from repro.plans.graph import NODE_FEATURE_DIM
+from repro.service import ModelRegistry
+from repro.workload import FleetConfig, FleetGenerator
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(str(tmp_path / "registry"))
+
+
+@pytest.fixture(scope="module")
+def instance():
+    gen = FleetGenerator(FleetConfig(seed=5, volume_scale=0.1))
+    return gen.sample_instance(0)
+
+
+def _tiny_global_model() -> GlobalModel:
+    """A structurally valid (untrained) global model — enough to serialize."""
+    gcn = DirectedGCN(
+        n_node_features=NODE_FEATURE_DIM,
+        n_sys_features=SYS_FEATURE_DIM,
+        hidden_dim=8,
+        n_conv_layers=2,
+        dropout=0.0,
+        random_state=0,
+    )
+    node_scaler = StandardScaler()
+    node_scaler.mean_ = np.zeros(NODE_FEATURE_DIM)
+    node_scaler.scale_ = np.ones(NODE_FEATURE_DIM)
+    sys_scaler = StandardScaler()
+    sys_scaler.mean_ = np.zeros(SYS_FEATURE_DIM)
+    sys_scaler.scale_ = np.ones(SYS_FEATURE_DIM)
+    return GlobalModel(gcn, node_scaler, sys_scaler, residual_variance=0.25)
+
+
+class TestMissingArtifacts:
+    def test_missing_service_snapshot_names_it(self, registry):
+        with pytest.raises(FileNotFoundError, match="no service snapshot named 'nope'"):
+            registry.load_service_state("nope")
+
+    def test_missing_snapshot_lists_available(self, registry, instance):
+        stage = StagePredictor(instance, config=fast_profile())
+        registry.save_service_state(stage, "existing")
+        with pytest.raises(FileNotFoundError, match="'existing'"):
+            registry.load_service_state("nope")
+
+    def test_missing_global_model(self, registry):
+        with pytest.raises(FileNotFoundError, match="no global model named 'ghost'"):
+            registry.load_global_model("ghost")
+
+    def test_missing_fleet_snapshot(self, registry):
+        with pytest.raises(FileNotFoundError, match="no fleet snapshot named 'ghost'"):
+            registry.load_fleet_manifest("ghost")
+
+    def test_missing_fleet_member_lists_available(self, registry, instance):
+        stage = StagePredictor(instance, config=fast_profile())
+        registry.save_fleet_member(stage, "fleet-a")
+        registry.save_fleet_manifest("fleet-a", [instance.instance_id], n_shards=1)
+        with pytest.raises(FileNotFoundError) as excinfo:
+            registry.load_fleet_member("fleet-a", "no-such-instance")
+        assert instance.instance_id in str(excinfo.value)
+
+    def test_missing_fleet_global(self, registry):
+        with pytest.raises(FileNotFoundError, match="fleet snapshot global model"):
+            registry.load_fleet_global("ghost")
+
+
+class TestCorruptArtifacts:
+    def test_truncated_state_pickle(self, registry, instance):
+        stage = StagePredictor(instance, config=fast_profile())
+        path = registry.save_service_state(stage, "snap")
+        state_path = os.path.join(path, "state.pkl")
+        data = open(state_path, "rb").read()
+        with open(state_path, "wb") as f:
+            f.write(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            registry.load_service_state("snap")
+
+    def test_truncated_global_npz(self, registry):
+        path = registry.save_global_model(_tiny_global_model(), "tiny")
+        data = open(path, "rb").read()
+        with open(path, "wb") as f:
+            f.write(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            registry.load_global_model("tiny")
+
+    def test_garbage_state_pickle(self, registry, instance):
+        stage = StagePredictor(instance, config=fast_profile())
+        path = registry.save_service_state(stage, "snap")
+        with open(os.path.join(path, "state.pkl"), "wb") as f:
+            f.write(b"this is not a pickle")
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            registry.load_service_state("snap")
+
+    def test_corrupt_fleet_manifest_json(self, registry, instance):
+        stage = StagePredictor(instance, config=fast_profile())
+        registry.save_fleet_member(stage, "fleet-b")
+        registry.save_fleet_manifest("fleet-b", [instance.instance_id], n_shards=1)
+        manifest_path = os.path.join(registry.fleet_snapshot_path("fleet-b"), "fleet.json")
+        with open(manifest_path, "w") as f:
+            f.write("{ not json")
+        with pytest.raises(ValueError, match="corrupt manifest"):
+            registry.load_fleet_manifest("fleet-b")
+
+    def test_truncated_fleet_member_pickle(self, registry, instance):
+        stage = StagePredictor(instance, config=fast_profile())
+        path = registry.save_fleet_member(stage, "fleet-c")
+        registry.save_fleet_manifest("fleet-c", [instance.instance_id], n_shards=1)
+        state_path = os.path.join(path, "state.pkl")
+        data = open(state_path, "rb").read()
+        with open(state_path, "wb") as f:
+            f.write(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            registry.load_fleet_member("fleet-c", instance.instance_id)
+
+
+class TestHappyPathStillWorks:
+    def test_global_model_roundtrip_keeps_residual_variance(self, registry):
+        registry.save_global_model(_tiny_global_model(), "tiny")
+        loaded = registry.load_global_model("tiny")
+        assert loaded.residual_variance == 0.25
+
+    def test_service_state_roundtrip_keeps_width_bins(self, registry, instance):
+        stage = StagePredictor(instance, config=fast_profile())
+        stage.interval_width_bins[3] = 7
+        registry.save_service_state(stage, "snap")
+        loaded, _ = registry.load_service_state("snap")
+        assert loaded.interval_width_bins == stage.interval_width_bins

@@ -38,6 +38,14 @@ ARRAY_ATTRS = (
     "local_std",
     "global_pred",
     "uncertain",
+    "stage_interval_low",
+    "stage_interval_high",
+    "cache_interval_low",
+    "cache_interval_high",
+    "local_interval_low",
+    "local_interval_high",
+    "global_interval_low",
+    "global_interval_high",
 )
 
 
@@ -193,7 +201,7 @@ class TestBatchRouter:
         for want, slot in zip(seq_preds, slots):
             got = slot.components
             assert got.prediction == want.prediction
-            assert got.cache_value == want.cache_value
+            assert got.cache == want.cache
             assert got.local == want.local
         assert sequential.source_counts == batched.source_counts
         assert sequential.cache.hits == batched.cache.hits
@@ -210,6 +218,29 @@ def _scheduler_service(trace, **kwargs):
         service_config=ServiceConfig(**kwargs),
     )
     return service
+
+
+class TestServiceConfigValidation:
+    """Bad knobs die at config construction, before any thread spawns."""
+
+    def test_zero_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            ServiceConfig(max_batch_size=0)
+
+    def test_negative_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            ServiceConfig(max_batch_size=-4)
+
+    def test_negative_batch_latency_rejected(self):
+        with pytest.raises(ValueError, match="max_batch_latency_ms"):
+            ServiceConfig(max_batch_latency_ms=-0.5)
+
+    def test_nonpositive_drain_timeout_rejected(self):
+        with pytest.raises(ValueError, match="drain_timeout_s"):
+            ServiceConfig(drain_timeout_s=0.0)
+
+    def test_defaults_are_valid(self):
+        ServiceConfig()  # must not raise
 
 
 class TestScheduler:

@@ -107,7 +107,8 @@ class TestPredictWithComponents:
         stage.observe(first)
         routed = stage.predict_with_components(first)
         assert routed.prediction.source == PredictionSource.CACHE
-        assert routed.cache_value == pytest.approx(routed.prediction.exec_time)
+        assert routed.cache is not None
+        assert routed.cache.exec_time == pytest.approx(routed.prediction.exec_time)
         assert routed.local is None
 
     def test_miss_reuses_router_local_answer(self, trace):
@@ -121,9 +122,9 @@ class TestPredictWithComponents:
         routed = None
         for record in records[200:]:
             routed = stage.predict_with_components(record)
-            if routed.cache_value is None:
+            if routed.cache is None:
                 break
-        assert routed is not None and routed.cache_value is None
+        assert routed is not None and routed.cache is None
         assert routed.local is not None
         assert routed.local_ready
         assert routed.local_generation == stage.local.n_retrains
@@ -216,9 +217,9 @@ class TestGlobalRouting:
         routed = None
         for record in records[200:]:
             routed = stage.predict_with_components(record)
-            if routed.cache_value is None:
+            if routed.cache is None:
                 break
-        assert routed is not None and routed.cache_value is None
+        assert routed is not None and routed.cache is None
         assert routed.prediction.source == PredictionSource.GLOBAL
         assert routed.local is not None  # computed and escalated past
 
