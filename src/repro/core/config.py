@@ -27,6 +27,7 @@ __all__ = [
     "ScenarioConfig",
     "ServiceConfig",
     "StageConfig",
+    "WireConfig",
     "fast_profile",
     "paper_profile",
 ]
@@ -173,6 +174,17 @@ class GatewayConfig:
     enqueue_timeout_s: float = 30.0
     #: default timeout for whole-fleet drain/close/snapshot barriers
     drain_timeout_s: float = 120.0
+    #: how long :meth:`~repro.service.FleetGateway.close` may wait to
+    #: hand each live shard its shutdown op before giving up and
+    #: terminating it.  Always bounded by the close deadline as well:
+    #: the effective per-shard budget is
+    #: ``min(shutdown_enqueue_timeout_s, time left before the deadline)``
+    shutdown_enqueue_timeout_s: float = 1.0
+    #: machine-readable retry hint carried by
+    #: :class:`~repro.service.GatewayBackpressureError` (and surfaced in
+    #: the wire protocol's RETRY_AFTER frames) when a shard queue sheds
+    #: an op — how long a well-behaved client should back off
+    retry_after_s: float = 0.5
     #: per-instance micro-batching knobs, forwarded to every shard's
     #: :class:`~repro.service.PredictionService` instances
     service: ServiceConfig = field(default_factory=ServiceConfig)
@@ -186,6 +198,50 @@ class GatewayConfig:
             raise ValueError("enqueue_timeout_s must be > 0")
         if self.drain_timeout_s <= 0:
             raise ValueError("drain_timeout_s must be > 0")
+        if self.shutdown_enqueue_timeout_s <= 0:
+            raise ValueError("shutdown_enqueue_timeout_s must be > 0")
+        if self.retry_after_s <= 0:
+            raise ValueError("retry_after_s must be > 0")
+
+
+@dataclass(frozen=True)
+class WireConfig:
+    """Wire front-door (:class:`~repro.service.WireServer`) settings.
+
+    The wire layer is an asyncio TCP server speaking a length-prefixed
+    binary frame protocol in front of a
+    :class:`~repro.service.FleetGateway`.  Sequence numbers are assigned
+    at session ingress (frame arrival order), so the determinism
+    contract extends over the socket and every knob here is a pure
+    capacity/robustness dial — none affects a prediction bit.
+    """
+
+    host: str = "127.0.0.1"
+    #: TCP port to bind; 0 binds an ephemeral port (the bound address is
+    #: returned by ``WireServer.start()``)
+    port: int = 0
+    #: a session with no inbound frame for this long is closed — unless
+    #: it still has ops in flight (a client waiting on responses is
+    #: never idle)
+    idle_timeout_s: float = 300.0
+    #: hard cap on a single frame body; oversized length prefixes are
+    #: rejected with a structured error before any allocation
+    max_frame_bytes: int = 64 * 1024 * 1024
+    #: worker threads that perform gateway submissions, so a
+    #: backpressure-blocked enqueue never stalls the event loop
+    submit_workers: int = 8
+
+    def __post_init__(self):
+        if not self.host:
+            raise ValueError("host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ValueError("port must be in [0, 65535]")
+        if self.idle_timeout_s <= 0:
+            raise ValueError("idle_timeout_s must be > 0")
+        if self.max_frame_bytes < 1024:
+            raise ValueError("max_frame_bytes must be >= 1024")
+        if self.submit_workers < 1:
+            raise ValueError("submit_workers must be >= 1")
 
 
 def fast_profile() -> StageConfig:

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
-from repro.core.config import GatewayConfig, ServiceConfig, StageConfig
+from repro.core.config import GatewayConfig, ServiceConfig, StageConfig, WireConfig
 from repro.global_model.model import GlobalModel
 from repro.parallelism import pool_map, resolve_n_jobs, runs_inline
 from repro.workload.fleet import FleetConfig, FleetGenerator
@@ -147,6 +147,11 @@ class FleetSweeper:
     #: determinism contract's strongest exercise)
     via_gateway: bool = False
     gateway_config: Optional[GatewayConfig] = None
+    #: replay the whole fleet through a FleetGateway *over real TCP* —
+    #: a WireServer front door, ``service_clients`` wire connections per
+    #: instance; same bit-parity contract, now spanning the socket
+    via_socket: bool = False
+    wire_config: Optional[WireConfig] = None
     #: worker processes; 1 = inline (no pool), ``<=0`` = all cores
     n_jobs: int = 1
 
@@ -178,12 +183,21 @@ class FleetSweeper:
 
     # ------------------------------------------------------------------
     def _check_modes(self) -> None:
-        if self.via_gateway and self.via_service:
-            raise ValueError("via_gateway and via_service are mutually exclusive")
-        if self.via_gateway and self.component_inference != "batched":
+        modes = [
+            name
+            for name, flag in (
+                ("via_service", self.via_service),
+                ("via_gateway", self.via_gateway),
+                ("via_socket", self.via_socket),
+            )
+            if flag
+        ]
+        if len(modes) > 1:
+            raise ValueError(f"{' and '.join(modes)} are mutually exclusive")
+        if (self.via_gateway or self.via_socket) and self.component_inference != "batched":
             raise ValueError(
-                'via_gateway replays route through the batched path; '
-                'use component_inference="batched"'
+                "via_gateway/via_socket replays route through the "
+                'batched path; use component_inference="batched"'
             )
 
     def _replay_via_gateway(self, traces: Sequence[Trace]) -> List[InstanceReplay]:
@@ -249,6 +263,65 @@ class FleetSweeper:
             for trace, components in zip(traces, components_per_trace)
         ]
 
+    def _replay_via_socket(self, traces: Sequence[Trace]) -> List[InstanceReplay]:
+        """Replay every trace through one gateway over real TCP.
+
+        The socket analogue of :meth:`_replay_via_gateway`: the whole
+        fleet sits behind one :class:`~repro.service.WireServer`, each
+        instance replays over ``service_clients`` wire connections with
+        explicit sequence numbers, and the per-instance accounting is
+        fetched back over the wire (STATS op) — so arrays *and*
+        accounting cross the socket and must still be bit-identical to
+        every other mode, for any shard/connection count.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+        from dataclasses import replace
+
+        from repro.service.gateway import FleetGateway
+        from repro.service.wire import WireServer, _SocketReplayContext
+
+        config = self.gateway_config or GatewayConfig()
+        config = replace(
+            config,
+            service=replace(
+                self.service_config or config.service,
+                collect_components=self.collect_components,
+            ),
+        )
+        gateway = FleetGateway(
+            config,
+            stage_config=self.stage_config,
+            global_model=self.global_model,
+            random_state=self.random_state,
+        )
+        server = WireServer(gateway, self.wire_config)
+        with _SocketReplayContext(gateway, server) as ctx:
+            for trace in traces:
+                ctx.register(trace.instance)
+
+            def replay(trace: Trace):
+                return ctx.replay(trace, n_connections=self.service_clients)
+
+            n_submitters = resolve_n_jobs(self.n_jobs, max(len(traces), 1))
+            if n_submitters == 1:
+                components_per_trace = [replay(trace) for trace in traces]
+            else:
+                with ThreadPoolExecutor(max_workers=n_submitters) as pool:
+                    components_per_trace = list(pool.map(replay, traces))
+            instance_stats = ctx.instance_stats()
+        return [
+            assemble_replay(
+                trace,
+                components,
+                instance_stats[trace.instance.instance_id]["stage"],
+                config=self.stage_config,
+                global_model=self.global_model,
+                random_state=self.random_state,
+                collect_components=self.collect_components,
+            )
+            for trace, components in zip(traces, components_per_trace)
+        ]
+
     # ------------------------------------------------------------------
     def replay_indices(
         self, indices: Iterable[int], duration_days: float
@@ -262,12 +335,14 @@ class FleetSweeper:
         shared gateway instead.
         """
         self._check_modes()
-        if self.via_gateway:
+        if self.via_gateway or self.via_socket:
             gen = FleetGenerator(self.fleet_config)
             traces = [
                 gen.generate_trace(gen.sample_instance(int(index)), duration_days)
                 for index in indices
             ]
+            if self.via_socket:
+                return self._replay_via_socket(traces)
             return self._replay_via_gateway(traces)
         payloads = [(self.fleet_config, duration_days, int(index)) for index in indices]
         return self._map(_replay_index_worker, payloads)
@@ -275,6 +350,8 @@ class FleetSweeper:
     def replay_traces(self, traces: Sequence[Trace]) -> List[InstanceReplay]:
         """Replay pre-built traces, preserving their order."""
         self._check_modes()
+        if self.via_socket:
+            return self._replay_via_socket(traces)
         if self.via_gateway:
             return self._replay_via_gateway(traces)
         payloads = [(trace,) for trace in traces]

@@ -38,7 +38,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.autowlm import AutoWLMPredictor
-from repro.core.config import ServiceConfig, StageConfig
+from repro.core.config import GatewayConfig, ServiceConfig, StageConfig, WireConfig
 from repro.core.interfaces import PredictionSource
 from repro.core.stage import BatchRouter, RoutedComponents, StagePredictor
 from repro.global_model.model import GlobalModel
@@ -313,6 +313,57 @@ def _routed_components_via_service(
     return components, service.stage
 
 
+def _routed_components_via_socket(
+    trace: Trace,
+    stage_config: Optional[StageConfig],
+    global_model: Optional[GlobalModel],
+    random_state: int,
+    collect_components: bool,
+    service_config: Optional[ServiceConfig],
+    service_clients: int,
+    gateway_config: Optional[GatewayConfig],
+    wire_config: Optional[WireConfig],
+):
+    """Replay the trace over a real TCP socket.
+
+    Stands up a single-instance :class:`~repro.service.FleetGateway`
+    fronted by a :class:`~repro.service.WireServer` and replays through
+    ``service_clients`` concurrent wire connections with explicit
+    sequence numbers (see
+    :func:`repro.service.wire.replay_trace_via_socket`).  The final
+    accounting is fetched back over the wire too, so both halves of the
+    parity contract — arrays *and* cache/counter accounting — round-trip
+    the socket.
+
+    Returns ``(components, stage_stats)``.
+    """
+    from dataclasses import replace
+
+    from repro.service.gateway import FleetGateway
+    from repro.service.wire import WireServer, _SocketReplayContext
+
+    config = gateway_config or GatewayConfig()
+    config = replace(
+        config,
+        service=replace(
+            service_config or config.service,
+            collect_components=collect_components,
+        ),
+    )
+    gateway = FleetGateway(
+        config,
+        stage_config=stage_config,
+        global_model=global_model,
+        random_state=random_state,
+    )
+    server = WireServer(gateway, wire_config)
+    with _SocketReplayContext(gateway, server) as ctx:
+        ctx.register(trace.instance)
+        components = ctx.replay(trace, n_connections=service_clients)
+        stats = ctx.instance_stats()[trace.instance.instance_id]["stage"]
+    return components, stats
+
+
 def replay_instance(
     trace: Trace,
     global_model: Optional[GlobalModel] = None,
@@ -323,6 +374,9 @@ def replay_instance(
     via_service: bool = False,
     service_config: ServiceConfig | None = None,
     service_clients: int = 1,
+    via_socket: bool = False,
+    gateway_config: GatewayConfig | None = None,
+    wire_config: WireConfig | None = None,
 ) -> InstanceReplay:
     """Replay one instance's trace through Stage and AutoWLM.
 
@@ -342,13 +396,23 @@ def replay_instance(
     ``service_clients`` concurrent submitters, ``service_config`` knobs)
     instead of calling the predictor directly; results are bit-identical
     to the direct path for any batch size and client count.
+
+    ``via_socket=True`` goes one layer further out: the trace replays
+    over real TCP connections against a
+    :class:`~repro.service.WireServer` fronting a sharded
+    :class:`~repro.service.FleetGateway` (``gateway_config`` /
+    ``wire_config``; ``service_clients`` becomes the number of
+    concurrent wire connections).  Same parity contract: bit-identical
+    arrays and accounting for any shard/connection count.
     """
     if component_inference not in COMPONENT_INFERENCE_MODES:
         raise ValueError(f"component_inference must be one of {COMPONENT_INFERENCE_MODES}")
-    if via_service and component_inference != "batched":
+    if via_service and via_socket:
+        raise ValueError("via_service and via_socket are mutually exclusive")
+    if (via_service or via_socket) and component_inference != "batched":
         raise ValueError(
-            "via_service replays route through the batched path; "
-            'use component_inference="batched"'
+            "via_service/via_socket replays route through the batched "
+            'path; use component_inference="batched"'
         )
     config = config or StageConfig()
 
@@ -380,6 +444,19 @@ def replay_instance(
                 )
             stage.observe(record)
             components.append(routed)
+        stats = stage_stats_of(stage)
+    elif via_socket:
+        components, stats = _routed_components_via_socket(
+            trace,
+            config,
+            global_model,
+            random_state,
+            collect_components,
+            service_config,
+            service_clients,
+            gateway_config,
+            wire_config,
+        )
     elif via_service:
         components, stage = _routed_components_via_service(
             trace,
@@ -390,6 +467,7 @@ def replay_instance(
             service_config,
             service_clients,
         )
+        stats = stage_stats_of(stage)
     else:
         stage = StagePredictor(
             trace.instance,
@@ -398,11 +476,12 @@ def replay_instance(
             random_state=random_state,
         )
         components = _routed_components_direct(trace, stage, collect_components)
+        stats = stage_stats_of(stage)
 
     return assemble_replay(
         trace,
         components,
-        stage_stats_of(stage),
+        stats,
         config=config,
         global_model=global_model,
         random_state=random_state,

@@ -13,9 +13,16 @@ package provides that deployment shape:
   containment, backpressure and whole-fleet warm restart;
 - :class:`ModelRegistry` — persistence for global models, bit-for-bit
   warm-restart service snapshots and whole-fleet gateway snapshots;
-- :func:`run_service_bench` / :func:`run_gateway_bench` — the
-  throughput/latency benchmarks behind ``python -m repro.service``
-  (``results/service_bench.txt`` and ``results/gateway_bench.txt``).
+- :class:`WireServer` / :class:`WireClient` — the network front door:
+  an asyncio TCP server speaking a length-prefixed binary frame
+  protocol in front of the gateway, with per-session lifecycle,
+  ingress sequencing (the determinism contract extends over the
+  socket) and RETRY_AFTER admission control (see ``repro.service.wire``
+  and ``python -m repro.service serve``/``loadgen``);
+- :func:`run_service_bench` / :func:`run_gateway_bench` /
+  :func:`run_wire_bench` — the throughput/latency benchmarks behind
+  ``python -m repro.service`` (``results/service_bench.txt``,
+  ``results/gateway_bench.txt`` and ``results/wire_bench.txt``).
 
 Predictions served by every tier carry calibrated intervals
 (``Prediction.interval_low/interval_high``) derived per source —
@@ -28,22 +35,27 @@ interval arrays obey the same bit-parity contracts as the points
 count); see ``examples/uncertainty_serving.py``.
 """
 
-from repro.core.config import GatewayConfig, ServiceConfig
+from repro.core.config import GatewayConfig, ServiceConfig, WireConfig
 
 from .bench import (
     GatewayBenchConfig,
     GatewayBenchResult,
     ServiceBenchConfig,
     ServiceBenchResult,
+    WireBenchConfig,
+    WireBenchResult,
     run_gateway_bench,
     run_service_bench,
+    run_wire_bench,
 )
 from .gateway import FleetGateway, GatewayBackpressureError, ShardCrashedError, shard_for
 from .registry import ModelRegistry
 from .scheduler import MicroBatchScheduler
 from .server import PredictionService
+from .wire import AsyncWireClient, WireClient, WireError, WireServer
 
 __all__ = [
+    "AsyncWireClient",
     "FleetGateway",
     "GatewayBackpressureError",
     "GatewayBenchConfig",
@@ -56,7 +68,14 @@ __all__ = [
     "ServiceBenchResult",
     "ServiceConfig",
     "ShardCrashedError",
+    "WireBenchConfig",
+    "WireBenchResult",
+    "WireClient",
+    "WireConfig",
+    "WireError",
+    "WireServer",
     "run_gateway_bench",
     "run_service_bench",
+    "run_wire_bench",
     "shard_for",
 ]

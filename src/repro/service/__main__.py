@@ -15,6 +15,19 @@ Modes
     grid, verifying bit-identical predictions across the grid while
     measuring throughput.  Writes ``results/gateway_bench.txt``.
 
+``serve``
+    The network front door: bind a :class:`~repro.service.WireServer`
+    (asyncio TCP, length-prefixed binary frames) over a fresh
+    :class:`~repro.service.FleetGateway` and serve until interrupted.
+    Clients register instances and submit predictions over the wire —
+    see ``repro.service.wire`` for the protocol.
+
+``loadgen``
+    The standalone async load-generator client: sweeps TCP connections
+    × per-connection in-flight ops against a wire server (self-hosted
+    in-process by default, ``--connect HOST:PORT`` for a live one) and
+    writes ``results/wire_bench.txt``.
+
 Examples
 --------
 ::
@@ -23,18 +36,24 @@ Examples
         --batch-size 16 --latency-ms 5
     PYTHONPATH=src python -m repro.service bench --gateway \\
         --shards 1 2 4 --gateway-clients 4 16
+    PYTHONPATH=src python -m repro.service serve --port 7171 --shards 2
+    PYTHONPATH=src python -m repro.service loadgen \\
+        --connections 1 4 --inflight 1 8
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import time
 
 from .bench import (
     GatewayBenchConfig,
     ServiceBenchConfig,
+    WireBenchConfig,
     run_gateway_bench,
     run_service_bench,
+    run_wire_bench,
 )
 
 
@@ -90,7 +109,125 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the report without writing --out",
     )
+
+    serve = sub.add_parser(
+        "serve", help="asyncio TCP front door over a fresh FleetGateway"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7171, help="TCP port (0 binds an ephemeral one)"
+    )
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument("--queue-size", type=int, default=256)
+    serve.add_argument("--idle-timeout", type=float, default=300.0)
+    serve.add_argument(
+        "--paper-profile",
+        action="store_true",
+        help="serve the published hyper-parameters instead of the fast profile",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen", help="async wire load generator: connections x in-flight sweep"
+    )
+    wire_defaults = WireBenchConfig()
+    loadgen.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="target a running wire server (default: self-hosted in-process)",
+    )
+    loadgen.add_argument("--seed", type=int, default=wire_defaults.seed)
+    loadgen.add_argument("--instances", type=int, default=wire_defaults.n_instances)
+    loadgen.add_argument(
+        "--duration-days", type=float, default=wire_defaults.duration_days
+    )
+    loadgen.add_argument(
+        "--volume-scale", type=float, default=wire_defaults.volume_scale
+    )
+    loadgen.add_argument("--shards", type=int, default=wire_defaults.n_shards)
+    loadgen.add_argument(
+        "--connections",
+        type=int,
+        nargs="+",
+        default=list(wire_defaults.connection_counts),
+        help="TCP connection counts to sweep",
+    )
+    loadgen.add_argument(
+        "--inflight",
+        type=int,
+        nargs="+",
+        default=list(wire_defaults.inflight_counts),
+        help="per-connection in-flight op counts to sweep",
+    )
+    loadgen.add_argument(
+        "--out",
+        default=None,
+        help="report path (defaults to results/wire_bench.txt)",
+    )
+    loadgen.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the report without writing --out",
+    )
     return parser
+
+
+def _run_serve(args) -> int:
+    from repro.core.config import GatewayConfig, WireConfig, fast_profile, paper_profile
+    from repro.service import FleetGateway, WireServer
+
+    stage = paper_profile() if args.paper_profile else fast_profile()
+    gateway = FleetGateway(
+        GatewayConfig(n_shards=args.shards, queue_size=args.queue_size),
+        stage_config=stage,
+    )
+    server = WireServer(
+        gateway,
+        WireConfig(host=args.host, port=args.port, idle_timeout_s=args.idle_timeout),
+    )
+    try:
+        host, port = server.start()
+        print(
+            f"wire front door listening on {host}:{port} "
+            f"({args.shards} shard(s), {'paper' if args.paper_profile else 'fast'} "
+            "profile); Ctrl-C to stop"
+        )
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+        gateway.close()
+    return 0
+
+
+def _run_loadgen(args) -> int:
+    address = None
+    if args.connect is not None:
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(f"--connect wants HOST:PORT, got {args.connect!r}")
+        address = (host, int(port))
+    config = WireBenchConfig(
+        seed=args.seed,
+        n_instances=args.instances,
+        duration_days=args.duration_days,
+        volume_scale=args.volume_scale,
+        n_shards=args.shards,
+        connection_counts=tuple(args.connections),
+        inflight_counts=tuple(args.inflight),
+    )
+    result = run_wire_bench(config, address=address)
+    report = result.render()
+    print(report)
+    if not args.no_write:
+        out = args.out or os.path.join("results", "wire_bench.txt")
+        os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+        with open(out, "w") as f:
+            f.write(report + "\n")
+        print(f"\nwrote {out}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -99,6 +236,10 @@ def main(argv=None) -> int:
     if args.mode is None:
         # bare ``python -m repro.service`` runs the benchmark defaults
         args = parser.parse_args(["bench"])
+    if args.mode == "serve":
+        return _run_serve(args)
+    if args.mode == "loadgen":
+        return _run_loadgen(args)
     # argparse rejects unknown modes, so only "bench" reaches here
     if args.gateway:
         gateway_defaults = GatewayBenchConfig()

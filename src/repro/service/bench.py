@@ -30,6 +30,7 @@ bit-identical predictions for the measured traffic.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from dataclasses import dataclass, field
@@ -57,8 +58,11 @@ __all__ = [
     "GatewayBenchResult",
     "ServiceBenchConfig",
     "ServiceBenchResult",
+    "WireBenchConfig",
+    "WireBenchResult",
     "run_gateway_bench",
     "run_service_bench",
+    "run_wire_bench",
 ]
 
 
@@ -431,6 +435,229 @@ def run_gateway_bench(config: Optional[GatewayBenchConfig] = None) -> GatewayBen
         n_instances=config.n_instances,
         n_warmup=sum(len(w) for w in warmups),
         n_measured=len(measured),
+        rows=rows,
+        predictions_identical=identical,
+    )
+
+
+# ---------------------------------------------------------------------------
+# wire benchmark: the network front door, connections x in-flight ops
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WireBenchConfig:
+    """Scale and sweep knobs for the wire-protocol load generator."""
+
+    seed: int = 7
+    n_instances: int = 4
+    duration_days: float = 1.0
+    volume_scale: float = 0.15
+    #: fraction of each instance's trace replayed (with feedback) first
+    warmup_fraction: float = 0.5
+    #: the sweep grid: TCP connections x per-connection in-flight ops
+    connection_counts: tuple = (1, 4)
+    inflight_counts: tuple = (1, 8)
+    #: self-hosted server shape (ignored when targeting a remote server)
+    n_shards: int = 2
+    max_batch_size: int = 16
+    max_batch_latency_ms: float = 5.0
+    queue_size: int = 512
+    stage: StageConfig = field(default_factory=lambda: _BENCH_STAGE)
+
+
+@dataclass
+class WireBenchResult:
+    """Throughput/latency per (connections, in-flight) grid point."""
+
+    n_instances: int
+    n_warmup: int
+    n_measured: int
+    address: str
+    rows: List[Dict[str, float]]
+    #: every grid point produced bit-identical measured predictions
+    predictions_identical: bool
+
+    def render(self) -> str:
+        lines = [
+            f"wire bench: {self.n_instances} instances behind the asyncio "
+            f"front door at {self.address}",
+            f"{self.n_warmup} warmup + {self.n_measured} measured queries, "
+            "all over length-prefixed binary frames (one predict per frame, "
+            "pipelined per connection)",
+        ]
+        base_qps = self.rows[0]["qps"] if self.rows else 1.0
+        for row in self.rows:
+            lines.append(
+                f"conns={row['connections']:<2.0f} inflight={row['inflight']:<3.0f} "
+                f"{row['qps']:8.0f} q/s   "
+                f"p50={row['p50_ms']:7.2f} ms  p95={row['p95_ms']:7.2f} ms  "
+                f"p99={row['p99_ms']:7.2f} ms   "
+                f"{row['qps'] / base_qps:5.2f}x vs first row"
+            )
+        verdict = "bit-identical" if self.predictions_identical else "DIVERGED (bug!)"
+        lines.append(f"measured predictions across the whole grid: {verdict}")
+        return "\n".join(lines)
+
+
+async def _wire_warm(host: str, port: int, traces, warmups) -> None:
+    """Replay every instance's warmup (fused predict/observe, live
+    sequence numbers) through one pipelined wire connection."""
+    from .wire import AsyncWireClient
+
+    client = await AsyncWireClient.connect(host, port, name="loadgen-warm")
+    try:
+        futures = []
+        for trace, warmup in zip(traces, warmups):
+            instance_id = trace.instance.instance_id
+            for record in warmup:
+                # per-instance op order is submission order (ingress
+                # sequencing), so the warm state matches a direct replay
+                futures.append(client.submit_predict(instance_id, record))
+                futures.append(client.submit_observe(instance_id, record))
+                await client.drain()
+        for future in futures:
+            await future
+    finally:
+        await client.close()
+
+
+async def _wire_fire(
+    host: str, port: int, measured, n_connections: int, inflight: int
+) -> Tuple[float, List[float], List[float]]:
+    """One grid point: closed-loop async connections, each keeping
+    ``inflight`` predictions outstanding over a shared work stream."""
+    from .wire import AsyncWireClient
+
+    predictions: List[Optional[float]] = [None] * len(measured)
+    latencies: List[float] = []
+    # a plain shared iterator is safe: consumers only advance it between
+    # awaits of the same event loop
+    iterator = iter(enumerate(measured))
+
+    async def one(client, i: int, instance_id: str, record) -> None:
+        t0 = time.perf_counter()
+        components = await client.predict_components(instance_id, record)
+        latencies.append(time.perf_counter() - t0)
+        predictions[i] = components.prediction.exec_time
+
+    async def connection(worker_index: int) -> None:
+        client = await AsyncWireClient.connect(host, port, name=f"loadgen-{worker_index}")
+        try:
+            pending = set()
+            for i, (instance_id, record) in iterator:
+                if len(pending) >= inflight:
+                    done, pending = await asyncio.wait(
+                        pending, return_when=asyncio.FIRST_COMPLETED
+                    )
+                    for task in done:
+                        task.result()
+                pending.add(asyncio.create_task(one(client, i, instance_id, record)))
+            if pending:
+                await asyncio.gather(*pending)
+        finally:
+            await client.close()
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(connection(w) for w in range(max(1, n_connections))))
+    wall = time.perf_counter() - t0
+    return wall, latencies, [float(p) for p in predictions]
+
+
+def run_wire_bench(
+    config: Optional[WireBenchConfig] = None,
+    address: Optional[Tuple[str, int]] = None,
+) -> WireBenchResult:
+    """Load-generate against the wire front door; see module docs.
+
+    With ``address=None`` (the default) a gateway + wire server is
+    self-hosted in-process; otherwise the load generator targets an
+    already-running ``python -m repro.service serve``.  Registration,
+    warmup and measurement all travel over the wire, and — because
+    predictions never mutate predictor state — the same warmed fleet
+    serves every grid point, whose measured predictions must therefore
+    be bit-identical (asserted, not assumed).
+    """
+    from .wire import WireClient, WireServer
+
+    config = config or WireBenchConfig()
+    gen = FleetGenerator(FleetConfig(seed=config.seed, volume_scale=config.volume_scale))
+    traces = [
+        gen.generate_trace(gen.sample_instance(index), config.duration_days)
+        for index in range(config.n_instances)
+    ]
+    warmups, measured = [], []
+    for trace in traces:
+        n_warmup = int(len(trace) * config.warmup_fraction)
+        warmups.append([trace[i] for i in range(n_warmup)])
+        measured.extend(
+            (trace.instance.instance_id, trace[i]) for i in range(n_warmup, len(trace))
+        )
+    if not measured:
+        raise ValueError(
+            "wire bench has no measurement segment — raise duration_days/"
+            "volume_scale or lower warmup_fraction"
+        )
+    measured.sort(key=lambda pair: pair[1].arrival_time)
+
+    gateway = server = None
+    try:
+        if address is None:
+            gateway = FleetGateway(
+                GatewayConfig(
+                    n_shards=config.n_shards,
+                    queue_size=config.queue_size,
+                    service=ServiceConfig(
+                        max_batch_size=config.max_batch_size,
+                        max_batch_latency_ms=config.max_batch_latency_ms,
+                    ),
+                ),
+                stage_config=config.stage,
+                random_state=config.seed,
+            )
+            server = WireServer(gateway)
+            address = server.start()
+        host, port = address
+        with WireClient(host, port, name="loadgen-admin") as admin:
+            for trace in traces:
+                try:
+                    admin.register_instance(trace.instance)
+                except ValueError:
+                    pass  # already registered (rerun against a live server)
+        asyncio.run(_wire_warm(host, port, traces, warmups))
+
+        rows: List[Dict[str, float]] = []
+        reference: Optional[List[float]] = None
+        identical = True
+        for n_connections in config.connection_counts:
+            for inflight in config.inflight_counts:
+                wall, latencies, predictions = asyncio.run(
+                    _wire_fire(host, port, measured, n_connections, inflight)
+                )
+                lat_ms = np.array(latencies) * 1000.0
+                rows.append(
+                    {
+                        "connections": float(n_connections),
+                        "inflight": float(inflight),
+                        "wall_s": wall,
+                        "qps": len(measured) / wall,
+                        "p50_ms": float(np.percentile(lat_ms, 50)),
+                        "p95_ms": float(np.percentile(lat_ms, 95)),
+                        "p99_ms": float(np.percentile(lat_ms, 99)),
+                    }
+                )
+                if reference is None:
+                    reference = predictions
+                elif predictions != reference:
+                    identical = False
+    finally:
+        if server is not None:
+            server.close()
+        if gateway is not None:
+            gateway.close()
+    return WireBenchResult(
+        n_instances=config.n_instances,
+        n_warmup=sum(len(w) for w in warmups),
+        n_measured=len(measured),
+        address=f"{host}:{port}",
         rows=rows,
         predictions_identical=identical,
     )

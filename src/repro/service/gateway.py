@@ -100,12 +100,29 @@ class ShardCrashedError(RuntimeError):
 
 class GatewayBackpressureError(TimeoutError):
     """A shard's bounded request queue stayed full past the enqueue
-    timeout — the fleet is over capacity, shed load or add shards."""
+    timeout — the fleet is over capacity, shed load or add shards.
 
-    def __init__(self, shard_index: int, timeout_s: float):
+    Carries the shed op's ``instance_id`` (``None`` for control ops,
+    mirroring :class:`ShardCrashedError`) and a machine-readable
+    ``retry_after_s`` back-off hint, so protocol layers (the wire
+    front door's RETRY_AFTER frame) never have to parse the message.
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        timeout_s: float,
+        instance_id: Optional[str] = None,
+        retry_after_s: Optional[float] = None,
+    ):
         self.shard_index = shard_index
+        self.timeout_s = timeout_s
+        self.instance_id = instance_id
+        self.retry_after_s = retry_after_s if retry_after_s is not None else timeout_s
+        detail = f" (instance {instance_id!r})" if instance_id is not None else ""
         super().__init__(
-            f"gateway shard {shard_index} request queue full for {timeout_s:.1f}s"
+            f"gateway shard {shard_index} request queue full for "
+            f"{timeout_s:.1f}s{detail}; retry after {self.retry_after_s:.1f}s"
         )
 
 
@@ -348,7 +365,9 @@ class FleetGateway:
                         self._mark_crashed(shard)
                     return
                 continue
-            except (EOFError, OSError):
+            except (EOFError, OSError, ValueError):
+                # ValueError: close() closed the queue under a deadline
+                # too tight for this listener to exit first
                 self._mark_crashed(shard)
                 return
             self._dispatch_response(shard, op_id, status, value)
@@ -359,7 +378,7 @@ class FleetGateway:
         while True:
             try:
                 op_id, status, value = shard.response_q.get_nowait()
-            except (queue.Empty, EOFError, OSError):
+            except (queue.Empty, EOFError, OSError, ValueError):
                 return
             self._dispatch_response(shard, op_id, status, value)
 
@@ -409,20 +428,40 @@ class FleetGateway:
         if shard.crashed:
             raise ShardCrashedError(shard.index, instance_id)
 
-    def _enqueue(self, shard: _Shard, op_id: int, message: tuple) -> None:
+    def _enqueue(
+        self, shard: _Shard, op_id: int, message: tuple, instance_id: Optional[str] = None
+    ) -> None:
         try:
             shard.request_q.put(message, timeout=self.config.enqueue_timeout_s)
         except queue.Full:
             self._pop_pending(shard, op_id)
-            raise GatewayBackpressureError(shard.index, self.config.enqueue_timeout_s) from None
+            raise GatewayBackpressureError(
+                shard.index,
+                self.config.enqueue_timeout_s,
+                instance_id=instance_id,
+                retry_after_s=self.config.retry_after_s,
+            ) from None
+
+    def _crash_race_check(self, shard: _Shard, op_id: int, instance_id: Optional[str]) -> None:
+        """Close the enqueue-vs-failure-sweep race, identically for
+        control and instance ops.
+
+        If the shard died between the enqueue and here, the listener's
+        sweep may have already failed our pending future — or may not
+        have seen it yet.  Whoever pops the pending entry owns the
+        failure: if we win, raise directly (the message is stranded in
+        the dead shard's request queue either way); if the sweep won,
+        the future already carries :class:`ShardCrashedError`.
+        """
+        if shard.crashed:
+            if self._pop_pending(shard, op_id) is not None:
+                raise ShardCrashedError(shard.index, instance_id)
 
     def _submit_control(self, shard: _Shard, kind: str, payload: tuple = ()) -> Future:
         self._check_open(shard, None)
         op_id, future = self._register_pending(shard, None)
         self._enqueue(shard, op_id, (op_id, kind, payload))
-        if shard.crashed:  # raced the listener's failure sweep
-            if self._pop_pending(shard, op_id) is not None:
-                raise ShardCrashedError(shard.index)
+        self._crash_race_check(shard, op_id, None)
         return future
 
     def _submit_instance_op(
@@ -440,16 +479,16 @@ class FleetGateway:
                 seq = self._instance_seq[instance_id]
                 self._instance_seq[instance_id] = seq + 1
                 try:
-                    self._enqueue(shard, op_id, (op_id, kind, (instance_id, record, seq)))
+                    self._enqueue(
+                        shard, op_id, (op_id, kind, (instance_id, record, seq)), instance_id
+                    )
                 except GatewayBackpressureError:
                     self._instance_seq[instance_id] = seq
                     raise
         else:
             # replay mode: the caller reserved its range upfront
-            self._enqueue(shard, op_id, (op_id, kind, (instance_id, record, seq)))
-        if shard.crashed:  # raced the listener's failure sweep
-            if self._pop_pending(shard, op_id) is not None:
-                raise ShardCrashedError(shard.index, instance_id)
+            self._enqueue(shard, op_id, (op_id, kind, (instance_id, record, seq)), instance_id)
+        self._crash_race_check(shard, op_id, instance_id)
         return future
 
     def _shard_of(self, instance_id: str) -> _Shard:
@@ -464,7 +503,19 @@ class FleetGateway:
     def _live_shards(self) -> List[_Shard]:
         return [shard for shard in self._shards if not shard.crashed]
 
-    def _reserve_sequence(self, instance_id: str, count: int) -> int:
+    def reserve_sequence(self, instance_id: str, count: int) -> int:
+        """Claim ``count`` consecutive sequence slots for ``instance_id``.
+
+        Returns the first reserved number.  Replay-style submitters
+        (:meth:`replay_components`, the wire protocol's RESERVE op)
+        reserve their whole range up front and then submit with explicit
+        ``seq`` values, so any client/connection interleaving reproduces
+        the same op stream.  Every reserved slot must eventually be
+        submitted: the shard scheduler executes in sequence order and
+        waits behind gaps.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
         shard = self._shard_of(instance_id)
         with shard.submit_lock:
             base = self._instance_seq[instance_id]
@@ -546,7 +597,7 @@ class FleetGateway:
         instance_id = trace.instance.instance_id
         if self._closed:
             raise RuntimeError("gateway is closed")
-        base = self._reserve_sequence(instance_id, 2 * len(trace))
+        base = self.reserve_sequence(instance_id, 2 * len(trace))
         futures: List[Optional[Future]] = [None] * len(trace)
         observe_futures: List[Optional[Future]] = [None] * len(trace)
         n_clients = max(1, int(n_clients))
@@ -774,22 +825,30 @@ class FleetGateway:
             self._closed = True
         if timeout is None:
             timeout = self.config.drain_timeout_s
+        # one shared monotonic deadline governs both loops below: the
+        # shutdown broadcast and the join sweep draw on the same budget,
+        # so close(timeout=T) stays bounded by ~T even on a wedged
+        # many-shard fleet (past the deadline every wait degrades to a
+        # non-blocking poll and the hard terminate takes over)
         deadline = time.monotonic() + timeout
         for shard in self._shards:
             if shard.crashed:
                 continue
             op_id, _ = self._register_pending(shard, None)
             shard.shutdown_op_id = op_id
+            budget = min(
+                self.config.shutdown_enqueue_timeout_s,
+                max(deadline - time.monotonic(), 0.0),
+            )
             try:
-                shard.request_q.put((op_id, _SHUTDOWN, ()), timeout=1.0)
+                shard.request_q.put((op_id, _SHUTDOWN, ()), timeout=budget)
             except queue.Full:
                 # wedged shard: give up on a clean drain, terminate below
                 self._pop_pending(shard, op_id)
         for shard in self._shards:
-            remaining = max(deadline - time.monotonic(), 0.1)
             if shard.listener is not None:
-                shard.listener.join(remaining)
-            shard.process.join(max(deadline - time.monotonic(), 0.1))
+                shard.listener.join(max(deadline - time.monotonic(), 0.0))
+            shard.process.join(max(deadline - time.monotonic(), 0.0))
             if shard.process.is_alive():
                 shard.process.terminate()
                 shard.process.join(5.0)

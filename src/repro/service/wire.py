@@ -1,0 +1,970 @@
+"""Network front door: an asyncio wire protocol over the fleet gateway.
+
+Stage answers a prediction per arriving query *inside* Redshift, so the
+production shape of this serving tier is a real request path: clients on
+the admission path talk to the fleet over a socket, not over an
+in-process futures API.  :class:`WireServer` is that front door — an
+asyncio TCP server in front of a :class:`~repro.service.FleetGateway`
+speaking a compact length-prefixed binary frame protocol (modeled on the
+front-end/gRPC split in brad-style serving stacks, minus the generated
+stubs: the whole codec is ~40 lines of ``struct``).
+
+Frame format (version 1)
+------------------------
+Every frame, both directions::
+
+    u32 body_length | u8 op_code | u32 request_id | payload
+
+- ``body_length`` covers everything after the length word and is capped
+  by ``WireConfig.max_frame_bytes`` (oversized prefixes are rejected
+  with a structured error before any allocation).
+- ``request_id`` is chosen by the client and echoed verbatim on the
+  response, so responses may arrive out of submission order (predictions
+  resolve whenever their micro-batch flushes).  ``request_id`` 0 is
+  reserved for server-initiated session-level frames (idle timeout,
+  unrecoverable protocol faults).
+- The first frame of a session MUST be HELLO; its payload starts with a
+  4-byte magic (``STGW``) and a ``u16`` protocol version, followed by a
+  UTF-8 client name.  Anything else fails the handshake with a
+  structured error frame and a close — the server never unpickles a
+  byte from a stream that has not passed the magic/version check.
+
+Ops: client→server HELLO, PREDICT, OBSERVE, STATS, PING, REGISTER,
+RESERVE, GOODBYE; server→client RESULT, ERROR, RETRY_AFTER.  RESULT
+payloads are pickled Python values (the same objects that already cross
+the gateway's process queues, so socket replays are bit-identical);
+ERROR and RETRY_AFTER payloads are JSON documents with machine-readable
+``code`` fields — no client ever parses an exception message.
+
+Determinism over the wire
+-------------------------
+Live-mode sequence numbers are assigned at **session ingress**: the
+reader coroutine submits each instance op in frame arrival order and the
+gateway claims the instance's next slot under the shard submit lock, so
+"the op stream the client sent" is exactly "the op stream the predictor
+executes".  Replay-mode clients RESERVE a sequence range up front and
+submit with explicit seq values — :func:`replay_trace_via_socket` is the
+socket analogue of :meth:`FleetGateway.replay_components` and the
+``via_socket`` replay modes are bit-identical (arrays *and* cache and
+counter accounting) to direct, ``via_service`` and ``via_gateway``
+replays for any shard/connection count.
+
+Admission control
+-----------------
+A saturated shard queue surfaces as a protocol-level RETRY_AFTER frame
+carrying the machine-readable back-off hint from
+:class:`~repro.service.GatewayBackpressureError` — the session stays
+open and the client retries; over-capacity never drops a connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import json
+import pickle
+import struct
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import WireConfig
+
+from .gateway import FleetGateway, GatewayBackpressureError, ShardCrashedError
+from .scheduler import OBSERVE, PREDICT
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "AsyncWireClient",
+    "WireClient",
+    "WireError",
+    "WireServer",
+    "encode_frame",
+    "replay_trace_via_socket",
+]
+
+MAGIC = b"STGW"
+PROTOCOL_VERSION = 1
+
+_LEN = struct.Struct("!I")
+_HEAD = struct.Struct("!BI")  # op code, request id
+_HELLO_PREFIX = struct.Struct("!4sH")  # magic, protocol version
+
+# client -> server
+OP_HELLO = 0x01
+OP_PREDICT = 0x02
+OP_OBSERVE = 0x03
+OP_STATS = 0x04
+OP_PING = 0x05
+OP_REGISTER = 0x06
+OP_RESERVE = 0x07
+OP_GOODBYE = 0x08
+# server -> client
+OP_RESULT = 0x10
+OP_ERROR = 0x11
+OP_RETRY_AFTER = 0x12
+
+#: machine-readable ``code`` values carried by ERROR frames
+E_BAD_HELLO = "bad-hello"
+E_BAD_VERSION = "unsupported-version"
+E_MALFORMED = "malformed-frame"
+E_TOO_LARGE = "frame-too-large"
+E_UNKNOWN_OP = "unknown-op"
+E_UNKNOWN_INSTANCE = "unknown-instance"
+E_INVALID = "invalid-request"
+E_SHARD_CRASHED = "shard-crashed"
+E_CLOSED = "gateway-closed"
+E_IDLE_TIMEOUT = "idle-timeout"
+E_INTERNAL = "internal"
+
+#: session-level frames (idle timeout, protocol faults) use request id 0
+SESSION_RID = 0
+
+
+class WireError(RuntimeError):
+    """A structured protocol-level error frame, surfaced client-side
+    when no more specific exception type applies."""
+
+    def __init__(self, code: str, message: str):
+        self.code = code
+        super().__init__(f"[{code}] {message}")
+
+
+class _ProtocolError(Exception):
+    """Server-side: the byte stream violated the framing rules.  After
+    one of these the stream cannot be resynchronised, so the session is
+    told why (an ERROR frame) and closed."""
+
+    def __init__(self, code: str, message: str):
+        self.code = code
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# frame codec
+# ---------------------------------------------------------------------------
+def encode_frame(op: int, request_id: int, payload: bytes = b"") -> bytes:
+    """One wire frame: ``u32 length | u8 op | u32 request_id | payload``."""
+    body = _HEAD.pack(op, request_id) + payload
+    return _LEN.pack(len(body)) + body
+
+
+def _pickle(value) -> bytes:
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _error_payload(code: str, message: str, **extra) -> bytes:
+    doc = {"code": code, "message": message}
+    doc.update(extra)
+    return json.dumps(doc).encode("utf-8")
+
+
+def _frame_for_exception(request_id: int, exc: BaseException) -> bytes:
+    """Map a gateway/server exception to its structured response frame."""
+    if isinstance(exc, GatewayBackpressureError):
+        payload = json.dumps(
+            {
+                "shard_index": exc.shard_index,
+                "instance_id": exc.instance_id,
+                "timeout_s": exc.timeout_s,
+                "retry_after_s": exc.retry_after_s,
+            }
+        ).encode("utf-8")
+        return encode_frame(OP_RETRY_AFTER, request_id, payload)
+    if isinstance(exc, ShardCrashedError):
+        payload = _error_payload(
+            E_SHARD_CRASHED,
+            str(exc),
+            shard_index=exc.shard_index,
+            instance_id=exc.instance_id,
+        )
+        return encode_frame(OP_ERROR, request_id, payload)
+    if isinstance(exc, KeyError):
+        message = str(exc.args[0]) if exc.args else str(exc)
+        return encode_frame(OP_ERROR, request_id, _error_payload(E_UNKNOWN_INSTANCE, message))
+    if isinstance(exc, ValueError):
+        return encode_frame(OP_ERROR, request_id, _error_payload(E_INVALID, str(exc)))
+    if isinstance(exc, RuntimeError) and "closed" in str(exc):
+        return encode_frame(OP_ERROR, request_id, _error_payload(E_CLOSED, str(exc)))
+    payload = _error_payload(E_INTERNAL, f"{type(exc).__name__}: {exc}")
+    return encode_frame(OP_ERROR, request_id, payload)
+
+
+def _exception_for_frame(op: int, payload: bytes) -> BaseException:
+    """Client-side inverse of :func:`_frame_for_exception`."""
+    try:
+        doc = json.loads(payload)
+    except (ValueError, UnicodeDecodeError):
+        return WireError(E_MALFORMED, "undecodable error frame from server")
+    if op == OP_RETRY_AFTER:
+        return GatewayBackpressureError(
+            doc.get("shard_index", -1),
+            doc.get("timeout_s", 0.0),
+            instance_id=doc.get("instance_id"),
+            retry_after_s=doc.get("retry_after_s"),
+        )
+    code, message = doc.get("code", E_INTERNAL), doc.get("message", "")
+    if code == E_SHARD_CRASHED:
+        return ShardCrashedError(doc.get("shard_index", -1), doc.get("instance_id"))
+    if code == E_UNKNOWN_INSTANCE:
+        return KeyError(message)
+    if code == E_INVALID:
+        return ValueError(message)
+    if code == E_CLOSED:
+        return RuntimeError(message)
+    return WireError(code, message)
+
+
+async def _read_frame(reader: asyncio.StreamReader, max_frame_bytes: int):
+    """Read one frame; raises :class:`_ProtocolError` on framing faults
+    and :class:`asyncio.IncompleteReadError` on mid-frame EOF."""
+    (length,) = _LEN.unpack(await reader.readexactly(_LEN.size))
+    if length < _HEAD.size:
+        raise _ProtocolError(
+            E_MALFORMED, f"frame body of {length} bytes is shorter than the {_HEAD.size}B header"
+        )
+    if length > max_frame_bytes:
+        raise _ProtocolError(
+            E_TOO_LARGE, f"frame body of {length} bytes exceeds max_frame_bytes={max_frame_bytes}"
+        )
+    body = await reader.readexactly(length)
+    op, request_id = _HEAD.unpack_from(body)
+    return op, request_id, body[_HEAD.size :]
+
+
+# ---------------------------------------------------------------------------
+# server
+# ---------------------------------------------------------------------------
+class _Session:
+    """Per-connection state, touched only on the server's event loop."""
+
+    __slots__ = ("session_id", "peer", "client_name", "in_flight", "counters", "connected_at")
+
+    def __init__(self, session_id: int, peer):
+        self.session_id = session_id
+        self.peer = peer
+        self.client_name = ""
+        self.in_flight = 0
+        self.counters = {
+            "predicts": 0,
+            "observes": 0,
+            "controls": 0,
+            "pings": 0,
+            "retry_after": 0,
+            "errors": 0,
+        }
+        self.connected_at = time.monotonic()
+
+
+class WireServer:
+    """Asyncio TCP front door over a :class:`FleetGateway`.
+
+    Runs its event loop on a background thread: :meth:`start` returns
+    the bound ``(host, port)`` (``port=0`` binds an ephemeral port) and
+    the caller keeps using the gateway object directly if it wants —
+    the server is a pure protocol adapter, all state lives in the
+    gateway.  Per-session lifecycle: a mandatory HELLO handshake, an
+    idle timeout that never fires while ops are in flight, GOODBYE for
+    clean close, and per-session op accounting surfaced under the STATS
+    op's ``wire`` key.  A dirty disconnect kills exactly that session:
+    its already-submitted ops still execute on their shard (sequence
+    slots are claimed at ingress, so later ops never stall behind a
+    vanished client), and every other session keeps serving.
+    """
+
+    def __init__(self, gateway: FleetGateway, config: Optional[WireConfig] = None):
+        self.gateway = gateway
+        self.config = config or WireConfig()
+        self.address: Optional[Tuple[str, int]] = None
+        self._session_ids = itertools.count(1)
+        self._sessions: Dict[int, _Session] = {}
+        self._submit_pool = ThreadPoolExecutor(
+            max_workers=self.config.submit_workers, thread_name_prefix="wire-submit"
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Serve on a background thread; returns the bound address."""
+        if self._thread is not None:
+            raise RuntimeError("wire server already started")
+        self._thread = threading.Thread(target=self._run, name="wire-server", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise RuntimeError("wire server failed to start within 30s")
+        if self._startup_error is not None:
+            self._thread.join(timeout=5.0)
+            raise RuntimeError(f"wire server failed to bind: {self._startup_error}")
+        assert self.address is not None
+        return self.address
+
+    def close(self) -> None:
+        """Stop serving: close the listener and every open session.
+        The gateway is left untouched (callers own its lifecycle)."""
+        if self._closed:
+            return
+        self._closed = True
+        loop = self._loop
+        if loop is not None and self._stop is not None:
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+        self._submit_pool.shutdown(wait=False)
+
+    def __enter__(self) -> "WireServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        sockname = server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        self._started.set()
+        async with server:
+            await self._stop.wait()
+        # asyncio.run cancels the remaining connection tasks on return;
+        # their finally blocks close the transports
+
+    # ------------------------------------------------------------------
+    # per-connection machinery (everything below runs on the loop)
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        session = _Session(next(self._session_ids), writer.get_extra_info("peername"))
+        self._sessions[session.session_id] = session
+        out_q: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.create_task(self._write_loop(out_q, writer))
+        clean = False
+        try:
+            clean = await self._read_loop(session, out_q, reader)
+        finally:
+            self._sessions.pop(session.session_id, None)
+            with contextlib.suppress(BaseException):
+                if clean:
+                    # a clean goodbye flushes responses for anything the
+                    # client left in flight before the session ends
+                    grace = time.monotonic() + 5.0
+                    while session.in_flight > 0 and time.monotonic() < grace:
+                        await asyncio.sleep(0.01)
+                out_q.put_nowait(None)  # sentinel: flush queued frames, then stop
+                await asyncio.wait_for(writer_task, timeout=5.0)
+            writer_task.cancel()
+            writer.close()
+            with contextlib.suppress(BaseException):
+                await writer.wait_closed()
+
+    async def _write_loop(self, out_q: asyncio.Queue, writer) -> None:
+        while True:
+            frame = await out_q.get()
+            if frame is None:
+                return
+            try:
+                writer.write(frame)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return  # the read side observes the disconnect too
+
+    async def _read_loop(self, session, out_q, reader) -> bool:
+        """Process one session's inbound frames; True means clean close."""
+        idle = self.config.idle_timeout_s
+        max_bytes = self.config.max_frame_bytes
+
+        def refuse(request_id: int, code: str, message: str) -> None:
+            session.counters["errors"] += 1
+            out_q.put_nowait(encode_frame(OP_ERROR, request_id, _error_payload(code, message)))
+
+        # --- handshake: the first frame must be a well-formed HELLO ---
+        try:
+            op, request_id, payload = await asyncio.wait_for(
+                _read_frame(reader, max_bytes), timeout=idle
+            )
+        except _ProtocolError as exc:
+            refuse(SESSION_RID, exc.code, str(exc))
+            return False
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError, ConnectionError, OSError):
+            return False
+        if op != OP_HELLO or len(payload) < _HELLO_PREFIX.size:
+            refuse(request_id, E_BAD_HELLO, "first frame must be a HELLO with magic and version")
+            return False
+        magic, version = _HELLO_PREFIX.unpack_from(payload)
+        if magic != MAGIC:
+            refuse(request_id, E_BAD_HELLO, f"bad magic {magic!r} (want {MAGIC!r})")
+            return False
+        if version != PROTOCOL_VERSION:
+            refuse(
+                request_id,
+                E_BAD_VERSION,
+                f"server speaks protocol {PROTOCOL_VERSION}, client sent {version}",
+            )
+            return False
+        session.client_name = payload[_HELLO_PREFIX.size :].decode("utf-8", "replace")
+        hello_ack = json.dumps(
+            {"session_id": session.session_id, "protocol_version": PROTOCOL_VERSION}
+        ).encode("utf-8")
+        out_q.put_nowait(encode_frame(OP_RESULT, request_id, hello_ack))
+
+        # --- steady state ---
+        while True:
+            try:
+                op, request_id, payload = await asyncio.wait_for(
+                    _read_frame(reader, max_bytes), timeout=idle
+                )
+            except asyncio.TimeoutError:
+                if session.in_flight > 0:
+                    continue  # quiet client, busy gateway: not idle
+                refuse(
+                    SESSION_RID,
+                    E_IDLE_TIMEOUT,
+                    f"no frame for {idle:.1f}s with nothing in flight",
+                )
+                return False
+            except _ProtocolError as exc:
+                # framing is lost — the stream cannot be resynchronised
+                refuse(SESSION_RID, exc.code, str(exc))
+                return False
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return False  # dirty disconnect
+            if op == OP_GOODBYE:
+                out_q.put_nowait(encode_frame(OP_RESULT, request_id, b""))
+                return True
+            await self._apply(session, out_q, op, request_id, payload)
+
+    async def _apply(self, session, out_q, op: int, request_id: int, payload: bytes) -> None:
+        """Apply one post-handshake frame.  Instance ops resolve
+        asynchronously (their RESULT frame is queued by a done-callback
+        bridged from the gateway's listener thread); control ops are
+        answered before the next frame is read."""
+        loop = asyncio.get_running_loop()
+
+        def refuse(code: str, message: str) -> None:
+            session.counters["errors"] += 1
+            out_q.put_nowait(encode_frame(OP_ERROR, request_id, _error_payload(code, message)))
+
+        def resolve(value) -> None:
+            out_q.put_nowait(encode_frame(OP_RESULT, request_id, _pickle(value)))
+
+        if op in (OP_PREDICT, OP_OBSERVE):
+            try:
+                instance_id, record, seq = pickle.loads(payload)
+            except Exception as exc:
+                refuse(E_MALFORMED, f"undecodable instance-op payload: {exc}")
+                return
+            session.counters["predicts" if op == OP_PREDICT else "observes"] += 1
+            kind = PREDICT if op == OP_PREDICT else OBSERVE
+            session.in_flight += 1
+            # Ingress sequencing: this await serialises submission per
+            # session (frame arrival order IS sequence order for live
+            # ops), while the executor keeps a backpressure-blocked
+            # enqueue off the event loop so other sessions keep serving.
+            try:
+                future = await loop.run_in_executor(
+                    self._submit_pool,
+                    partial(self.gateway._submit_instance_op, kind, instance_id, record, seq),
+                )
+            except BaseException as exc:
+                session.in_flight -= 1
+                if isinstance(exc, GatewayBackpressureError):
+                    # admission control, not a failure: the session
+                    # stays open and the client backs off retry_after_s
+                    session.counters["retry_after"] += 1
+                else:
+                    session.counters["errors"] += 1
+                out_q.put_nowait(_frame_for_exception(request_id, exc))
+                return
+            future.add_done_callback(partial(self._relay, loop, session, out_q, request_id))
+        elif op == OP_REGISTER:
+            try:
+                (instance,) = pickle.loads(payload)
+            except Exception as exc:
+                refuse(E_MALFORMED, f"undecodable register payload: {exc}")
+                return
+            session.counters["controls"] += 1
+            try:
+                shard_index = await loop.run_in_executor(
+                    self._submit_pool, self.gateway.register_instance, instance
+                )
+            except BaseException as exc:
+                session.counters["errors"] += 1
+                out_q.put_nowait(_frame_for_exception(request_id, exc))
+                return
+            resolve(shard_index)
+        elif op == OP_RESERVE:
+            try:
+                instance_id, count = pickle.loads(payload)
+            except Exception as exc:
+                refuse(E_MALFORMED, f"undecodable reserve payload: {exc}")
+                return
+            session.counters["controls"] += 1
+            try:
+                base = self.gateway.reserve_sequence(instance_id, int(count))
+            except BaseException as exc:
+                session.counters["errors"] += 1
+                out_q.put_nowait(_frame_for_exception(request_id, exc))
+                return
+            resolve(base)
+        elif op == OP_STATS:
+            session.counters["controls"] += 1
+            try:
+                gateway_stats = await loop.run_in_executor(self._submit_pool, self.gateway.stats)
+            except BaseException as exc:
+                session.counters["errors"] += 1
+                out_q.put_nowait(_frame_for_exception(request_id, exc))
+                return
+            resolve({"gateway": gateway_stats, "wire": self._wire_stats()})
+        elif op == OP_PING:
+            session.counters["pings"] += 1
+            out_q.put_nowait(encode_frame(OP_RESULT, request_id, b""))
+        else:
+            # the framing is intact, only this op is unknown: answer a
+            # structured error and keep the session
+            refuse(E_UNKNOWN_OP, f"unknown op code {op:#04x}")
+
+    def _relay(self, loop, session, out_q, request_id: int, future: Future) -> None:
+        """Done-callback for gateway futures.  Runs on the gateway's
+        listener thread: build the frame here, hop to the loop to
+        deliver it (out_q and in_flight are loop-thread state)."""
+        exc = future.exception()
+        if exc is not None:
+            frame = _frame_for_exception(request_id, exc)
+        else:
+            frame = encode_frame(OP_RESULT, request_id, _pickle(future.result()))
+
+        def deliver() -> None:
+            session.in_flight -= 1
+            if frame[_LEN.size] != OP_RESULT:
+                session.counters["errors"] += 1
+            out_q.put_nowait(frame)
+
+        with contextlib.suppress(RuntimeError):  # loop already closed
+            loop.call_soon_threadsafe(deliver)
+
+    def _wire_stats(self) -> dict:
+        """Per-session op accounting (loop thread only)."""
+        return {
+            "n_sessions": len(self._sessions),
+            "sessions": {
+                s.session_id: {
+                    "client_name": s.client_name,
+                    "peer": str(s.peer),
+                    "in_flight": s.in_flight,
+                    "uptime_s": time.monotonic() - s.connected_at,
+                    **s.counters,
+                }
+                for s in self._sessions.values()
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# clients
+# ---------------------------------------------------------------------------
+class AsyncWireClient:
+    """One wire session on the caller's event loop.
+
+    Requests pipeline freely: each carries a fresh ``request_id`` and a
+    background reader task resolves the matching future whenever its
+    response frame lands, so many predictions can ride one connection
+    with out-of-order completion.
+    """
+
+    def __init__(self, reader, writer, name: str, max_frame_bytes: int):
+        self._reader = reader
+        self._writer = writer
+        self.name = name
+        self._max_frame_bytes = max_frame_bytes
+        self._request_ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._reader_task: Optional[asyncio.Task] = None
+        self._session_error: Optional[BaseException] = None
+        self._closed = False
+        self.session_info: Optional[dict] = None
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        name: str = "wire-client",
+        timeout: float = 30.0,
+        max_frame_bytes: int = WireConfig().max_frame_bytes,
+    ) -> "AsyncWireClient":
+        reader, writer = await asyncio.wait_for(asyncio.open_connection(host, port), timeout)
+        client = cls(reader, writer, name, max_frame_bytes)
+        try:
+            await client._handshake(timeout)
+        except BaseException:
+            writer.close()
+            with contextlib.suppress(BaseException):
+                await writer.wait_closed()
+            raise
+        return client
+
+    async def _handshake(self, timeout: float) -> None:
+        request_id = next(self._request_ids)
+        payload = _HELLO_PREFIX.pack(MAGIC, PROTOCOL_VERSION) + self.name.encode("utf-8")
+        self._writer.write(encode_frame(OP_HELLO, request_id, payload))
+        await self._writer.drain()
+        op, _, payload = await asyncio.wait_for(
+            _read_frame(self._reader, self._max_frame_bytes), timeout
+        )
+        if op != OP_RESULT:
+            raise _exception_for_frame(op, payload)
+        self.session_info = json.loads(payload)
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        error: BaseException = ConnectionError("wire connection closed")
+        try:
+            while True:
+                op, request_id, payload = await _read_frame(self._reader, self._max_frame_bytes)
+                if request_id == SESSION_RID:
+                    # server-initiated session teardown (idle timeout,
+                    # protocol fault): everything outstanding fails
+                    error = _exception_for_frame(op, payload)
+                    return
+                future = self._pending.pop(request_id, None)
+                if future is None or future.done():
+                    continue
+                if op == OP_RESULT:
+                    future.set_result(pickle.loads(payload) if payload else None)
+                else:
+                    future.set_exception(_exception_for_frame(op, payload))
+        except asyncio.CancelledError:
+            error = ConnectionError("wire client closed")
+        except (asyncio.IncompleteReadError, ConnectionError, OSError) as exc:
+            error = ConnectionError(f"wire connection lost: {exc}")
+        except _ProtocolError as exc:
+            error = WireError(exc.code, str(exc))
+        finally:
+            self._session_error = error
+            pending, self._pending = self._pending, {}
+            for future in pending.values():
+                if not future.done():
+                    future.set_exception(error)
+
+    # -- low-level pipelining primitives -------------------------------
+    def submit(self, op: int, payload: bytes = b"") -> "asyncio.Future":
+        """Queue one request frame; resolve its future via the reader
+        task.  Call :meth:`drain` between bursts to respect transport
+        flow control."""
+        if self._closed:
+            raise RuntimeError("wire client is closed")
+        if self._session_error is not None:
+            raise self._session_error
+        request_id = next(self._request_ids)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode_frame(op, request_id, payload))
+        return future
+
+    def submit_predict(self, instance_id: str, record, seq: Optional[int] = None):
+        return self.submit(OP_PREDICT, _pickle((instance_id, record, seq)))
+
+    def submit_observe(self, instance_id: str, record, seq: Optional[int] = None):
+        return self.submit(OP_OBSERVE, _pickle((instance_id, record, seq)))
+
+    async def drain(self) -> None:
+        try:
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            raise ConnectionError(f"wire connection lost: {exc}") from None
+
+    async def _request(self, op: int, payload: bytes = b""):
+        future = self.submit(op, payload)
+        await self.drain()
+        return await future
+
+    # -- the protocol --------------------------------------------------
+    async def predict_components(self, instance_id: str, record, seq: Optional[int] = None):
+        """One prediction; resolves to its
+        :class:`~repro.core.stage.RoutedComponents`."""
+        return await self._request(OP_PREDICT, _pickle((instance_id, record, seq)))
+
+    async def predict(self, instance_id: str, record, seq: Optional[int] = None):
+        return (await self.predict_components(instance_id, record, seq=seq)).prediction
+
+    async def observe(self, instance_id: str, record, seq: Optional[int] = None) -> None:
+        await self._request(OP_OBSERVE, _pickle((instance_id, record, seq)))
+
+    async def register_instance(self, instance) -> int:
+        return await self._request(OP_REGISTER, _pickle((instance,)))
+
+    async def reserve_sequence(self, instance_id: str, count: int) -> int:
+        return await self._request(OP_RESERVE, _pickle((instance_id, int(count))))
+
+    async def stats(self) -> dict:
+        return await self._request(OP_STATS)
+
+    async def ping(self) -> float:
+        start = time.perf_counter()
+        await self._request(OP_PING)
+        return time.perf_counter() - start
+
+    async def close(self) -> None:
+        """GOODBYE handshake, then tear the connection down."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._session_error is None:
+            with contextlib.suppress(BaseException):
+                request_id = next(self._request_ids)
+                future = asyncio.get_running_loop().create_future()
+                self._pending[request_id] = future
+                self._writer.write(encode_frame(OP_GOODBYE, request_id, b""))
+                await self._writer.drain()
+                await asyncio.wait_for(future, timeout=5.0)
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            with contextlib.suppress(BaseException):
+                await self._reader_task
+        self._writer.close()
+        with contextlib.suppress(BaseException):
+            await self._writer.wait_closed()
+
+
+class WireClient:
+    """Synchronous facade over :class:`AsyncWireClient`.
+
+    Owns a private event-loop thread; every method is thread-safe and
+    the ``*_async`` variants return :class:`concurrent.futures.Future`,
+    so many threads can pipeline ops over one connection (the replay
+    harness's socket mode drives it exactly that way).
+    """
+
+    def __init__(
+        self, host: str, port: int, name: str = "wire-client", timeout: float = 60.0
+    ):
+        self.timeout = timeout
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="wire-client-loop", daemon=True
+        )
+        self._thread.start()
+        self._client: Optional[AsyncWireClient] = None
+        try:
+            self._client = asyncio.run_coroutine_threadsafe(
+                AsyncWireClient.connect(host, port, name=name, timeout=timeout), self._loop
+            ).result(timeout)
+        except BaseException:
+            self._shutdown_loop()
+            raise
+
+    @property
+    def session_info(self) -> Optional[dict]:
+        return self._client.session_info if self._client is not None else None
+
+    def _call(self, coro) -> Future:
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    # -- async pipelining ---------------------------------------------
+    def predict_async(self, instance_id: str, record, seq: Optional[int] = None) -> Future:
+        return self._call(self._client.predict_components(instance_id, record, seq=seq))
+
+    def observe_async(self, instance_id: str, record, seq: Optional[int] = None) -> Future:
+        return self._call(self._client.observe(instance_id, record, seq=seq))
+
+    # -- blocking facade ----------------------------------------------
+    def predict_components(
+        self, instance_id: str, record, seq: Optional[int] = None, timeout: Optional[float] = None
+    ):
+        return self.predict_async(instance_id, record, seq=seq).result(timeout or self.timeout)
+
+    def predict(
+        self, instance_id: str, record, seq: Optional[int] = None, timeout: Optional[float] = None
+    ):
+        return self.predict_components(instance_id, record, seq=seq, timeout=timeout).prediction
+
+    def observe(
+        self, instance_id: str, record, seq: Optional[int] = None, timeout: Optional[float] = None
+    ) -> None:
+        self.observe_async(instance_id, record, seq=seq).result(timeout or self.timeout)
+
+    def register_instance(self, instance, timeout: Optional[float] = None) -> int:
+        return self._call(self._client.register_instance(instance)).result(timeout or self.timeout)
+
+    def reserve_sequence(
+        self, instance_id: str, count: int, timeout: Optional[float] = None
+    ) -> int:
+        return self._call(self._client.reserve_sequence(instance_id, count)).result(
+            timeout or self.timeout
+        )
+
+    def stats(self, timeout: Optional[float] = None) -> dict:
+        return self._call(self._client.stats()).result(timeout or self.timeout)
+
+    def ping(self, timeout: Optional[float] = None) -> float:
+        return self._call(self._client.ping()).result(timeout or self.timeout)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        if self._client is not None:
+            with contextlib.suppress(BaseException):
+                self._call(self._client.close()).result(10.0)
+            self._client = None
+        self._shutdown_loop()
+
+    def abort(self) -> None:
+        """Hard-drop the TCP connection — no GOODBYE, no flush.  This is
+        the dirty-disconnect path the lifecycle tests exercise."""
+        client = self._client
+        self._client = None
+        if client is not None:
+            with contextlib.suppress(BaseException):
+                # reap the reader on the loop before stopping it, so
+                # every in-flight future fails (ConnectionError) rather
+                # than hanging on a dead loop
+                self._call(self._abort_async(client)).result(10.0)
+        self._shutdown_loop()
+
+    @staticmethod
+    async def _abort_async(client: AsyncWireClient) -> None:
+        transport = client._writer.transport
+        if transport is not None:
+            transport.abort()
+        if client._reader_task is not None:
+            client._reader_task.cancel()
+            with contextlib.suppress(BaseException):
+                await client._reader_task
+
+    def _shutdown_loop(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+        if not self._loop.is_running():
+            self._loop.close()
+
+    def __enter__(self) -> "WireClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# socket replay (the via_socket harness mode)
+# ---------------------------------------------------------------------------
+def replay_trace_via_socket(
+    host: str,
+    port: int,
+    trace,
+    n_connections: int = 1,
+    timeout: float = 300.0,
+) -> List:
+    """Replay one instance's fused predict/observe stream over real
+    TCP connections; returns per-query components in trace order.
+
+    The socket analogue of :meth:`FleetGateway.replay_components`: the
+    whole sequence range is RESERVEd up front, then ``n_connections``
+    connections submit strided predict/observe pairs with explicit
+    sequence numbers — so any connection count and interleaving
+    reproduces the direct replay bit-for-bit.  Each connection collects
+    its own responses before closing (responses ride the connection
+    their request used).
+    """
+    instance_id = trace.instance.instance_id
+    n_connections = max(1, int(n_connections))
+    with WireClient(host, port, name=f"replay-admin-{instance_id}") as admin:
+        base = admin.reserve_sequence(instance_id, 2 * len(trace))
+    components: List = [None] * len(trace)
+    errors: List[Optional[BaseException]] = [None] * n_connections
+
+    def connection_worker(worker_index: int) -> None:
+        try:
+            name = f"replay-{instance_id}-{worker_index}"
+            with WireClient(host, port, name=name) as client:
+                futures = []
+                for i in range(worker_index, len(trace), n_connections):
+                    record = trace[i]
+                    futures.append((i, client.predict_async(instance_id, record, seq=base + 2 * i)))
+                    futures.append(
+                        (None, client.observe_async(instance_id, record, seq=base + 2 * i + 1))
+                    )
+                for i, future in futures:
+                    value = future.result(timeout)
+                    if i is not None:
+                        components[i] = value
+        except BaseException as exc:
+            errors[worker_index] = exc
+
+    threads = [
+        threading.Thread(target=connection_worker, args=(w,), name=f"wire-replay-{w}")
+        for w in range(n_connections)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for error in errors:
+        if error is not None:
+            raise RuntimeError(
+                f"socket replay failed; instance {instance_id!r}'s reserved "
+                "sequence stream may now have a gap — close the gateway"
+            ) from error
+    return components
+
+
+@dataclass
+class _SocketReplayContext:
+    """A gateway fronted by a wire server plus an admin session — the
+    shared scaffolding of both via_socket replay entry points."""
+
+    gateway: FleetGateway
+    server: WireServer
+    admin: Optional[WireClient] = None
+    address: Tuple[str, int] = field(default=("", 0))
+
+    def __enter__(self) -> "_SocketReplayContext":
+        try:
+            self.address = self.server.start()
+            host, port = self.address
+            self.admin = WireClient(host, port, name="via-socket-admin")
+        except BaseException:
+            self.__exit__(None, None, None)
+            raise
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.admin is not None:
+            self.admin.close()
+        self.server.close()
+        self.gateway.close()
+
+    def register(self, instance) -> int:
+        return self.admin.register_instance(instance)
+
+    def replay(self, trace, n_connections: int) -> List:
+        host, port = self.address
+        return replay_trace_via_socket(host, port, trace, n_connections=n_connections)
+
+    def instance_stats(self) -> Dict[str, dict]:
+        """Per-instance stats fetched over the wire — the accounting
+        side of the parity contract round-trips the socket too."""
+        self.gateway.drain()
+        return self.admin.stats()["gateway"]["instances"]

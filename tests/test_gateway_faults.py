@@ -169,6 +169,13 @@ class TestShutdownAndBackpressure:
             with pytest.raises(GatewayBackpressureError) as err:
                 gateway.predict_async(instance_id, trace[1])
             assert err.value.shard_index == shard
+            # machine-readable context for protocol layers: the shed
+            # op's instance plus the configured back-off hint
+            assert err.value.instance_id == instance_id
+            assert err.value.timeout_s == pytest.approx(0.2)
+            assert err.value.retry_after_s == pytest.approx(
+                gateway.config.retry_after_s
+            )
             # the failed enqueue rolled its sequence slot back: once the
             # stall clears, the stream continues with no gap to stall on
             assert first.result(timeout=30).prediction.exec_time >= 0.0
@@ -178,11 +185,73 @@ class TestShutdownAndBackpressure:
         finally:
             gateway.close()
 
+    def test_close_timeout_bounded_with_wedged_shard(self, traces):
+        """``close(timeout=T)`` must stay ~T even when one shard is both
+        stalled (mid 30s sleep) and wedged (request queue full), because
+        the shutdown broadcast and the join sweep share one monotonic
+        deadline instead of compounding per-shard waits."""
+        gateway, per_shard = two_shard_gateway(
+            traces, queue_size=1, enqueue_timeout_s=0.2, shutdown_enqueue_timeout_s=0.3
+        )
+        shard = min(per_shard)
+        trace = per_shard[shard]
+        gateway._stall(shard, 30.0)
+        time.sleep(0.3)  # shard picks the sleep up, emptying the queue
+        gateway.predict_async(trace.instance.instance_id, trace[0])  # re-fill it
+        t0 = time.monotonic()
+        gateway.close(timeout=2.0)
+        elapsed = time.monotonic() - t0
+        # deadline (2s) + hard-terminate join; never the 30s stall, and
+        # never shutdown_enqueue_timeout_s summed over shards on top
+        assert elapsed < 10.0, f"close took {elapsed:.1f}s against a 2s deadline"
+        for s in gateway._shards:
+            assert not s.process.is_alive()
+
     def test_double_close_is_noop(self, traces):
         gateway, _ = two_shard_gateway(traces)
         gateway.close()
         gateway.close()
         assert gateway.closed
+
+
+class TestCrashRaceCheck:
+    def test_raises_only_when_winning_the_pending_pop(self, traces):
+        """The enqueue-vs-failure-sweep race, pinned deterministically:
+        flip the crash flag by hand (no SIGKILL, no sweep timing) and
+        drive ``_crash_race_check`` through both outcomes for both the
+        instance-op and control-op submission paths."""
+        gateway, per_shard = two_shard_gateway(traces)
+        try:
+            shard_index = min(per_shard)
+            shard = gateway._shards[shard_index]
+            instance_id = per_shard[shard_index].instance.instance_id
+            shard.crashed = True
+
+            # we win the pop: raise, carrying the instance id (or None
+            # for control ops), and leave no dangling pending entry
+            op_id, _ = gateway._register_pending(shard, instance_id)
+            with pytest.raises(ShardCrashedError) as err:
+                gateway._crash_race_check(shard, op_id, instance_id)
+            assert err.value.shard_index == shard_index
+            assert err.value.instance_id == instance_id
+            assert op_id not in shard.pending
+
+            op_id, _ = gateway._register_pending(shard, None)
+            with pytest.raises(ShardCrashedError) as err:
+                gateway._crash_race_check(shard, op_id, None)
+            assert err.value.instance_id is None
+            assert op_id not in shard.pending
+
+            # the sweep won: the future already carries the error, so
+            # the check must stay silent rather than double-report
+            op_id, future = gateway._register_pending(shard, instance_id)
+            gateway._mark_crashed(shard)  # the listener's failure sweep
+            assert isinstance(future.exception(timeout=5), ShardCrashedError)
+            gateway._crash_race_check(shard, op_id, instance_id)
+        finally:
+            # the flagged shard never saw a real crash, so it gets no
+            # shutdown broadcast: keep the terminate path bounded
+            gateway.close(timeout=2.0)
 
 
 class TestRoutingConsistency:

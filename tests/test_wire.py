@@ -1,0 +1,477 @@
+"""Tests for the asyncio wire-protocol front door.
+
+The headline contract extends fleet bit-parity one layer further out:
+``via_socket`` replays — real TCP connections against a
+:class:`WireServer` fronting a sharded :class:`FleetGateway` — produce
+arrays AND cache/counter accounting identical to direct, ``via_service``
+and ``via_gateway`` replays, for every registered scenario and any
+shard/connection count (the accounting is fetched over the wire too, so
+the whole parity check round-trips the socket).  On top of that:
+session lifecycle (HELLO handshake, idle timeout that spares busy
+sessions, GOODBYE, dirty-disconnect containment), raw-socket protocol
+robustness (bad magic/version, truncated and oversized frames,
+malformed payloads, unknown ops) and RETRY_AFTER admission control —
+a saturated shard queue backs the client off without dropping its
+connection.  Runs under both fork and spawn in CI's ``parallel-parity``
+job.
+"""
+
+import contextlib
+import json
+import socket
+import struct
+import time
+
+import pytest
+
+# shared parity helpers live with the service suite (one definition)
+from test_service import assert_replays_identical
+
+from repro.core.config import GatewayConfig, ServiceConfig, WireConfig, fast_profile
+from repro.harness import FleetSweeper, replay_instance
+from repro.scenarios import registered_scenarios
+from repro.service import (
+    FleetGateway,
+    GatewayBackpressureError,
+    WireClient,
+    WireError,
+    WireServer,
+    shard_for,
+)
+from repro.service import wire as wire_mod
+from repro.service.wire import (
+    MAGIC,
+    PROTOCOL_VERSION,
+    encode_frame,
+)
+from repro.workload import FleetConfig, FleetGenerator
+
+SEED = 3
+VOLUME = 0.1
+DURATION = 0.7
+N_INSTANCES = 3
+
+FLEET = FleetConfig(seed=SEED, volume_scale=VOLUME)
+
+
+def make_sweeper(**kwargs):
+    return FleetSweeper(
+        fleet_config=kwargs.pop("fleet_config", FLEET),
+        stage_config=fast_profile(),
+        random_state=0,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def traces():
+    gen = FleetGenerator(FLEET)
+    return [gen.generate_trace(gen.sample_instance(i), DURATION) for i in range(N_INSTANCES)]
+
+
+@pytest.fixture(scope="module")
+def direct_replays(traces):
+    return make_sweeper().replay_traces(traces)
+
+
+@contextlib.contextmanager
+def served(traces, gateway_config=None, wire_config=None):
+    """A registered fleet behind a live wire server on an ephemeral port."""
+    gateway = FleetGateway(
+        gateway_config or GatewayConfig(n_shards=2), stage_config=fast_profile()
+    )
+    server = WireServer(gateway, wire_config or WireConfig())
+    try:
+        for trace in traces:
+            gateway.register_instance(trace.instance)
+        address = server.start()
+        yield gateway, address
+    finally:
+        server.close()
+        gateway.close()
+
+
+def wait_for(predicate, timeout=10.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, f"timed out waiting for {message}"
+        time.sleep(0.02)
+
+
+# ---------------------------------------------------------------------------
+# fleet bit-parity over real sockets
+# ---------------------------------------------------------------------------
+class TestSocketParity:
+    @pytest.mark.parametrize("n_shards,n_connections", [(1, 1), (2, 2), (3, 3), (2, 4)])
+    def test_bit_identical_for_any_shards_and_connections(
+        self, traces, direct_replays, n_shards, n_connections
+    ):
+        via = make_sweeper(
+            via_socket=True,
+            gateway_config=GatewayConfig(n_shards=n_shards),
+            service_config=ServiceConfig(max_batch_size=7),
+            service_clients=n_connections,
+        ).replay_traces(traces)
+        for direct, replay in zip(direct_replays, via):
+            assert_replays_identical(direct, replay)
+
+    def test_concurrent_instance_submitters_bit_identical(self, traces, direct_replays):
+        """n_jobs > 1 replays several instances' streams over concurrent
+        TCP connections at once; reserved sequence ranges keep every
+        interleaving bit-identical."""
+        via = make_sweeper(
+            via_socket=True,
+            gateway_config=GatewayConfig(n_shards=2),
+            service_clients=2,
+            n_jobs=3,
+        ).replay_traces(traces)
+        for direct, replay in zip(direct_replays, via):
+            assert_replays_identical(direct, replay)
+
+    def test_replay_instance_via_socket(self, traces, direct_replays):
+        via = replay_instance(
+            traces[0],
+            config=fast_profile(),
+            via_socket=True,
+            gateway_config=GatewayConfig(n_shards=3),
+            service_clients=3,
+        )
+        assert_replays_identical(direct_replays[0], via)
+
+    def test_via_socket_excludes_other_modes(self, traces):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            make_sweeper(via_socket=True, via_gateway=True).replay_traces(traces)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            make_sweeper(via_socket=True, via_service=True).replay_traces(traces)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            replay_instance(
+                traces[0], config=fast_profile(), via_socket=True, via_service=True
+            )
+
+    def test_via_socket_rejects_per_query_mode(self, traces):
+        with pytest.raises(ValueError, match="batched"):
+            make_sweeper(
+                via_socket=True, component_inference="per_query"
+            ).replay_traces(traces)
+
+
+# every registered scenario must replay over the socket bit-identically;
+# shard and connection counts rotate through the grid as in test_gateway
+_SCENARIO_GRID = [
+    pytest.param(scenario, (i % 3) + 1, (i % 2) + 1, id=scenario.name)
+    for i, scenario in enumerate(registered_scenarios())
+]
+
+
+class TestScenarioSocketParity:
+    @pytest.mark.parametrize("scenario,n_shards,n_connections", _SCENARIO_GRID)
+    def test_scenario_bit_identical_via_socket(self, scenario, n_shards, n_connections):
+        fleet = FleetConfig(seed=5, volume_scale=VOLUME, scenario=scenario.config)
+        direct = make_sweeper(fleet_config=fleet).replay_indices(range(2), 1.0)
+        via = make_sweeper(
+            fleet_config=fleet,
+            via_socket=True,
+            gateway_config=GatewayConfig(n_shards=n_shards),
+            service_clients=n_connections,
+        ).replay_indices(range(2), 1.0)
+        for a, b in zip(direct, via):
+            assert_replays_identical(a, b)
+
+
+# ---------------------------------------------------------------------------
+# session lifecycle
+# ---------------------------------------------------------------------------
+class TestSessionLifecycle:
+    def test_hello_predict_stats_roundtrip(self, traces):
+        with served(traces) as (gateway, (host, port)):
+            with WireClient(host, port, name="lifecycle") as client:
+                info = client.session_info
+                assert info["protocol_version"] == PROTOCOL_VERSION
+                assert info["session_id"] >= 1
+                assert client.ping() >= 0.0
+                trace = traces[0]
+                instance_id = trace.instance.instance_id
+                components = client.predict_components(instance_id, trace[0])
+                assert components.prediction.exec_time >= 0.0
+                assert components.prediction.interval_low <= components.prediction.exec_time
+                client.observe(instance_id, trace[0])
+                gateway.drain()
+                stats = client.stats()
+                assert stats["gateway"]["fleet"]["n_predicts"] == 1
+                mine = stats["wire"]["sessions"][info["session_id"]]
+                assert mine["client_name"] == "lifecycle"
+                assert mine["predicts"] == 1
+                assert mine["observes"] == 1
+                assert mine["pings"] == 1
+                assert mine["errors"] == 0
+
+    def test_idle_timeout_closes_idle_session(self, traces):
+        with served(traces, wire_config=WireConfig(idle_timeout_s=0.3)) as (
+            _,
+            (host, port),
+        ):
+            client = WireClient(host, port, name="idler")
+            try:
+                assert client.ping() >= 0.0
+                time.sleep(1.2)  # well past the idle budget, nothing in flight
+                with pytest.raises(WireError) as err:
+                    client.ping()
+                assert err.value.code == wire_mod.E_IDLE_TIMEOUT
+            finally:
+                client.close()
+
+    def test_idle_timeout_spares_sessions_with_ops_in_flight(self, traces):
+        """A quiet client whose prediction is stuck behind a busy shard
+        is not idle: the timeout only fires with nothing in flight."""
+        with served(traces, wire_config=WireConfig(idle_timeout_s=0.5)) as (
+            gateway,
+            (host, port),
+        ):
+            trace = traces[0]
+            instance_id = trace.instance.instance_id
+            with WireClient(host, port, name="patient") as client:
+                gateway._stall(shard_for(instance_id, 2), 1.2)
+                future = client.predict_async(instance_id, trace[0])
+                # the stall spans >2 idle budgets; the session must ride
+                # it out and still answer once the shard wakes up (the
+                # ping lands mid-window — 1.2s is not a multiple of 0.5)
+                assert future.result(timeout=60).prediction.exec_time >= 0.0
+                assert client.ping() >= 0.0
+
+    def test_dirty_disconnect_contained_to_that_session(self, traces):
+        """Killing a connection mid-flight fails only that session's
+        outstanding futures; the server, the gateway and every other
+        session keep serving."""
+        with served(traces) as (gateway, (host, port)):
+            survivor = WireClient(host, port, name="survivor")
+            victim = WireClient(host, port, name="victim")
+            try:
+                trace = traces[0]
+                instance_id = trace.instance.instance_id
+                gateway._stall(shard_for(instance_id, 2), 1.0)
+                stranded = victim.predict_async(instance_id, trace[0])
+                victim.abort()  # hard TCP drop: no GOODBYE, no flush
+                with pytest.raises((ConnectionError, RuntimeError)):
+                    stranded.result(timeout=30)
+                # the server reaps exactly the dead session
+                wait_for(
+                    lambda: survivor.stats()["wire"]["n_sessions"] == 1,
+                    message="victim session reaped",
+                )
+                # the survivor and the fleet are untouched — including
+                # the shard the victim's op was queued on
+                prediction = survivor.predict(instance_id, trace[1], timeout=60)
+                assert prediction.exec_time >= 0.0
+                gateway.drain()
+            finally:
+                survivor.close()
+
+    def test_goodbye_closes_cleanly_and_server_keeps_serving(self, traces):
+        with served(traces) as (_, (host, port)):
+            first = WireClient(host, port, name="first")
+            assert first.ping() >= 0.0
+            first.close()  # GOODBYE handshake
+            with WireClient(host, port, name="second") as second:
+                wait_for(
+                    lambda: second.stats()["wire"]["n_sessions"] == 1,
+                    message="first session reaped",
+                )
+                assert second.ping() >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# protocol robustness, straight over raw sockets
+# ---------------------------------------------------------------------------
+def _recv_frame(sock):
+    def read_exact(n):
+        buf = b""
+        while len(buf) < n:
+            chunk = sock.recv(n - len(buf))
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            buf += chunk
+        return buf
+
+    (length,) = struct.unpack("!I", read_exact(4))
+    body = read_exact(length)
+    op, request_id = struct.unpack_from("!BI", body)
+    return op, request_id, body[5:]
+
+
+def _expect_eof(sock):
+    sock.settimeout(10.0)
+    try:
+        assert sock.recv(1) == b""
+    except (ConnectionError, OSError):
+        pass  # an RST says "closed" just as clearly as a FIN
+
+
+def _hello(sock, name=b"raw-test"):
+    payload = struct.pack("!4sH", MAGIC, PROTOCOL_VERSION) + name
+    sock.sendall(encode_frame(wire_mod.OP_HELLO, 1, payload))
+    op, request_id, body = _recv_frame(sock)
+    assert op == wire_mod.OP_RESULT and request_id == 1
+    return json.loads(body)
+
+
+class TestProtocolRobustness:
+    def test_bad_magic_refused_with_structured_error(self, traces):
+        with served(traces[:1]) as (_, (host, port)):
+            with socket.create_connection((host, port), timeout=10) as sock:
+                payload = struct.pack("!4sH", b"XXXX", PROTOCOL_VERSION)
+                sock.sendall(encode_frame(wire_mod.OP_HELLO, 1, payload))
+                op, request_id, body = _recv_frame(sock)
+                assert op == wire_mod.OP_ERROR
+                assert json.loads(body)["code"] == wire_mod.E_BAD_HELLO
+                _expect_eof(sock)
+
+    def test_unsupported_version_refused(self, traces):
+        with served(traces[:1]) as (_, (host, port)):
+            with socket.create_connection((host, port), timeout=10) as sock:
+                payload = struct.pack("!4sH", MAGIC, 99)
+                sock.sendall(encode_frame(wire_mod.OP_HELLO, 1, payload))
+                op, _, body = _recv_frame(sock)
+                assert op == wire_mod.OP_ERROR
+                assert json.loads(body)["code"] == wire_mod.E_BAD_VERSION
+                _expect_eof(sock)
+
+    def test_first_frame_must_be_hello(self, traces):
+        with served(traces[:1]) as (_, (host, port)):
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.sendall(encode_frame(wire_mod.OP_PING, 1))
+                op, _, body = _recv_frame(sock)
+                assert op == wire_mod.OP_ERROR
+                assert json.loads(body)["code"] == wire_mod.E_BAD_HELLO
+                _expect_eof(sock)
+
+    def test_oversized_frame_refused_before_allocation(self, traces):
+        wire_config = WireConfig(max_frame_bytes=1024)
+        with served(traces[:1], wire_config=wire_config) as (_, (host, port)):
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.sendall(struct.pack("!I", 1 << 20))  # body "to follow"
+                op, request_id, body = _recv_frame(sock)
+                assert op == wire_mod.OP_ERROR
+                assert request_id == wire_mod.SESSION_RID
+                assert json.loads(body)["code"] == wire_mod.E_TOO_LARGE
+                _expect_eof(sock)
+
+    def test_undersized_frame_refused(self, traces):
+        with served(traces[:1]) as (_, (host, port)):
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.sendall(struct.pack("!I", 2) + b"xx")  # shorter than a header
+                op, request_id, body = _recv_frame(sock)
+                assert op == wire_mod.OP_ERROR
+                assert request_id == wire_mod.SESSION_RID
+                assert json.loads(body)["code"] == wire_mod.E_MALFORMED
+                _expect_eof(sock)
+
+    def test_truncated_frame_fails_only_that_session(self, traces):
+        with served(traces[:1]) as (_, (host, port)):
+            bystander = WireClient(host, port, name="bystander")
+            try:
+                with socket.create_connection((host, port), timeout=10) as sock:
+                    _hello(sock)
+                    # claim 100 body bytes, send 10, vanish mid-frame
+                    sock.sendall(struct.pack("!I", 100) + b"0123456789")
+                # the bystander's session is untouched by the dirty EOF
+                wait_for(
+                    lambda: bystander.stats()["wire"]["n_sessions"] == 1,
+                    message="truncated session reaped",
+                )
+                assert bystander.ping() >= 0.0
+            finally:
+                bystander.close()
+
+    def test_malformed_payload_is_per_request_session_survives(self, traces):
+        """An undecodable PREDICT payload fails that request with a
+        structured error; the framing is intact, so the session lives."""
+        with served(traces[:1]) as (_, (host, port)):
+            with socket.create_connection((host, port), timeout=10) as sock:
+                _hello(sock)
+                sock.sendall(encode_frame(wire_mod.OP_PREDICT, 7, b"not a pickle"))
+                op, request_id, body = _recv_frame(sock)
+                assert op == wire_mod.OP_ERROR and request_id == 7
+                assert json.loads(body)["code"] == wire_mod.E_MALFORMED
+                sock.sendall(encode_frame(wire_mod.OP_PING, 8))
+                op, request_id, _ = _recv_frame(sock)
+                assert op == wire_mod.OP_RESULT and request_id == 8
+
+    def test_unknown_op_is_per_request_session_survives(self, traces):
+        with served(traces[:1]) as (_, (host, port)):
+            with socket.create_connection((host, port), timeout=10) as sock:
+                _hello(sock)
+                sock.sendall(encode_frame(0x7F, 9))
+                op, request_id, body = _recv_frame(sock)
+                assert op == wire_mod.OP_ERROR and request_id == 9
+                assert json.loads(body)["code"] == wire_mod.E_UNKNOWN_OP
+                sock.sendall(encode_frame(wire_mod.OP_PING, 10))
+                op, request_id, _ = _recv_frame(sock)
+                assert op == wire_mod.OP_RESULT and request_id == 10
+
+    def test_unknown_instance_surfaces_as_keyerror(self, traces):
+        with served(traces[:1]) as (_, (host, port)):
+            with WireClient(host, port) as client:
+                with pytest.raises(KeyError, match="not registered"):
+                    client.predict("no-such-instance", traces[0][0])
+                assert client.ping() >= 0.0  # per-request, session lives
+
+
+# ---------------------------------------------------------------------------
+# admission control: RETRY_AFTER, not a dropped connection
+# ---------------------------------------------------------------------------
+class TestAdmissionControl:
+    def test_saturated_queue_backs_off_and_keeps_the_connection(self, traces):
+        gateway_config = GatewayConfig(
+            n_shards=2, queue_size=1, enqueue_timeout_s=0.2, retry_after_s=0.05
+        )
+        with served(traces, gateway_config=gateway_config) as (gateway, (host, port)):
+            trace = traces[0]
+            instance_id = trace.instance.instance_id
+            shard = shard_for(instance_id, 2)
+            with WireClient(host, port, name="surge") as client:
+                gateway._stall(shard, 1.5)
+                time.sleep(0.3)  # let the shard pick the sleep op up
+                first = client.predict_async(instance_id, trace[0])  # fills the queue
+                # ingress sequencing serialises this session's submits,
+                # so the second predict meets a full queue and comes
+                # back as a protocol-level RETRY_AFTER frame
+                with pytest.raises(GatewayBackpressureError) as err:
+                    client.predict(instance_id, trace[1])
+                assert err.value.shard_index == shard
+                assert err.value.instance_id == instance_id
+                assert err.value.retry_after_s == pytest.approx(0.05)
+                # the connection survived: the same client retries the
+                # shed op on the same session once the stall clears
+                assert first.result(timeout=60).prediction.exec_time >= 0.0
+                retried = client.predict(instance_id, trace[1], timeout=60)
+                assert retried.exec_time >= 0.0
+                gateway.drain()
+                stats = client.stats()
+                mine = stats["wire"]["sessions"][client.session_info["session_id"]]
+                assert mine["retry_after"] >= 1
+                assert mine["errors"] == 0  # backpressure is not a failure
+
+
+# ---------------------------------------------------------------------------
+# wire bench plumbing (scaled down; the real run is the CLI's)
+# ---------------------------------------------------------------------------
+class TestWireBenchSmoke:
+    def test_bench_reports_grid_and_parity(self):
+        from repro.service import WireBenchConfig, run_wire_bench
+
+        result = run_wire_bench(
+            WireBenchConfig(
+                n_instances=2,
+                duration_days=0.4,
+                volume_scale=VOLUME,
+                connection_counts=(1, 2),
+                inflight_counts=(4,),
+                n_shards=1,
+                stage=fast_profile(),
+            )
+        )
+        assert len(result.rows) == 2
+        assert result.predictions_identical
+        report = result.render()
+        assert "conns=1" in report and "conns=2" in report
+        assert "bit-identical" in report
