@@ -20,10 +20,12 @@ from repro.workload.scenario import ScenarioConfig
 
 __all__ = [
     "CacheConfig",
+    "ControlConfig",
     "TrainingPoolConfig",
     "LocalModelConfig",
     "GatewayConfig",
     "GlobalModelConfig",
+    "ReplayBackend",
     "ScenarioConfig",
     "ServiceConfig",
     "StageConfig",
@@ -242,6 +244,91 @@ class WireConfig:
             raise ValueError("max_frame_bytes must be >= 1024")
         if self.submit_workers < 1:
             raise ValueError("submit_workers must be >= 1")
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Fleet control-plane (:class:`~repro.service.FleetController`)
+    settings.
+
+    The controller watches :meth:`~repro.service.FleetGateway.stats`
+    (per-shard live queue depth plus cumulative per-instance op totals)
+    and plans instance migrations that even out shard load.  Because a
+    migration only moves *where* an instance's sequenced op stream
+    executes — never the stream itself — every knob here is a pure
+    placement/latency dial: no plan changes a prediction bit.
+    """
+
+    #: a shard pair is balanced when the load gap between the hottest
+    #: and coldest shard is within this fraction of the mean shard load
+    imbalance_tolerance: float = 0.25
+    #: migrations planned (and executed) per control cycle
+    max_migrations_per_cycle: int = 1
+    #: seconds between control cycles of the background watcher
+    cycle_interval_s: float = 5.0
+    #: do nothing until the fleet has seen at least this many ops —
+    #: avoids thrashing on an idle or barely-warm fleet
+    min_total_ops: int = 1
+    #: live queue depth counts this many op-units of load per queued op
+    #: (queued work is *current* pressure; cumulative totals are history)
+    queue_depth_weight: float = 10.0
+    #: per-migration timeout handed to
+    #: :meth:`~repro.service.FleetGateway.migrate_instance`
+    migration_timeout_s: float = 120.0
+
+    def __post_init__(self):
+        if self.imbalance_tolerance < 0:
+            raise ValueError("imbalance_tolerance must be >= 0")
+        if self.max_migrations_per_cycle < 1:
+            raise ValueError("max_migrations_per_cycle must be >= 1")
+        if self.cycle_interval_s <= 0:
+            raise ValueError("cycle_interval_s must be > 0")
+        if self.min_total_ops < 0:
+            raise ValueError("min_total_ops must be >= 0")
+        if self.queue_depth_weight < 0:
+            raise ValueError("queue_depth_weight must be >= 0")
+        if self.migration_timeout_s <= 0:
+            raise ValueError("migration_timeout_s must be > 0")
+
+
+#: serving tiers a replay can route through (``ReplayBackend.mode``)
+_REPLAY_MODES = ("direct", "service", "gateway", "socket")
+
+
+@dataclass(frozen=True)
+class ReplayBackend:
+    """Which serving tier a replay routes through, with its knobs.
+
+    One picklable value replaces the ``via_service`` / ``via_gateway`` /
+    ``via_socket`` booleans and their per-tier config kwargs that used
+    to accumulate on every replay signature.  The determinism contract
+    makes the choice invisible in results: every mode replays the same
+    sequenced op stream, so arrays and accounting are bit-identical
+    across modes (and the parity suites assert exactly that).
+    """
+
+    #: one of ``"direct"`` (in-process, no service layer),
+    #: ``"service"`` (micro-batching :class:`PredictionService`),
+    #: ``"gateway"`` (multi-process :class:`FleetGateway`) or
+    #: ``"socket"`` (TCP :class:`WireServer` front door)
+    mode: str = "direct"
+    #: concurrent replay clients per instance (ignored by ``direct``)
+    clients: int = 1
+    #: micro-batching knobs (``service`` mode; also reachable through
+    #: ``gateway.service`` for the sharded modes)
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    #: fleet sharding knobs (``gateway`` and ``socket`` modes)
+    gateway: GatewayConfig = field(default_factory=GatewayConfig)
+    #: TCP front-door knobs (``socket`` mode)
+    wire: WireConfig = field(default_factory=WireConfig)
+
+    def __post_init__(self):
+        if self.mode not in _REPLAY_MODES:
+            raise ValueError(
+                f"mode must be one of {_REPLAY_MODES}, got {self.mode!r}"
+            )
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
 
 
 def fast_profile() -> StageConfig:

@@ -23,15 +23,27 @@ multiprocessing start method (fork, forkserver, spawn).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
-from repro.core.config import GatewayConfig, ServiceConfig, StageConfig, WireConfig
+from repro.core.config import (
+    GatewayConfig,
+    ReplayBackend,
+    ServiceConfig,
+    StageConfig,
+    WireConfig,
+)
 from repro.global_model.model import GlobalModel
 from repro.parallelism import pool_map, resolve_n_jobs, runs_inline
 from repro.workload.fleet import FleetConfig, FleetGenerator
 from repro.workload.trace import Trace
 
-from .replay import InstanceReplay, assemble_replay, replay_instance
+from .replay import (
+    InstanceReplay,
+    _backend_gateway_config,
+    assemble_replay,
+    replay_instance,
+    resolve_backend,
+)
 
 __all__ = ["FleetSweeper", "resolve_n_jobs"]
 
@@ -67,11 +79,10 @@ class _ReplaySettings:
     use_global_model: bool = False
     #: inline path only; always ``None`` in pool-bound settings
     global_model: Optional[GlobalModel] = None
-    #: route every replay through a live PredictionService (scenario
-    #: engine / serving-parity sweeps); bit-identical to the direct path
-    via_service: bool = False
-    service_config: Optional[ServiceConfig] = None
-    service_clients: int = 1
+    #: the serving tier each per-worker replay routes through (only the
+    #: per-instance modes ride here — ``direct`` and ``service``; the
+    #: shared-fleet modes are driven centrally by the sweeper)
+    backend: Optional[ReplayBackend] = None
 
 
 def _resolve_global_model(settings: _ReplaySettings) -> Optional[GlobalModel]:
@@ -95,9 +106,7 @@ def _replay_trace(trace: Trace, settings: _ReplaySettings) -> InstanceReplay:
         random_state=settings.random_state,
         collect_components=settings.collect_components,
         component_inference=settings.component_inference,
-        via_service=settings.via_service,
-        service_config=settings.service_config,
-        service_clients=settings.service_clients,
+        backend=settings.backend,
     )
 
 
@@ -136,28 +145,50 @@ class FleetSweeper:
     random_state: int = 0
     collect_components: bool = True
     component_inference: str = "batched"
-    #: replay every instance through a live PredictionService instead of
-    #: calling the predictor directly (bit-identical; the scenario
-    #: engine's serving-path sweeps run this way)
+    #: which serving tier every replay routes through
+    #: (:class:`~repro.core.config.ReplayBackend`); ``direct`` and
+    #: ``service`` replay per instance (fan out over the pool), while
+    #: ``gateway`` and ``socket`` put the whole fleet behind one shared
+    #: front door — all bit-identical under the determinism contract
+    backend: Optional[ReplayBackend] = None
+    #: deprecated spelling of ``backend`` (see
+    #: :func:`~repro.harness.replay.resolve_backend`); cannot be
+    #: combined with it
     via_service: bool = False
     service_config: Optional[ServiceConfig] = None
     service_clients: int = 1
-    #: replay the whole fleet through one sharded multi-process
-    #: FleetGateway (bit-identical for any shard count — the fleet
-    #: determinism contract's strongest exercise)
     via_gateway: bool = False
     gateway_config: Optional[GatewayConfig] = None
-    #: replay the whole fleet through a FleetGateway *over real TCP* —
-    #: a WireServer front door, ``service_clients`` wire connections per
-    #: instance; same bit-parity contract, now spanning the socket
     via_socket: bool = False
     wire_config: Optional[WireConfig] = None
+    #: called once, on its own thread, *while* the fleet replay's
+    #: submitters are in flight, with the live gateway as its argument —
+    #: the reshard-mid-replay hook (``gateway``/``socket`` modes only).
+    #: Migrations and resizes it performs must leave every replay
+    #: bit-identical; any exception it raises fails the sweep.
+    reshard_hook: Optional[Callable[[object], None]] = None
     #: worker processes; 1 = inline (no pool), ``<=0`` = all cores
     n_jobs: int = 1
 
     # ------------------------------------------------------------------
-    def _settings(self, inline: bool) -> _ReplaySettings:
+    def _resolved_backend(self) -> ReplayBackend:
+        return resolve_backend(
+            self.backend,
+            via_service=self.via_service,
+            via_gateway=self.via_gateway,
+            via_socket=self.via_socket,
+            service_config=self.service_config,
+            service_clients=self.service_clients,
+            gateway_config=self.gateway_config,
+            wire_config=self.wire_config,
+        )
+
+    def _settings(
+        self, inline: bool, backend: Optional[ReplayBackend] = None
+    ) -> _ReplaySettings:
         """Worker settings; pool-bound settings never carry the model."""
+        if backend is None:
+            backend = self._resolved_backend()
         return _ReplaySettings(
             stage_config=self.stage_config,
             random_state=self.random_state,
@@ -165,13 +196,15 @@ class FleetSweeper:
             component_inference=self.component_inference,
             use_global_model=self.global_model is not None,
             global_model=self.global_model if inline else None,
-            via_service=self.via_service,
-            service_config=self.service_config,
-            service_clients=self.service_clients,
+            backend=backend,
         )
 
-    def _map(self, worker, payloads: Sequence[tuple]) -> List[InstanceReplay]:
-        settings = self._settings(inline=runs_inline(self.n_jobs, len(payloads)))
+    def _map(
+        self, worker, payloads: Sequence[tuple], backend: ReplayBackend
+    ) -> List[InstanceReplay]:
+        settings = self._settings(
+            inline=runs_inline(self.n_jobs, len(payloads)), backend=backend
+        )
         tasks = [payload + (settings,) for payload in payloads]
         return pool_map(
             worker,
@@ -182,125 +215,97 @@ class FleetSweeper:
         )
 
     # ------------------------------------------------------------------
-    def _check_modes(self) -> None:
-        modes = [
-            name
-            for name, flag in (
-                ("via_service", self.via_service),
-                ("via_gateway", self.via_gateway),
-                ("via_socket", self.via_socket),
-            )
-            if flag
-        ]
-        if len(modes) > 1:
-            raise ValueError(f"{' and '.join(modes)} are mutually exclusive")
-        if (self.via_gateway or self.via_socket) and self.component_inference != "batched":
+    def _check_backend(self) -> ReplayBackend:
+        backend = self._resolved_backend()
+        if backend.mode != "direct" and self.component_inference != "batched":
             raise ValueError(
-                "via_gateway/via_socket replays route through the "
+                "service/gateway/socket replays route through the "
                 'batched path; use component_inference="batched"'
             )
-
-    def _replay_via_gateway(self, traces: Sequence[Trace]) -> List[InstanceReplay]:
-        """Replay every trace through one sharded, multi-process gateway.
-
-        All instances live behind the same front door: each is
-        registered on its hash-assigned shard, its op stream replays with
-        explicit per-instance sequence numbers, and the per-instance
-        accounting is read back from the shard that owns it.  ``n_jobs``
-        controls how many instances' streams are in flight at once (the
-        submitter threads; the shard processes do the predictor work) —
-        per-instance streams are independent, so the determinism
-        contract makes any value bit-identical to the direct (and
-        ``via_service``) replays, for any shard count, client count or
-        queue bound.
-        """
-        from concurrent.futures import ThreadPoolExecutor
-        from dataclasses import replace
-
-        from repro.service.gateway import FleetGateway
-
-        config = self.gateway_config or GatewayConfig()
-        config = replace(
-            config,
-            service=replace(
-                self.service_config or config.service,
-                collect_components=self.collect_components,
-            ),
-        )
-        gateway = FleetGateway(
-            config,
-            stage_config=self.stage_config,
-            global_model=self.global_model,
-            random_state=self.random_state,
-        )
-        try:
-            for trace in traces:
-                gateway.register_instance(trace.instance)
-
-            def replay(trace: Trace):
-                return gateway.replay_components(trace, n_clients=self.service_clients)
-
-            n_submitters = resolve_n_jobs(self.n_jobs, max(len(traces), 1))
-            if n_submitters == 1:
-                components_per_trace = [replay(trace) for trace in traces]
-            else:
-                with ThreadPoolExecutor(max_workers=n_submitters) as pool:
-                    components_per_trace = list(pool.map(replay, traces))
-            gateway.drain()
-            instance_stats = gateway.stats()["instances"]
-        finally:
-            gateway.close()
-        return [
-            assemble_replay(
-                trace,
-                components,
-                instance_stats[trace.instance.instance_id]["stage"],
-                config=self.stage_config,
-                global_model=self.global_model,
-                random_state=self.random_state,
-                collect_components=self.collect_components,
+        if self.reshard_hook is not None and backend.mode not in ("gateway", "socket"):
+            raise ValueError(
+                "reshard_hook requires a shared-fleet backend "
+                '(mode "gateway" or "socket")'
             )
-            for trace, components in zip(traces, components_per_trace)
-        ]
+        return backend
 
-    def _replay_via_socket(self, traces: Sequence[Trace]) -> List[InstanceReplay]:
-        """Replay every trace through one gateway over real TCP.
+    def _replay_fleet(
+        self, traces: Sequence[Trace], backend: ReplayBackend
+    ) -> List[InstanceReplay]:
+        """Replay every trace through one shared, sharded fleet tier.
 
-        The socket analogue of :meth:`_replay_via_gateway`: the whole
-        fleet sits behind one :class:`~repro.service.WireServer`, each
-        instance replays over ``service_clients`` wire connections with
-        explicit sequence numbers, and the per-instance accounting is
-        fetched back over the wire (STATS op) — so arrays *and*
-        accounting cross the socket and must still be bit-identical to
-        every other mode, for any shard/connection count.
+        All instances live behind the same front door — a multi-process
+        :class:`~repro.service.FleetGateway` (``gateway`` mode) or that
+        gateway behind a TCP :class:`~repro.service.WireServer`
+        (``socket`` mode, ``backend.clients`` wire connections per
+        instance).  Each instance is registered on its routing-table
+        shard, its op stream replays with explicit per-instance sequence
+        numbers, and the per-instance accounting is read back from the
+        shard that owns it.  ``n_jobs`` controls how many instances'
+        streams are in flight at once (the submitter threads; the shard
+        processes do the predictor work).
+
+        While the submitters run, ``reshard_hook`` (if any) executes on
+        its own thread against the live gateway — the hook migrates
+        instances and resizes the shard set *mid-replay*, and the
+        determinism contract requires the results to stay bit-identical
+        anyway (the reshard-parity suite holds exactly this).  The hook
+        is joined before final accounting is read, so its moves are
+        fully settled in the stats.
         """
+        import threading
         from concurrent.futures import ThreadPoolExecutor
-        from dataclasses import replace
+        from contextlib import ExitStack
 
         from repro.service.gateway import FleetGateway
-        from repro.service.wire import WireServer, _SocketReplayContext
 
-        config = self.gateway_config or GatewayConfig()
-        config = replace(
-            config,
-            service=replace(
-                self.service_config or config.service,
-                collect_components=self.collect_components,
-            ),
-        )
+        config = _backend_gateway_config(backend, self.collect_components)
         gateway = FleetGateway(
             config,
             stage_config=self.stage_config,
             global_model=self.global_model,
             random_state=self.random_state,
         )
-        server = WireServer(gateway, self.wire_config)
-        with _SocketReplayContext(gateway, server) as ctx:
-            for trace in traces:
-                ctx.register(trace.instance)
+        with ExitStack() as stack:
+            if backend.mode == "socket":
+                from repro.service.wire import WireServer, _SocketReplayContext
 
-            def replay(trace: Trace):
-                return ctx.replay(trace, n_connections=self.service_clients)
+                server = WireServer(gateway, backend.wire)
+                ctx = stack.enter_context(_SocketReplayContext(gateway, server))
+                register = ctx.register
+
+                def replay(trace: Trace):
+                    return ctx.replay(trace, n_connections=backend.clients)
+
+                read_stats = ctx.instance_stats
+            else:
+                stack.callback(gateway.close)
+                register = gateway.register_instance
+
+                def replay(trace: Trace):
+                    return gateway.replay_components(trace, n_clients=backend.clients)
+
+                def read_stats():
+                    gateway.drain()
+                    return gateway.stats()["instances"]
+
+            for trace in traces:
+                register(trace.instance)
+
+            hook_errors: List[BaseException] = []
+            hook_thread: Optional[threading.Thread] = None
+            if self.reshard_hook is not None:
+
+                def run_hook():
+                    try:
+                        self.reshard_hook(gateway)
+                    except BaseException as exc:
+                        hook_errors.append(exc)
+
+                hook_thread = threading.Thread(
+                    target=run_hook, name="reshard-hook", daemon=True
+                )
+                hook_thread.start()
 
             n_submitters = resolve_n_jobs(self.n_jobs, max(len(traces), 1))
             if n_submitters == 1:
@@ -308,7 +313,13 @@ class FleetSweeper:
             else:
                 with ThreadPoolExecutor(max_workers=n_submitters) as pool:
                     components_per_trace = list(pool.map(replay, traces))
-            instance_stats = ctx.instance_stats()
+            if hook_thread is not None:
+                # the hook must settle before accounting is read (and a
+                # failed reshard must fail the sweep, not pass silently)
+                hook_thread.join()
+                if hook_errors:
+                    raise hook_errors[0]
+            instance_stats = read_stats()
         return [
             assemble_replay(
                 trace,
@@ -329,30 +340,26 @@ class FleetSweeper:
         """Generate and replay instances ``indices``, in index order.
 
         Each worker samples its instance and unrolls its trace itself,
-        so results are independent of how work is distributed.  In
-        ``via_gateway`` mode the traces are generated up front (they are
+        so results are independent of how work is distributed.  In the
+        shared-fleet modes the traces are generated up front (they are
         pure functions of ``(fleet_config, index)``) and fed through the
         shared gateway instead.
         """
-        self._check_modes()
-        if self.via_gateway or self.via_socket:
+        backend = self._check_backend()
+        if backend.mode in ("gateway", "socket"):
             gen = FleetGenerator(self.fleet_config)
             traces = [
                 gen.generate_trace(gen.sample_instance(int(index)), duration_days)
                 for index in indices
             ]
-            if self.via_socket:
-                return self._replay_via_socket(traces)
-            return self._replay_via_gateway(traces)
+            return self._replay_fleet(traces, backend)
         payloads = [(self.fleet_config, duration_days, int(index)) for index in indices]
-        return self._map(_replay_index_worker, payloads)
+        return self._map(_replay_index_worker, payloads, backend)
 
     def replay_traces(self, traces: Sequence[Trace]) -> List[InstanceReplay]:
         """Replay pre-built traces, preserving their order."""
-        self._check_modes()
-        if self.via_socket:
-            return self._replay_via_socket(traces)
-        if self.via_gateway:
-            return self._replay_via_gateway(traces)
+        backend = self._check_backend()
+        if backend.mode in ("gateway", "socket"):
+            return self._replay_fleet(traces, backend)
         payloads = [(trace,) for trace in traces]
-        return self._map(_replay_trace_worker, payloads)
+        return self._map(_replay_trace_worker, payloads, backend)

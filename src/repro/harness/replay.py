@@ -38,7 +38,13 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.autowlm import AutoWLMPredictor
-from repro.core.config import GatewayConfig, ServiceConfig, StageConfig, WireConfig
+from repro.core.config import (
+    GatewayConfig,
+    ReplayBackend,
+    ServiceConfig,
+    StageConfig,
+    WireConfig,
+)
 from repro.core.interfaces import PredictionSource
 from repro.core.stage import BatchRouter, RoutedComponents, StagePredictor
 from repro.global_model.model import GlobalModel
@@ -50,6 +56,7 @@ __all__ = [
     "InstanceReplay",
     "assemble_replay",
     "replay_instance",
+    "resolve_backend",
     "stage_stats_of",
 ]
 
@@ -269,99 +276,161 @@ def _routed_components_direct(
     return [slot.components for slot in slots]
 
 
-def _routed_components_via_service(
-    trace: Trace,
-    stage_config: Optional[StageConfig],
-    global_model: Optional[GlobalModel],
-    random_state: int,
-    collect_components: bool,
-    service_config: Optional[ServiceConfig],
-    service_clients: int,
-):
-    """Replay the trace through a live :class:`PredictionService`.
+def resolve_backend(
+    backend: Optional[ReplayBackend] = None,
+    via_service: bool = False,
+    via_socket: bool = False,
+    via_gateway: bool = False,
+    service_config: Optional[ServiceConfig] = None,
+    service_clients: int = 1,
+    gateway_config: Optional[GatewayConfig] = None,
+    wire_config: Optional[WireConfig] = None,
+) -> ReplayBackend:
+    """Fold the deprecated ``via_*`` kwargs into one :class:`ReplayBackend`.
 
-    Thin wrapper over :meth:`PredictionService.replay_components` — the
-    service-side hook holds the concurrency/sequencing discipline that
-    makes any client count and any ``max_batch_size`` reproduce the
-    direct replay bit-for-bit.
-
-    Returns ``(components, stage)`` where ``stage`` is the service's
-    (now quiesced) predictor, for accounting.
+    The legacy booleans and per-tier config kwargs remain accepted as
+    thin shims; passing ``backend`` together with any of them is an
+    error (two sources of truth).  The mutual-exclusion rule between the
+    ``via_*`` flags is enforced here with its historical message.
     """
     from dataclasses import replace
 
-    from repro.service import PredictionService
-
-    service_config = replace(
-        service_config or ServiceConfig(),
-        collect_components=collect_components,
+    modes = [
+        name
+        for name, flag in (
+            ("via_service", via_service),
+            ("via_gateway", via_gateway),
+            ("via_socket", via_socket),
+        )
+        if flag
+    ]
+    if len(modes) > 1:
+        raise ValueError(f"{' and '.join(modes)} are mutually exclusive")
+    legacy = bool(
+        modes
+        or service_config is not None
+        or gateway_config is not None
+        or wire_config is not None
+        or service_clients != 1
     )
-    service = PredictionService(
-        trace.instance,
-        global_model=global_model,
-        stage_config=stage_config,
-        service_config=service_config,
-        random_state=random_state,
+    if backend is not None:
+        if legacy:
+            raise ValueError(
+                "backend and the deprecated via_*/config replay kwargs "
+                "are mutually exclusive"
+            )
+        return backend
+    mode = modes[0][len("via_") :] if modes else "direct"
+    resolved = ReplayBackend(mode=mode, clients=max(1, int(service_clients)))
+    if service_config is not None:
+        resolved = replace(resolved, service=service_config)
+    if gateway_config is not None:
+        resolved = replace(resolved, gateway=gateway_config)
+    if wire_config is not None:
+        resolved = replace(resolved, wire=wire_config)
+    return resolved
+
+
+def _backend_gateway_config(
+    backend: ReplayBackend, collect_components: bool
+) -> GatewayConfig:
+    """The gateway config for the sharded modes, with the replay's
+    component-collection flag folded into the per-shard service knobs.
+    ``backend.service`` overrides the gateway's embedded service config
+    only when it was explicitly customised, matching the old kwarg
+    precedence (``service_config`` beat ``gateway_config.service``)."""
+    from dataclasses import replace
+
+    service = backend.service if backend.service != ServiceConfig() else backend.gateway.service
+    return replace(
+        backend.gateway,
+        service=replace(service, collect_components=collect_components),
     )
-    try:
-        components = service.replay_components(trace, n_clients=service_clients)
-        service.drain()
-    finally:
-        # always stop the worker thread: a failed replay must not leak a
-        # live scheduler (close also fails any ops stranded behind a gap)
-        service.close()
-    return components, service.stage
 
 
-def _routed_components_via_socket(
+def _routed_components_via_backend(
     trace: Trace,
+    backend: ReplayBackend,
     stage_config: Optional[StageConfig],
     global_model: Optional[GlobalModel],
     random_state: int,
     collect_components: bool,
-    service_config: Optional[ServiceConfig],
-    service_clients: int,
-    gateway_config: Optional[GatewayConfig],
-    wire_config: Optional[WireConfig],
 ):
-    """Replay the trace over a real TCP socket.
+    """Replay the trace through the serving tier ``backend`` names.
 
-    Stands up a single-instance :class:`~repro.service.FleetGateway`
-    fronted by a :class:`~repro.service.WireServer` and replays through
-    ``service_clients`` concurrent wire connections with explicit
-    sequence numbers (see
-    :func:`repro.service.wire.replay_trace_via_socket`).  The final
-    accounting is fetched back over the wire too, so both halves of the
-    parity contract — arrays *and* cache/counter accounting — round-trip
-    the socket.
+    Every mode funnels into the one
+    :func:`repro.service.replay_trace_via_client` driver behind a
+    tier-appropriate :class:`~repro.service.PredictorClient` — a live
+    :class:`~repro.service.PredictionService` (``"service"``), a sharded
+    multi-process :class:`~repro.service.FleetGateway` (``"gateway"``),
+    or ``backend.clients`` real TCP connections against a
+    :class:`~repro.service.WireServer` (``"socket"``).  The determinism
+    contract makes all of them reproduce the direct replay bit-for-bit.
 
     Returns ``(components, stage_stats)``.
     """
     from dataclasses import replace
 
-    from repro.service.gateway import FleetGateway
-    from repro.service.wire import WireServer, _SocketReplayContext
+    if backend.mode == "service":
+        from repro.service import PredictionService
 
-    config = gateway_config or GatewayConfig()
-    config = replace(
-        config,
-        service=replace(
-            service_config or config.service,
-            collect_components=collect_components,
-        ),
-    )
-    gateway = FleetGateway(
-        config,
-        stage_config=stage_config,
-        global_model=global_model,
-        random_state=random_state,
-    )
-    server = WireServer(gateway, wire_config)
-    with _SocketReplayContext(gateway, server) as ctx:
-        ctx.register(trace.instance)
-        components = ctx.replay(trace, n_connections=service_clients)
-        stats = ctx.instance_stats()[trace.instance.instance_id]["stage"]
-    return components, stats
+        service_config = replace(
+            backend.service, collect_components=collect_components
+        )
+        service = PredictionService(
+            trace.instance,
+            global_model=global_model,
+            stage_config=stage_config,
+            service_config=service_config,
+            random_state=random_state,
+        )
+        try:
+            components = service.replay_components(trace, n_clients=backend.clients)
+            service.drain()
+            stats = stage_stats_of(service.stage)
+        finally:
+            # always stop the worker thread: a failed replay must not
+            # leak a live scheduler (close also fails gap-stranded ops)
+            service.close()
+        return components, stats
+
+    config = _backend_gateway_config(backend, collect_components)
+    if backend.mode == "gateway":
+        from repro.service.gateway import FleetGateway
+
+        gateway = FleetGateway(
+            config,
+            stage_config=stage_config,
+            global_model=global_model,
+            random_state=random_state,
+        )
+        try:
+            gateway.register_instance(trace.instance)
+            components = gateway.replay_components(trace, n_clients=backend.clients)
+            gateway.drain()
+            stats = gateway.stats()["instances"][trace.instance.instance_id]["stage"]
+        finally:
+            gateway.close()
+        return components, stats
+
+    if backend.mode == "socket":
+        from repro.service.gateway import FleetGateway
+        from repro.service.wire import WireServer, _SocketReplayContext
+
+        gateway = FleetGateway(
+            config,
+            stage_config=stage_config,
+            global_model=global_model,
+            random_state=random_state,
+        )
+        server = WireServer(gateway, backend.wire)
+        with _SocketReplayContext(gateway, server) as ctx:
+            ctx.register(trace.instance)
+            components = ctx.replay(trace, n_connections=backend.clients)
+            stats = ctx.instance_stats()[trace.instance.instance_id]["stage"]
+        return components, stats
+
+    raise ValueError(f"unknown replay backend mode {backend.mode!r}")
 
 
 def replay_instance(
@@ -371,6 +440,7 @@ def replay_instance(
     random_state: int = 0,
     collect_components: bool = True,
     component_inference: str = "batched",
+    backend: ReplayBackend | None = None,
     via_service: bool = False,
     service_config: ServiceConfig | None = None,
     service_clients: int = 1,
@@ -391,27 +461,35 @@ def replay_instance(
     per retrain window; ``"per_query"`` is the bit-identical reference
     path that re-runs the ensemble per eligible query.
 
-    ``via_service=True`` routes the Stage predictions through an online
-    :class:`~repro.service.PredictionService` (micro-batch scheduler,
-    ``service_clients`` concurrent submitters, ``service_config`` knobs)
-    instead of calling the predictor directly; results are bit-identical
-    to the direct path for any batch size and client count.
+    ``backend`` selects which serving tier the Stage predictions route
+    through (:class:`~repro.core.config.ReplayBackend`): ``"direct"``
+    (default — no service layer), ``"service"`` (an online
+    :class:`~repro.service.PredictionService` with ``backend.clients``
+    concurrent submitters), ``"gateway"`` (a sharded multi-process
+    :class:`~repro.service.FleetGateway`) or ``"socket"`` (real TCP
+    connections against a :class:`~repro.service.WireServer` fronting a
+    gateway).  The determinism contract makes every mode bit-identical
+    to the direct path — arrays *and* accounting — for any batch size,
+    shard count or client/connection count.
 
-    ``via_socket=True`` goes one layer further out: the trace replays
-    over real TCP connections against a
-    :class:`~repro.service.WireServer` fronting a sharded
-    :class:`~repro.service.FleetGateway` (``gateway_config`` /
-    ``wire_config``; ``service_clients`` becomes the number of
-    concurrent wire connections).  Same parity contract: bit-identical
-    arrays and accounting for any shard/connection count.
+    ``via_service`` / ``via_socket`` and the per-tier config kwargs are
+    the deprecated spelling of ``backend``; they are folded into one via
+    :func:`resolve_backend` and cannot be combined with it.
     """
     if component_inference not in COMPONENT_INFERENCE_MODES:
         raise ValueError(f"component_inference must be one of {COMPONENT_INFERENCE_MODES}")
-    if via_service and via_socket:
-        raise ValueError("via_service and via_socket are mutually exclusive")
-    if (via_service or via_socket) and component_inference != "batched":
+    backend = resolve_backend(
+        backend,
+        via_service=via_service,
+        via_socket=via_socket,
+        service_config=service_config,
+        service_clients=service_clients,
+        gateway_config=gateway_config,
+        wire_config=wire_config,
+    )
+    if backend.mode != "direct" and component_inference != "batched":
         raise ValueError(
-            "via_service/via_socket replays route through the batched "
+            "service/gateway/socket replays route through the batched "
             'path; use component_inference="batched"'
         )
     config = config or StageConfig()
@@ -445,29 +523,15 @@ def replay_instance(
             stage.observe(record)
             components.append(routed)
         stats = stage_stats_of(stage)
-    elif via_socket:
-        components, stats = _routed_components_via_socket(
+    elif backend.mode != "direct":
+        components, stats = _routed_components_via_backend(
             trace,
+            backend,
             config,
             global_model,
             random_state,
             collect_components,
-            service_config,
-            service_clients,
-            gateway_config,
-            wire_config,
         )
-    elif via_service:
-        components, stage = _routed_components_via_service(
-            trace,
-            config,
-            global_model,
-            random_state,
-            collect_components,
-            service_config,
-            service_clients,
-        )
-        stats = stage_stats_of(stage)
     else:
         stage = StagePredictor(
             trace.instance,

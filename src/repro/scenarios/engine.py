@@ -32,7 +32,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.config import GatewayConfig, ServiceConfig, StageConfig, fast_profile
+from repro.core.config import (
+    GatewayConfig,
+    ReplayBackend,
+    ServiceConfig,
+    StageConfig,
+    fast_profile,
+)
 from repro.core.metrics import absolute_errors, q_errors
 from repro.harness.parallel import FleetSweeper
 from repro.harness.replay import InstanceReplay
@@ -159,12 +165,14 @@ class ScenarioSweepConfig:
     duration_days: float = 1.5
     volume_scale: float = 0.2
     stage: StageConfig = field(default_factory=fast_profile)
-    #: replay through a live PredictionService instead of directly
+    #: which serving tier every replay routes through
+    #: (:class:`~repro.core.config.ReplayBackend`); bit-identical across
+    #: modes by the determinism contract
+    backend: Optional[ReplayBackend] = None
+    #: deprecated spelling of ``backend``; cannot be combined with it
     via_service: bool = False
     service_config: Optional[ServiceConfig] = None
     service_clients: int = 1
-    #: replay the whole matrix through a sharded multi-process
-    #: FleetGateway (bit-identical for any shard count)
     via_gateway: bool = False
     gateway_config: Optional[GatewayConfig] = None
     #: worker processes per scenario sweep; any value is bit-identical
@@ -251,6 +259,7 @@ class ScenarioRunner:
             fleet_config=self.fleet_config(scenario),
             stage_config=cfg.stage,
             random_state=cfg.seed,
+            backend=cfg.backend,
             via_service=cfg.via_service,
             service_config=cfg.service_config,
             service_clients=cfg.service_clients,

@@ -17,8 +17,18 @@ package provides that deployment shape:
   an asyncio TCP server speaking a length-prefixed binary frame
   protocol in front of the gateway, with per-session lifecycle,
   ingress sequencing (the determinism contract extends over the
-  socket) and RETRY_AFTER admission control (see ``repro.service.wire``
-  and ``python -m repro.service serve``/``loadgen``);
+  socket), RETRY_AFTER admission control and fleet admin ops
+  (MIGRATE / RESIZE / ROUTES — see ``repro.service.wire`` and
+  ``python -m repro.service serve``/``loadgen``);
+- :class:`PredictorClient` — the one futures-based client protocol all
+  three serving tiers implement (:func:`shared_client` adapts an
+  in-process tier into the client-factory shape, and
+  :func:`replay_trace_via_client` is the single replay driver the
+  harness's every ``via_*`` mode now runs through);
+- :class:`FleetController` / :func:`plan_rebalance` — the elastic
+  control plane: a load-watching rebalancer over the gateway's
+  versioned routing table, executing live cut-sequence migrations and
+  shard-set resizes without dropping in-flight ops;
 - :func:`run_service_bench` / :func:`run_gateway_bench` /
   :func:`run_wire_bench` — the throughput/latency benchmarks behind
   ``python -m repro.service`` (``results/service_bench.txt``,
@@ -35,7 +45,7 @@ interval arrays obey the same bit-parity contracts as the points
 count); see ``examples/uncertainty_serving.py``.
 """
 
-from repro.core.config import GatewayConfig, ServiceConfig, WireConfig
+from repro.core.config import ControlConfig, GatewayConfig, ServiceConfig, WireConfig
 
 from .bench import (
     GatewayBenchConfig,
@@ -48,6 +58,13 @@ from .bench import (
     run_service_bench,
     run_wire_bench,
 )
+from .client import PredictorClient, replay_trace_via_client, shared_client
+from .control import (
+    FleetController,
+    PlannedMigration,
+    RebalancePlan,
+    plan_rebalance,
+)
 from .gateway import FleetGateway, GatewayBackpressureError, ShardCrashedError, shard_for
 from .registry import ModelRegistry
 from .scheduler import MicroBatchScheduler
@@ -56,6 +73,8 @@ from .wire import AsyncWireClient, WireClient, WireError, WireServer
 
 __all__ = [
     "AsyncWireClient",
+    "ControlConfig",
+    "FleetController",
     "FleetGateway",
     "GatewayBackpressureError",
     "GatewayBenchConfig",
@@ -63,7 +82,10 @@ __all__ = [
     "GatewayConfig",
     "ModelRegistry",
     "MicroBatchScheduler",
+    "PlannedMigration",
     "PredictionService",
+    "PredictorClient",
+    "RebalancePlan",
     "ServiceBenchConfig",
     "ServiceBenchResult",
     "ServiceConfig",
@@ -74,8 +96,11 @@ __all__ = [
     "WireConfig",
     "WireError",
     "WireServer",
+    "plan_rebalance",
+    "replay_trace_via_client",
     "run_gateway_bench",
     "run_service_bench",
     "run_wire_bench",
     "shard_for",
+    "shared_client",
 ]

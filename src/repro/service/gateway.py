@@ -12,14 +12,29 @@ thread-safe client API — ``predict(instance_id, record)`` /
 
 Architecture
 ------------
-- **Routing.** :func:`shard_for` maps an instance id to its shard — a
-  pure function of ``(instance_id, n_shards)`` built on the workload
-  layer's :func:`~repro.workload.seeding.derive_seed`, so the map is
-  stable across runs, processes and machines (never Python's salted
-  ``hash``).  Each shard process owns one ``PredictionService`` per
-  instance assigned to it; ops travel over a **bounded** per-shard
-  request queue (backpressure: a full queue fails the enqueue with
-  :class:`GatewayBackpressureError` after ``enqueue_timeout_s``).
+- **Routing.** The gateway owns an explicit, versioned routing table
+  (``instance id -> shard index``, exposed by :meth:`FleetGateway.routes`).
+  Registration seeds each entry from :func:`shard_for` — a pure function
+  of ``(instance_id, n_shards)`` built on the workload layer's
+  :func:`~repro.workload.seeding.derive_seed`, so an untouched fleet
+  routes byte-identically to the static map on every run and machine
+  (never Python's salted ``hash``).  The control plane
+  (:meth:`migrate_instance`, :meth:`resize`,
+  :class:`~repro.service.FleetController`) rewrites entries live; every
+  rewrite bumps the table version.  Each shard process owns one
+  ``PredictionService`` per instance assigned to it; ops travel over a
+  **bounded** per-shard request queue (backpressure: a full queue fails
+  the enqueue with :class:`GatewayBackpressureError` after
+  ``enqueue_timeout_s``).
+- **Live migration.** :meth:`migrate_instance` moves one instance
+  between shards under traffic with a *cut-sequence* protocol: the
+  instance's next unclaimed sequence number becomes the cut; ops below
+  it keep flowing to the source shard (whose scheduler drains through
+  the cut, then snapshots the quiesced predictor via the
+  :class:`~repro.service.ModelRegistry` per-instance state path), ops
+  at-or-above it buffer at the gateway; the routing entry then cuts
+  over atomically and the buffer flushes to the target.  No sequence
+  gap ever opens, so migration placement is invisible in results.
 - **Determinism contract** (the PR 3/4 contract, lifted to the fleet):
   results depend only on each instance's sequenced op stream — never on
   shard count, shard assignment, client threading, queue bounds or
@@ -44,10 +59,12 @@ from __future__ import annotations
 
 import itertools
 import queue
+import shutil
+import tempfile
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import partial
 from typing import Dict, List, Optional, Tuple
 
@@ -135,6 +152,9 @@ _DRAIN = "drain"
 _STATS = "stats"
 _SNAPSHOT = "snapshot"
 _RESTORE = "restore"
+_DETACH = "detach"  # migration: drain through the cut, save instance state
+_RELEASE = "release"  # migration: drop the detached instance's service
+_ATTACH = "attach"  # migration: load instance state, resume at the cut
 _SLEEP = "sleep"  # fault-injection/backpressure test hook: hold the shard busy
 _SHUTDOWN = "shutdown"
 
@@ -224,6 +244,61 @@ def _shard_main(shard_index: int, request_q, response_q, init: _ShardInit) -> No
                         stage, service_config=init.service_config
                     )
                 result = list(instance_ids)
+            elif kind == _DETACH:
+                # Migration source side.  Stragglers below the cut are
+                # still flowing through this loop, so the drain must not
+                # block it: a side thread waits out the prefix, pauses
+                # the scheduler, saves the quiesced predictor, and
+                # answers the op itself.
+                instance_id, cut_seq, registry_root, state_name = payload
+                service = services[instance_id]
+
+                def _detach(
+                    op_id=op_id,
+                    service=service,
+                    cut_seq=cut_seq,
+                    registry_root=registry_root,
+                    state_name=state_name,
+                ):
+                    try:
+                        service.scheduler.drain_through(cut_seq)
+                        with service.scheduler.paused():
+                            ModelRegistry(registry_root).save_instance_state(
+                                service.stage, state_name
+                            )
+                            counters = dict(service.scheduler.stats)
+                        response_q.put(
+                            (op_id, _OK, {"next_seq": cut_seq, "scheduler_stats": counters})
+                        )
+                    except Exception as exc:
+                        response_q.put((op_id, _ERR, exc))
+
+                threading.Thread(
+                    target=_detach,
+                    name=f"gateway-shard-{shard_index}-detach-{instance_id}",
+                    daemon=True,
+                ).start()
+                continue
+            elif kind == _RELEASE:
+                (instance_id,) = payload
+                service = services.pop(instance_id)
+                service.close()
+                result = instance_id
+            elif kind == _ATTACH:
+                registry_root, state_name, instance_id, next_seq, scheduler_stats = payload
+                if instance_id in services:
+                    raise ValueError(f"instance {instance_id!r} already registered")
+                stage = ModelRegistry(registry_root).load_instance_state(
+                    state_name, global_model=init.global_model
+                )
+                service = PredictionService.from_stage(
+                    stage, service_config=init.service_config
+                )
+                # resume exactly at the cut: the prefix ran on the source
+                service.scheduler.advance_to_seq(next_seq)
+                service.scheduler.stats.update(scheduler_stats)
+                services[instance_id] = service
+                result = instance_id
             elif kind == _SLEEP:
                 (seconds,) = payload
                 time.sleep(seconds)
@@ -255,7 +330,6 @@ class _Shard:
         "listener",
         "pending",
         "pending_lock",
-        "submit_lock",
         "crashed",
         "shutdown_op_id",
         "shutdown_acked",
@@ -270,12 +344,27 @@ class _Shard:
         #: op id -> (future, instance id or None) awaiting a response
         self.pending: Dict[int, Tuple[Future, Optional[str]]] = {}
         self.pending_lock = threading.Lock()
-        #: serializes sequence-number assignment with the enqueue itself,
-        #: so a backpressure failure can roll the counter back safely
-        self.submit_lock = threading.Lock()
         self.crashed = False
         self.shutdown_op_id: Optional[int] = None
         self.shutdown_acked = False
+
+
+class _Migration:
+    """In-flight migration state for one instance (parent side).
+
+    Ops at-or-above ``cut_seq`` buffer here (with their caller-held
+    futures) until the routing entry cuts over to the target shard.
+    All mutation happens under the instance's submit lock.
+    """
+
+    __slots__ = ("instance_id", "source", "target", "cut_seq", "buffer")
+
+    def __init__(self, instance_id: str, source: _Shard, target: _Shard, cut_seq: int):
+        self.instance_id = instance_id
+        self.source = source
+        self.target = target
+        self.cut_seq = cut_seq
+        self.buffer: List[Tuple[str, object, int, Future]] = []
 
 
 # ---------------------------------------------------------------------------
@@ -314,14 +403,26 @@ class FleetGateway:
         self._lifecycle_lock = threading.Lock()
         self._op_ids = itertools.count()
         self._op_id_lock = threading.Lock()
-        #: instance id -> shard index (registration map)
+        #: the routing table: instance id -> shard index.  Seeded from
+        #: :func:`shard_for` at registration, rewritten live by the
+        #: control plane; every rewrite bumps ``_routes_version``.
         self._instances: Dict[str, int] = {}
         #: instance id -> next unclaimed per-instance sequence number
         self._instance_seq: Dict[str, int] = {}
+        #: instance id -> submit lock serializing sequence claims, the
+        #: enqueue (or migration-buffer append) they pair with, and
+        #: routing-entry reads/writes for that instance
+        self._instance_locks: Dict[str, threading.Lock] = {}
+        #: instance id -> in-flight migration (cut-seq buffering state)
+        self._migrations: Dict[str, _Migration] = {}
+        self._routes_version = 0
         self._registry_lock = threading.Lock()
+        #: serializes topology changes (resize, migrate, register,
+        #: snapshot) against each other; never held by the data path
+        self._resize_lock = threading.RLock()
 
-        ctx = pool_context()
-        init = _ShardInit(
+        self._ctx = pool_context()
+        self._shard_init = _ShardInit(
             stage_config=stage_config,
             service_config=self.config.service,
             random_state=random_state,
@@ -329,26 +430,31 @@ class FleetGateway:
         )
         self._shards: List[_Shard] = []
         for index in range(self.config.n_shards):
-            request_q = ctx.Queue(maxsize=self.config.queue_size)
-            response_q = ctx.Queue()
-            process = ctx.Process(
-                target=_shard_main,
-                args=(index, request_q, response_q, init),
-                name=f"fleet-gateway-shard-{index}",
-                daemon=True,
-            )
-            shard = _Shard(index, process, request_q, response_q)
-            self._shards.append(shard)
+            self._shards.append(self._build_shard(index))
         # start everything only after construction can no longer fail
         for shard in self._shards:
-            shard.process.start()
-            shard.listener = threading.Thread(
-                target=self._listen,
-                args=(shard,),
-                name=f"fleet-gateway-listener-{shard.index}",
-                daemon=True,
-            )
-            shard.listener.start()
+            self._start_shard(shard)
+
+    def _build_shard(self, index: int) -> _Shard:
+        request_q = self._ctx.Queue(maxsize=self.config.queue_size)
+        response_q = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_shard_main,
+            args=(index, request_q, response_q, self._shard_init),
+            name=f"fleet-gateway-shard-{index}",
+            daemon=True,
+        )
+        return _Shard(index, process, request_q, response_q)
+
+    def _start_shard(self, shard: _Shard) -> None:
+        shard.process.start()
+        shard.listener = threading.Thread(
+            target=self._listen,
+            args=(shard,),
+            name=f"fleet-gateway-listener-{shard.index}",
+            daemon=True,
+        )
+        shard.listener.start()
 
     # ------------------------------------------------------------------
     # response listeners (one thread per shard)
@@ -411,9 +517,12 @@ class FleetGateway:
         with self._op_id_lock:
             return next(self._op_ids)
 
-    def _register_pending(self, shard: _Shard, instance_id: Optional[str]) -> Tuple[int, Future]:
+    def _register_pending(
+        self, shard: _Shard, instance_id: Optional[str], future: Optional[Future] = None
+    ) -> Tuple[int, Future]:
         op_id = self._next_op_id()
-        future: Future = Future()
+        if future is None:
+            future = Future()
         with shard.pending_lock:
             shard.pending[op_id] = (future, instance_id)
         return op_id, future
@@ -464,30 +573,49 @@ class FleetGateway:
         self._crash_race_check(shard, op_id, None)
         return future
 
+    def _instance_lock(self, instance_id: str) -> threading.Lock:
+        try:
+            return self._instance_locks[instance_id]
+        except KeyError:
+            raise KeyError(
+                f"instance {instance_id!r} is not registered with this gateway"
+            ) from None
+
     def _submit_instance_op(
         self, kind: str, instance_id: str, record, seq: Optional[int]
     ) -> Future:
-        shard = self._shard_of(instance_id)
-        self._check_open(shard, instance_id)
-        op_id, future = self._register_pending(shard, instance_id)
-        if seq is None:
-            # live mode: claim the instance's next slot.  Assignment and
-            # enqueue share the shard's submit lock so a backpressure
-            # failure can roll the counter back without leaving a gap
-            # for the ops behind it to stall on.
-            with shard.submit_lock:
+        lock = self._instance_lock(instance_id)
+        with lock:
+            # Sequence claim, routing-entry read, migration check and
+            # enqueue (or buffer append) all happen under the instance's
+            # submit lock: a backpressure failure can roll the counter
+            # back without leaving a gap, a migration's cut sequence
+            # linearizes against every claim, and a cutover can never
+            # interleave with a half-routed op.
+            migration = self._migrations.get(instance_id)
+            shard = self._shards[self._instances[instance_id]]
+            self._check_open(shard, instance_id)
+            if seq is None:
+                claimed = True
                 seq = self._instance_seq[instance_id]
                 self._instance_seq[instance_id] = seq + 1
-                try:
-                    self._enqueue(
-                        shard, op_id, (op_id, kind, (instance_id, record, seq)), instance_id
-                    )
-                except GatewayBackpressureError:
+            else:
+                claimed = False  # replay mode: range reserved upfront
+            if migration is not None and seq >= migration.cut_seq:
+                # hold the op at the gateway until the cutover; the
+                # target's reorder buffer makes flush order irrelevant
+                future: Future = Future()
+                migration.buffer.append((kind, record, seq, future))
+                return future
+            op_id, future = self._register_pending(shard, instance_id)
+            try:
+                self._enqueue(
+                    shard, op_id, (op_id, kind, (instance_id, record, seq)), instance_id
+                )
+            except GatewayBackpressureError:
+                if claimed:
                     self._instance_seq[instance_id] = seq
-                    raise
-        else:
-            # replay mode: the caller reserved its range upfront
-            self._enqueue(shard, op_id, (op_id, kind, (instance_id, record, seq)), instance_id)
+                raise
         self._crash_race_check(shard, op_id, instance_id)
         return future
 
@@ -516,8 +644,8 @@ class FleetGateway:
         """
         if count < 0:
             raise ValueError("count must be >= 0")
-        shard = self._shard_of(instance_id)
-        with shard.submit_lock:
+        lock = self._instance_lock(instance_id)
+        with lock:
             base = self._instance_seq[instance_id]
             self._instance_seq[instance_id] = base + count
         return base
@@ -538,20 +666,42 @@ class FleetGateway:
         self, instance: InstanceProfile, timeout: Optional[float] = None
     ) -> int:
         """Create ``instance``'s service on its shard; returns the shard
-        index.  Every instance must be registered before its first op."""
+        index.  Every instance must be registered before its first op.
+
+        The routing entry is seeded from :func:`shard_for` under the
+        *current* shard count, so an untouched fleet's table is
+        byte-identical to the static map.
+        """
         instance_id = instance.instance_id
         if self._closed:
             raise RuntimeError("gateway is closed")
+        with self._resize_lock:
+            with self._registry_lock:
+                if instance_id in self._instances:
+                    raise ValueError(f"instance {instance_id!r} already registered")
+            shard = self._shards[shard_for(instance_id, self.n_shards)]
+            future = self._submit_control(shard, _REGISTER, (instance,))
+            future.result(timeout if timeout is not None else self.config.drain_timeout_s)
+            with self._registry_lock:
+                self._instances[instance_id] = shard.index
+                self._instance_seq.setdefault(instance_id, 0)
+                self._instance_locks.setdefault(instance_id, threading.Lock())
+            return shard.index
+
+    def routes(self) -> dict:
+        """The live routing table: version, shard count, assignments.
+
+        ``assignments`` maps every registered instance id to its current
+        shard index, sorted by id.  An untouched fleet reports version 0
+        with assignments byte-identical to ``shard_for``; every
+        migration or resize bumps the version.
+        """
         with self._registry_lock:
-            if instance_id in self._instances:
-                raise ValueError(f"instance {instance_id!r} already registered")
-        shard = self._shards[shard_for(instance_id, self.n_shards)]
-        future = self._submit_control(shard, _REGISTER, (instance,))
-        future.result(timeout if timeout is not None else self.config.drain_timeout_s)
-        with self._registry_lock:
-            self._instances[instance_id] = shard.index
-            self._instance_seq.setdefault(instance_id, 0)
-        return shard.index
+            return {
+                "version": self._routes_version,
+                "n_shards": self.n_shards,
+                "assignments": dict(sorted(self._instances.items())),
+            }
 
     # ------------------------------------------------------------------
     # the online protocol
@@ -577,6 +727,262 @@ class FleetGateway:
         """Feed back one executed query to its instance's service."""
         return self._submit_instance_op(OBSERVE, instance_id, record, seq)
 
+    #: protocol-name alias (:class:`~repro.service.PredictorClient`)
+    observe_async = observe
+
+    # ------------------------------------------------------------------
+    # control plane: live migration and resharding
+    # ------------------------------------------------------------------
+    def migrate_instance(
+        self, instance_id: str, target_shard: int, timeout: Optional[float] = None
+    ) -> dict:
+        """Move one live instance to ``target_shard`` under traffic.
+
+        The cut-sequence protocol: the instance's next unclaimed
+        sequence number becomes the *cut*.  Ops below it (all already
+        claimed, hence already enqueued) keep flowing to the source
+        shard, whose scheduler drains through the cut and then snapshots
+        the quiesced predictor as a
+        :meth:`~repro.service.ModelRegistry.save_instance_state`
+        artifact; ops at-or-above it buffer at the gateway.  The target
+        shard restores the state with its execution cursor advanced to
+        the cut, the routing entry flips atomically (bumping the table
+        version), and the buffer flushes.  No sequence gap ever opens,
+        so the move is invisible in results — only placement changes.
+
+        Returns a summary dict (source/target shard, cut sequence,
+        routing version, buffered op count).  Raises
+        :class:`ShardCrashedError` if either end is dead, and
+        ``RuntimeError`` on a concurrent migration of the same instance.
+        """
+        if timeout is None:
+            timeout = self.config.drain_timeout_s
+        with self._resize_lock:
+            if self._closed:
+                raise RuntimeError("gateway is closed")
+            return self._migrate_locked(instance_id, target_shard, timeout)
+
+    def _migrate_locked(self, instance_id: str, target_index: int, timeout: float) -> dict:
+        if not 0 <= target_index < len(self._shards):
+            raise ValueError(
+                f"target shard {target_index} out of range "
+                f"(fleet has {len(self._shards)} shards)"
+            )
+        lock = self._instance_lock(instance_id)
+        target = self._shards[target_index]
+        with lock:
+            if self._closed:
+                raise RuntimeError("gateway is closed")
+            if instance_id in self._migrations:
+                raise RuntimeError(f"instance {instance_id!r} is already migrating")
+            source = self._shards[self._instances[instance_id]]
+            if source.index == target_index:
+                with self._registry_lock:
+                    version = self._routes_version
+                return {
+                    "instance_id": instance_id,
+                    "source": source.index,
+                    "target": target_index,
+                    "cut_seq": self._instance_seq[instance_id],
+                    "routes_version": version,
+                    "buffered_ops": 0,
+                }
+            if source.crashed:
+                raise ShardCrashedError(source.index, instance_id)
+            if target.crashed:
+                raise ShardCrashedError(target.index, instance_id)
+            # every sequence below the cut is already claimed *and*
+            # enqueued (claims pair with their enqueue under this lock),
+            # so the source can always drain through the cut
+            cut_seq = self._instance_seq[instance_id]
+            migration = _Migration(instance_id, source, target, cut_seq)
+            self._migrations[instance_id] = migration
+        scratch = tempfile.mkdtemp(prefix="repro-gateway-migrate-")
+        try:
+            handoff = self._submit_control(
+                source, _DETACH, (instance_id, cut_seq, scratch, instance_id)
+            ).result(timeout)
+            self._submit_control(source, _RELEASE, (instance_id,)).result(timeout)
+            self._submit_control(
+                target,
+                _ATTACH,
+                (
+                    scratch,
+                    instance_id,
+                    instance_id,
+                    handoff["next_seq"],
+                    handoff["scheduler_stats"],
+                ),
+            ).result(timeout)
+        except BaseException:
+            self._abort_migration(migration)
+            raise
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        with lock:
+            with self._registry_lock:
+                self._instances[instance_id] = target_index
+                self._routes_version += 1
+                version = self._routes_version
+            buffered, migration.buffer = migration.buffer, []
+            del self._migrations[instance_id]
+        self._flush_buffered(target, instance_id, buffered)
+        return {
+            "instance_id": instance_id,
+            "source": source.index,
+            "target": target_index,
+            "cut_seq": cut_seq,
+            "routes_version": version,
+            "buffered_ops": len(buffered),
+        }
+
+    def _abort_migration(self, migration: _Migration) -> None:
+        """Fail everything the doomed migration buffered (the routing
+        entry stays on the source; dropped sequences leave a gap there,
+        the same terminal state a failed replay reaches)."""
+        lock = self._instance_locks.get(migration.instance_id)
+        if lock is None:
+            buffered, migration.buffer = migration.buffer, []
+            self._migrations.pop(migration.instance_id, None)
+        else:
+            with lock:
+                buffered, migration.buffer = migration.buffer, []
+                self._migrations.pop(migration.instance_id, None)
+        for _kind, _record, seq, future in buffered:
+            if not future.done():
+                future.set_exception(
+                    RuntimeError(
+                        f"migration of instance {migration.instance_id!r} failed; "
+                        f"buffered op (seq {seq}) was dropped and its sequence "
+                        "stream now has a gap — close the gateway"
+                    )
+                )
+
+    def _flush_buffered(
+        self, target: _Shard, instance_id: str, buffered: List[Tuple[str, object, int, Future]]
+    ) -> None:
+        """Enqueue the cutover buffer on the target, reusing the futures
+        callers already hold.  Order is irrelevant (the scheduler's
+        reorder buffer sorts by sequence), but a backpressure loss here
+        would open a gap, so one failure fails the rest explicitly."""
+        failed: Optional[BaseException] = None
+        for kind, record, seq, future in buffered:
+            if failed is None and not target.crashed:
+                op_id, _ = self._register_pending(target, instance_id, future=future)
+                try:
+                    self._enqueue(
+                        target, op_id, (op_id, kind, (instance_id, record, seq)), instance_id
+                    )
+                except GatewayBackpressureError as exc:
+                    failed = exc
+                else:
+                    if target.crashed:
+                        # crash race: whoever pops the pending entry
+                        # owns the failure (mirrors _crash_race_check)
+                        if self._pop_pending(target, op_id) is not None:
+                            failed = ShardCrashedError(target.index, instance_id)
+                        else:
+                            continue
+                    else:
+                        continue
+            if not future.done():
+                future.set_exception(
+                    RuntimeError(
+                        f"migration cutover of instance {instance_id!r} could not "
+                        f"flush buffered op (seq {seq}); its sequence stream now "
+                        "has a gap — close the gateway"
+                    )
+                )
+
+    def resize(self, n_shards: int, timeout: Optional[float] = None) -> dict:
+        """Grow or shrink the shard set to ``n_shards``, live.
+
+        Growth spawns the new worker processes first; every instance
+        whose canonical placement (``shard_for`` under the new count)
+        differs from its current shard is then migrated — so a resized
+        fleet's routing table is byte-identical to a fleet *built* at
+        ``n_shards`` — and a shrink finally retires the (now empty)
+        trailing shards.  In-flight ops are never dropped: each move is
+        a cut-sequence migration.
+
+        Returns a summary dict; the fleet keeps serving throughout.
+        """
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if timeout is None:
+            timeout = self.config.drain_timeout_s
+        with self._resize_lock:
+            if self._closed:
+                raise RuntimeError("gateway is closed")
+            previous = len(self._shards)
+            if n_shards == previous:
+                with self._registry_lock:
+                    version = self._routes_version
+                return {
+                    "n_shards": n_shards,
+                    "previous": previous,
+                    "migrated": [],
+                    "routes_version": version,
+                }
+            for index in range(previous, n_shards):
+                shard = self._build_shard(index)
+                self._start_shard(shard)
+                self._shards.append(shard)
+            try:
+                with self._registry_lock:
+                    assignments = dict(self._instances)
+                moves = sorted(
+                    (instance_id, shard_for(instance_id, n_shards))
+                    for instance_id, current in assignments.items()
+                    if shard_for(instance_id, n_shards) != current
+                )
+                migrated = []
+                for instance_id, target_index in moves:
+                    self._migrate_locked(instance_id, target_index, timeout)
+                    migrated.append(instance_id)
+            except BaseException:
+                # keep config honest about however many shards now exist
+                self.config = replace(self.config, n_shards=len(self._shards))
+                raise
+            for shard in self._shards[n_shards:]:
+                self._retire_shard(shard, timeout)
+            del self._shards[n_shards:]
+            self.config = replace(self.config, n_shards=n_shards)
+            with self._registry_lock:
+                self._routes_version += 1
+                version = self._routes_version
+            return {
+                "n_shards": n_shards,
+                "previous": previous,
+                "migrated": migrated,
+                "routes_version": version,
+            }
+
+    def _retire_shard(self, shard: _Shard, timeout: float) -> None:
+        """Shut one (instance-free) shard down and reap its resources."""
+        deadline = time.monotonic() + timeout
+        if not shard.crashed:
+            op_id, _ = self._register_pending(shard, None)
+            shard.shutdown_op_id = op_id
+            budget = min(
+                self.config.shutdown_enqueue_timeout_s,
+                max(deadline - time.monotonic(), 0.0),
+            )
+            try:
+                shard.request_q.put((op_id, _SHUTDOWN, ()), timeout=budget)
+            except queue.Full:
+                self._pop_pending(shard, op_id)
+        if shard.listener is not None:
+            shard.listener.join(max(deadline - time.monotonic(), 0.0))
+        shard.process.join(max(deadline - time.monotonic(), 0.0))
+        if shard.process.is_alive():
+            shard.process.terminate()
+            shard.process.join(5.0)
+        self._mark_crashed(shard)  # fail anything still pending
+        for q in (shard.request_q, shard.response_q):
+            q.close()
+            q.cancel_join_thread()
+
     # ------------------------------------------------------------------
     # replay hook (harness / scenario engine)
     # ------------------------------------------------------------------
@@ -584,59 +990,22 @@ class FleetGateway:
         """Replay one instance's fused predict/observe stream, concurrently.
 
         The gateway analogue of
-        :meth:`PredictionService.replay_components`: ``n_clients``
-        threads submit with explicit per-instance sequence numbers
-        reserved up front, so any client interleaving — and any shard
-        count — reproduces the direct replay bit-for-bit.  Returns the
-        per-query components in trace order.
+        :meth:`PredictionService.replay_components`, routed through the
+        one :func:`~repro.service.replay_trace_via_client` driver:
+        ``n_clients`` threads submit with explicit per-instance sequence
+        numbers reserved up front, so any client interleaving — and any
+        shard count — reproduces the direct replay bit-for-bit.  Returns
+        the per-query components in trace order.
         """
-        import threading as _threading
+        from .client import replay_trace_via_client, shared_client
 
         if timeout is None:
             timeout = self.config.drain_timeout_s
-        instance_id = trace.instance.instance_id
         if self._closed:
             raise RuntimeError("gateway is closed")
-        base = self.reserve_sequence(instance_id, 2 * len(trace))
-        futures: List[Optional[Future]] = [None] * len(trace)
-        observe_futures: List[Optional[Future]] = [None] * len(trace)
-        n_clients = max(1, int(n_clients))
-        errors: List[Optional[BaseException]] = [None] * n_clients
-        abort = _threading.Event()
-
-        def client(worker_index: int) -> None:
-            try:
-                for i in range(worker_index, len(trace), n_clients):
-                    if abort.is_set():
-                        return
-                    record = trace[i]
-                    futures[i] = self.predict_async(instance_id, record, seq=base + 2 * i)
-                    observe_futures[i] = self.observe(instance_id, record, seq=base + 2 * i + 1)
-            except BaseException as exc:
-                errors[worker_index] = exc
-                abort.set()  # siblings stop instead of waiting out timeouts
-
-        threads = [
-            _threading.Thread(target=client, args=(w,)) for w in range(n_clients)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        for error in errors:
-            if error is not None:
-                # the reserved sequence slots that were never submitted
-                # leave a gap the shard scheduler will wait behind, so
-                # this instance cannot serve again — close() (which
-                # fails gap-stranded ops explicitly) is the only exit
-                raise RuntimeError(
-                    f"replay submission failed; instance {instance_id!r}'s "
-                    "sequence stream now has a gap — close the gateway"
-                ) from error
-        components = [future.result(timeout=timeout) for future in futures]
-        for future in observe_futures:
-            future.result(timeout=timeout)
-        return components
+        return replay_trace_via_client(
+            shared_client(self), trace, n_clients=n_clients, timeout=timeout
+        )
 
     # ------------------------------------------------------------------
     # fleet-wide barriers and accounting
@@ -671,11 +1040,31 @@ class FleetGateway:
                     "shard": shard.index,
                     "alive": shard.process.is_alive(),
                     "n_instances": len(per_instance),
+                    # live pressure: ops sitting in the bounded request
+                    # queue right now (the rebalancer's primary signal)
+                    "queue_depth": self._queue_depth(shard),
+                    # cumulative per-shard load, summed from the owned
+                    # instances' scheduler counters
+                    "n_predicts": sum(
+                        s["scheduler"]["n_predicts"] for s in per_instance.values()
+                    ),
+                    "n_observes": sum(
+                        s["scheduler"]["n_observes"] for s in per_instance.values()
+                    ),
                 }
             )
         for shard in self._shards:
             if shard.crashed:
-                shards.append({"shard": shard.index, "alive": False, "n_instances": 0})
+                shards.append(
+                    {
+                        "shard": shard.index,
+                        "alive": False,
+                        "n_instances": 0,
+                        "queue_depth": 0,
+                        "n_predicts": 0,
+                        "n_observes": 0,
+                    }
+                )
         shards.sort(key=lambda row: row["shard"])
         fleet = {
             "n_predicts": 0,
@@ -712,7 +1101,17 @@ class FleetGateway:
             "fleet": fleet,
             "shards": shards,
             "instances": instances,
+            "routes": self.routes(),
         }
+
+    @staticmethod
+    def _queue_depth(shard: _Shard) -> int:
+        """Best-effort live depth of one shard's request queue (some
+        platforms lack ``sem_getvalue``; report 0 rather than fail)."""
+        try:
+            return int(shard.request_q.qsize())
+        except (NotImplementedError, OSError):
+            return 0
 
     # ------------------------------------------------------------------
     # persistence (whole-fleet warm restart)
@@ -723,37 +1122,45 @@ class FleetGateway:
         Each shard saves the member states it owns; the parent writes
         the fleet-shared global model once and the single manifest
         spanning all shards.  A crashed shard makes the snapshot fail
-        explicitly (its members' states cannot be captured).
+        explicitly (its members' states cannot be captured), and so does
+        an in-flight migration (its instance's state is mid-handoff).
         """
-        stranded = sorted(
-            instance_id
-            for instance_id, index in self._instances.items()
-            if self._shards[index].crashed
-        )
-        if stranded:
-            # fail before any member write: a partial save under an
-            # existing name would mix snapshot epochs on disk
-            raise RuntimeError(
-                f"cannot snapshot fleet {name!r}: instances {stranded} "
-                "live on crashed shards (their state is unrecoverable)"
+        with self._resize_lock:
+            migrating = sorted(self._migrations)
+            if migrating:
+                raise RuntimeError(
+                    f"cannot snapshot fleet {name!r}: instances {migrating} "
+                    "are migrating (their state is mid-handoff)"
+                )
+            stranded = sorted(
+                instance_id
+                for instance_id, index in self._instances.items()
+                if self._shards[index].crashed
             )
-        self.drain()
-        futures = [
-            self._submit_control(shard, _SNAPSHOT, (registry.root, name))
-            for shard in self._live_shards()
-        ]
-        saved: List[str] = []
-        for future in futures:
-            saved.extend(future.result(self.config.drain_timeout_s))
-        missing = sorted(set(self._instances) - set(saved))
-        if missing:
-            # the manifest is what makes a snapshot restorable — never
-            # write it over stale member state from an earlier snapshot
-            raise RuntimeError(f"fleet snapshot {name!r} missed instances {missing}")
-        registry.save_fleet_manifest(
-            name, sorted(self._instances), self.n_shards, global_model=self.global_model
-        )
-        return registry.fleet_snapshot_path(name)
+            if stranded:
+                # fail before any member write: a partial save under an
+                # existing name would mix snapshot epochs on disk
+                raise RuntimeError(
+                    f"cannot snapshot fleet {name!r}: instances {stranded} "
+                    "live on crashed shards (their state is unrecoverable)"
+                )
+            self.drain()
+            futures = [
+                self._submit_control(shard, _SNAPSHOT, (registry.root, name))
+                for shard in self._live_shards()
+            ]
+            saved: List[str] = []
+            for future in futures:
+                saved.extend(future.result(self.config.drain_timeout_s))
+            missing = sorted(set(self._instances) - set(saved))
+            if missing:
+                # the manifest is what makes a snapshot restorable — never
+                # write it over stale member state from an earlier snapshot
+                raise RuntimeError(f"fleet snapshot {name!r} missed instances {missing}")
+            registry.save_fleet_manifest(
+                name, sorted(self._instances), self.n_shards, global_model=self.global_model
+            )
+            return registry.fleet_snapshot_path(name)
 
     @classmethod
     def restore(
@@ -801,6 +1208,7 @@ class FleetGateway:
                     for instance_id in ids:
                         gateway._instances[instance_id] = index
                         gateway._instance_seq[instance_id] = 0
+                        gateway._instance_locks[instance_id] = threading.Lock()
         except BaseException:
             gateway.close()
             raise
@@ -857,6 +1265,11 @@ class FleetGateway:
             for q in (shard.request_q, shard.response_q):
                 q.close()
                 q.cancel_join_thread()
+        # a migration interrupted by close: fail its buffered futures
+        # (the control ops it was waiting on failed above, so its abort
+        # path usually beat us here — this is the belt to that brace)
+        for migration in list(self._migrations.values()):
+            self._abort_migration(migration)
 
     def __enter__(self) -> "FleetGateway":
         return self

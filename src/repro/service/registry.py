@@ -47,6 +47,7 @@ _GLOBAL_FILE = "global.npz"
 _MANIFEST_FILE = "manifest.json"
 _FLEET_MANIFEST_FILE = "fleet.json"
 _FLEET_INSTANCES_DIR = "instances"
+_INSTANCE_STATES_DIR = "instances"
 
 
 class ModelRegistry:
@@ -57,6 +58,7 @@ class ModelRegistry:
         os.makedirs(self._global_dir, exist_ok=True)
         os.makedirs(self._service_dir, exist_ok=True)
         os.makedirs(self._fleet_dir, exist_ok=True)
+        os.makedirs(self._instances_dir, exist_ok=True)
 
     @property
     def _global_dir(self) -> str:
@@ -69,6 +71,10 @@ class ModelRegistry:
     @property
     def _fleet_dir(self) -> str:
         return os.path.join(self.root, "fleets")
+
+    @property
+    def _instances_dir(self) -> str:
+        return os.path.join(self.root, _INSTANCE_STATES_DIR)
 
     # ------------------------------------------------------------------
     # error-path helpers: every load failure names the artifact and, for
@@ -234,16 +240,8 @@ class ModelRegistry:
             if os.path.isdir(os.path.join(self._fleet_dir, d))
         )
 
-    def save_fleet_member(self, stage: StagePredictor, name: str) -> str:
-        """Snapshot one quiesced per-instance predictor into fleet ``name``.
-
-        Called from *inside* each shard worker process for the instances
-        it owns.  The fleet-shared global model is always detached first
-        — it is written exactly once, by :meth:`save_fleet_manifest`'s
-        caller — so a thousand-instance fleet never stores a thousand
-        copies of the same ``.npz``.
-        """
-        path = self.fleet_member_path(name, stage.instance.instance_id)
+    def _write_member_state(self, path: str, stage: StagePredictor) -> str:
+        """Pickle one predictor with the shared global model detached."""
         os.makedirs(path, exist_ok=True)
         global_model, stage.global_model = stage.global_model, None
         try:
@@ -253,6 +251,36 @@ class ModelRegistry:
             stage.global_model = global_model
         return path
 
+    def _read_member_state(
+        self,
+        state_path: str,
+        kind: str,
+        member: str,
+        available: List[str],
+        global_model: Optional[GlobalModel],
+    ) -> StagePredictor:
+        self._require(state_path, kind, member, available)
+        payload = self._read_pickle(state_path, kind, member)
+        version = payload.get("format_version")
+        if version != _FLEET_FORMAT_VERSION:
+            raise ValueError(f"unsupported fleet snapshot version {version}")
+        stage: StagePredictor = payload["stage"]
+        stage.global_model = global_model
+        return stage
+
+    def save_fleet_member(self, stage: StagePredictor, name: str) -> str:
+        """Snapshot one quiesced per-instance predictor into fleet ``name``.
+
+        Called from *inside* each shard worker process for the instances
+        it owns.  The fleet-shared global model is always detached first
+        — it is written exactly once, by :meth:`save_fleet_manifest`'s
+        caller — so a thousand-instance fleet never stores a thousand
+        copies of the same ``.npz``.
+        """
+        return self._write_member_state(
+            self.fleet_member_path(name, stage.instance.instance_id), stage
+        )
+
     def load_fleet_member(
         self,
         name: str,
@@ -261,18 +289,53 @@ class ModelRegistry:
     ) -> StagePredictor:
         """Load one member predictor, re-attaching the shared model."""
         path = self.fleet_member_path(name, instance_id)
-        state_path = os.path.join(path, _STATE_FILE)
-        member = f"{name}/{instance_id}"
         instances_dir = os.path.join(self.fleet_snapshot_path(name), _FLEET_INSTANCES_DIR)
         available = sorted(os.listdir(instances_dir)) if os.path.isdir(instances_dir) else []
-        self._require(state_path, "fleet member", member, available)
-        payload = self._read_pickle(state_path, "fleet member", member)
-        version = payload.get("format_version")
-        if version != _FLEET_FORMAT_VERSION:
-            raise ValueError(f"unsupported fleet snapshot version {version}")
-        stage: StagePredictor = payload["stage"]
-        stage.global_model = global_model
-        return stage
+        return self._read_member_state(
+            os.path.join(path, _STATE_FILE),
+            "fleet member",
+            f"{name}/{instance_id}",
+            available,
+            global_model,
+        )
+
+    # ------------------------------------------------------------------
+    # standalone per-instance states (the migration primitive)
+    # ------------------------------------------------------------------
+    def instance_state_path(self, name: str) -> str:
+        return os.path.join(self._instances_dir, name)
+
+    def list_instance_states(self) -> List[str]:
+        return sorted(
+            d
+            for d in os.listdir(self._instances_dir)
+            if os.path.isdir(os.path.join(self._instances_dir, d))
+        )
+
+    def save_instance_state(self, stage: StagePredictor, name: str) -> str:
+        """Snapshot one quiesced predictor *outside* any fleet snapshot.
+
+        Same on-disk format as a fleet member (global model detached, so
+        the artifact is shard- and fleet-agnostic), but addressed by a
+        bare name: this is the handoff unit a live migration writes on
+        the source shard and reads on the target shard, with no
+        whole-fleet manifest in sight.
+        """
+        return self._write_member_state(self.instance_state_path(name), stage)
+
+    def load_instance_state(
+        self,
+        name: str,
+        global_model: Optional[GlobalModel] = None,
+    ) -> StagePredictor:
+        """Load one standalone state, re-attaching the shared model."""
+        return self._read_member_state(
+            os.path.join(self.instance_state_path(name), _STATE_FILE),
+            "instance state",
+            name,
+            self.list_instance_states(),
+            global_model,
+        )
 
     def save_fleet_manifest(
         self,

@@ -151,6 +151,66 @@ class MicroBatchScheduler:
         with self._lock:
             return self._next_submit_seq
 
+    def reserve(self, count: int) -> int:
+        """Atomically claim ``count`` sequence slots; returns the base.
+
+        The caller owns ``[base, base + count)`` and must submit every
+        slot exactly once (a skipped slot stalls the stream behind the
+        gap).  This is the primitive replay drivers use to interleave
+        explicit-seq submissions from concurrent clients.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            base = self._next_submit_seq
+            self._next_submit_seq = base + count
+            return base
+
+    def drain_through(self, seq: int, timeout: Optional[float] = None) -> None:
+        """Block until every op below ``seq`` is applied and flushed.
+
+        Unlike :meth:`drain` this does not require the whole stream to
+        be quiet — only the prefix ``[0, seq)``.  Used by the migration
+        cutover to wait out stragglers below the cut without stalling on
+        ops that were intentionally diverted elsewhere.
+        """
+        if timeout is None:
+            timeout = self.config.drain_timeout_s
+        with self._cv:
+            if self._next_exec_seq >= seq and not self._busy:
+                return
+            self._raise_if_undrainable()
+            drained = self._cv.wait_for(
+                lambda: self._next_exec_seq >= seq and not self._busy,
+                timeout=timeout,
+            )
+            if not drained:
+                self._raise_if_undrainable()
+        if not drained:
+            raise TimeoutError(f"scheduler did not reach sequence {seq} in time")
+
+    def advance_to_seq(self, seq: int) -> None:
+        """Jump the execution cursor forward to ``seq`` (restore path).
+
+        A restored scheduler resumes a stream whose prefix was executed
+        elsewhere (before a snapshot, or on a migration source shard):
+        the state already reflects ops ``[0, seq)``, so execution must
+        resume at ``seq``.  Only valid while idle with no queued ops.
+        """
+        if seq < 0:
+            raise ValueError("seq must be >= 0")
+        with self._cv:
+            if self._ops or self._busy:
+                raise RuntimeError("cannot advance a scheduler with queued or in-flight ops")
+            if seq < self._next_exec_seq:
+                raise ValueError(
+                    f"cannot rewind execution cursor from {self._next_exec_seq} to {seq}"
+                )
+            self._next_exec_seq = seq
+            self._next_submit_seq = max(self._next_submit_seq, seq)
+
     def drain(self, timeout: Optional[float] = None) -> None:
         """Block until every submitted op is applied and flushed.
 

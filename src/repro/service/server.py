@@ -95,11 +95,45 @@ class PredictionService:
     # ------------------------------------------------------------------
     # the online protocol
     # ------------------------------------------------------------------
+    @property
+    def instance_id(self) -> str:
+        """The one instance this service serves."""
+        return self.stage.instance.instance_id
+
+    def _resolve_record(self, record, addressed_record):
+        """Accept both calling forms of the submission methods.
+
+        The single-service form is ``predict_async(record, seq=...)``;
+        the :class:`~repro.service.PredictorClient` protocol form is
+        ``predict_async(instance_id, record, seq=...)`` (instance ids
+        are strings, query records never are).  The addressed form must
+        name this service's own instance — a one-instance tier still
+        rejects misrouted traffic instead of silently absorbing it.
+        """
+        if isinstance(record, str):
+            if record != self.instance_id:
+                raise KeyError(
+                    f"instance {record!r} is not served by this service "
+                    f"(it serves {self.instance_id!r})"
+                )
+            if addressed_record is None:
+                raise TypeError("the addressed form requires a record")
+            return addressed_record
+        if addressed_record is not None:
+            raise TypeError("unexpected second positional argument (record given twice?)")
+        return record
+
     def predict_async(
-        self, record: QueryRecord, seq: Optional[int] = None
+        self, record, addressed_record=None, seq: Optional[int] = None
     ) -> Future:
         """Submit one prediction; the future resolves to its
-        :class:`~repro.core.stage.RoutedComponents`."""
+        :class:`~repro.core.stage.RoutedComponents`.
+
+        Callable as ``predict_async(record)`` or, per the
+        :class:`~repro.service.PredictorClient` protocol, as
+        ``predict_async(instance_id, record)``.
+        """
+        record = self._resolve_record(record, addressed_record)
         return self.scheduler.submit(PREDICT, record, seq=seq)
 
     def predict(
@@ -113,10 +147,27 @@ class PredictionService:
             timeout = self.config.drain_timeout_s
         return self.predict_async(record, seq=seq).result(timeout).prediction
 
-    def observe(self, record: QueryRecord, seq: Optional[int] = None) -> Future:
+    def observe(
+        self, record, addressed_record=None, seq: Optional[int] = None
+    ) -> Future:
         """Feed back one executed query (dedup rule, cache update,
-        possibly a local retrain — all on the worker thread)."""
+        possibly a local retrain — all on the worker thread).  Accepts
+        both calling forms, like :meth:`predict_async`."""
+        record = self._resolve_record(record, addressed_record)
         return self.scheduler.submit(OBSERVE, record, seq=seq)
+
+    #: protocol-name alias (:class:`~repro.service.PredictorClient`)
+    observe_async = observe
+
+    def reserve_sequence(self, instance_id: str, count: int) -> int:
+        """Claim ``count`` consecutive sequence slots (protocol form of
+        :meth:`MicroBatchScheduler.reserve`); returns the base."""
+        if instance_id != self.instance_id:
+            raise KeyError(
+                f"instance {instance_id!r} is not served by this service "
+                f"(it serves {self.instance_id!r})"
+            )
+        return self.scheduler.reserve(count)
 
     # ------------------------------------------------------------------
     # replay hook (offline harness + scenario engine)
@@ -144,7 +195,7 @@ class PredictionService:
         observe would silently diverge the predictor state from the
         direct replay.
         """
-        import threading
+        from .client import replay_trace_via_client, shared_client
 
         if timeout is None:
             timeout = self.config.drain_timeout_s
@@ -153,35 +204,9 @@ class PredictionService:
             # the failure surfaces as a generic scheduler error; say what
             # the caller actually did wrong
             raise RuntimeError("cannot replay through a closed service")
-        base = self.scheduler.next_submit_seq
-        futures = [None] * len(trace)
-        observe_futures = [None] * len(trace)
-        n_clients = max(1, int(n_clients))
-        errors: list = [None] * n_clients
-
-        def client(worker_index: int) -> None:
-            try:
-                for i in range(worker_index, len(trace), n_clients):
-                    record = trace[i]
-                    futures[i] = self.predict_async(record, seq=base + 2 * i)
-                    observe_futures[i] = self.observe(record, seq=base + 2 * i + 1)
-            except Exception as exc:
-                errors[worker_index] = exc
-
-        threads = [
-            threading.Thread(target=client, args=(w,)) for w in range(n_clients)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        for error in errors:
-            if error is not None:
-                raise error
-        components = [future.result(timeout=timeout) for future in futures]
-        for future in observe_futures:
-            future.result(timeout=timeout)
-        return components
+        return replay_trace_via_client(
+            shared_client(self), trace, n_clients=n_clients, timeout=timeout
+        )
 
     # ------------------------------------------------------------------
     # lifecycle

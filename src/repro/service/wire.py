@@ -30,7 +30,10 @@ Every frame, both directions::
   byte from a stream that has not passed the magic/version check.
 
 Ops: client→server HELLO, PREDICT, OBSERVE, STATS, PING, REGISTER,
-RESERVE, GOODBYE; server→client RESULT, ERROR, RETRY_AFTER.  RESULT
+RESERVE, GOODBYE, plus the control-plane admin ops MIGRATE, RESIZE and
+ROUTES (live instance migration, shard grow/shrink and the versioned
+routing table — the :class:`~repro.service.FleetController` loop works
+over the socket too); server→client RESULT, ERROR, RETRY_AFTER.  RESULT
 payloads are pickled Python values (the same objects that already cross
 the gateway's process queues, so socket replays are bit-identical);
 ERROR and RETRY_AFTER payloads are JSON documents with machine-readable
@@ -104,6 +107,10 @@ OP_PING = 0x05
 OP_REGISTER = 0x06
 OP_RESERVE = 0x07
 OP_GOODBYE = 0x08
+# client -> server: control-plane admin ops
+OP_MIGRATE = 0x09
+OP_RESIZE = 0x0A
+OP_ROUTES = 0x0B
 # server -> client
 OP_RESULT = 0x10
 OP_ERROR = 0x11
@@ -538,6 +545,50 @@ class WireServer:
                 out_q.put_nowait(_frame_for_exception(request_id, exc))
                 return
             resolve({"gateway": gateway_stats, "wire": self._wire_stats()})
+        elif op == OP_MIGRATE:
+            try:
+                instance_id, target_shard = pickle.loads(payload)
+            except Exception as exc:
+                refuse(E_MALFORMED, f"undecodable migrate payload: {exc}")
+                return
+            session.counters["controls"] += 1
+            try:
+                # a migration blocks on the source drain-through — keep
+                # it on the executor so every session stays responsive
+                info = await loop.run_in_executor(
+                    self._submit_pool,
+                    partial(self.gateway.migrate_instance, instance_id, int(target_shard)),
+                )
+            except BaseException as exc:
+                session.counters["errors"] += 1
+                out_q.put_nowait(_frame_for_exception(request_id, exc))
+                return
+            resolve(info)
+        elif op == OP_RESIZE:
+            try:
+                (n_shards,) = pickle.loads(payload)
+            except Exception as exc:
+                refuse(E_MALFORMED, f"undecodable resize payload: {exc}")
+                return
+            session.counters["controls"] += 1
+            try:
+                info = await loop.run_in_executor(
+                    self._submit_pool, partial(self.gateway.resize, int(n_shards))
+                )
+            except BaseException as exc:
+                session.counters["errors"] += 1
+                out_q.put_nowait(_frame_for_exception(request_id, exc))
+                return
+            resolve(info)
+        elif op == OP_ROUTES:
+            session.counters["controls"] += 1
+            try:
+                routes = await loop.run_in_executor(self._submit_pool, self.gateway.routes)
+            except BaseException as exc:
+                session.counters["errors"] += 1
+                out_q.put_nowait(_frame_for_exception(request_id, exc))
+                return
+            resolve(routes)
         elif op == OP_PING:
             session.counters["pings"] += 1
             out_q.put_nowait(encode_frame(OP_RESULT, request_id, b""))
@@ -719,6 +770,15 @@ class AsyncWireClient:
     async def reserve_sequence(self, instance_id: str, count: int) -> int:
         return await self._request(OP_RESERVE, _pickle((instance_id, int(count))))
 
+    async def migrate_instance(self, instance_id: str, target_shard: int) -> dict:
+        return await self._request(OP_MIGRATE, _pickle((instance_id, int(target_shard))))
+
+    async def resize(self, n_shards: int) -> dict:
+        return await self._request(OP_RESIZE, _pickle((int(n_shards),)))
+
+    async def routes(self) -> dict:
+        return await self._request(OP_ROUTES)
+
     async def stats(self) -> dict:
         return await self._request(OP_STATS)
 
@@ -816,6 +876,22 @@ class WireClient:
             timeout or self.timeout
         )
 
+    def migrate_instance(
+        self, instance_id: str, target_shard: int, timeout: Optional[float] = None
+    ) -> dict:
+        """Ask the server's gateway to migrate one live instance."""
+        return self._call(self._client.migrate_instance(instance_id, target_shard)).result(
+            timeout or self.timeout
+        )
+
+    def resize(self, n_shards: int, timeout: Optional[float] = None) -> dict:
+        """Ask the server's gateway to grow/shrink its shard set."""
+        return self._call(self._client.resize(n_shards)).result(timeout or self.timeout)
+
+    def routes(self, timeout: Optional[float] = None) -> dict:
+        """Fetch the gateway's versioned routing table."""
+        return self._call(self._client.routes()).result(timeout or self.timeout)
+
     def stats(self, timeout: Optional[float] = None) -> dict:
         return self._call(self._client.stats()).result(timeout or self.timeout)
 
@@ -880,54 +956,29 @@ def replay_trace_via_socket(
     """Replay one instance's fused predict/observe stream over real
     TCP connections; returns per-query components in trace order.
 
-    The socket analogue of :meth:`FleetGateway.replay_components`: the
-    whole sequence range is RESERVEd up front, then ``n_connections``
-    connections submit strided predict/observe pairs with explicit
-    sequence numbers — so any connection count and interleaving
-    reproduces the direct replay bit-for-bit.  Each connection collects
-    its own responses before closing (responses ride the connection
-    their request used).
+    The socket analogue of :meth:`FleetGateway.replay_components`,
+    routed through the one
+    :func:`~repro.service.replay_trace_via_client` driver with a real
+    per-worker connection factory: the whole sequence range is RESERVEd
+    up front, then ``n_connections`` connections submit strided
+    predict/observe pairs with explicit sequence numbers — so any
+    connection count and interleaving reproduces the direct replay
+    bit-for-bit.  Each connection collects its own responses before
+    closing (responses ride the connection their request used).
     """
+    from .client import replay_trace_via_client
+
     instance_id = trace.instance.instance_id
-    n_connections = max(1, int(n_connections))
-    with WireClient(host, port, name=f"replay-admin-{instance_id}") as admin:
-        base = admin.reserve_sequence(instance_id, 2 * len(trace))
-    components: List = [None] * len(trace)
-    errors: List[Optional[BaseException]] = [None] * n_connections
+    connection_ids = itertools.count()
 
-    def connection_worker(worker_index: int) -> None:
-        try:
-            name = f"replay-{instance_id}-{worker_index}"
-            with WireClient(host, port, name=name) as client:
-                futures = []
-                for i in range(worker_index, len(trace), n_connections):
-                    record = trace[i]
-                    futures.append((i, client.predict_async(instance_id, record, seq=base + 2 * i)))
-                    futures.append(
-                        (None, client.observe_async(instance_id, record, seq=base + 2 * i + 1))
-                    )
-                for i, future in futures:
-                    value = future.result(timeout)
-                    if i is not None:
-                        components[i] = value
-        except BaseException as exc:
-            errors[worker_index] = exc
+    def factory() -> WireClient:
+        return WireClient(
+            host, port, name=f"replay-{instance_id}-{next(connection_ids)}"
+        )
 
-    threads = [
-        threading.Thread(target=connection_worker, args=(w,), name=f"wire-replay-{w}")
-        for w in range(n_connections)
-    ]
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    for error in errors:
-        if error is not None:
-            raise RuntimeError(
-                f"socket replay failed; instance {instance_id!r}'s reserved "
-                "sequence stream may now have a gap — close the gateway"
-            ) from error
-    return components
+    return replay_trace_via_client(
+        factory, trace, n_clients=n_connections, timeout=timeout
+    )
 
 
 @dataclass

@@ -1,0 +1,441 @@
+"""Tests for the elastic fleet control plane.
+
+The headline contract is **reshard parity**: live migrations and shard-set
+resizes injected at arbitrary points of a fleet replay leave every
+instance's arrays and accounting bit-identical to the static fleet — the
+routing table only decides *where* an instance's sequenced op stream
+runs, never what it computes.  Around that: the versioned routing table
+(seeded from ``shard_for``, so an untouched fleet is byte-identical to
+the static map), the cut-sequence migration protocol under live traffic,
+the load-watching rebalancer (pure planning + the executing controller),
+the per-shard queue-depth stats, and the MIGRATE/RESIZE/ROUTES wire ops.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+# shared parity helpers live with the service suite (one definition)
+from test_service import assert_replays_identical
+
+from repro.core.config import ControlConfig, GatewayConfig, ReplayBackend, fast_profile
+from repro.harness import FleetSweeper
+from repro.harness.replay import replay_instance
+from repro.scenarios import registered_scenarios
+from repro.service import (
+    FleetController,
+    FleetGateway,
+    WireClient,
+    WireServer,
+    plan_rebalance,
+    shard_for,
+)
+from repro.workload import FleetConfig, FleetGenerator
+
+SEED = 3
+VOLUME = 0.1
+DURATION = 0.7
+N_INSTANCES = 3
+
+FLEET = FleetConfig(seed=SEED, volume_scale=VOLUME)
+
+
+def make_sweeper(**kwargs):
+    return FleetSweeper(
+        fleet_config=kwargs.pop("fleet_config", FLEET),
+        stage_config=fast_profile(),
+        random_state=0,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def traces():
+    gen = FleetGenerator(FLEET)
+    return [gen.generate_trace(gen.sample_instance(i), DURATION) for i in range(N_INSTANCES)]
+
+
+@pytest.fixture(scope="module")
+def direct_replays(traces):
+    return make_sweeper().replay_traces(traces)
+
+
+def fleet_gateway(n_shards=2, **kwargs):
+    return FleetGateway(
+        GatewayConfig(n_shards=n_shards), stage_config=fast_profile(), **kwargs
+    )
+
+
+# ---------------------------------------------------------------------------
+# the versioned routing table
+# ---------------------------------------------------------------------------
+class TestRoutingTable:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3])
+    def test_untouched_fleet_matches_shard_for(self, traces, n_shards):
+        """Before any control-plane action the routing table *is* the
+        static ``shard_for`` map, at version 0 — a fleet nobody reshards
+        behaves byte-identically to the pre-elastic gateway."""
+        with fleet_gateway(n_shards) as gateway:
+            for trace in traces:
+                gateway.register_instance(trace.instance)
+            routes = gateway.routes()
+        assert routes["version"] == 0
+        assert routes["n_shards"] == n_shards
+        assert routes["assignments"] == {
+            trace.instance.instance_id: shard_for(trace.instance.instance_id, n_shards)
+            for trace in traces
+        }
+
+    def test_migration_moves_route_and_bumps_version(self, traces):
+        with fleet_gateway(2) as gateway:
+            trace = traces[0]
+            instance_id = trace.instance.instance_id
+            source = gateway.register_instance(trace.instance)
+            gateway.predict(instance_id, trace[0], timeout=60)
+            info = gateway.migrate_instance(instance_id, 1 - source)
+            assert info["source"] == source
+            assert info["target"] == 1 - source
+            routes = gateway.routes()
+            assert routes["version"] == 1
+            assert routes["assignments"][instance_id] == 1 - source
+            # the instance keeps serving from its new shard
+            assert gateway.predict(instance_id, trace[1], timeout=60).exec_time >= 0.0
+
+    def test_migrate_validations(self, traces):
+        with fleet_gateway(2) as gateway:
+            trace = traces[0]
+            instance_id = trace.instance.instance_id
+            source = gateway.register_instance(trace.instance)
+            with pytest.raises(KeyError, match="not registered"):
+                gateway.migrate_instance("no-such-instance", 0)
+            with pytest.raises(ValueError, match="shard"):
+                gateway.migrate_instance(instance_id, 7)
+            # same-shard migration is a no-op, not an error
+            info = gateway.migrate_instance(instance_id, source)
+            assert info["source"] == info["target"] == source
+            assert gateway.routes()["version"] == 0
+
+    def test_resize_rehashes_to_canonical_map(self, traces):
+        """After a resize the placement equals a fresh ``n_shards``-sized
+        fleet's — growth and shrink converge on the static map."""
+        with fleet_gateway(2) as gateway:
+            for trace in traces:
+                gateway.register_instance(trace.instance)
+            info = gateway.resize(3)
+            assert info["n_shards"] == 3 and info["previous"] == 2
+            assert gateway.routes()["assignments"] == {
+                t.instance.instance_id: shard_for(t.instance.instance_id, 3)
+                for t in traces
+            }
+            gateway.resize(1)
+            assert gateway.n_shards == 1
+            assert set(gateway.routes()["assignments"].values()) == {0}
+            # the shrunken fleet still serves every instance
+            for trace in traces:
+                prediction = gateway.predict(trace.instance.instance_id, trace[0], timeout=60)
+                assert prediction.exec_time >= 0.0
+
+    def test_stats_report_queue_depth_and_routes(self, traces):
+        with fleet_gateway(2) as gateway:
+            for trace in traces:
+                gateway.register_instance(trace.instance)
+            for trace in traces:
+                gateway.predict_async(trace.instance.instance_id, trace[0])
+            gateway.drain()
+            stats = gateway.stats()
+        for row in stats["shards"]:
+            assert row["queue_depth"] == 0  # drained
+            assert row["n_predicts"] >= 0
+        assert sum(row["n_predicts"] for row in stats["shards"]) == len(traces)
+        assert stats["routes"]["version"] == 0
+        assert len(stats["routes"]["assignments"]) == len(traces)
+
+
+# ---------------------------------------------------------------------------
+# reshard parity: migrations/resizes mid-replay are invisible in results
+# ---------------------------------------------------------------------------
+def _reshard_hook(n_shards):
+    """A hook that exercises every control-plane motion mid-replay:
+    grow by one shard (rehash), migrate one instance off its canonical
+    shard, then shrink back to the original count (rehash again)."""
+
+    def hook(gateway):
+        time.sleep(0.05)  # let some of the replay stream get in flight
+        gateway.resize(n_shards + 1)
+        routes = gateway.routes()
+        instance_id = sorted(routes["assignments"])[0]
+        source = routes["assignments"][instance_id]
+        gateway.migrate_instance(instance_id, (source + 1) % (n_shards + 1))
+        time.sleep(0.05)
+        gateway.resize(n_shards)
+
+    return hook
+
+
+# every registered scenario must survive a mid-replay reshard
+# bit-identically; shard and client counts rotate through the grid as in
+# test_gateway so the whole grid is covered across the matrix
+_SCENARIO_GRID = [
+    pytest.param(scenario, (i % 3) + 1, (i % 2) + 1, id=scenario.name)
+    for i, scenario in enumerate(registered_scenarios())
+]
+
+
+class TestReshardParity:
+    @pytest.mark.parametrize("scenario,n_shards,clients", _SCENARIO_GRID)
+    def test_scenario_bit_identical_with_mid_replay_reshard(
+        self, scenario, n_shards, clients
+    ):
+        fleet = FleetConfig(seed=5, volume_scale=VOLUME, scenario=scenario.config)
+        direct = make_sweeper(fleet_config=fleet).replay_indices(range(2), 1.0)
+        via = make_sweeper(
+            fleet_config=fleet,
+            backend=ReplayBackend(
+                mode="gateway", clients=clients, gateway=GatewayConfig(n_shards=n_shards)
+            ),
+            reshard_hook=_reshard_hook(n_shards),
+            n_jobs=2,
+        ).replay_indices(range(2), 1.0)
+        for a, b in zip(direct, via):
+            assert_replays_identical(a, b)
+
+    def test_reshard_parity_over_the_socket(self, traces, direct_replays):
+        """The hook reshards the gateway *behind* a live wire server
+        while TCP connections replay through it — still bit-identical."""
+        via = make_sweeper(
+            backend=ReplayBackend(
+                mode="socket", clients=2, gateway=GatewayConfig(n_shards=2)
+            ),
+            reshard_hook=_reshard_hook(2),
+            n_jobs=2,
+        ).replay_traces(traces)
+        for direct, replay in zip(direct_replays, via):
+            assert_replays_identical(direct, replay)
+
+    def test_reshard_hook_requires_fleet_backend(self, traces):
+        with pytest.raises(ValueError, match="reshard_hook"):
+            make_sweeper(reshard_hook=lambda gateway: None).replay_traces(traces)
+
+    def test_hook_failure_fails_the_sweep(self, traces):
+        def bad_hook(gateway):
+            raise RuntimeError("injected reshard failure")
+
+        with pytest.raises(RuntimeError, match="injected reshard failure"):
+            make_sweeper(
+                backend=ReplayBackend(mode="gateway", gateway=GatewayConfig(n_shards=2)),
+                reshard_hook=bad_hook,
+            ).replay_traces(traces)
+
+    def test_backend_excludes_legacy_kwargs(self, traces):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            make_sweeper(
+                backend=ReplayBackend(mode="gateway"), via_gateway=True
+            ).replay_traces(traces)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            replay_instance(
+                traces[0],
+                config=fast_profile(),
+                backend=ReplayBackend(mode="service"),
+                via_service=True,
+            )
+
+    def test_replay_instance_gateway_backend(self, traces, direct_replays):
+        """`replay_instance` gains the gateway tier through the unified
+        backend parameter (previously only reachable via the sweeper)."""
+        via = replay_instance(
+            traces[0],
+            config=fast_profile(),
+            backend=ReplayBackend(
+                mode="gateway", clients=2, gateway=GatewayConfig(n_shards=2)
+            ),
+        )
+        assert_replays_identical(direct_replays[0], via)
+
+
+class TestLiveMigrationParity:
+    def test_live_streams_with_migrations_bit_identical(self, traces, direct_replays):
+        """One submitter thread per instance in *live* mode (seq=None —
+        ops claimed one at a time, so migrations really do cut streams
+        mid-flight and buffer the tail) while every instance is migrated
+        concurrently; predictions must match the direct replay exactly."""
+        results = {}
+        errors = []
+        with fleet_gateway(3) as gateway:
+            for trace in traces:
+                gateway.register_instance(trace.instance)
+
+            def submit_live(trace):
+                instance_id = trace.instance.instance_id
+                try:
+                    futures = []
+                    for record in trace:
+                        futures.append(gateway.predict_async(instance_id, record))
+                        gateway.observe(instance_id, record)
+                    results[instance_id] = [f.result(timeout=120) for f in futures]
+                except BaseException as exc:  # surfaced after join
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=submit_live, args=(trace,)) for trace in traces
+            ]
+            for thread in threads:
+                thread.start()
+            # migrate every instance while its stream is in flight
+            for trace in traces:
+                instance_id = trace.instance.instance_id
+                source = gateway.routes()["assignments"][instance_id]
+                info = gateway.migrate_instance(instance_id, (source + 1) % 3, timeout=120)
+                assert info["buffered_ops"] >= 0
+            for thread in threads:
+                thread.join()
+            assert not errors, errors
+            gateway.drain()
+            assert gateway.routes()["version"] == len(traces)
+            stats = gateway.stats()
+
+        for trace, direct in zip(traces, direct_replays):
+            instance_id = trace.instance.instance_id
+            got = np.array([c.prediction.exec_time for c in results[instance_id]])
+            assert np.array_equal(got, direct.stage_pred)
+            # accounting (cache counters, retrains) survives the handoff
+            stage = stats["instances"][instance_id]["stage"]
+            assert stage["cache_hits"] == direct.stage_stats["cache_hits"]
+            assert stage["n_local_retrains"] == direct.stage_stats["n_local_retrains"]
+
+
+# ---------------------------------------------------------------------------
+# the load-watching rebalancer
+# ---------------------------------------------------------------------------
+def _stats(assignments, op_counts, queue_depths=None, n_shards=None):
+    """A synthetic gateway stats snapshot for planner unit tests."""
+    n_shards = n_shards or (max(assignments.values()) + 1 if assignments else 1)
+    queue_depths = queue_depths or {}
+    return {
+        "shards": [
+            {"shard": i, "alive": True, "queue_depth": queue_depths.get(i, 0)}
+            for i in range(n_shards)
+        ],
+        "routes": {"version": 0, "n_shards": n_shards, "assignments": dict(assignments)},
+        "instances": {
+            instance_id: {"scheduler": {"n_predicts": ops, "n_observes": 0}}
+            for instance_id, ops in op_counts.items()
+        },
+    }
+
+
+class TestRebalancePlanning:
+    def test_balanced_fleet_plans_nothing(self):
+        stats = _stats({"a": 0, "b": 1}, {"a": 100, "b": 100})
+        plan = plan_rebalance(stats, ControlConfig())
+        assert plan.empty
+        assert plan.total_ops == 200
+
+    def test_moves_from_hot_to_cold(self):
+        stats = _stats({"a": 0, "b": 0, "c": 1}, {"a": 900, "b": 100, "c": 10})
+        plan = plan_rebalance(stats, ControlConfig(imbalance_tolerance=0.25))
+        assert len(plan.migrations) == 1
+        move = plan.migrations[0]
+        assert move.source == 0 and move.target == 1
+        # the largest instance fitting in half the gap is chosen
+        assert move.instance_id == "b"
+
+    def test_respects_min_total_ops(self):
+        stats = _stats({"a": 0, "b": 1}, {"a": 3, "b": 0})
+        assert plan_rebalance(stats, ControlConfig(min_total_ops=100)).empty
+
+    def test_respects_max_migrations_per_cycle(self):
+        stats = _stats(
+            {"a": 0, "b": 0, "c": 0, "d": 1}, {"a": 400, "b": 300, "c": 200, "d": 0}
+        )
+        config = ControlConfig(max_migrations_per_cycle=2, imbalance_tolerance=0.01)
+        plan = plan_rebalance(stats, config)
+        assert 1 <= len(plan.migrations) <= 2
+
+    def test_queue_depth_weighs_into_load(self):
+        # equal op history, but shard 0 has a deep queue: it is hotter
+        stats = _stats(
+            {"a": 0, "b": 1},
+            {"a": 100, "b": 100},
+            queue_depths={0: 50},
+        )
+        plan = plan_rebalance(stats, ControlConfig(imbalance_tolerance=0.1))
+        assert plan.shard_loads[0] > plan.shard_loads[1]
+
+    def test_planning_is_deterministic(self):
+        stats = _stats({"a": 0, "b": 0, "c": 1}, {"a": 500, "b": 200, "c": 0})
+        config = ControlConfig()
+        assert plan_rebalance(stats, config) == plan_rebalance(stats, config)
+
+    def test_single_shard_plans_nothing(self):
+        stats = _stats({"a": 0, "b": 0}, {"a": 900, "b": 100}, n_shards=1)
+        assert plan_rebalance(stats, ControlConfig()).empty
+
+
+class TestFleetController:
+    def test_step_executes_planned_moves(self, traces):
+        with fleet_gateway(2) as gateway:
+            for trace in traces:
+                gateway.register_instance(trace.instance)
+            # skew the fleet: everything onto shard 0, then warm it up
+            for trace in traces:
+                gateway.migrate_instance(trace.instance.instance_id, 0)
+            for trace in traces:
+                instance_id = trace.instance.instance_id
+                for i in range(10):
+                    gateway.predict_async(instance_id, trace[i])
+                    gateway.observe(instance_id, trace[i])
+            gateway.drain()
+            controller = FleetController(
+                gateway, ControlConfig(imbalance_tolerance=0.1, min_total_ops=1)
+            )
+            plan = controller.step()
+            assert not plan.empty
+            assert controller.history  # the move actually executed
+            moved = controller.history[0]
+            assert gateway.routes()["assignments"][moved["instance_id"]] == moved["target"]
+            # the moved instance still serves
+            trace = next(
+                t for t in traces if t.instance.instance_id == moved["instance_id"]
+            )
+            assert gateway.predict(moved["instance_id"], trace[10], timeout=60).exec_time >= 0.0
+
+    def test_background_watcher_starts_and_stops(self, traces):
+        with fleet_gateway(2) as gateway:
+            gateway.register_instance(traces[0].instance)
+            config = ControlConfig(cycle_interval_s=0.05, min_total_ops=10**9)
+            with FleetController(gateway, config) as controller:
+                time.sleep(0.2)  # a few idle cycles
+                assert controller.history == []
+            controller.stop()  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# admin ops over the wire
+# ---------------------------------------------------------------------------
+class TestWireAdminOps:
+    def test_migrate_resize_routes_over_tcp(self, traces):
+        gateway = fleet_gateway(2)
+        server = WireServer(gateway)
+        try:
+            for trace in traces:
+                gateway.register_instance(trace.instance)
+            host, port = server.start()
+            with WireClient(host, port, name="admin") as client:
+                routes = client.routes()
+                assert routes == gateway.routes()
+                instance_id = traces[0].instance.instance_id
+                source = routes["assignments"][instance_id]
+                info = client.migrate_instance(instance_id, 1 - source)
+                assert info["target"] == 1 - source
+                assert client.routes()["assignments"][instance_id] == 1 - source
+                resized = client.resize(3)
+                assert resized["n_shards"] == 3
+                assert client.routes()["n_shards"] == 3
+                # the resharded fleet keeps serving over the same session
+                prediction = client.predict(instance_id, traces[0][0])
+                assert prediction.exec_time >= 0.0
+        finally:
+            server.close()
+            gateway.close()

@@ -146,3 +146,87 @@ class TestHappyPathStillWorks:
         registry.save_service_state(stage, "snap")
         loaded, _ = registry.load_service_state("snap")
         assert loaded.interval_width_bins == stage.interval_width_bins
+
+
+# ---------------------------------------------------------------------------
+# standalone per-instance states (the live-migration handoff unit)
+# ---------------------------------------------------------------------------
+def _replay_segment(stage, trace, start, stop):
+    """Fused predict+observe over ``trace[start:stop)``; returns the
+    predictions (observes included so post-restore retrains fire too)."""
+    predictions = []
+    for i in range(start, stop):
+        predictions.append(stage.predict(trace[i]).exec_time)
+        stage.observe(trace[i])
+    return np.array(predictions)
+
+
+def _instance_trace():
+    gen = FleetGenerator(FleetConfig(seed=5, volume_scale=0.1))
+    instance = gen.sample_instance(0)
+    return instance, gen.generate_trace(instance, 0.7)
+
+
+def _load_instance_state_and_predict(args):
+    """Spawn-able worker: load one instance state cold and serve the
+    held-out segment — no fleet manifest, no warm process state."""
+    import pickle as _pickle
+
+    registry_root, name, n_warm = args
+    _, trace = _instance_trace()
+    stage = ModelRegistry(registry_root).load_instance_state(name)
+    return _pickle.dumps(_replay_segment(stage, trace, n_warm, len(trace)))
+
+
+class TestInstanceStates:
+    def test_roundtrip_is_bit_identical(self, registry):
+        """Saving one instance mid-stream and restoring it continues the
+        stream bit-for-bit — the property live migration rests on."""
+        instance, trace = _instance_trace()
+        n_warm = len(trace) // 2
+        stage = StagePredictor(instance, config=fast_profile(), random_state=0)
+        _replay_segment(stage, trace, 0, n_warm)
+        registry.save_instance_state(stage, "mid-stream")
+        assert registry.list_instance_states() == ["mid-stream"]
+
+        want = _replay_segment(stage, trace, n_warm, len(trace))
+        restored = registry.load_instance_state("mid-stream")
+        got = _replay_segment(restored, trace, n_warm, len(trace))
+        assert np.array_equal(got, want)
+
+    def test_fresh_spawn_process_restore(self, registry):
+        """The handoff unit survives a cold process boundary (spawn: no
+        inherited memory), exactly as a target shard receives it."""
+        import multiprocessing
+        import pickle
+        from concurrent.futures import ProcessPoolExecutor
+
+        instance, trace = _instance_trace()
+        n_warm = len(trace) // 2
+        stage = StagePredictor(instance, config=fast_profile(), random_state=0)
+        _replay_segment(stage, trace, 0, n_warm)
+        registry.save_instance_state(stage, "handoff")
+        want = _replay_segment(stage, trace, n_warm, len(trace))
+
+        ctx = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+            payload = pool.submit(
+                _load_instance_state_and_predict, (registry.root, "handoff", n_warm)
+            ).result(timeout=300)
+        assert np.array_equal(pickle.loads(payload), want)
+
+    def test_independent_of_fleet_snapshots(self, registry, instance):
+        """Instance states live beside — never inside — fleet snapshots:
+        neither listing sees the other's artifacts."""
+        stage = StagePredictor(instance, config=fast_profile())
+        registry.save_instance_state(stage, "solo")
+        assert registry.list_fleet_snapshots() == []
+        registry.save_fleet_member(stage, "fleet-x")
+        registry.save_fleet_manifest("fleet-x", [instance.instance_id], n_shards=1)
+        assert registry.list_instance_states() == ["solo"]
+
+    def test_missing_instance_state_lists_available(self, registry, instance):
+        stage = StagePredictor(instance, config=fast_profile())
+        registry.save_instance_state(stage, "only-one")
+        with pytest.raises(FileNotFoundError, match="no instance state named 'nope'"):
+            registry.load_instance_state("nope")
