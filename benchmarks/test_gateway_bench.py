@@ -11,7 +11,13 @@ anywhere:
 - the gateway determinism contract — every grid point serves
   bit-identical predictions for the measured traffic (checked inside
   :func:`run_gateway_bench` itself);
-- the sweep ran the full grid end-to-end.
+- the sweep ran the full grid end-to-end;
+- a throughput floor: sharding must not collapse the gateway's
+  throughput relative to the single-service (``shards=1``) baseline at
+  the same client count.  The floor carries a tolerance because a
+  1-core CI runner gives sharding nothing to parallelize and timing
+  noise there is large; it exists to catch structural regressions like
+  a serialized transport, not to certify a speedup.
 
 The grid here is scaled down for the 1-core CI budget; the CLI
 (``python -m repro.service bench --gateway``) runs the full default
@@ -29,8 +35,15 @@ BENCH = GatewayBenchConfig(
     volume_scale=0.15,
     shard_counts=(1, 2),
     client_counts=(2, 8),
+    repeats=3,
     stage=fast_profile(),
 )
+
+#: sharded throughput may not fall below this fraction of the
+#: single-shard baseline at the same client count (noise headroom for
+#: the 1-core CI runner; the pre-overhaul deficit this guards against
+#: measured ~0.6x)
+FLOOR_FRACTION = 0.7
 
 
 def test_gateway_grid_serves_bit_identically(results_dir):
@@ -44,3 +57,18 @@ def test_gateway_grid_serves_bit_identically(results_dir):
     assert all(row["qps"] > 0 for row in result.rows)
     # the fleet determinism contract, verified while benchmarking
     assert result.predictions_identical
+
+    # throughput floor: sharding must never collapse vs the shards=1
+    # baseline at the same client count
+    baseline = {
+        row["clients"]: row["qps"] for row in result.rows if row["shards"] == 1
+    }
+    for row in result.rows:
+        if row["shards"] == 1:
+            continue
+        floor = FLOOR_FRACTION * baseline[row["clients"]]
+        assert row["qps"] >= floor, (
+            f"shards={row['shards']:.0f} clients={row['clients']:.0f} "
+            f"reached only {row['qps']:.0f} q/s — below {floor:.0f} "
+            f"({FLOOR_FRACTION:.0%} of the single-shard baseline)"
+        )

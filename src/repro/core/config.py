@@ -130,16 +130,19 @@ class ServiceConfig:
 
     The service collects concurrent ``predict`` calls into micro-batches:
     cache hits are answered immediately, while queries that need the
-    local ensemble wait until either ``max_batch_size`` of them are
-    pending or ``max_batch_latency_ms`` has elapsed since the first one,
-    then are served by one batched ensemble call.  Batch boundaries never
-    change any prediction bit (the ensemble is frozen between retrains),
-    so these are pure latency/throughput knobs.
+    local ensemble are deferred and served by one batched ensemble call
+    once ``max_batch_size`` of them are pending or the sequenced op
+    stream stalls with nothing left to pull.  ``max_batch_latency_ms``
+    only bounds how long a batch may hold for a sequence gap with later
+    ops already queued behind it.  Batch boundaries never change any
+    prediction bit (the ensemble is frozen between retrains), so these
+    are pure latency/throughput knobs.
     """
 
     #: deferred (model-bound) predictions served per batched model call
     max_batch_size: int = 32
-    #: how long the first deferred prediction of a batch may wait (ms)
+    #: how long a batch may hold for a sequence gap to fill when later
+    #: ops are already queued behind it (ms)
     max_batch_latency_ms: float = 2.0
     #: also compute local-ensemble answers for cache hits (component
     #: collection, used by the replay harness's ``via_service`` mode)
@@ -232,6 +235,11 @@ class WireConfig:
     #: worker threads that perform gateway submissions, so a
     #: backpressure-blocked enqueue never stalls the event loop
     submit_workers: int = 8
+    #: a session whose socket send buffer stays full for this long (a
+    #: client that stopped reading its responses) is reaped: it gets a
+    #: best-effort structured rid-0 ERROR frame and a hard disconnect,
+    #: so one slow reader can never wedge the server's write path
+    write_timeout_s: float = 30.0
 
     def __post_init__(self):
         if not self.host:
@@ -244,6 +252,8 @@ class WireConfig:
             raise ValueError("max_frame_bytes must be >= 1024")
         if self.submit_workers < 1:
             raise ValueError("submit_workers must be >= 1")
+        if self.write_timeout_s <= 0:
+            raise ValueError("write_timeout_s must be > 0")
 
 
 @dataclass(frozen=True)

@@ -228,9 +228,11 @@ class BatchRouter:
       (bit-identical per row to per-query calls) at the next flush, which
       happens no later than the next generation change;
     - the "short or certain" rule and the global-model fallback complete
-      at flush time; the global model is frozen and evaluated per query
-      (batching a GCN forward across plans could change summation order),
-      so deferral changes no arithmetic there either.
+      at flush time; the global model is frozen, and its batched forward
+      (:meth:`~repro.global_model.GlobalModel.predict_many`, built on the
+      order-stable :meth:`~repro.ml.gcn.DirectedGCN.predict_graphs_stable`)
+      is bit-identical to per-query evaluation, so deferral — and the
+      window's batch boundaries — change no arithmetic there either.
     """
 
     def __init__(self, stage: StagePredictor, collect_cache_hit_local: bool = False):
@@ -289,27 +291,23 @@ class BatchRouter:
             self._defer(slot, record, routed=True)
             return slot
 
-        # stage 3 directly: local not ready yet
+        return self._route_cold(record, local_ready, local_generation)
+
+    def _route_cold(
+        self, record: QueryRecord, local_ready: bool, local_generation: int
+    ) -> RoutedSlot:
+        """Stage 3 / default for a cache miss with no ready local model."""
+        stage = self.stage
         if stage.global_model is not None:
             prediction = stage.global_model.predict(
                 record.plan, stage.instance, n_concurrent=0.0
             )
-            stage._count_routed(prediction)
-            return RoutedSlot(
-                RoutedComponents(
-                    prediction=prediction,
-                    cache=None,
-                    local=None,
-                    local_ready=local_ready,
-                    local_generation=local_generation,
-                )
+        else:
+            # cold start with no global model: running-median default
+            prediction = Prediction(
+                exec_time=stage._default.value,
+                source=PredictionSource.DEFAULT,
             )
-
-        # cold start with no global model: running-median default
-        prediction = Prediction(
-            exec_time=stage._default.value,
-            source=PredictionSource.DEFAULT,
-        )
         stage._count_routed(prediction)
         return RoutedSlot(
             RoutedComponents(
@@ -320,6 +318,88 @@ class BatchRouter:
                 local_generation=local_generation,
             )
         )
+
+    def route_batch(self, records: List[QueryRecord]) -> List[RoutedSlot]:
+        """Route a window of queries in one pass — the serving fast path.
+
+        Bit-identical (results *and* cache/counter accounting) to
+        calling :meth:`route` once per record in order, which is valid
+        exactly because no observe intervenes inside the window: the
+        cache, the local ensemble's readiness/generation and the
+        running-median default are all constant across the batch, so the
+        per-record loop's repeated state reads are hoisted and the cache
+        probe collapses into one counted
+        :meth:`~repro.cache.ExecTimeCache.lookup_predictions` pass over
+        precomputed answers.  ~80% of fleet traffic is cache hits, so
+        this removes most of the per-op routing cost.
+        """
+        stage = self.stage
+        cache = stage.cache
+        local_ready = stage.local.is_ready
+        local_generation = stage.local.n_retrains
+        collect = self.collect_cache_hit_local and local_ready
+        batch_global = stage.global_model is not None
+        cached = cache.lookup_predictions(
+            [cache.key_for(record.features) for record in records]
+        )
+        slots: List[RoutedSlot] = []
+        cold_global: List[int] = []
+        for idx, (record, hit) in enumerate(zip(records, cached)):
+            if hit is not None:
+                stage._count_routed(hit)
+                slot = RoutedSlot(
+                    RoutedComponents(
+                        prediction=hit,
+                        cache=hit,
+                        local=None,
+                        local_ready=local_ready,
+                        local_generation=local_generation,
+                    )
+                )
+                if collect:
+                    self._defer(slot, record, routed=False)
+            elif local_ready:
+                slot = RoutedSlot()
+                self._defer(slot, record, routed=True)
+            elif batch_global:
+                # cold global route: completed below with one batched
+                # order-stable forward over the window's cold misses
+                slot = RoutedSlot()
+                cold_global.append(idx)
+            else:
+                slot = self._route_cold(record, local_ready, local_generation)
+            slots.append(slot)
+        if cold_global:
+            predictions = self._global_many(
+                [records[i].plan for i in cold_global]
+            )
+            for idx, prediction in zip(cold_global, predictions):
+                stage._count_routed(prediction)
+                slots[idx].components = RoutedComponents(
+                    prediction=prediction,
+                    cache=None,
+                    local=None,
+                    local_ready=local_ready,
+                    local_generation=local_generation,
+                )
+        return slots
+
+    def _global_many(self, plans: List) -> List[Prediction]:
+        """Batched global-model fallback, in window order.
+
+        Uses the model's bit-identical batched forward when it has one
+        (:meth:`~repro.global_model.GlobalModel.predict_many`); global
+        stand-ins that only implement ``predict`` get the equivalent
+        per-plan loop.
+        """
+        stage = self.stage
+        many = getattr(stage.global_model, "predict_many", None)
+        if many is not None:
+            return many(plans, stage.instance, n_concurrent=0.0)
+        return [
+            stage.global_model.predict(plan, stage.instance, n_concurrent=0.0)
+            for plan in plans
+        ]
 
     def observe(self, record: QueryRecord) -> None:
         """Apply one execution outcome, in arrival order.
@@ -354,7 +434,11 @@ class BatchRouter:
         frozen, self._frozen = self._frozen, None
         features = np.vstack([entry.record.features for entry in pending])
         batch = frozen.predict_batch(features)
-        for entry, local_pred in zip(pending, batch):
+        #: entries routed to the global model, resolved below with one
+        #: batched order-stable forward in window order (bit-identical
+        #: to the per-entry ``predict`` loop it replaces)
+        fallback: List[int] = []
+        for i, (entry, local_pred) in enumerate(zip(pending, batch)):
             if not entry.routed:
                 # cache hit: prediction was already answered from the
                 # cache; only the component answer is filled in
@@ -373,9 +457,8 @@ class BatchRouter:
             if is_short or is_certain or stage.global_model is None:
                 prediction = local_pred
             else:
-                prediction = stage.global_model.predict(
-                    entry.record.plan, stage.instance, n_concurrent=0.0
-                )
+                fallback.append(i)
+                continue
             stage._count_routed(prediction)
             entry.slot.components = RoutedComponents(
                 prediction=prediction,
@@ -384,3 +467,16 @@ class BatchRouter:
                 local_ready=True,
                 local_generation=frozen.generation,
             )
+        if fallback:
+            predictions = self._global_many(
+                [pending[i].record.plan for i in fallback]
+            )
+            for i, prediction in zip(fallback, predictions):
+                stage._count_routed(prediction)
+                pending[i].slot.components = RoutedComponents(
+                    prediction=prediction,
+                    cache=None,
+                    local=batch[i],
+                    local_ready=True,
+                    local_generation=frozen.generation,
+                )

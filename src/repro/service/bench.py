@@ -31,8 +31,10 @@ bit-identical predictions for the measured traffic.
 from __future__ import annotations
 
 import asyncio
+import statistics
 import threading
 import time
+from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -263,6 +265,11 @@ class GatewayBenchConfig:
     #: the sweep grid: every (shards, clients) combination is measured
     shard_counts: tuple = (1, 2, 4)
     client_counts: tuple = (4, 16)
+    #: measurement repeats per grid point; passes are *interleaved*
+    #: (every point once per pass, then again) so drifting machine load
+    #: lands on all points evenly, and each point reports the median of
+    #: its repeats
+    repeats: int = 3
     max_batch_size: int = 16
     max_batch_latency_ms: float = 5.0
     queue_size: int = 512
@@ -279,12 +286,16 @@ class GatewayBenchResult:
     rows: List[Dict[str, float]]
     #: every grid point produced bit-identical measured predictions
     predictions_identical: bool
+    #: interleaved measurement passes behind each row's medians
+    repeats: int = 1
 
     def render(self) -> str:
         lines = [
             f"gateway fleet bench: {self.n_instances} instances, "
             f"{self.n_warmup} warmup + {self.n_measured} measured queries "
-            "(interleaved fleet traffic through one FleetGateway)",
+            "(interleaved fused predict+observe fleet traffic through one "
+            "FleetGateway; "
+            f"median of {self.repeats} interleaved repeats per grid point)",
         ]
         base_qps = self.rows[0]["qps"] if self.rows else 1.0
         for row in self.rows:
@@ -311,7 +322,18 @@ def _drive_gateway_combo(
     config: GatewayBenchConfig,
 ) -> Tuple[Dict[str, float], List[float]]:
     """Warm a fresh fleet, then fire the measured stream; returns the
-    grid row plus the predicted exec-times (for the parity check)."""
+    grid row plus the predicted exec-times (for the parity check).
+
+    The measured stream is the *fused* serving workload — every query
+    is a predict plus its feedback observe, so local-model retrains land
+    inside the measurement window exactly as production traffic would
+    place them.  Per-instance sequence numbers for the whole segment are
+    reserved up front, so any client interleaving executes each
+    instance's ops in trace order and every grid point returns
+    bit-identical predictions (the gateway determinism contract).
+    Client-observed latency is the predict round trip; observes are
+    fire-and-forget and settle by the closing drain.
+    """
     gateway = FleetGateway(
         GatewayConfig(
             n_shards=n_shards,
@@ -335,30 +357,74 @@ def _drive_gateway_combo(
                 gateway.observe(instance_id, record)
         gateway.drain()
 
+        # Pre-assign the fused stream's sequence numbers: per instance,
+        # record k gets (predict, observe) slots (2k, 2k + 1) after the
+        # warmup prefix, making the executed op order a pure function of
+        # the trace no matter which client fires which record.
         n_clients = max(1, int(n_clients))
+        streams: Dict[str, List[tuple]] = {}
+        for index, (instance_id, record) in enumerate(measured):
+            streams.setdefault(instance_id, []).append((index, record))
+        stream_state = {
+            instance_id: {
+                "records": records,
+                "base": gateway.reserve_sequence(instance_id, 2 * len(records)),
+                "next": 0,
+                "lock": threading.Lock(),
+            }
+            for instance_id, records in streams.items()
+        }
+        # Clients have instance affinity, like the per-cluster
+        # connections production traffic arrives on: client w serves the
+        # instances with index ≡ w (mod n_clients), or shares one
+        # instance's stream when there are more clients than instances.
+        # (A single shared cursor in global arrival order would pile
+        # every client onto the next records of whichever instance is
+        # mid-retrain and stall the whole fleet on one instance's
+        # stream.)
+        instance_order = [
+            trace.instance.instance_id
+            for trace in traces
+            if trace.instance.instance_id in streams
+        ]
+
+        op_timeout = gateway.config.drain_timeout_s
         predictions: List[Optional[float]] = [None] * len(measured)
+        observe_futures: List[Optional[Future]] = [None] * len(measured)
         latencies: List[List[float]] = [[] for _ in range(n_clients)]
         errors: List[Optional[BaseException]] = [None] * n_clients
-        position = {"next": 0}
-        lock = threading.Lock()
+        stop = threading.Event()
 
         def client(worker_index: int) -> None:
             lat = latencies[worker_index]
+            if n_clients <= len(instance_order):
+                mine = instance_order[worker_index::n_clients]
+            else:
+                mine = [instance_order[worker_index % len(instance_order)]]
             try:
-                while True:
-                    with lock:
-                        i = position["next"]
-                        if i >= len(measured):
-                            return
-                        position["next"] = i + 1
-                    instance_id, record = measured[i]
-                    t0 = time.perf_counter()
-                    predictions[i] = gateway.predict(instance_id, record).exec_time
-                    lat.append(time.perf_counter() - t0)
+                while mine and not stop.is_set():
+                    for instance_id in list(mine):
+                        state = stream_state[instance_id]
+                        with state["lock"]:
+                            k = state["next"]
+                            if k >= len(state["records"]):
+                                mine.remove(instance_id)
+                                continue
+                            state["next"] = k + 1
+                        index, record = state["records"][k]
+                        seq = state["base"] + 2 * k
+                        t0 = time.perf_counter()
+                        future = gateway.predict_async(instance_id, record, seq=seq)
+                        observe_futures[index] = gateway.observe(
+                            instance_id, record, seq=seq + 1
+                        )
+                        predictions[index] = (
+                            future.result(op_timeout).prediction.exec_time
+                        )
+                        lat.append(time.perf_counter() - t0)
             except BaseException as exc:
                 errors[worker_index] = exc
-                with lock:  # stop the other clients too
-                    position["next"] = len(measured)
+                stop.set()  # stop the other clients too
 
         threads = [
             threading.Thread(target=client, args=(w,)) for w in range(n_clients)
@@ -373,6 +439,9 @@ def _drive_gateway_combo(
             if error is not None:
                 raise error
         gateway.drain()
+        for future in observe_futures:
+            if future is not None:
+                future.result(op_timeout)  # surface any feedback failure
     finally:
         gateway.close()
 
@@ -418,25 +487,36 @@ def run_gateway_bench(config: Optional[GatewayBenchConfig] = None) -> GatewayBen
     # interleave the fleet's measured traffic in global arrival order
     measured.sort(key=lambda pair: pair[1].arrival_time)
 
-    rows: List[Dict[str, float]] = []
+    if config.repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    samples: Dict[Tuple[int, int], List[Dict[str, float]]] = {}
     reference: Optional[List[float]] = None
     identical = True
+    for _ in range(config.repeats):
+        for n_shards in config.shard_counts:
+            for n_clients in config.client_counts:
+                row, predictions = _drive_gateway_combo(
+                    traces, warmups, measured, n_shards, n_clients, config
+                )
+                samples.setdefault((n_shards, n_clients), []).append(row)
+                if reference is None:
+                    reference = predictions
+                elif predictions != reference:
+                    identical = False
+    rows: List[Dict[str, float]] = []
     for n_shards in config.shard_counts:
         for n_clients in config.client_counts:
-            row, predictions = _drive_gateway_combo(
-                traces, warmups, measured, n_shards, n_clients, config
+            reps = samples[(n_shards, n_clients)]
+            rows.append(
+                {key: float(statistics.median([r[key] for r in reps])) for key in reps[0]}
             )
-            rows.append(row)
-            if reference is None:
-                reference = predictions
-            elif predictions != reference:
-                identical = False
     return GatewayBenchResult(
         n_instances=config.n_instances,
         n_warmup=sum(len(w) for w in warmups),
         n_measured=len(measured),
         rows=rows,
         predictions_identical=identical,
+        repeats=config.repeats,
     )
 
 
@@ -527,19 +607,25 @@ async def _wire_fire(
     ``inflight`` predictions outstanding over a shared work stream."""
     from .wire import AsyncWireClient
 
+    n_connections = max(1, n_connections)
     predictions: List[Optional[float]] = [None] * len(measured)
-    latencies: List[float] = []
+    # per-connection latency lists, merged only after the wall-clock
+    # window closes: percentile computation never reads a list a driver
+    # is still appending to (same discipline as the threaded drivers,
+    # where the append really is concurrent)
+    latencies: List[List[float]] = [[] for _ in range(n_connections)]
     # a plain shared iterator is safe: consumers only advance it between
     # awaits of the same event loop
     iterator = iter(enumerate(measured))
 
-    async def one(client, i: int, instance_id: str, record) -> None:
+    async def one(lat: List[float], client, i: int, instance_id: str, record) -> None:
         t0 = time.perf_counter()
         components = await client.predict_components(instance_id, record)
-        latencies.append(time.perf_counter() - t0)
+        lat.append(time.perf_counter() - t0)
         predictions[i] = components.prediction.exec_time
 
     async def connection(worker_index: int) -> None:
+        lat = latencies[worker_index]
         client = await AsyncWireClient.connect(host, port, name=f"loadgen-{worker_index}")
         try:
             pending = set()
@@ -550,16 +636,17 @@ async def _wire_fire(
                     )
                     for task in done:
                         task.result()
-                pending.add(asyncio.create_task(one(client, i, instance_id, record)))
+                pending.add(asyncio.create_task(one(lat, client, i, instance_id, record)))
             if pending:
                 await asyncio.gather(*pending)
         finally:
             await client.close()
 
     t0 = time.perf_counter()
-    await asyncio.gather(*(connection(w) for w in range(max(1, n_connections))))
+    await asyncio.gather(*(connection(w) for w in range(n_connections)))
     wall = time.perf_counter() - t0
-    return wall, latencies, [float(p) for p in predictions]
+    merged = [v for lat in latencies for v in lat]
+    return wall, merged, [float(p) for p in predictions]
 
 
 def run_wire_bench(

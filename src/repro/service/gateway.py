@@ -22,10 +22,24 @@ Architecture
   (:meth:`migrate_instance`, :meth:`resize`,
   :class:`~repro.service.FleetController`) rewrites entries live; every
   rewrite bumps the table version.  Each shard process owns one
-  ``PredictionService`` per instance assigned to it; ops travel over a
-  **bounded** per-shard request queue (backpressure: a full queue fails
-  the enqueue with :class:`GatewayBackpressureError` after
-  ``enqueue_timeout_s``).
+  ``PredictionService`` per instance assigned to it.
+- **Batched transport.** Ops travel in *envelopes*: the submitting
+  thread flushes the per-shard outbox into one ``request_q.put``
+  inline — unless a flush is already in flight, in which case that
+  flusher ships everything that accumulated as the next envelope (one
+  pickle, one queue hop for however many ops piled up, and no handoff
+  to a dedicated sender thread on the fast path) — and the shard
+  symmetrically batches acks + responses into ``(credits, responses)``
+  envelopes on the way back.  Capacity is
+  enforced by a **credit** scheme equivalent to the old bounded queue:
+  the parent holds ``queue_size`` credits per shard, each op costs one
+  credit to submit, and the shard returns the credit the moment its
+  loop dequeues that op from an envelope — so "ops submitted but not
+  yet picked up" is capped exactly as before, and an exhausted shard
+  fails the submit with :class:`GatewayBackpressureError` after
+  ``enqueue_timeout_s``.  Envelope boundaries are invisible: every
+  instance op carries its explicit sequence number and the shard-side
+  scheduler reorders by sequence, so packing never affects results.
 - **Live migration.** :meth:`migrate_instance` moves one instance
   between shards under traffic with a *cut-sequence* protocol: the
   instance's next unclaimed sequence number becomes the cut; ops below
@@ -58,11 +72,11 @@ Architecture
 from __future__ import annotations
 
 import itertools
-import queue
 import shutil
 import tempfile
 import threading
 import time
+from multiprocessing import connection as mp_connection
 from concurrent.futures import Future
 from dataclasses import dataclass, replace
 from functools import partial
@@ -173,147 +187,275 @@ class _ShardInit:
     global_model: Optional[GlobalModel]
 
 
-def _relay_response(response_q, op_id: int, future: Future) -> None:
+#: how long an unaccompanied credit ack may wait for a response
+#: envelope to carry it before the lazy flusher ships it alone (s)
+_ACK_GRACE_S = 0.002
+
+
+class _WorkerOutbox:
+    """Shard-side response batcher.
+
+    Credit acks and op responses accumulate under one lock.  Responses
+    are flushed *inline* by the completing thread — unless a flush is
+    already in flight, in which case that flusher ships whatever
+    accumulated as a single ``(credits, responses)`` envelope on its
+    next pass: one pickle and one parent wakeup for a whole micro-batch
+    of scheduler completions, with no dedicated responder thread on the
+    fast path.  Acks piggyback on those response envelopes (a fast op's
+    credit release and its answer cost the parent a single wakeup); only
+    when an op is slow enough that no response has shipped within a
+    short grace does a lazy background flusher send the acks alone,
+    which keeps the credit-return bound for ops queued behind a stalled
+    one.  An op's ack is always appended before the op is handled, so
+    the parent can never see a response whose credit it has not already
+    been returned.
+    """
+
+    def __init__(self, shard_index: int, response_q):
+        self.shard_index = shard_index
+        self._response_q = response_q
+        self._cond = threading.Condition()
+        self._acks = 0
+        self._responses: List[tuple] = []
+        self._sending = False
+        self._stopped = False
+        self._ack_flusher = threading.Thread(
+            target=self._ack_loop,
+            name=f"gateway-shard-{shard_index}-ack-flusher",
+            daemon=True,
+        )
+        self._ack_flusher.start()
+
+    def ack(self) -> None:
+        """Return one credit: this op left the queue and is being handled."""
+        with self._cond:
+            self._acks += 1
+            if self._acks == 1 and not self._sending:
+                self._cond.notify_all()  # arm the lazy flusher's grace timer
+
+    def put(self, response: tuple) -> None:
+        with self._cond:
+            self._responses.append(response)
+            if self._sending:
+                return  # the in-flight flusher ships it next pass
+            self._sending = True
+        self._flush()
+
+    def _flush(self) -> None:
+        while True:
+            with self._cond:
+                if not self._acks and not self._responses:
+                    self._sending = False
+                    self._cond.notify_all()
+                    return
+                acks, self._acks = self._acks, 0
+                responses, self._responses = self._responses, []
+            try:
+                self._response_q.put((acks, responses))
+            except (ValueError, OSError):
+                with self._cond:
+                    self._sending = False
+                    self._cond.notify_all()
+                return
+
+    def _ack_loop(self) -> None:
+        """Ship acks that no response envelope carried within the grace."""
+        while True:
+            with self._cond:
+                while not self._stopped and (not self._acks or self._sending):
+                    self._cond.wait()
+                if self._stopped:
+                    return
+                # give an imminent response flush a chance to carry
+                # these acks in its own envelope
+                self._cond.wait(timeout=_ACK_GRACE_S)
+                if self._stopped:
+                    return
+                if not self._acks or self._sending:
+                    continue
+                self._sending = True
+            self._flush()
+
+    def close(self) -> None:
+        """Flush everything still queued, then stop the lazy flusher."""
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+        self._ack_flusher.join(5.0)
+        with self._cond:
+            self._cond.wait_for(lambda: not self._sending, timeout=5.0)
+            if not self._acks and not self._responses:
+                return
+            self._sending = True
+        self._flush()
+
+
+def _relay_response(outbox: _WorkerOutbox, op_id: int, future: Future) -> None:
     """Done-callback bridging a service future back to the parent."""
     exc = future.exception()
     if exc is not None:
-        response_q.put((op_id, _ERR, exc))
+        outbox.put((op_id, _ERR, exc))
     else:
-        response_q.put((op_id, _OK, future.result()))
+        outbox.put((op_id, _OK, future.result()))
 
 
 def _shard_main(shard_index: int, request_q, response_q, init: _ShardInit) -> None:
     """One shard worker: owns its instances' services, applies ops.
 
-    Instance ops (predict/observe) are submitted to the owning service's
-    sequenced scheduler and answered asynchronously via done-callbacks,
-    so the shard loop never blocks behind a micro-batch; control ops are
-    answered synchronously in queue order.
+    The request queue carries *envelopes* (lists of ops).  Each op's
+    credit is acked the moment the loop reaches it — before it is
+    handled — which reproduces the old bounded-queue occupancy exactly:
+    ops behind a slow op in the same envelope keep their credits held
+    just as they used to keep their queue slots.  Instance ops
+    (predict/observe) are submitted to the owning service's sequenced
+    scheduler and answered asynchronously via done-callbacks, so the
+    shard loop never blocks behind a micro-batch; control ops are
+    answered synchronously in arrival order.
     """
     services: Dict[str, PredictionService] = {}
+    outbox = _WorkerOutbox(shard_index, response_q)
     while True:
         try:
-            op_id, kind, payload = request_q.get()
+            envelope = request_q.get()
         except (EOFError, OSError, KeyboardInterrupt):
+            outbox.close()
             return
-        try:
-            if kind in (PREDICT, OBSERVE):
-                instance_id, record, seq = payload
-                service = services[instance_id]
-                future = service.scheduler.submit(kind, record, seq=seq)
-                future.add_done_callback(partial(_relay_response, response_q, op_id))
-                continue
-            if kind == _REGISTER:
-                (instance,) = payload
-                if instance.instance_id in services:
-                    raise ValueError(f"instance {instance.instance_id!r} already registered")
-                services[instance.instance_id] = PredictionService(
-                    instance,
-                    global_model=init.global_model,
-                    stage_config=init.stage_config,
-                    service_config=init.service_config,
-                    random_state=init.random_state,
-                )
-                result = instance.instance_id
-            elif kind == _DRAIN:
-                for service in services.values():
-                    service.drain()
-                result = len(services)
-            elif kind == _STATS:
-                result = {iid: service.stats() for iid, service in services.items()}
-            elif kind == _SNAPSHOT:
-                registry_root, name = payload
-                registry = ModelRegistry(registry_root)
-                result = []
-                for instance_id in sorted(services):
-                    service = services[instance_id]
-                    service.drain()
-                    with service.scheduler.paused():
-                        registry.save_fleet_member(service.stage, name)
-                    result.append(instance_id)
-            elif kind == _RESTORE:
-                registry_root, name, instance_ids = payload
-                registry = ModelRegistry(registry_root)
-                for instance_id in instance_ids:
-                    if instance_id in services:
-                        raise ValueError(f"instance {instance_id!r} already registered")
-                    stage = registry.load_fleet_member(
-                        name, instance_id, global_model=init.global_model
-                    )
-                    services[instance_id] = PredictionService.from_stage(
-                        stage, service_config=init.service_config
-                    )
-                result = list(instance_ids)
-            elif kind == _DETACH:
-                # Migration source side.  Stragglers below the cut are
-                # still flowing through this loop, so the drain must not
-                # block it: a side thread waits out the prefix, pauses
-                # the scheduler, saves the quiesced predictor, and
-                # answers the op itself.
-                instance_id, cut_seq, registry_root, state_name = payload
-                service = services[instance_id]
+        for op_id, kind, payload in envelope:
+            outbox.ack()  # the op left the queue: return its credit now
+            if not _apply_shard_op(shard_index, services, outbox, init, op_id, kind, payload):
+                outbox.close()
+                return
 
-                def _detach(
-                    op_id=op_id,
-                    service=service,
-                    cut_seq=cut_seq,
-                    registry_root=registry_root,
-                    state_name=state_name,
-                ):
-                    try:
-                        service.scheduler.drain_through(cut_seq)
-                        with service.scheduler.paused():
-                            ModelRegistry(registry_root).save_instance_state(
-                                service.stage, state_name
-                            )
-                            counters = dict(service.scheduler.stats)
-                        response_q.put(
-                            (op_id, _OK, {"next_seq": cut_seq, "scheduler_stats": counters})
-                        )
-                    except Exception as exc:
-                        response_q.put((op_id, _ERR, exc))
 
-                threading.Thread(
-                    target=_detach,
-                    name=f"gateway-shard-{shard_index}-detach-{instance_id}",
-                    daemon=True,
-                ).start()
-                continue
-            elif kind == _RELEASE:
-                (instance_id,) = payload
-                service = services.pop(instance_id)
-                service.close()
-                result = instance_id
-            elif kind == _ATTACH:
-                registry_root, state_name, instance_id, next_seq, scheduler_stats = payload
+def _apply_shard_op(
+    shard_index: int,
+    services: Dict[str, PredictionService],
+    outbox: _WorkerOutbox,
+    init: _ShardInit,
+    op_id: int,
+    kind: str,
+    payload: tuple,
+) -> bool:
+    """Handle one op; returns False when the shard should shut down."""
+    try:
+        if kind in (PREDICT, OBSERVE):
+            instance_id, record, seq = payload
+            service = services[instance_id]
+            future = service.scheduler.submit(kind, record, seq=seq)
+            future.add_done_callback(partial(_relay_response, outbox, op_id))
+            return True
+        if kind == _REGISTER:
+            (instance,) = payload
+            if instance.instance_id in services:
+                raise ValueError(f"instance {instance.instance_id!r} already registered")
+            services[instance.instance_id] = PredictionService(
+                instance,
+                global_model=init.global_model,
+                stage_config=init.stage_config,
+                service_config=init.service_config,
+                random_state=init.random_state,
+            )
+            result = instance.instance_id
+        elif kind == _DRAIN:
+            for service in services.values():
+                service.drain()
+            result = len(services)
+        elif kind == _STATS:
+            result = {iid: service.stats() for iid, service in services.items()}
+        elif kind == _SNAPSHOT:
+            registry_root, name = payload
+            registry = ModelRegistry(registry_root)
+            result = []
+            for instance_id in sorted(services):
+                service = services[instance_id]
+                service.drain()
+                with service.scheduler.paused():
+                    registry.save_fleet_member(service.stage, name)
+                result.append(instance_id)
+        elif kind == _RESTORE:
+            registry_root, name, instance_ids = payload
+            registry = ModelRegistry(registry_root)
+            for instance_id in instance_ids:
                 if instance_id in services:
                     raise ValueError(f"instance {instance_id!r} already registered")
-                stage = ModelRegistry(registry_root).load_instance_state(
-                    state_name, global_model=init.global_model
+                stage = registry.load_fleet_member(
+                    name, instance_id, global_model=init.global_model
                 )
-                service = PredictionService.from_stage(
+                services[instance_id] = PredictionService.from_stage(
                     stage, service_config=init.service_config
                 )
-                # resume exactly at the cut: the prefix ran on the source
-                service.scheduler.advance_to_seq(next_seq)
-                service.scheduler.stats.update(scheduler_stats)
-                services[instance_id] = service
-                result = instance_id
-            elif kind == _SLEEP:
-                (seconds,) = payload
-                time.sleep(seconds)
-                result = None
-            elif kind == _SHUTDOWN:
-                for service in services.values():
-                    service.close()
-                response_q.put((op_id, _OK, None))
-                return
-            else:
-                raise ValueError(f"unknown gateway op kind {kind!r}")
-        except Exception as exc:  # surface to the caller, keep the shard alive
-            response_q.put((op_id, _ERR, exc))
+            result = list(instance_ids)
+        elif kind == _DETACH:
+            # Migration source side.  Stragglers below the cut are
+            # still flowing through this loop, so the drain must not
+            # block it: a side thread waits out the prefix, pauses
+            # the scheduler, saves the quiesced predictor, and
+            # answers the op itself.
+            instance_id, cut_seq, registry_root, state_name = payload
+            service = services[instance_id]
+
+            def _detach(
+                op_id=op_id,
+                service=service,
+                cut_seq=cut_seq,
+                registry_root=registry_root,
+                state_name=state_name,
+            ):
+                try:
+                    service.scheduler.drain_through(cut_seq)
+                    with service.scheduler.paused():
+                        ModelRegistry(registry_root).save_instance_state(
+                            service.stage, state_name
+                        )
+                        counters = dict(service.scheduler.stats)
+                    outbox.put(
+                        (op_id, _OK, {"next_seq": cut_seq, "scheduler_stats": counters})
+                    )
+                except Exception as exc:
+                    outbox.put((op_id, _ERR, exc))
+
+            threading.Thread(
+                target=_detach,
+                name=f"gateway-shard-{shard_index}-detach-{instance_id}",
+                daemon=True,
+            ).start()
+            return True
+        elif kind == _RELEASE:
+            (instance_id,) = payload
+            service = services.pop(instance_id)
+            service.close()
+            result = instance_id
+        elif kind == _ATTACH:
+            registry_root, state_name, instance_id, next_seq, scheduler_stats = payload
+            if instance_id in services:
+                raise ValueError(f"instance {instance_id!r} already registered")
+            stage = ModelRegistry(registry_root).load_instance_state(
+                state_name, global_model=init.global_model
+            )
+            service = PredictionService.from_stage(
+                stage, service_config=init.service_config
+            )
+            # resume exactly at the cut: the prefix ran on the source
+            service.scheduler.advance_to_seq(next_seq)
+            service.scheduler.stats.update(scheduler_stats)
+            services[instance_id] = service
+            result = instance_id
+        elif kind == _SLEEP:
+            (seconds,) = payload
+            time.sleep(seconds)
+            result = None
+        elif kind == _SHUTDOWN:
+            for service in services.values():
+                service.close()
+            outbox.put((op_id, _OK, None))
+            return False
         else:
-            response_q.put((op_id, _OK, result))
+            raise ValueError(f"unknown gateway op kind {kind!r}")
+    except Exception as exc:  # surface to the caller, keep the shard alive
+        outbox.put((op_id, _ERR, exc))
+    else:
+        outbox.put((op_id, _OK, result))
+    return True
 
 
 # ---------------------------------------------------------------------------
@@ -328,6 +470,12 @@ class _Shard:
         "request_q",
         "response_q",
         "listener",
+        "outbox",
+        "outbox_cond",
+        "sending",
+        "credits",
+        "depth",
+        "credits_cond",
         "pending",
         "pending_lock",
         "crashed",
@@ -335,12 +483,24 @@ class _Shard:
         "shutdown_acked",
     )
 
-    def __init__(self, index: int, process, request_q, response_q):
+    def __init__(self, index: int, process, request_q, response_q, credits: int):
         self.index = index
         self.process = process
         self.request_q = request_q
         self.response_q = response_q
         self.listener: Optional[threading.Thread] = None
+        #: ops awaiting the next envelope (FIFO); flushed inline by the
+        #: submitting thread unless a flush is already in flight
+        self.outbox: List[tuple] = []
+        self.outbox_cond = threading.Condition()
+        #: True while some thread is shipping envelopes from the outbox
+        self.sending = False
+        #: submit capacity: one credit per op the shard has not yet
+        #: dequeued; ``queue_size`` total, exactly the old queue bound
+        self.credits = credits
+        #: ops submitted and not yet acked (the live queue-depth stat)
+        self.depth = 0
+        self.credits_cond = threading.Condition()
         #: op id -> (future, instance id or None) awaiting a response
         self.pending: Dict[int, Tuple[Future, Optional[str]]] = {}
         self.pending_lock = threading.Lock()
@@ -436,15 +596,19 @@ class FleetGateway:
             self._start_shard(shard)
 
     def _build_shard(self, index: int) -> _Shard:
-        request_q = self._ctx.Queue(maxsize=self.config.queue_size)
-        response_q = self._ctx.Queue()
+        # SimpleQueues: puts pickle and write in the calling thread (no
+        # per-queue feeder thread on the hot path), and capacity is
+        # enforced by the credit scheme (see _acquire_credit), not the
+        # queue itself, so an envelope put can never block meaningfully
+        request_q = self._ctx.SimpleQueue()
+        response_q = self._ctx.SimpleQueue()
         process = self._ctx.Process(
             target=_shard_main,
             args=(index, request_q, response_q, self._shard_init),
             name=f"fleet-gateway-shard-{index}",
             daemon=True,
         )
-        return _Shard(index, process, request_q, response_q)
+        return _Shard(index, process, request_q, response_q, self.config.queue_size)
 
     def _start_shard(self, shard: _Shard) -> None:
         shard.process.start()
@@ -457,36 +621,91 @@ class FleetGateway:
         shard.listener.start()
 
     # ------------------------------------------------------------------
+    # per-shard request transport (parent side, inline flushing)
+    # ------------------------------------------------------------------
+    def _flush_outbox(self, shard: _Shard) -> None:
+        """Ship outbox envelopes until it runs dry (single flusher).
+
+        Only the thread that flipped ``shard.sending`` runs this loop.
+        Everything other submitters appended while a ``request_q.put``
+        was in flight ships as a single envelope on the next pass — one
+        pickle and one shard wakeup per batch, with append order (and
+        therefore per-shard op order) preserved.
+        """
+        while True:
+            with shard.outbox_cond:
+                if not shard.outbox:
+                    shard.sending = False
+                    shard.outbox_cond.notify_all()
+                    return
+                batch, shard.outbox = shard.outbox, []
+            try:
+                shard.request_q.put(batch)
+            except (ValueError, OSError, AssertionError):
+                # queue closed under us during teardown
+                with shard.outbox_cond:
+                    shard.sending = False
+                    shard.outbox_cond.notify_all()
+                return
+
+    # ------------------------------------------------------------------
     # response listeners (one thread per shard)
     # ------------------------------------------------------------------
     def _listen(self, shard: _Shard) -> None:
+        """Dispatch response envelopes until shutdown-ack or crash.
+
+        Blocks on a dual fd wait — the response pipe *and* the worker's
+        process sentinel — so an idle fleet costs zero wakeups (the old
+        loop polled ``get(timeout=0.2)``, spinning 5x/s per shard) and a
+        dead worker is still noticed immediately.  Pure fd waits only:
+        no parent-side ``put`` is involved in the wakeup, so a worker
+        killed while holding the queue's shared write lock can never
+        wedge this thread.
+        """
+        reader = shard.response_q._reader
+        process_sentinel = shard.process.sentinel
         while True:
             try:
-                op_id, status, value = shard.response_q.get(timeout=0.2)
-            except queue.Empty:
-                if not shard.process.is_alive():
-                    # late responses may still sit in the pipe buffer
-                    self._drain_responses_nowait(shard)
-                    if not shard.shutdown_acked:
-                        self._mark_crashed(shard)
-                    return
-                continue
-            except (EOFError, OSError, ValueError):
-                # ValueError: close() closed the queue under a deadline
-                # too tight for this listener to exit first
+                ready = mp_connection.wait([reader, process_sentinel])
+            except OSError:
                 self._mark_crashed(shard)
                 return
+            if reader in ready:
+                try:
+                    if not reader.poll():
+                        continue
+                    envelope = shard.response_q.get()
+                except (EOFError, OSError, ValueError):
+                    # ValueError: close() closed the queue under a
+                    # deadline too tight for this listener to exit first
+                    self._mark_crashed(shard)
+                    return
+                self._dispatch_envelope(shard, envelope)
+                if shard.shutdown_acked:
+                    return
+                continue
+            # the process died; late responses may still sit in the pipe
+            self._drain_responses_nowait(shard)
+            if not shard.shutdown_acked:
+                self._mark_crashed(shard)
+            return
+
+    def _dispatch_envelope(self, shard: _Shard, envelope) -> None:
+        credits, responses = envelope
+        if credits:
+            self._release_credits(shard, credits)
+        for op_id, status, value in responses:
             self._dispatch_response(shard, op_id, status, value)
-            if shard.shutdown_acked:
-                return
 
     def _drain_responses_nowait(self, shard: _Shard) -> None:
         while True:
             try:
-                op_id, status, value = shard.response_q.get_nowait()
-            except (queue.Empty, EOFError, OSError, ValueError):
+                if not shard.response_q._reader.poll():
+                    return
+                envelope = shard.response_q.get()
+            except (EOFError, OSError, ValueError):
                 return
-            self._dispatch_response(shard, op_id, status, value)
+            self._dispatch_envelope(shard, envelope)
 
     def _dispatch_response(self, shard: _Shard, op_id: int, status: str, value) -> None:
         with shard.pending_lock:
@@ -504,11 +723,20 @@ class FleetGateway:
     def _mark_crashed(self, shard: _Shard) -> None:
         """Fail everything in flight on a dead shard; contain the blast."""
         shard.crashed = True
+        with shard.credits_cond:
+            # wake submitters blocked on credits: none are coming back
+            shard.credits_cond.notify_all()
         with shard.pending_lock:
             pending, shard.pending = shard.pending, {}
         for future, instance_id in pending.values():
             if not future.done():
                 future.set_exception(ShardCrashedError(shard.index, instance_id))
+
+    def _release_credits(self, shard: _Shard, credits: int) -> None:
+        with shard.credits_cond:
+            shard.credits += credits
+            shard.depth -= credits
+            shard.credits_cond.notify_all()
 
     # ------------------------------------------------------------------
     # submission plumbing
@@ -537,19 +765,51 @@ class FleetGateway:
         if shard.crashed:
             raise ShardCrashedError(shard.index, instance_id)
 
+    def _acquire_credit(
+        self, shard: _Shard, timeout: float, op_id: int, instance_id: Optional[str]
+    ) -> None:
+        """Take one submit credit, or shed the op after ``timeout``.
+
+        Credits mirror the old bounded request queue exactly: the shard
+        returns each op's credit when its loop dequeues that op, so
+        "submitted but not yet picked up" is capped at ``queue_size``
+        and a saturated shard raises the same
+        :class:`GatewayBackpressureError` a full queue used to.  A
+        crashed shard never returns credits; its waiters are woken by
+        :meth:`_mark_crashed` and fall through (the op fails via the
+        pending sweep / :meth:`_crash_race_check` instead).
+        """
+        deadline = time.monotonic() + timeout
+        with shard.credits_cond:
+            while shard.credits <= 0 and not shard.crashed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._pop_pending(shard, op_id)
+                    raise GatewayBackpressureError(
+                        shard.index,
+                        timeout,
+                        instance_id=instance_id,
+                        retry_after_s=self.config.retry_after_s,
+                    )
+                shard.credits_cond.wait(remaining)
+            if shard.crashed:
+                return
+            shard.credits -= 1
+            shard.depth += 1
+
+    def _outbox_append(self, shard: _Shard, message: tuple) -> None:
+        with shard.outbox_cond:
+            shard.outbox.append(message)
+            if shard.sending:
+                return  # the in-flight flusher ships it with the next envelope
+            shard.sending = True
+        self._flush_outbox(shard)
+
     def _enqueue(
         self, shard: _Shard, op_id: int, message: tuple, instance_id: Optional[str] = None
     ) -> None:
-        try:
-            shard.request_q.put(message, timeout=self.config.enqueue_timeout_s)
-        except queue.Full:
-            self._pop_pending(shard, op_id)
-            raise GatewayBackpressureError(
-                shard.index,
-                self.config.enqueue_timeout_s,
-                instance_id=instance_id,
-                retry_after_s=self.config.retry_after_s,
-            ) from None
+        self._acquire_credit(shard, self.config.enqueue_timeout_s, op_id, instance_id)
+        self._outbox_append(shard, message)
 
     def _crash_race_check(self, shard: _Shard, op_id: int, instance_id: Optional[str]) -> None:
         """Close the enqueue-vs-failure-sweep race, identically for
@@ -958,30 +1218,49 @@ class FleetGateway:
                 "routes_version": version,
             }
 
-    def _retire_shard(self, shard: _Shard, timeout: float) -> None:
-        """Shut one (instance-free) shard down and reap its resources."""
-        deadline = time.monotonic() + timeout
-        if not shard.crashed:
-            op_id, _ = self._register_pending(shard, None)
-            shard.shutdown_op_id = op_id
-            budget = min(
-                self.config.shutdown_enqueue_timeout_s,
-                max(deadline - time.monotonic(), 0.0),
-            )
-            try:
-                shard.request_q.put((op_id, _SHUTDOWN, ()), timeout=budget)
-            except queue.Full:
-                self._pop_pending(shard, op_id)
-        if shard.listener is not None:
-            shard.listener.join(max(deadline - time.monotonic(), 0.0))
+    def _request_shutdown(self, shard: _Shard, deadline: float) -> None:
+        """Best-effort clean-shutdown op, bounded by the shared deadline.
+
+        A wedged shard (no credits coming back) fails the acquire within
+        the budget and falls through to the hard terminate in the reap
+        phase — exactly the old full-queue behavior.
+        """
+        op_id, _ = self._register_pending(shard, None)
+        shard.shutdown_op_id = op_id
+        budget = min(
+            self.config.shutdown_enqueue_timeout_s,
+            max(deadline - time.monotonic(), 0.0),
+        )
+        try:
+            self._acquire_credit(shard, budget, op_id, None)
+        except GatewayBackpressureError:
+            return  # pending entry already popped; terminate below
+        self._outbox_append(shard, (op_id, _SHUTDOWN, ()))
+
+    def _reap_shard(self, shard: _Shard, deadline: float) -> None:
+        """Join / terminate one shard and release its transport."""
         shard.process.join(max(deadline - time.monotonic(), 0.0))
         if shard.process.is_alive():
             shard.process.terminate()
             shard.process.join(5.0)
+        # let any in-flight inline outbox flush finish before closing
+        # the request queue under it
+        with shard.outbox_cond:
+            shard.outbox_cond.wait_for(lambda: not shard.sending, timeout=1.0)
+        # the listener's dual wait saw the process sentinel fire when
+        # the join/terminate above completed, so it is already exiting
+        if shard.listener is not None:
+            shard.listener.join(max(deadline - time.monotonic(), 1.0))
         self._mark_crashed(shard)  # fail anything still pending
         for q in (shard.request_q, shard.response_q):
             q.close()
-            q.cancel_join_thread()
+
+    def _retire_shard(self, shard: _Shard, timeout: float) -> None:
+        """Shut one (instance-free) shard down and reap its resources."""
+        deadline = time.monotonic() + timeout
+        if not shard.crashed:
+            self._request_shutdown(shard, deadline)
+        self._reap_shard(shard, deadline)
 
     # ------------------------------------------------------------------
     # replay hook (harness / scenario engine)
@@ -1106,12 +1385,12 @@ class FleetGateway:
 
     @staticmethod
     def _queue_depth(shard: _Shard) -> int:
-        """Best-effort live depth of one shard's request queue (some
-        platforms lack ``sem_getvalue``; report 0 rather than fail)."""
-        try:
-            return int(shard.request_q.qsize())
-        except (NotImplementedError, OSError):
-            return 0
+        """Live depth of one shard's submit window: ops submitted but
+        not yet dequeued by the worker loop.  A parent-side counter
+        (credits taken minus acks received), so it works on every
+        platform — no ``sem_getvalue`` dependency."""
+        with shard.credits_cond:
+            return int(shard.depth)
 
     # ------------------------------------------------------------------
     # persistence (whole-fleet warm restart)
@@ -1240,31 +1519,10 @@ class FleetGateway:
         # non-blocking poll and the hard terminate takes over)
         deadline = time.monotonic() + timeout
         for shard in self._shards:
-            if shard.crashed:
-                continue
-            op_id, _ = self._register_pending(shard, None)
-            shard.shutdown_op_id = op_id
-            budget = min(
-                self.config.shutdown_enqueue_timeout_s,
-                max(deadline - time.monotonic(), 0.0),
-            )
-            try:
-                shard.request_q.put((op_id, _SHUTDOWN, ()), timeout=budget)
-            except queue.Full:
-                # wedged shard: give up on a clean drain, terminate below
-                self._pop_pending(shard, op_id)
+            if not shard.crashed:
+                self._request_shutdown(shard, deadline)
         for shard in self._shards:
-            if shard.listener is not None:
-                shard.listener.join(max(deadline - time.monotonic(), 0.0))
-            shard.process.join(max(deadline - time.monotonic(), 0.0))
-            if shard.process.is_alive():
-                shard.process.terminate()
-                shard.process.join(5.0)
-            self._mark_crashed(shard)  # fail anything still pending
-            # never let queue feeder threads hold interpreter shutdown
-            for q in (shard.request_q, shard.response_q):
-                q.close()
-                q.cancel_join_thread()
+            self._reap_shard(shard, deadline)
         # a migration interrupted by close: fail its buffered futures
         # (the control ops it was waiting on failed above, so its abort
         # path usually beat us here — this is the belt to that brace)

@@ -11,10 +11,14 @@ arrivals), which is the scheduler's determinism contract:
 Within that order the worker batches the expensive work: a ``predict``
 whose answer needs the local ensemble is *deferred* (the underlying
 :class:`~repro.core.stage.BatchRouter` snapshots the frozen ensemble),
-and the worker flushes one batched ensemble call once either
-``max_batch_size`` predictions are pending or ``max_batch_latency_ms``
-has passed since the first one.  Cache hits and cold-start routes
-resolve immediately — they never wait for the batch window.  Observes
+and the worker flushes one batched ensemble call once
+``max_batch_size`` predictions are pending or the in-sequence op
+stream stalls with nothing left to pull — whichever comes first.  The
+``max_batch_latency_ms`` window only bounds the one case where more
+work is verifiably in flight (ops queued past a sequence gap): the
+worker waits up to the window for the gap to fill, then flushes
+anyway.  Cache hits and cold-start routes resolve immediately — they
+never wait for the batch window.  Observes
 (and the local retrains they trigger) also run on the worker thread, so
 client ``predict`` calls never block behind a retrain.
 """
@@ -279,6 +283,28 @@ class MicroBatchScheduler:
             self._next_exec_seq += 1
         return op
 
+    def _pop_ready_run(self, predict_limit: int) -> List[_Op]:
+        """Take the maximal in-sequence run of same-kind ops (locked).
+
+        The run stops at the first missing sequence number, at a kind
+        change, or — for predicts — at ``predict_limit``, which callers
+        set to the micro-batch headroom so a run can never overfill the
+        pending window past ``max_batch_size``.
+        """
+        run: List[_Op] = []
+        while True:
+            op = self._ops.get(self._next_exec_seq)
+            if op is None:
+                break
+            if run and op.kind != run[0].kind:
+                break
+            if op.kind == PREDICT and len(run) >= predict_limit:
+                break
+            del self._ops[self._next_exec_seq]
+            self._next_exec_seq += 1
+            run.append(op)
+        return run
+
     def _run(self) -> None:
         while True:
             with self._cv:
@@ -299,59 +325,85 @@ class MicroBatchScheduler:
                     self._cv.notify_all()
 
     def _run_batch(self) -> None:
-        """Collect and execute one micro-batch of in-sequence ops."""
+        """Collect and execute one micro-batch of in-sequence ops.
+
+        Ops are pulled as maximal same-kind *runs* so a window of
+        consecutive predicts goes through the router's vectorized
+        :meth:`~repro.core.stage.BatchRouter.route_batch` in one call —
+        bit-identical to routing each op alone (the determinism contract
+        already makes batch boundaries invisible), but paying the cache
+        probe and state reads once per run instead of once per op.
+        """
         cfg = self.config
         stats = self.stats
         deadline: Optional[float] = None
         pending: List[Tuple[RoutedSlot, Future]] = []
         while True:
             with self._cv:
-                # a pause request ends the batch at the next op boundary
-                op = None if self._paused else self._pop_ready()
-                if op is None:
+                # a pause request ends the batch at the next run boundary
+                run = (
+                    []
+                    if self._paused
+                    else self._pop_ready_run(cfg.max_batch_size - len(pending))
+                )
+                if not run:
                     if not pending:
                         break  # idle: return to the blocking outer wait
+                    # The in-sequence stream stalled (queue empty, gap, or
+                    # pause) with deferrals pending.  Under closed-loop
+                    # clients the deferred futures are exactly what the
+                    # stream is blocked on, so waiting out the batch
+                    # window would stall everyone for nothing — flush now
+                    # unless more work is verifiably in flight (already
+                    # queued past a gap), in which case wait briefly for
+                    # the gap to fill, bounded by the batch window.
+                    if not self._ops:
+                        break
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         break
                     self._cv.wait(timeout=remaining)
                     continue
-            if op.kind == OBSERVE:
-                stats["n_observes"] += 1
-                try:
-                    self.router.observe(op.record)
-                except Exception as exc:  # surface, don't kill worker
-                    op.future.set_exception(exc)
-                else:
-                    op.future.set_result(None)
+            if run[0].kind == OBSERVE:
+                for op in run:
+                    stats["n_observes"] += 1
+                    try:
+                        self.router.observe(op.record)
+                    except Exception as exc:  # surface, don't kill worker
+                        op.future.set_exception(exc)
+                    else:
+                        op.future.set_result(None)
                 continue
-            stats["n_predicts"] += 1
+            stats["n_predicts"] += len(run)
             try:
-                slot = self.router.route(op.record)
+                slots = self.router.route_batch([op.record for op in run])
             except Exception as exc:
-                op.future.set_exception(exc)
+                for op in run:
+                    op.future.set_exception(exc)
                 continue
-            if slot.ready and not (
-                self.router.collect_cache_hit_local
-                and slot.components.local_ready
-                and slot.components.local is None
-            ):
-                # cache hit or cold-start route: answer immediately
-                stats["n_immediate"] += 1
-                op.future.set_result(slot.components)
-            else:
-                # Not ready, or a cache hit whose collected local answer
-                # the router will fill in (by mutation) at the flush:
-                # resolving early would hand callers — and the gateway's
-                # pickling response path — an incomplete components
-                # object.  Component collection is a replay/diagnostic
-                # mode, so the added latency is irrelevant.
-                stats["n_deferred"] += 1
-                pending.append((slot, op.future))
-                if len(pending) >= cfg.max_batch_size:
-                    break
-                if deadline is None:
-                    deadline = time.monotonic() + cfg.max_batch_latency_ms / 1000.0
+            for op, slot in zip(run, slots):
+                if slot.ready and not (
+                    self.router.collect_cache_hit_local
+                    and slot.components.local_ready
+                    and slot.components.local is None
+                ):
+                    # cache hit or cold-start route: answer immediately
+                    stats["n_immediate"] += 1
+                    op.future.set_result(slot.components)
+                else:
+                    # Not ready, or a cache hit whose collected local
+                    # answer the router will fill in (by mutation) at the
+                    # flush: resolving early would hand callers — and the
+                    # gateway's pickling response path — an incomplete
+                    # components object.  Component collection is a
+                    # replay/diagnostic mode, so the added latency is
+                    # irrelevant.
+                    stats["n_deferred"] += 1
+                    pending.append((slot, op.future))
+            if len(pending) >= cfg.max_batch_size:
+                break
+            if pending and deadline is None:
+                deadline = time.monotonic() + cfg.max_batch_latency_ms / 1000.0
         # Serve the batch: one ensemble call for every deferred route
         # (plus any component-collection deferrals riding the window).
         if self.router.has_pending:

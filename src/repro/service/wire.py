@@ -127,6 +127,7 @@ E_INVALID = "invalid-request"
 E_SHARD_CRASHED = "shard-crashed"
 E_CLOSED = "gateway-closed"
 E_IDLE_TIMEOUT = "idle-timeout"
+E_WRITE_TIMEOUT = "write-timeout"
 E_INTERNAL = "internal"
 
 #: session-level frames (idle timeout, protocol faults) use request id 0
@@ -388,13 +389,38 @@ class WireServer:
                 await writer.wait_closed()
 
     async def _write_loop(self, out_q: asyncio.Queue, writer) -> None:
+        write_timeout = self.config.write_timeout_s
         while True:
             frame = await out_q.get()
             if frame is None:
                 return
             try:
                 writer.write(frame)
-                await writer.drain()
+                await asyncio.wait_for(writer.drain(), timeout=write_timeout)
+            except asyncio.TimeoutError:
+                # Slow-reader reaping: the client stopped draining its
+                # socket, so responses sharing this session would stall
+                # behind the full send buffer forever.  Tell it why with
+                # a best-effort session-level ERROR frame (rid 0 — it
+                # rides the buffer if space ever frees), then hard-drop
+                # the transport; the read side observes the close and
+                # tears the session down like any dirty disconnect.
+                with contextlib.suppress(Exception):
+                    writer.write(
+                        encode_frame(
+                            OP_ERROR,
+                            SESSION_RID,
+                            _error_payload(
+                                E_WRITE_TIMEOUT,
+                                f"session not draining responses: send buffer "
+                                f"full for {write_timeout:.1f}s",
+                            ),
+                        )
+                    )
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+                return
             except (ConnectionError, OSError):
                 return  # the read side observes the disconnect too
 

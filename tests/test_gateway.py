@@ -14,6 +14,7 @@ semantics live in ``tests/test_gateway_faults.py``.
 
 import multiprocessing
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import pytest
@@ -225,6 +226,22 @@ class TestGatewayService:
             GatewayConfig(enqueue_timeout_s=0.0)
         with pytest.raises(ValueError, match="drain_timeout_s"):
             GatewayConfig(drain_timeout_s=-1.0)
+
+    def test_idle_close_returns_promptly(self, traces):
+        """Closing an idle fleet must not wait out any poll interval.
+
+        Regression test for the listener busy-wait: ``_listen`` used to
+        poll ``response_q.get(timeout=0.2)``, quantizing close latency
+        to the poll period (and spinning 5x/s per shard while idle).
+        With the blocking get + sentinel wakeup, an idle two-shard
+        fleet's shutdown handshake completes in milliseconds.
+        """
+        gateway = FleetGateway(GatewayConfig(n_shards=2), stage_config=fast_profile())
+        gateway.register_instance(traces[0].instance)
+        gateway.predict(traces[0].instance.instance_id, traces[0][0], timeout=60)
+        t0 = time.monotonic()
+        gateway.close()
+        assert time.monotonic() - t0 < 1.0
 
     def test_fleet_metrics_aggregate_across_shards(self, traces):
         with FleetGateway(GatewayConfig(n_shards=2), stage_config=fast_profile()) as gateway:

@@ -16,6 +16,7 @@ connection.  Runs under both fork and spawn in CI's ``parallel-parity``
 job.
 """
 
+import asyncio
 import contextlib
 import json
 import socket
@@ -450,6 +451,76 @@ class TestAdmissionControl:
                 mine = stats["wire"]["sessions"][client.session_info["session_id"]]
                 assert mine["retry_after"] >= 1
                 assert mine["errors"] == 0  # backpressure is not a failure
+
+
+class _StubTransport:
+    def __init__(self):
+        self.aborted = False
+
+    def abort(self):
+        self.aborted = True
+
+
+class _StubWriter:
+    """Collects written frames; ``drain`` optionally hangs forever."""
+
+    def __init__(self, hang=False):
+        self.frames = []
+        self.transport = _StubTransport()
+        self._hang = hang
+
+    def write(self, frame):
+        self.frames.append(frame)
+
+    async def drain(self):
+        if self._hang:
+            await asyncio.Event().wait()  # a reader that never drains
+
+
+class TestWriteTimeout:
+    """The slow-reader watchdog: a bounded drain in the write loop."""
+
+    def _write_loop_server(self, write_timeout_s):
+        server = WireServer.__new__(WireServer)
+        server.config = WireConfig(write_timeout_s=write_timeout_s)
+        return server
+
+    def test_hanging_drain_reaps_session_with_structured_error(self):
+        server = self._write_loop_server(0.05)
+
+        async def scenario():
+            writer = _StubWriter(hang=True)
+            out_q = asyncio.Queue()
+            out_q.put_nowait(encode_frame(wire_mod.OP_RESULT, 7, b"x"))
+            # the loop must give up on the wedged drain by itself —
+            # no sentinel is ever queued
+            await asyncio.wait_for(server._write_loop(out_q, writer), timeout=10.0)
+            return writer
+
+        writer = asyncio.run(scenario())
+        assert writer.transport.aborted, "slow reader must be hard-dropped"
+        assert len(writer.frames) == 2
+        body = writer.frames[1][struct.calcsize("!I") :]
+        op, request_id = struct.unpack_from("!BI", body)
+        assert op == wire_mod.OP_ERROR
+        assert request_id == wire_mod.SESSION_RID
+        doc = json.loads(body[struct.calcsize("!BI") :])
+        assert doc["code"] == wire_mod.E_WRITE_TIMEOUT
+
+    def test_responsive_writer_not_reaped(self):
+        server = self._write_loop_server(0.05)
+
+        async def scenario():
+            writer = _StubWriter(hang=False)
+            out_q = asyncio.Queue()
+            out_q.put_nowait(encode_frame(wire_mod.OP_RESULT, 7, b"x"))
+            out_q.put_nowait(None)  # clean shutdown sentinel
+            await asyncio.wait_for(server._write_loop(out_q, writer), timeout=10.0)
+            return writer
+
+        writer = asyncio.run(scenario())
+        assert not writer.transport.aborted
+        assert len(writer.frames) == 1
 
 
 # ---------------------------------------------------------------------------
