@@ -11,12 +11,21 @@ The assertions pin the qualitative stress signatures: a burst storm
 adds surge volume and *raises* the cache hit rate (flash crowds re-run
 known queries), template churn and onboarding *lower* it (never-seen
 queries), thinning scenarios shrink the trace, and Stage stays at least
-competitive with AutoWLM on every row.
+competitive with AutoWLM on every row.  The ``fc-*`` columns (forecast
+pre-warm vs reactive serving, scored on the burst and seasonal rows)
+must show a cache hit-rate win and reproduce bit-for-bit at
+``n_jobs=2`` — forecast scoring sits inside the same parity contract
+as everything else in the matrix.
 """
+
+from dataclasses import replace
 
 from conftest import write_result
 
-from repro.scenarios import ScenarioRunner, ScenarioSweepConfig, render_matrix
+from repro.scenarios import ScenarioRunner, ScenarioSweepConfig, get_scenario, render_matrix
+
+#: the rows registered with ``forecast_scored=True``
+FORECAST_SCORED = ("burst_storm", "seasonal_cycle")
 
 
 def test_scenario_matrix(results_dir):
@@ -50,3 +59,30 @@ def test_scenario_matrix(results_dir):
     for name, m in metrics.items():
         assert m["improvement"] > -0.05, f"{name}: Stage regressed vs AutoWLM"
         assert 0 <= m["cache_hit_rate"] <= 1
+
+    # forecast pre-warm beats reactive serving where eviction pressure
+    # exists: both scored rows must show a positive hit-rate delta, and
+    # the pre-warmer must actually have acted (touches/restores > 0)
+    forecasts = {r.scenario.name: r.forecast for r in results}
+    for name in FORECAST_SCORED:
+        fc = forecasts[name]
+        assert fc is not None, f"{name}: forecast scoring missing"
+        assert fc["hit_delta"] > 0, f"{name}: pre-warm lost to plain LRU: {fc}"
+        assert fc["n_prewarm_touches"] + fc["n_prewarm_restores"] > 0
+    for name, fc in forecasts.items():
+        if name not in FORECAST_SCORED:
+            assert fc is None, f"{name}: unexpected forecast scoring"
+
+
+def test_forecast_scoring_parity_across_jobs(results_dir):
+    """The fc-* matrix columns reproduce bit-for-bit under ``--jobs 2``.
+
+    Forecast state rides each instance's sequenced op stream, so the
+    scored deltas are pure functions of (seed, config) — a parallel
+    sweep must produce the identical summary dict, float-for-float.
+    """
+    single = ScenarioRunner(ScenarioSweepConfig())
+    double = ScenarioRunner(replace(ScenarioSweepConfig(), n_jobs=2))
+    for name in FORECAST_SCORED:
+        scenario = get_scenario(name)
+        assert single.score_forecast(scenario) == double.score_forecast(scenario)

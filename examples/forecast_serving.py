@@ -1,0 +1,82 @@
+"""Workload forecasting: pre-warm the cache, retrain in the troughs.
+
+Production workloads are seasonal — dashboards refresh on the clock,
+reports cluster in business hours, ETL runs at night — so the serving
+layer can act *before* load arrives instead of only reacting to it.
+This example fits a per-instance :class:`~repro.forecast.WorkloadForecast`
+on one day of history, prints what it learned (busy bins, quiet bins,
+which templates are due to recur), then replays the same workload twice
+at cache pressure — reactive vs forecast-driven — and compares cache
+hit rates.  Finally it asks the forecast-aware service for its
+recommended maintenance window (where an ANALYZE refresh should land).
+
+Run:  python examples/forecast_serving.py
+"""
+
+from dataclasses import replace
+
+from repro import FleetConfig, FleetGenerator, fast_profile
+from repro.core.config import CacheConfig, ForecastConfig
+from repro.forecast import WorkloadForecast
+from repro.harness import replay_instance
+from repro.service import PredictionService
+
+
+def hit_rate(replay) -> float:
+    stats = replay.stage_stats
+    return stats["cache_hits"] / max(stats["cache_hits"] + stats["cache_misses"], 1)
+
+
+def main() -> None:
+    generator = FleetGenerator(FleetConfig(seed=11, volume_scale=0.4))
+    trace = generator.generate_trace(generator.sample_instance(0), 2.0)
+
+    # --- what the forecaster learns from one day of history -----------
+    config = ForecastConfig()
+    forecast = WorkloadForecast(config, seed=1).fit_trace(
+        trace[: len(trace) // 2]
+    )
+    print(f"fit on {forecast.n_observed} arrivals "
+          f"({forecast.n_bins} bins of {forecast.bin_seconds / 60:.0f} min)")
+    rates = [forecast.arrivals.expected_count(b) for b in range(forecast.n_bins)]
+    busiest = max(range(forecast.n_bins), key=lambda b: rates[b])
+    print(f"busiest phase bin: {busiest} "
+          f"(~{busiest / 2:.0f}:00, {rates[busiest]:.1f} arrivals/bin)")
+    trough = forecast.next_trough(trace[len(trace) // 2].arrival_time)
+    if trough is not None:
+        hour = (trough % 86_400.0) / 3600.0
+        print(f"next forecast trough starts at ~{hour:04.1f}h")
+    due = forecast.hot_keys(trace[len(trace) // 2].arrival_time, k=5)
+    print(f"templates due to recur next: {len(due)} "
+          f"(e.g. {due[0][:12]}...)" if due else "no templates due yet")
+
+    # --- forecast-driven vs reactive serving under cache pressure -----
+    reactive_cfg = replace(fast_profile(), cache=CacheConfig(capacity=16))
+    forecast_cfg = replace(reactive_cfg, forecast=config)
+    print("\nreplaying 2 days at cache capacity 16...")
+    reactive = replay_instance(trace, config=reactive_cfg)
+    proactive = replay_instance(trace, config=forecast_cfg)
+    pre = proactive.stage_stats
+    print(f"   reactive LRU: hit rate {hit_rate(reactive):.3f}")
+    print(f"forecast-driven: hit rate {hit_rate(proactive):.3f} "
+          f"({pre['n_prewarm_touches']} pre-warm touches, "
+          f"{pre['n_prewarm_restores']} archive restores)")
+
+    # --- the service's maintenance-window recommendation --------------
+    with PredictionService(trace.instance, stage_config=forecast_cfg) as service:
+        for record in trace:
+            service.observe(record)
+        service.drain()
+        window = service.maintenance_window()
+    if window is None:
+        print("\nno maintenance window recommended (no trough in sight)")
+    else:
+        hour = (window["start_s"] % 86_400.0) / 3600.0
+        print(f"\nrecommended maintenance window: ~{hour:04.1f}h "
+              f"(one {window['bin_seconds'] / 60:.0f}-minute forecast trough)")
+    print("pre-warming, trough retrains and the rebalancer's forecast load "
+          "all ride the same per-instance forecast state.")
+
+
+if __name__ == "__main__":
+    main()

@@ -59,11 +59,18 @@ class ExecTimeCache:
         time-series-style predictor the paper lists as future work.
     ewma_decay:
         Weight of the newest observation in ``"ewma"`` mode.
+    archive_capacity:
+        Bounded archive of evicted entries that :meth:`restore` (the
+        forecast pre-warmer) may bring back, stats and all.  The
+        default 0 keeps the classic drop-on-evict behavior — nothing
+        about the cache changes unless a pre-warmer is wired up.
     """
 
     _MODES = ("blend", "ewma")
 
-    def __init__(self, capacity=2000, alpha=0.8, mode="blend", ewma_decay=0.3):
+    def __init__(
+        self, capacity=2000, alpha=0.8, mode="blend", ewma_decay=0.3, archive_capacity=0
+    ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         if not 0.0 <= alpha <= 1.0:
@@ -72,19 +79,26 @@ class ExecTimeCache:
             raise ValueError(f"mode must be one of {self._MODES}")
         if not 0.0 < ewma_decay <= 1.0:
             raise ValueError("ewma_decay must be in (0, 1]")
+        if archive_capacity < 0:
+            raise ValueError("archive_capacity must be >= 0")
         self.capacity = capacity
         self.alpha = alpha
         self.mode = mode
         self.ewma_decay = ewma_decay
+        self.archive_capacity = archive_capacity
         self._entries: "OrderedDict[str, RunningStats]" = OrderedDict()
         #: key -> the entry's full cache answer, rebuilt once per
         #: observe; the hit fast path returns this object with no
         #: arithmetic and no allocation (the Prediction is immutable
         #: after construction, so sharing it across lookups is safe)
         self._predictions: dict = {}
+        #: evicted entries retained for :meth:`restore`, oldest-evicted
+        #: first: key -> (RunningStats, Prediction)
+        self._archive: "OrderedDict[str, tuple]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.restores = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -209,17 +223,64 @@ class ExecTimeCache:
         if stats is None:
             stats = RunningStats()
             self._entries[key] = stats
+            # a fresh observation stream supersedes any archived copy:
+            # without this, a later restore could resurrect stale stats
+            # over the live entry's history
+            self._archive.pop(key, None)
         else:
             self._entries.move_to_end(key)
         stats.update(exec_time, ewma_decay=self.ewma_decay)
         # precompute the full cache answer once per observe, so lookups
         # (the dominant operation by far) are pure dict reads
         self._predictions[key] = self._build_prediction(stats)
-        while len(self._entries) > self.capacity:
-            evicted, _ = self._entries.popitem(last=False)
-            self._predictions.pop(evicted, None)
-            self.evictions += 1
+        self._evict_over_capacity()
         return stats
+
+    def _evict_over_capacity(self) -> None:
+        while len(self._entries) > self.capacity:
+            evicted, stats = self._entries.popitem(last=False)
+            prediction = self._predictions.pop(evicted, None)
+            if self.archive_capacity > 0 and prediction is not None:
+                self._archive[evicted] = (stats, prediction)
+                self._archive.move_to_end(evicted)
+                while len(self._archive) > self.archive_capacity:
+                    self._archive.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def touch(self, key) -> bool:
+        """Refresh an entry's update recency without an observation.
+
+        The forecast pre-warmer's protection primitive: a touched entry
+        counts as just-updated for eviction purposes, so forecast-hot
+        templates survive bursts of one-shot traffic.  No counters move
+        and no stats change.  Returns whether ``key`` was resident.
+        """
+        if key not in self._entries:
+            return False
+        self._entries.move_to_end(key)
+        return True
+
+    def restore(self, key) -> bool:
+        """Bring an archived entry (stats and prediction) back into the
+        cache at most-recent eviction priority.
+
+        Returns ``True`` only when ``key`` came out of the archive; a
+        resident key or an unknown key is a no-op.  Restoring over a
+        full cache evicts (and, with an archive, re-archives) the least
+        recently updated entry, exactly like an observe would.
+        """
+        if key in self._entries:
+            return False
+        item = self._archive.pop(key, None)
+        if item is None:
+            return False
+        stats, prediction = item
+        self._entries[key] = stats
+        self._predictions[key] = prediction
+        self.restores += 1
+        self._evict_over_capacity()
+        return True
 
     def observe_vector(self, feature_vector, exec_time):
         """Hash the vector and :meth:`observe` it; returns the key."""
@@ -234,14 +295,17 @@ class ExecTimeCache:
         return self.hits / total if total else 0.0
 
     def byte_size(self):
-        """Approximate in-memory size: 4 floats + key per entry."""
+        """Approximate in-memory size: 4 floats + key per entry
+        (archived entries included — they are held memory too)."""
         # 16-byte digest string (32 hex chars ~ 49 bytes as a str object)
         # + 4 * 8 bytes of stats; we report the dominant terms.
-        return len(self._entries) * (49 + 4 * 8)
+        return (len(self._entries) + len(self._archive)) * (49 + 4 * 8)
 
     def clear(self):
         self._entries.clear()
         self._predictions.clear()
+        self._archive.clear()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.restores = 0

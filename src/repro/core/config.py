@@ -12,6 +12,7 @@ with 8 conv layers (hidden width scaled down from 512 for CPU training).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 # ScenarioConfig lives with the workload layer it mutates (the fleet
 # generator consumes it), but it is part of the configuration surface:
@@ -21,6 +22,7 @@ from repro.workload.scenario import ScenarioConfig
 __all__ = [
     "CacheConfig",
     "ControlConfig",
+    "ForecastConfig",
     "TrainingPoolConfig",
     "LocalModelConfig",
     "GatewayConfig",
@@ -100,6 +102,97 @@ class GlobalModelConfig:
 
 
 @dataclass(frozen=True)
+class ForecastConfig:
+    """Workload-forecasting (:mod:`repro.forecast`) settings.
+
+    The forecaster folds each instance's arrival stream onto a seasonal
+    cycle of ``bucket_minutes``-wide time bins and tracks which cache
+    keys recur per bin, then drives three proactive consumers: cache
+    pre-warming (:class:`~repro.core.stage.StagePredictor` refreshes or
+    restores forecast-hot entries at every bin boundary), retrain
+    scheduling (warm local retrains wait for a forecast load trough),
+    and forecast-driven rebalancing
+    (``ControlConfig.load_source="forecast"``).
+
+    Determinism: every forecast input is the op stream itself — arrival
+    times and cache keys carried by the sequenced records, never
+    wall-clock — so forecast state, and everything it triggers, is a
+    pure function of each instance's op stream.  The bit-parity
+    contract (any ``n_jobs``, any backend tier, fork or spawn) holds
+    for every forecast-on path.  Offline fits subsample oversized
+    histories with a ``derive_seed(instance_seed, "forecast", ...)``
+    stream, like every other seeded stage.
+    """
+
+    #: width of one forecast time bin (minutes)
+    bucket_minutes: float = 30.0
+    #: seasonal fold period (days); daily cycles by default
+    period_days: float = 1.0
+    #: pre-warm budget: forecast-hot cache keys refreshed per bin
+    top_templates: int = 16
+    #: a key must recur at least this often to count as forecast-hot
+    #: (one-shot ad-hoc queries are never worth pre-warming)
+    min_key_count: int = 2
+    #: a key is due when its predicted next arrival lands within this
+    #: many bins of the bin being pre-warmed
+    due_lookahead_bins: int = 2
+    #: a key idle longer than this multiple of its mean inter-arrival
+    #: gap (plus one bin of slack) is retired from the hot-key forecast
+    alive_gap_multiple: float = 4.0
+    #: pre-warm the cache at bin boundaries (touch + archive restore)
+    prewarm: bool = True
+    #: evicted-entry archive the pre-warmer may restore from (0 = keep
+    #: the cache's default drop-on-evict behavior)
+    archive_capacity: int = 512
+    #: defer warm local retrains into forecast load troughs (the
+    #: bootstrap train is never deferred); default-off so committed
+    #: results cannot drift
+    defer_retrains: bool = False
+    #: a bin is a trough when its forecast rate is at most this
+    #: fraction of the mean per-bin rate
+    trough_fraction: float = 0.75
+    #: a due retrain held this many bins runs even without a trough
+    max_retrain_defer_bins: int = 8
+    #: observations before trough calls are trusted (cold forecasters
+    #: never defer)
+    min_history: int = 20
+    #: bins of lookahead summed into the rebalancer's forecast load
+    horizon_bins: int = 4
+    #: offline fits subsample histories larger than this (seeded)
+    max_fit_events: int = 100_000
+    #: distinct cache keys tracked before the mix forecaster prunes
+    max_keys_tracked: int = 4096
+
+    def __post_init__(self):
+        if self.bucket_minutes <= 0:
+            raise ValueError("bucket_minutes must be > 0")
+        if self.period_days <= 0:
+            raise ValueError("period_days must be > 0")
+        if self.top_templates < 0:
+            raise ValueError("top_templates must be >= 0")
+        if self.min_key_count < 1:
+            raise ValueError("min_key_count must be >= 1")
+        if self.due_lookahead_bins < 1:
+            raise ValueError("due_lookahead_bins must be >= 1")
+        if self.alive_gap_multiple <= 0:
+            raise ValueError("alive_gap_multiple must be > 0")
+        if self.archive_capacity < 0:
+            raise ValueError("archive_capacity must be >= 0")
+        if not 0 <= self.trough_fraction <= 1:
+            raise ValueError("trough_fraction must be in [0, 1]")
+        if self.max_retrain_defer_bins < 1:
+            raise ValueError("max_retrain_defer_bins must be >= 1")
+        if self.min_history < 0:
+            raise ValueError("min_history must be >= 0")
+        if self.horizon_bins < 1:
+            raise ValueError("horizon_bins must be >= 1")
+        if self.max_fit_events < 1:
+            raise ValueError("max_fit_events must be >= 1")
+        if self.max_keys_tracked < 1:
+            raise ValueError("max_keys_tracked must be >= 1")
+
+
+@dataclass(frozen=True)
 class StageConfig:
     """Routing thresholds and sub-model configs (paper Section 4.1)."""
 
@@ -122,6 +215,11 @@ class StageConfig:
     #: relative-interval-width certainty threshold (only consulted when
     #: ``route_on_interval_width`` is set)
     interval_width_threshold: float = 2.0
+    #: workload forecasting (:mod:`repro.forecast`): ``None`` (the
+    #: default, so committed results cannot drift) disables it; a
+    #: :class:`ForecastConfig` turns on per-instance forecasting and
+    #: proactive cache pre-warming
+    forecast: Optional[ForecastConfig] = None
 
 
 @dataclass(frozen=True)
@@ -149,6 +247,12 @@ class ServiceConfig:
     collect_components: bool = False
     #: default timeout for :meth:`PredictionService.drain` (seconds)
     drain_timeout_s: float = 120.0
+    #: defer warm local retrains (and ANALYZE-style maintenance, via
+    #: :meth:`PredictionService.maintenance_window`) into forecast load
+    #: troughs.  Requires a forecast-enabled ``StageConfig``
+    #: (``StageConfig.forecast``); default-off so committed results
+    #: cannot drift
+    defer_retrains_to_troughs: bool = False
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -285,8 +389,18 @@ class ControlConfig:
     #: per-migration timeout handed to
     #: :meth:`~repro.service.FleetGateway.migrate_instance`
     migration_timeout_s: float = 120.0
+    #: per-instance load signal the planner balances on:
+    #: ``"trailing"`` — cumulative op totals (history); ``"forecast"`` —
+    #: each instance's forecast near-term load (``forecast_load`` in its
+    #: stage stats), falling back to trailing totals when no instance
+    #: reports a forecast (forecasting off or still cold)
+    load_source: str = "trailing"
 
     def __post_init__(self):
+        if self.load_source not in ("trailing", "forecast"):
+            raise ValueError(
+                f'load_source must be "trailing" or "forecast", got {self.load_source!r}'
+            )
         if self.imbalance_tolerance < 0:
             raise ValueError("imbalance_tolerance must be >= 0")
         if self.max_migrations_per_cycle < 1:

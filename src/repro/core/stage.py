@@ -22,11 +22,13 @@ from typing import List, Optional
 import numpy as np
 
 from repro.cache import ExecTimeCache
+from repro.forecast import WorkloadForecast
 from repro.global_model.model import GlobalModel
 from repro.local_model.model import LocalModel
 from repro.ml.intervals import new_width_bins, width_bin_index
 from repro.workload.instance import InstanceProfile
 from repro.workload.query import QueryRecord
+from repro.workload.seeding import derive_seed
 
 from .config import StageConfig
 from .interfaces import Prediction, PredictionSource, Predictor, RunningMedian
@@ -90,9 +92,37 @@ class StagePredictor(Predictor):
     ):
         self.config = config or StageConfig()
         self.instance = instance
+        forecast_config = self.config.forecast
         self.cache = ExecTimeCache(
-            capacity=self.config.cache.capacity, alpha=self.config.cache.alpha
+            capacity=self.config.cache.capacity,
+            alpha=self.config.cache.alpha,
+            archive_capacity=(
+                forecast_config.archive_capacity if forecast_config is not None else 0
+            ),
         )
+        # workload forecasting (default-off): state accumulates from the
+        # sequenced op stream's arrival times and cache keys in observe,
+        # so everything it drives — pre-warms, retrain deferrals, the
+        # rebalancer's load signal — is bit-identical on every backend
+        if forecast_config is not None:
+            self.forecast: Optional[WorkloadForecast] = WorkloadForecast(
+                forecast_config, seed=derive_seed(instance.seed, "forecast")
+            )
+        else:
+            self.forecast = None
+        #: hold warm local retrains for forecast troughs; the service's
+        #: ``defer_retrains_to_troughs`` knob flips this after build
+        self.defer_retrains = bool(
+            forecast_config is not None and forecast_config.defer_retrains
+        )
+        self._forecast_bin: Optional[int] = None
+        #: absolute bin a held retrain first became due in (bounds the
+        #: deferral: ``max_retrain_defer_bins`` later it runs regardless)
+        self._retrain_due_bin: Optional[int] = None
+        self.n_prewarm_touches = 0
+        self.n_prewarm_restores = 0
+        self.n_retrain_deferrals = 0
+        self.n_trough_retrains = 0
         self.local = LocalModel(
             config=self.config.local,
             pool_config=self.config.pool,
@@ -149,12 +179,71 @@ class StagePredictor(Predictor):
     def observe(self, record: QueryRecord) -> None:
         key = self.cache.key_for(record.features)
         was_hit = key in self.cache
+        deferring = False
+        if self.forecast is not None:
+            self._forecast_step(record.arrival_time, key)
+            deferring = self.defer_retrains and self.local.is_ready
         # dedup rule (Section 4.3): only cache misses enter the pool
         self.local.add_example(
-            record.features, record.exec_time, cache_hit=was_hit
+            record.features,
+            record.exec_time,
+            cache_hit=was_hit,
+            allow_retrain=not deferring,
         )
+        if deferring:
+            self._maybe_release_retrain(record.arrival_time)
         self.cache.observe(key, record.exec_time)
         self._default.update(record.exec_time)
+
+    def _forecast_step(self, time_s: float, key: str) -> None:
+        """Advance forecast state by one arrival; pre-warm on a new bin.
+
+        Pre-warming runs *before* the current arrival enters history, so
+        the hot-key set is a function of strictly-prior observations —
+        identical whether ops arrive one at a time or in serving
+        batches.  Observes execute in arrival order on every backend, so
+        every pre-warm lands at the same op-stream position fleet-wide.
+        """
+        forecast = self.forecast
+        bin_index = forecast.bin_index(time_s)
+        crossed = self._forecast_bin is not None and bin_index > self._forecast_bin
+        if self._forecast_bin is None or bin_index > self._forecast_bin:
+            self._forecast_bin = bin_index
+        if crossed and self.config.forecast.prewarm:
+            for hot in forecast.hot_keys(time_s):
+                if self.cache.touch(hot):
+                    self.n_prewarm_touches += 1
+                elif self.cache.restore(hot):
+                    self.n_prewarm_restores += 1
+        forecast.observe(time_s, key)
+
+    def _maybe_release_retrain(self, time_s: float) -> None:
+        """Run a held warm retrain in a forecast trough (or when the
+        deferral bound expires)."""
+        if not self.local.retrain_due:
+            self._retrain_due_bin = None
+            return
+        bin_index = self.forecast.bin_index(time_s)
+        if self._retrain_due_bin is None:
+            self._retrain_due_bin = bin_index
+        overdue = (
+            bin_index - self._retrain_due_bin
+            >= self.config.forecast.max_retrain_defer_bins
+        )
+        if overdue or self.forecast.is_trough(time_s):
+            self.local.retrain()
+            self.n_trough_retrains += 1
+            self._retrain_due_bin = None
+        else:
+            self.n_retrain_deferrals += 1
+
+    def forecast_load(self) -> float:
+        """The forecast near-term load signal (0.0 with forecasting off
+        or a cold forecaster) — what ``ControlConfig.load_source=
+        "forecast"`` balances the fleet on."""
+        if self.forecast is None:
+            return 0.0
+        return self.forecast.forecast_load()
 
     # ------------------------------------------------------------------
     @property

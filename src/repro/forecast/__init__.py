@@ -1,0 +1,17 @@
+"""Workload forecasting: proactive control inputs for the serving fleet.
+
+Per-instance arrival-rate and template-mix forecasters fit on trace
+history (:class:`WorkloadForecast`), configured by the shared
+:class:`~repro.core.config.ForecastConfig` and consumed by three
+layers: the predictor's cache pre-warmer
+(:class:`~repro.core.stage.StagePredictor`), the service's
+trough-scheduled retrains/maintenance windows
+(:class:`~repro.service.PredictionService`), and the control plane's
+forecast-driven rebalancer
+(:func:`~repro.service.control.plan_rebalance` with
+``ControlConfig.load_source="forecast"``).
+"""
+
+from .model import ArrivalRateForecaster, TemplateMixForecaster, WorkloadForecast
+
+__all__ = ["ArrivalRateForecaster", "TemplateMixForecaster", "WorkloadForecast"]

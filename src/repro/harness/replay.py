@@ -258,6 +258,15 @@ def stage_stats_of(stage: StagePredictor) -> dict:
         "interval_width_p90": width_percentile_from_bins(
             stage.interval_width_bins, 0.9
         ),
+        # workload-forecasting accounting (all zeros with forecasting
+        # off, so dict shapes stay identical across configurations);
+        # forecast_load is the rebalancer's per-instance signal when
+        # ControlConfig.load_source="forecast"
+        "forecast_load": stage.forecast_load(),
+        "n_prewarm_touches": stage.n_prewarm_touches,
+        "n_prewarm_restores": stage.n_prewarm_restores,
+        "n_retrain_deferrals": stage.n_retrain_deferrals,
+        "n_trough_retrains": stage.n_trough_retrains,
     }
 
 

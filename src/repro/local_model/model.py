@@ -98,15 +98,43 @@ class LocalModel:
         """True once an ensemble has been trained."""
         return self._ensemble is not None
 
-    def add_example(self, features: np.ndarray, exec_time: float, cache_hit: bool = False) -> None:
-        """Record one executed query; may trigger a retrain."""
+    @property
+    def retrain_due(self) -> bool:
+        """Whether :meth:`add_example` would retrain right now.
+
+        The deferral hook's probe: a caller holding retrains back
+        (``allow_retrain=False``) checks this to know when a release
+        (an explicit :meth:`retrain`) is owed.
+        """
+        if len(self.pool) < self.config.min_train_size:
+            return False
+        return not self.is_ready or self._samples_since_train >= self.config.retrain_interval
+
+    def add_example(
+        self,
+        features: np.ndarray,
+        exec_time: float,
+        cache_hit: bool = False,
+        allow_retrain: bool = True,
+    ) -> None:
+        """Record one executed query; may trigger a retrain.
+
+        ``allow_retrain=False`` holds a due *warm* retrain back (the
+        forecaster's trough-deferral path calls :meth:`retrain` itself
+        later); the bootstrap train — the model has no ensemble yet — is
+        never deferred, since until it runs every prediction falls
+        through to the global/default tier.
+        """
         if self.pool.add(features, exec_time, cache_hit=cache_hit):
             self._samples_since_train += 1
         cfg = self.config
         pool_size = len(self.pool)
         if pool_size < cfg.min_train_size:
             return
-        if not self.is_ready or self._samples_since_train >= cfg.retrain_interval:
+        if not self.is_ready:
+            self.retrain()
+            return
+        if allow_retrain and self._samples_since_train >= cfg.retrain_interval:
             self.retrain()
 
     def retrain(self) -> None:

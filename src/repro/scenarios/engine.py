@@ -27,12 +27,14 @@ scenario; a scenario that breaks either cannot ship.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import (
+    CacheConfig,
+    ForecastConfig,
     GatewayConfig,
     ReplayBackend,
     ServiceConfig,
@@ -68,6 +70,10 @@ class Scenario:
     name: str
     description: str
     config: ScenarioConfig = field(default_factory=ScenarioConfig)
+    #: also score forecast-driven vs reactive serving on this scenario
+    #: (extra replay pair at the sweep's forecast-scoring scale; the
+    #: deltas land in the matrix's ``fc-*`` columns)
+    forecast_scored: bool = False
 
     def __post_init__(self):
         if not self.name or any(c.isspace() for c in self.name):
@@ -114,6 +120,7 @@ _BUILTINS = (
             burst_duration_hours=2.0,
             burst_multiplier=8.0,
         ),
+        forecast_scored=True,
     ),
     Scenario(
         "onboarding_wave",
@@ -129,6 +136,7 @@ _BUILTINS = (
         "seasonal_cycle",
         "a daily load cycle thinning arrivals toward the trough",
         ScenarioConfig(seasonal_amplitude=0.8, seasonal_period_days=1.0),
+        forecast_scored=True,
     ),
     Scenario(
         "instance_resize",
@@ -177,6 +185,17 @@ class ScenarioSweepConfig:
     gateway_config: Optional[GatewayConfig] = None
     #: worker processes per scenario sweep; any value is bit-identical
     n_jobs: int = 1
+    #: forecast-vs-reactive scoring (the matrix's ``fc-*`` delta
+    #: columns, computed for ``forecast_scored`` scenarios only): the
+    #: forecaster to score with, and the pair's own scale.  The pair
+    #: runs a *small* cache — pre-warming pays off exactly where
+    #: eviction pressure exists — over a longer, denser trace than the
+    #: headline rows, so recurring templates actually recur; both runs
+    #: share every knob except ``StageConfig.forecast``
+    forecast: ForecastConfig = field(default_factory=ForecastConfig)
+    forecast_cache_capacity: int = 16
+    forecast_duration_days: float = 3.0
+    forecast_volume_scale: float = 0.4
 
     def __post_init__(self):
         if self.n_instances < 1:
@@ -187,6 +206,12 @@ class ScenarioSweepConfig:
             raise ValueError("volume_scale must be positive")
         if self.service_clients < 1:
             raise ValueError("service_clients must be >= 1")
+        if self.forecast_cache_capacity < 1:
+            raise ValueError("forecast_cache_capacity must be >= 1")
+        if self.forecast_duration_days <= 0:
+            raise ValueError("forecast_duration_days must be positive")
+        if self.forecast_volume_scale <= 0:
+            raise ValueError("forecast_volume_scale must be positive")
 
 
 @dataclass
@@ -195,6 +220,9 @@ class ScenarioResult:
 
     scenario: Scenario
     replays: List[InstanceReplay]
+    #: forecast-vs-reactive scoring summary (``forecast_scored``
+    #: scenarios only): hit rates, p99 absolute errors and their deltas
+    forecast: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     def pooled(self, attr: str) -> np.ndarray:
@@ -253,11 +281,19 @@ class ScenarioRunner:
             scenario=scenario.config,
         )
 
-    def sweeper(self, scenario: Scenario) -> FleetSweeper:
+    def sweeper(
+        self,
+        scenario: Scenario,
+        stage_config: Optional[StageConfig] = None,
+        volume_scale: Optional[float] = None,
+    ) -> FleetSweeper:
         cfg = self.config
+        fleet_config = self.fleet_config(scenario)
+        if volume_scale is not None:
+            fleet_config = replace(fleet_config, volume_scale=volume_scale)
         return FleetSweeper(
-            fleet_config=self.fleet_config(scenario),
-            stage_config=cfg.stage,
+            fleet_config=fleet_config,
+            stage_config=stage_config if stage_config is not None else cfg.stage,
             random_state=cfg.seed,
             backend=cfg.backend,
             via_service=cfg.via_service,
@@ -273,7 +309,66 @@ class ScenarioRunner:
         replays = self.sweeper(scenario).replay_indices(
             range(self.config.n_instances), self.config.duration_days
         )
-        return ScenarioResult(scenario=scenario, replays=replays)
+        forecast = self.score_forecast(scenario) if scenario.forecast_scored else None
+        return ScenarioResult(scenario=scenario, replays=replays, forecast=forecast)
+
+    # ------------------------------------------------------------------
+    def _scoring_stage_configs(self) -> Tuple[StageConfig, StageConfig]:
+        """The (reactive, forecast-on) stage-config pair for scoring."""
+        cfg = self.config
+        reactive = replace(
+            cfg.stage,
+            cache=replace(cfg.stage.cache, capacity=cfg.forecast_cache_capacity),
+        )
+        return reactive, replace(reactive, forecast=cfg.forecast)
+
+    def score_forecast(self, scenario: Scenario) -> Dict[str, float]:
+        """Forecast-driven vs reactive serving on one scenario.
+
+        Two replays of the *same* op stream (same seed, same mutations,
+        same small cache) differing only in ``StageConfig.forecast``;
+        both numbers are deterministic functions of the replay arrays,
+        so the deltas sit behind the results-drift gate like every
+        other matrix value.  The p99 is of absolute prediction error —
+        never latency — so it is bit-stable at any ``n_jobs`` and on
+        any backend tier.
+        """
+        cfg = self.config
+        reactive_cfg, forecast_cfg = self._scoring_stage_configs()
+        summaries = {}
+        for label, stage_config in (("reactive", reactive_cfg), ("forecast", forecast_cfg)):
+            replays = self.sweeper(
+                scenario,
+                stage_config=stage_config,
+                volume_scale=cfg.forecast_volume_scale,
+            ).replay_indices(range(cfg.n_instances), cfg.forecast_duration_days)
+            true = np.concatenate([r.true for r in replays])
+            stage_pred = np.concatenate([r.stage_pred for r in replays])
+            hits = sum(r.stage_stats["cache_hits"] for r in replays)
+            misses = sum(r.stage_stats["cache_misses"] for r in replays)
+            summaries[label] = {
+                "hit_rate": hits / max(hits + misses, 1),
+                "p99_abs_error": float(
+                    np.percentile(absolute_errors(true, stage_pred), 99)
+                ),
+                "n_prewarm_restores": int(
+                    sum(r.stage_stats["n_prewarm_restores"] for r in replays)
+                ),
+                "n_prewarm_touches": int(
+                    sum(r.stage_stats["n_prewarm_touches"] for r in replays)
+                ),
+            }
+        reactive, forecast = summaries["reactive"], summaries["forecast"]
+        return {
+            "reactive_hit_rate": reactive["hit_rate"],
+            "forecast_hit_rate": forecast["hit_rate"],
+            "hit_delta": forecast["hit_rate"] - reactive["hit_rate"],
+            "reactive_p99": reactive["p99_abs_error"],
+            "forecast_p99": forecast["p99_abs_error"],
+            "p99_delta": forecast["p99_abs_error"] - reactive["p99_abs_error"],
+            "n_prewarm_restores": forecast["n_prewarm_restores"],
+            "n_prewarm_touches": forecast["n_prewarm_touches"],
+        }
 
     def run_matrix(self) -> List[ScenarioResult]:
         """Replay every scenario, in registration order."""
@@ -293,6 +388,7 @@ def render_matrix(results: Sequence[ScenarioResult], config: ScenarioSweepConfig
     rows = []
     for result in results:
         m = result.metrics
+        fc = result.forecast
         rows.append(
             [
                 result.scenario.name,
@@ -303,13 +399,20 @@ def render_matrix(results: Sequence[ScenarioResult], config: ScenarioSweepConfig
                 m["autowlm_mae"],
                 f"{m['improvement']:+.0%}",
                 m["n_retrains"],
+                f"{fc['hit_delta']:+.3f}" if fc is not None else "-",
+                f"{fc['p99_delta']:+.2f}" if fc is not None else "-",
             ]
         )
     title = (
         "Scenario stress matrix: Stage vs AutoWLM under workload mutations\n"
         f"({config.n_instances} instances x {config.duration_days} days, "
         f"volume_scale={config.volume_scale}, seed={config.seed}, "
-        f"via_service={config.via_service})"
+        f"via_service={config.via_service})\n"
+        "fc-* columns: forecast-driven vs reactive serving deltas "
+        "(cache hit rate / p99 abs error), scored at cache="
+        f"{config.forecast_cache_capacity}, "
+        f"{config.forecast_duration_days} days, "
+        f"volume_scale={config.forecast_volume_scale}"
     )
     return render_simple_table(
         title,
@@ -322,6 +425,8 @@ def render_matrix(results: Sequence[ScenarioResult], config: ScenarioSweepConfig
             "AutoWLM-MAE",
             "vs-AutoWLM",
             "retrains",
+            "fc-dHit",
+            "fc-dP99",
         ],
         rows,
     )

@@ -63,7 +63,9 @@ from .control import (
     FleetController,
     PlannedMigration,
     RebalancePlan,
+    instance_loads,
     plan_rebalance,
+    shard_loads,
 )
 from .gateway import FleetGateway, GatewayBackpressureError, ShardCrashedError, shard_for
 from .registry import ModelRegistry
@@ -96,11 +98,13 @@ __all__ = [
     "WireConfig",
     "WireError",
     "WireServer",
+    "instance_loads",
     "plan_rebalance",
     "replay_trace_via_client",
     "run_gateway_bench",
     "run_service_bench",
     "run_wire_bench",
     "shard_for",
+    "shard_loads",
     "shared_client",
 ]

@@ -58,8 +58,25 @@ class RebalancePlan:
         return not self.migrations
 
 
-def instance_loads(stats: dict) -> Dict[str, float]:
-    """Cumulative op-count load per instance, from a stats snapshot."""
+def instance_loads(stats: dict, config: Optional[ControlConfig] = None) -> Dict[str, float]:
+    """Per-instance load from a stats snapshot.
+
+    ``load_source="trailing"`` (the default) reads cumulative op totals
+    — history.  ``load_source="forecast"`` reads each instance's
+    ``forecast_load`` stage stat (expected near-term arrivals from its
+    workload forecaster), so the planner balances on where load is
+    *going*; when no instance reports a positive forecast (forecasting
+    off, or every forecaster still cold) it falls back to trailing
+    totals rather than planning on an all-zero signal.
+    """
+    config = config or ControlConfig()
+    if config.load_source == "forecast":
+        loads = {
+            instance_id: float(entry.get("stage", {}).get("forecast_load", 0.0))
+            for instance_id, entry in stats["instances"].items()
+        }
+        if any(load > 0.0 for load in loads.values()):
+            return loads
     return {
         instance_id: float(
             entry["scheduler"]["n_predicts"] + entry["scheduler"]["n_observes"]
@@ -78,7 +95,7 @@ def shard_loads(stats: dict, config: Optional[ControlConfig] = None) -> Dict[int
         for row in stats["shards"]
         if row["alive"]
     }
-    per_instance = instance_loads(stats)
+    per_instance = instance_loads(stats, config)
     for instance_id, shard_index in stats["routes"]["assignments"].items():
         if shard_index in loads:
             loads[shard_index] += per_instance.get(instance_id, 0.0)
@@ -97,7 +114,7 @@ def plan_rebalance(stats: dict, config: Optional[ControlConfig] = None) -> Rebal
     """
     config = config or ControlConfig()
     loads = shard_loads(stats, config)
-    per_instance = instance_loads(stats)
+    per_instance = instance_loads(stats, config)
     total_ops = int(sum(per_instance.values()))
     migrations: List[PlannedMigration] = []
     if len(loads) < 2 or total_ops < config.min_total_ops:
@@ -160,6 +177,9 @@ class FleetController:
         self._stop = threading.Event()
         self._watcher: Optional[threading.Thread] = None
         self._lock = threading.Lock()
+        self._n_cycles = 0
+        self._n_errors = 0
+        self._last_error: Optional[str] = None
 
     def plan(self) -> RebalancePlan:
         """One planning pass over a fresh stats snapshot (no execution)."""
@@ -190,13 +210,28 @@ class FleetController:
             )
             self._watcher.start()
 
-    def stop(self, timeout: Optional[float] = None) -> None:
-        """Stop the background control loop and join it."""
+    def stop(self, timeout: Optional[float] = None) -> bool:
+        """Stop the background control loop and join it.
+
+        Returns whether the watcher actually joined within ``timeout``
+        (default: ``config.migration_timeout_s``).  On a failed join —
+        a wedged migration, say — the thread reference is kept, so a
+        later :meth:`start` sees it alive and will not leak a second
+        watcher; only a successful join clears it.  No watcher running
+        counts as a successful (trivial) stop.
+        """
         self._stop.set()
         with self._lock:
             watcher = self._watcher
-        if watcher is not None:
-            watcher.join(timeout if timeout is not None else self.config.migration_timeout_s)
+        if watcher is None:
+            return True
+        watcher.join(timeout if timeout is not None else self.config.migration_timeout_s)
+        if watcher.is_alive():
+            return False
+        with self._lock:
+            if self._watcher is watcher:
+                self._watcher = None
+        return True
 
     def _watch(self) -> None:
         while not self._stop.wait(self.config.cycle_interval_s):
@@ -206,6 +241,28 @@ class FleetController:
                 # gateway closed (or a migration raced shutdown): the
                 # loop's work is over — exit instead of spinning on it
                 return
+            except Exception as exc:  # noqa: BLE001 - containment is the point
+                # a failed plan or migration must not kill the control
+                # loop: record it (surfaced via stats()) and keep
+                # cycling — the next snapshot may well succeed
+                with self._lock:
+                    self._n_errors += 1
+                    self._last_error = f"{type(exc).__name__}: {exc}"
+            finally:
+                with self._lock:
+                    self._n_cycles += 1
+
+    def stats(self) -> dict:
+        """Control-loop health: cycles run, errors contained (count +
+        last message), and migrations executed."""
+        with self._lock:
+            return {
+                "n_cycles": self._n_cycles,
+                "n_errors": self._n_errors,
+                "last_error": self._last_error,
+                "n_migrations": len(self.history),
+                "watcher_alive": self._watcher is not None and self._watcher.is_alive(),
+            }
 
     def __enter__(self) -> "FleetController":
         self.start()

@@ -77,6 +77,16 @@ class PredictionService:
         self, stage: StagePredictor, service_config: Optional[ServiceConfig]
     ) -> None:
         self.config = service_config or ServiceConfig()
+        if self.config.defer_retrains_to_troughs:
+            if stage.forecast is None:
+                raise ValueError(
+                    "defer_retrains_to_troughs requires a forecast-enabled "
+                    "StageConfig (set StageConfig.forecast)"
+                )
+            # equivalent to ForecastConfig(defer_retrains=True) on the
+            # stage config — the parity tests hold the two spellings to
+            # bit-identical replays
+            stage.defer_retrains = True
         self.stage = stage
         self.router = BatchRouter(stage, collect_cache_hit_local=self.config.collect_components)
         self.scheduler = MicroBatchScheduler(self.router, self.config)
@@ -254,6 +264,26 @@ class PredictionService:
         return registry.load_service(name, service_config=service_config)
 
     # ------------------------------------------------------------------
+    def maintenance_window(self) -> Optional[dict]:
+        """The forecast-recommended slot for heavy maintenance.
+
+        ANALYZE-style refreshes (statistics rebuilds, vacuum passes —
+        anything that competes with serving) should land in a forecast
+        load trough.  Returns ``{"start_s": ..., "bin_seconds": ...}``
+        for the next trough bin after the last observed arrival, or
+        ``None`` when forecasting is off, the forecaster is cold, or no
+        trough exists within one seasonal cycle.  Purely advisory: reads
+        forecast state, changes nothing, so it never perturbs parity.
+        """
+        forecast = self.stage.forecast
+        if forecast is None or forecast.arrivals.last_bin is None:
+            return None
+        last_seen = forecast.arrivals.last_bin * forecast.bin_seconds
+        start = forecast.next_trough(last_seen)
+        if start is None:
+            return None
+        return {"start_s": start, "bin_seconds": forecast.bin_seconds}
+
     def stats(self) -> dict:
         """Routing/cache accounting plus scheduler batching counters.
 

@@ -258,15 +258,28 @@ def seasonal_thin(
     """Thin time-keyed ``events`` to a seasonal (e.g. weekly) load cycle.
 
     Works on any tuples whose first element is the arrival time in
-    seconds; events must be iterated in a fixed order for the thinning
-    to be reproducible, so pass them time-sorted.
+    seconds.  Events must arrive time-sorted — the thinning consumes one
+    RNG draw per event in iteration order, so an unsorted composition
+    bug would silently reshuffle which events survive.  That contract is
+    enforced: non-monotone arrival times raise ``ValueError`` naming the
+    offending index.
     """
     if not 0 <= amplitude <= 1:
         raise ValueError("amplitude must be in [0, 1]")
     if period_days <= 0:
         raise ValueError("period_days must be positive")
+    events = list(events)
+    previous = None
+    for index, event in enumerate(events):
+        time_s = event[0]
+        if previous is not None and time_s < previous:
+            raise ValueError(
+                f"events must be time-sorted: event {index} arrives at "
+                f"{time_s} after {previous}"
+            )
+        previous = time_s
     if amplitude == 0:
-        return list(events)
+        return events
     # validated above; inline the keep rule so the per-event loop pays
     # no redundant range checks at fleet scale
     omega = 2.0 * np.pi / (period_days * SECONDS_PER_DAY)

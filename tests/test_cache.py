@@ -228,3 +228,97 @@ class TestCacheAccounting:
         cache.lookup("a")
         cache.clear()
         assert len(cache) == 0 and cache.hits == 0 and cache.hit_rate == 0.0
+
+
+class TestArchiveAndPrewarm:
+    """The evicted-entry archive behind forecast pre-warming.
+
+    ``archive_capacity > 0`` keeps evicted entries (stats + precomputed
+    prediction) on the side; ``restore`` revives one at MRU position and
+    ``touch`` refreshes a resident's recency — the two pre-warm verbs.
+    Neither touches the hit/miss counters, so pre-warming is invisible
+    in lookup accounting.
+    """
+
+    def test_default_drops_evictions(self):
+        cache = ExecTimeCache(capacity=1)
+        cache.observe("a", 1.0)
+        cache.observe("b", 2.0)
+        assert not cache.restore("a")
+
+    def test_restore_revives_evicted_entry(self):
+        cache = ExecTimeCache(capacity=1, alpha=1.0, archive_capacity=4)
+        cache.observe("a", 1.0)
+        cache.observe("a", 3.0)
+        cache.observe("b", 2.0)  # evicts a into the archive
+        assert "a" not in cache
+        assert cache.restore("a")
+        assert cache.restores == 1
+        assert "a" in cache and "b" not in cache  # restore evicted b
+        # the restored entry kept its full stats (mean of 1.0, 3.0)
+        assert cache.peek("a") == pytest.approx(2.0)
+
+    def test_restore_noop_when_resident_or_unknown(self):
+        cache = ExecTimeCache(capacity=2, archive_capacity=4)
+        cache.observe("a", 1.0)
+        assert not cache.restore("a")  # already resident
+        assert not cache.restore("zz")  # never seen
+        assert cache.restores == 0
+
+    def test_archive_capacity_bounded(self):
+        cache = ExecTimeCache(capacity=1, archive_capacity=2)
+        for i in range(6):
+            cache.observe(f"q{i}", float(i))
+        # only the two most recently evicted survive (q3, q4)
+        assert not cache.restore("q0")
+        assert cache.restore("q3")
+
+    def test_fresh_observation_supersedes_archive(self):
+        cache = ExecTimeCache(capacity=1, archive_capacity=4)
+        cache.observe("a", 10.0)
+        cache.observe("b", 2.0)  # archives a with mean 10
+        cache.observe("a", 4.0)  # fresh stream: archived copy dropped
+        cache.observe("b", 2.0)
+        assert cache.restore("a")
+        assert cache.peek("a") == pytest.approx(4.0)  # not 10.0 or 7.0
+
+    def test_touch_protects_recency(self):
+        cache = ExecTimeCache(capacity=2)
+        cache.observe("a", 1.0)
+        cache.observe("b", 2.0)
+        assert cache.touch("a")  # a is now most recent
+        cache.observe("c", 3.0)  # evicts b, not a
+        assert "a" in cache and "b" not in cache
+
+    def test_touch_misses_return_false(self):
+        cache = ExecTimeCache(capacity=2)
+        assert not cache.touch("zz")
+
+    def test_prewarm_verbs_leave_counters_alone(self):
+        cache = ExecTimeCache(capacity=1, archive_capacity=4)
+        cache.observe("a", 1.0)
+        cache.observe("b", 2.0)
+        cache.touch("b")
+        cache.restore("a")
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_byte_size_counts_archive(self):
+        dropping = ExecTimeCache(capacity=1)
+        keeping = ExecTimeCache(capacity=1, archive_capacity=8)
+        for cache in (dropping, keeping):
+            for i in range(5):
+                cache.observe(f"q{i}", float(i))
+        assert keeping.byte_size() > dropping.byte_size()
+
+    def test_clear_drops_archive(self):
+        cache = ExecTimeCache(capacity=1, archive_capacity=4)
+        cache.observe("a", 1.0)
+        cache.observe("b", 2.0)
+        cache.restore("a")
+        cache.clear()
+        assert cache.restores == 0
+        assert not cache.restore("a")
+
+    def test_invalid_archive_capacity(self):
+        with pytest.raises(ValueError):
+            ExecTimeCache(capacity=4, archive_capacity=-1)

@@ -29,6 +29,7 @@ from repro.service import (
     FleetGateway,
     WireClient,
     WireServer,
+    instance_loads,
     plan_rebalance,
     shard_for,
 )
@@ -308,10 +309,11 @@ class TestLiveMigrationParity:
 # ---------------------------------------------------------------------------
 # the load-watching rebalancer
 # ---------------------------------------------------------------------------
-def _stats(assignments, op_counts, queue_depths=None, n_shards=None):
+def _stats(assignments, op_counts, queue_depths=None, n_shards=None, forecast_loads=None):
     """A synthetic gateway stats snapshot for planner unit tests."""
     n_shards = n_shards or (max(assignments.values()) + 1 if assignments else 1)
     queue_depths = queue_depths or {}
+    forecast_loads = forecast_loads or {}
     return {
         "shards": [
             {"shard": i, "alive": True, "queue_depth": queue_depths.get(i, 0)}
@@ -319,7 +321,10 @@ def _stats(assignments, op_counts, queue_depths=None, n_shards=None):
         ],
         "routes": {"version": 0, "n_shards": n_shards, "assignments": dict(assignments)},
         "instances": {
-            instance_id: {"scheduler": {"n_predicts": ops, "n_observes": 0}}
+            instance_id: {
+                "scheduler": {"n_predicts": ops, "n_observes": 0},
+                "stage": {"forecast_load": forecast_loads.get(instance_id, 0.0)},
+            }
             for instance_id, ops in op_counts.items()
         },
     }
@@ -371,6 +376,147 @@ class TestRebalancePlanning:
     def test_single_shard_plans_nothing(self):
         stats = _stats({"a": 0, "b": 0}, {"a": 900, "b": 100}, n_shards=1)
         assert plan_rebalance(stats, ControlConfig()).empty
+
+
+class TestForecastLoadSource:
+    """``ControlConfig.load_source="forecast"`` rebalances on where load
+    is *going* (each instance's ``forecast_load`` stage stat) instead of
+    where it has been (trailing op totals)."""
+
+    def test_trailing_is_the_default(self):
+        stats = _stats(
+            {"a": 0, "b": 1},
+            {"a": 100, "b": 50},
+            forecast_loads={"a": 1.0, "b": 99.0},
+        )
+        assert instance_loads(stats) == {"a": 100.0, "b": 50.0}
+
+    def test_forecast_source_reads_stage_forecast_load(self):
+        stats = _stats(
+            {"a": 0, "b": 1},
+            {"a": 100, "b": 50},
+            forecast_loads={"a": 1.0, "b": 99.0},
+        )
+        config = ControlConfig(load_source="forecast")
+        assert instance_loads(stats, config) == {"a": 1.0, "b": 99.0}
+
+    def test_all_cold_forecasts_fall_back_to_trailing(self):
+        """Forecasting off (or every forecaster cold) reports all-zero
+        loads — the planner must not balance on a zero signal."""
+        stats = _stats({"a": 0, "b": 1}, {"a": 100, "b": 50})
+        config = ControlConfig(load_source="forecast")
+        assert instance_loads(stats, config) == {"a": 100.0, "b": 50.0}
+
+    def test_forecast_source_flips_the_plan(self):
+        """Trailing history says shard 0 is hot; the forecast says the
+        load is moving to shard 1 — the planner must follow the source."""
+        stats = _stats(
+            {"a": 0, "b": 0, "c": 1, "d": 1},
+            {"a": 900, "b": 300, "c": 10, "d": 10},
+            forecast_loads={"a": 5.0, "b": 5.0, "c": 800.0, "d": 300.0},
+        )
+        trailing = plan_rebalance(stats, ControlConfig(imbalance_tolerance=0.25))
+        forecast = plan_rebalance(
+            stats, ControlConfig(imbalance_tolerance=0.25, load_source="forecast")
+        )
+        assert trailing.migrations and trailing.migrations[0].source == 0
+        assert forecast.migrations and forecast.migrations[0].source == 1
+
+    def test_bad_load_source_rejected(self):
+        with pytest.raises(ValueError, match="load_source"):
+            ControlConfig(load_source="chaos")
+
+
+# ---------------------------------------------------------------------------
+# watcher-thread resilience (the control-plane bugfix sweep)
+# ---------------------------------------------------------------------------
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestWatcherResilience:
+    """The background watcher must outlive failed control cycles: a
+    transient planning/migration error is recorded and the loop keeps
+    cycling — only the clean gateway-closed signal (RuntimeError) exits."""
+
+    def make_controller(self):
+        # no gateway needed: these tests inject step() directly
+        return FleetController(None, ControlConfig(cycle_interval_s=0.01))
+
+    def test_fault_injected_step_keeps_the_watcher_alive(self):
+        controller = self.make_controller()
+
+        def flaky_step():
+            raise ValueError("injected plan failure")
+
+        controller.step = flaky_step
+        controller.start()
+        try:
+            assert _wait_until(lambda: controller.stats()["n_errors"] >= 3)
+            stats = controller.stats()
+            assert stats["watcher_alive"]
+            assert stats["last_error"] == "ValueError: injected plan failure"
+            assert stats["n_cycles"] >= stats["n_errors"]
+        finally:
+            assert controller.stop() is True
+        assert not controller.stats()["watcher_alive"]
+
+    def test_runtime_error_still_exits_cleanly(self):
+        controller = self.make_controller()
+
+        def closed_gateway_step():
+            raise RuntimeError("gateway closed")
+
+        controller.step = closed_gateway_step
+        controller.start()
+        assert _wait_until(lambda: not controller.stats()["watcher_alive"])
+        stats = controller.stats()
+        assert stats["n_errors"] == 0  # a clean exit is not an error
+        assert stats["last_error"] is None
+        assert controller.stop() is True
+
+    def test_stop_reports_failed_join_and_keeps_the_thread(self):
+        controller = self.make_controller()
+        entered = threading.Event()
+        blocker = threading.Event()
+
+        def wedged_step():
+            entered.set()
+            blocker.wait(30)
+
+        controller.step = wedged_step
+        controller.start()
+        try:
+            assert entered.wait(5)
+            # the watcher is wedged inside step(): the join must time out,
+            # report failure, and keep the thread reference so a later
+            # start() cannot leak a second watcher
+            assert controller.stop(timeout=0.05) is False
+            assert controller.stats()["watcher_alive"]
+            controller.start()  # no-op while the old watcher lives
+            assert controller.stats()["watcher_alive"]
+        finally:
+            blocker.set()
+        assert controller.stop(timeout=5) is True
+        assert not controller.stats()["watcher_alive"]
+
+    def test_stop_without_watcher_is_a_trivial_success(self):
+        assert self.make_controller().stop() is True
+
+    def test_stats_shape(self):
+        stats = self.make_controller().stats()
+        assert stats == {
+            "n_cycles": 0,
+            "n_errors": 0,
+            "last_error": None,
+            "n_migrations": 0,
+            "watcher_alive": False,
+        }
 
 
 class TestFleetController:

@@ -182,6 +182,26 @@ class TestInputValidation:
         with pytest.raises(ValueError, match="period_days"):
             seasonal_thin(rng, [], amplitude=0.5, period_days=0.0)
 
+    def test_seasonal_thin_rejects_unsorted_events(self):
+        """Thinning consumes one RNG draw per event in iteration order,
+        so an unsorted composition bug would silently reshuffle which
+        events survive — it must fail loudly, naming the offender."""
+        rng = np.random.default_rng(0)
+        events = [(0.0, 1), (100.0, 2), (50.0, 3), (200.0, 4)]
+        with pytest.raises(ValueError, match="event 2 arrives at 50.0 after 100.0"):
+            seasonal_thin(rng, events, amplitude=0.5, period_days=7.0)
+        # the check guards the amplitude=0 shortcut path too
+        with pytest.raises(ValueError, match="event 2"):
+            seasonal_thin(rng, events, amplitude=0.0, period_days=7.0)
+
+    def test_seasonal_thin_accepts_ties_and_generators(self):
+        """Equal timestamps are legal (simultaneous arrivals), and the
+        events argument may be any iterable, not only a list."""
+        rng = np.random.default_rng(0)
+        events = [(0.0, 1), (10.0, 2), (10.0, 3), (20.0, 4)]
+        kept = seasonal_thin(rng, iter(events), amplitude=0.0, period_days=7.0)
+        assert kept == events
+
     def test_analyze_schedule_durations_validated(self):
         rng = np.random.default_rng(0)
         with pytest.raises(ValueError, match="duration_days"):
